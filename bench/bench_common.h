@@ -1,0 +1,103 @@
+// Copyright 2026 The WWT Authors
+//
+// Shared scaffolding for the experiment benches: corpus + cases
+// construction and the mapping functions of every compared method.
+// Environment knobs (so `for b in build/bench/*; do $b; done` stays fast
+// but scale is adjustable):
+//   WWT_SCALE  — corpus scale factor (default 0.5)
+//   WWT_SEED   — corpus seed (default 42)
+
+#ifndef WWT_BENCH_BENCH_COMMON_H_
+#define WWT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/groups.h"
+#include "eval/harness.h"
+#include "eval/trainer.h"
+
+namespace wwt::bench {
+
+inline double EnvScale() {
+  const char* s = std::getenv("WWT_SCALE");
+  return s != nullptr ? std::atof(s) : 0.5;
+}
+
+inline uint64_t EnvSeed() {
+  const char* s = std::getenv("WWT_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 42;
+}
+
+/// Everything the experiment benches share.
+struct Experiment {
+  Corpus corpus;
+  std::unique_ptr<EvalHarness> harness;
+  std::vector<EvalCase> cases;
+};
+
+inline Experiment BuildExperiment(double scale = EnvScale(),
+                                  uint64_t seed = EnvSeed()) {
+  Experiment e;
+  CorpusOptions options;
+  options.seed = seed;
+  options.scale = scale;
+  std::fprintf(stderr, "[bench] generating corpus (scale=%.2f seed=%llu)\n",
+               scale, static_cast<unsigned long long>(seed));
+  e.corpus = GenerateCorpus(options);
+  e.harness = std::make_unique<EvalHarness>(&e.corpus);
+  e.cases = e.harness->BuildCases();
+  std::fprintf(stderr, "[bench] %zu tables, %zu queries\n",
+               e.corpus.store.size(), e.cases.size());
+  return e;
+}
+
+/// Mapping function for a WWT configuration.
+inline MappingFn WwtFn(const TableIndex* index, MapperOptions options) {
+  return [index, options](const Query& q,
+                          const std::vector<CandidateTable>& tables) {
+    ColumnMapper mapper(index, options);
+    return mapper.Map(q, tables);
+  };
+}
+
+/// Mapping function for a baseline configuration.
+inline MappingFn BaselineFn(const TableIndex* index,
+                            BaselineOptions options) {
+  return [index, options](const Query& q,
+                          const std::vector<CandidateTable>& tables) {
+    BaselineMapper mapper(index, options);
+    return mapper.Map(q, tables);
+  };
+}
+
+/// Prints one "Grp | method columns..." style table like the paper's.
+inline void PrintGroupTable(
+    const QueryGroups& groups,
+    const std::vector<std::pair<std::string, std::vector<double>>>&
+        methods) {
+  std::printf("%-8s", "Group");
+  for (const auto& [name, _] : methods) std::printf("%12s", name.c_str());
+  std::printf("%8s\n", "#q");
+  for (size_t g = 0; g < groups.hard.size(); ++g) {
+    std::printf("%-8zu", g + 1);
+    for (const auto& [_, err] : methods) {
+      std::printf("%12.1f", MeanOver(groups.hard[g], err));
+    }
+    std::printf("%8zu\n", groups.hard[g].size());
+  }
+  std::printf("%-8s", "Overall");
+  std::vector<int> all;
+  for (const auto& g : groups.hard) all.insert(all.end(), g.begin(), g.end());
+  for (const auto& [_, err] : methods) {
+    std::printf("%12.1f", MeanOver(all, err));
+  }
+  std::printf("%8zu\n", all.size());
+}
+
+}  // namespace wwt::bench
+
+#endif  // WWT_BENCH_BENCH_COMMON_H_

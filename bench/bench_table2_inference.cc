@@ -1,0 +1,74 @@
+// Copyright 2026 The WWT Authors
+//
+// Table 2: F1 error of the collective inference algorithms — None
+// (independent per-table), constrained α-expansion, loopy BP, TRW-S, and
+// the table-centric algorithm — per hard-query group and overall, plus
+// their running-time ratios (§5.3). Expected shape: table-centric best
+// and fastest; α-expansion next; BP/TRWS worse (dissociative mutex
+// edges); TRWS slowest.
+
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+using namespace wwt;
+using namespace wwt::bench;
+
+int main() {
+  Experiment e = BuildExperiment();
+  const TableIndex* index = e.corpus.index.get();
+
+  struct Method {
+    const char* name;
+    InferenceMode mode;
+  };
+  const Method methods[] = {
+      {"None", InferenceMode::kIndependent},
+      {"a-exp", InferenceMode::kAlphaExpansion},
+      {"BP", InferenceMode::kBeliefPropagation},
+      {"TRWS", InferenceMode::kTrws},
+      {"Table-c", InferenceMode::kTableCentric},
+  };
+
+  std::vector<std::pair<std::string, std::vector<double>>> errors;
+  std::vector<double> seconds;
+  std::vector<double> objective_sum;
+  for (const Method& m : methods) {
+    MapperOptions options;
+    options.mode = m.mode;
+    WallTimer timer;
+    std::vector<double> err;
+    double obj = 0;
+    for (const EvalCase& c : e.cases) {
+      ColumnMapper mapper(index, options);
+      MapResult result = mapper.Map(c.query, c.retrieval.tables);
+      err.push_back(
+          F1Error(EvalHarness::PredictedLabels(result), c.truth));
+      obj += result.objective;
+    }
+    seconds.push_back(timer.ElapsedSeconds());
+    objective_sum.push_back(obj);
+    errors.emplace_back(m.name, std::move(err));
+  }
+
+  // Groups from the independent ("None") baseline column of Table 2.
+  std::vector<std::vector<double>> all;
+  for (auto& [_, v] : errors) all.push_back(v);
+  QueryGroups groups = GroupQueries(errors[0].second, all);
+
+  std::printf("=== Table 2: collective inference algorithms (F1 error) "
+              "===\n");
+  PrintGroupTable(groups, errors);
+
+  std::printf("\nRunning time (all queries) and ratio vs table-centric:\n");
+  for (size_t m = 0; m < 5; ++m) {
+    std::printf("  %-8s %8.2fs  x%.1f   (objective sum %.1f)\n",
+                errors[m].first.c_str(), seconds[m],
+                seconds[m] / seconds[4], objective_sum[m]);
+  }
+  std::printf("\nPaper: overall errors None 33.1 / a-exp 31.3 / BP 31.5 / "
+              "TRWS 32.3 / Table-centric 30.3; runtimes a-exp ~5x, BP "
+              "~6x, TRWS ~30x table-centric. In most losses a-exp "
+              "returned labelings with lower objective (§5.3); compare "
+              "the objective sums above.\n");
+  return 0;
+}

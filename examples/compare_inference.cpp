@@ -1,0 +1,56 @@
+// Copyright 2026 The WWT Authors
+//
+// Lower-level example: drive the ColumnMapper directly (no engine) and
+// compare the five inference algorithms of Table 2 on one query —
+// independent per-table inference, the table-centric collective
+// algorithm, constrained α-expansion, loopy BP, and TRW-S.
+
+#include <cstdio>
+
+#include "core/column_mapper.h"
+#include "corpus/corpus_generator.h"
+#include "util/timer.h"
+#include "wwt/engine.h"
+
+int main() {
+  wwt::CorpusOptions corpus_options;
+  corpus_options.seed = 42;
+  corpus_options.scale = 0.5;
+  std::printf("Building corpus...\n");
+  wwt::Corpus corpus = wwt::GenerateCorpus(corpus_options);
+
+  // Retrieve candidates once (shared across algorithms).
+  wwt::WwtEngine engine(&corpus.store, corpus.index.get(), {});
+  wwt::Query query = wwt::Query::Parse(
+      {"fifa worlds cup winners", "year"}, *corpus.index);
+  wwt::RetrievalResult retrieval = engine.Retrieve(query, nullptr);
+  std::printf("%zu candidate tables for \"fifa worlds cup winners | "
+              "year\"\n\n",
+              retrieval.tables.size());
+
+  std::printf("%-18s %10s %12s %12s\n", "algorithm", "relevant",
+              "objective", "time (ms)");
+  for (wwt::InferenceMode mode :
+       {wwt::InferenceMode::kIndependent,
+        wwt::InferenceMode::kTableCentric,
+        wwt::InferenceMode::kAlphaExpansion,
+        wwt::InferenceMode::kBeliefPropagation,
+        wwt::InferenceMode::kTrws}) {
+    wwt::MapperOptions options;
+    options.mode = mode;
+    wwt::ColumnMapper mapper(corpus.index.get(), options);
+    wwt::WallTimer timer;
+    wwt::MapResult result = mapper.Map(query, retrieval.tables);
+    double ms = timer.ElapsedMillis();
+    int relevant = 0;
+    for (const auto& tm : result.tables) relevant += tm.relevant;
+    std::printf("%-18s %10d %12.2f %12.2f\n",
+                wwt::InferenceModeToString(mode), relevant,
+                result.objective, ms);
+  }
+
+  std::printf("\nHigher objective = better fit to Eq. 9; the paper's "
+              "table-centric algorithm is both accurate and the fastest "
+              "collective option (§5.3).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Copyright 2026 The WWT Authors
+//
+// Interactive CLI: build (or load) a corpus once, then answer column-
+// keyword queries typed on stdin. Columns are separated by '|', exactly
+// like the paper's query notation:
+//
+//   > name of explorers | nationality | areas explored
+//
+// Usage: wwt_search [scale] [seed]
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "corpus/corpus_generator.h"
+#include "util/string_util.h"
+#include "wwt/engine.h"
+
+int main(int argc, char** argv) {
+  wwt::CorpusOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  std::printf("Building corpus (scale %.2f, seed %llu)...\n",
+              options.scale,
+              static_cast<unsigned long long>(options.seed));
+  wwt::Corpus corpus = wwt::GenerateCorpus(options);
+  wwt::WwtEngine engine(&corpus.store, corpus.index.get(), {});
+  std::printf("%zu tables ready. Enter queries as 'col1 | col2 | ...' "
+              "(empty line quits).\n\n",
+              corpus.store.size());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (wwt::StripWhitespace(line).empty()) break;
+    std::vector<std::string> columns;
+    for (const std::string& piece : wwt::Split(line, "|")) {
+      std::string col(wwt::StripWhitespace(piece));
+      if (!col.empty()) columns.push_back(col);
+    }
+    if (columns.empty()) continue;
+
+    wwt::QueryExecution exec = engine.Execute(columns);
+    int relevant = 0;
+    for (const auto& tm : exec.mapping.tables) relevant += tm.relevant;
+    std::printf("[%zu candidates, %d relevant, %.0f ms]\n",
+                exec.retrieval.tables.size(), relevant,
+                exec.timing.Total() * 1e3);
+
+    for (const std::string& col : columns) std::printf("%-24.24s", col.c_str());
+    std::printf("%8s\n", "support");
+    int shown = 0;
+    for (const wwt::AnswerRow& row : exec.answer.rows) {
+      for (const std::string& cell : row.cells) {
+        std::printf("%-24.24s", cell.c_str());
+      }
+      std::printf("%8d\n", row.support);
+      if (++shown >= 12) break;
+    }
+    if (exec.answer.rows.size() > 12) {
+      std::printf("... (%zu rows total)\n", exec.answer.rows.size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Copyright 2026 The WWT Authors
+//
+// The three comparison methods of §5:
+//  * Basic   — thresholded whole-string TF-IDF relevance + per-column
+//              header cosine matching (§3's strawman).
+//  * NbrText — Basic with neighbor-column text imported:
+//              sim'(Q_l, tc) = max(sim, max_{t'c'} sim(tc,t'c') *
+//              sim(Q_l, t'c')).
+//  * PMI2    — Basic augmented with the PMI^2 corpus statistic.
+
+#ifndef WWT_CORE_BASELINES_H_
+#define WWT_CORE_BASELINES_H_
+
+#include "core/column_mapper.h"
+
+namespace wwt {
+
+enum class BaselineKind { kBasic, kNbrText, kPmi2 };
+
+const char* BaselineKindToString(BaselineKind kind);
+
+struct BaselineOptions {
+  BaselineKind kind = BaselineKind::kBasic;
+  /// Table-relevance threshold tau1 on cosine(Q, header+context).
+  double table_threshold = 0.30;
+  /// Column-match threshold tau2 on cosine(Q_l, header(c)).
+  double column_threshold = 0.10;
+  /// Weight of the PMI^2 term (kPmi2 only).
+  double pmi_weight = 2.0;
+  EdgeOptions edges;      // used by kNbrText
+  FeatureOptions features;  // used by kPmi2
+};
+
+/// Per-kind thresholds from the grid-search trainer (bench_train).
+BaselineOptions DefaultBaselineOptions(BaselineKind kind);
+
+/// Baseline column mapper; emits the same MapResult as ColumnMapper so
+/// the evaluation harness treats all methods uniformly.
+class BaselineMapper {
+ public:
+  BaselineMapper(const TableIndex* index, BaselineOptions options = {});
+
+  MapResult Map(const Query& query,
+                const std::vector<CandidateTable>& tables);
+
+  const BaselineOptions& options() const { return options_; }
+  BaselineOptions* mutable_options() { return &options_; }
+
+ private:
+  const TableIndex* index_;
+  BaselineOptions options_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_CORE_BASELINES_H_

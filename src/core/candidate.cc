@@ -1,0 +1,75 @@
+#include "core/candidate.h"
+
+#include <unordered_map>
+
+namespace wwt {
+
+namespace {
+
+std::vector<TermId> KnownTerms(const std::string& text,
+                               const TableIndex& index) {
+  std::vector<TermId> out;
+  for (const std::string& tok : index.tokenizer().Tokenize(text)) {
+    auto id = index.vocab().Find(tok);
+    if (id) out.push_back(*id);
+  }
+  return out;
+}
+
+}  // namespace
+
+CandidateTable CandidateTable::Build(WebTable table,
+                                     const TableIndex& index,
+                                     double frequent_cell_fraction) {
+  CandidateTable cand;
+  cand.num_cols = table.num_cols;
+  cand.num_header_rows = table.num_header_rows();
+
+  for (const std::string& title : table.title_rows) {
+    for (TermId t : KnownTerms(title, index)) cand.title_terms.insert(t);
+  }
+  for (const ContextSnippet& snip : table.context) {
+    for (TermId t : KnownTerms(snip.text, index)) {
+      cand.context_terms.insert(t);
+    }
+  }
+
+  cand.cols.resize(table.num_cols);
+  for (int c = 0; c < table.num_cols; ++c) {
+    CandidateColumn& col = cand.cols[c];
+    col.header_terms.resize(table.num_header_rows());
+    for (int r = 0; r < table.num_header_rows(); ++r) {
+      col.header_terms[r] =
+          KnownTerms(table.header_rows[r][c], index);
+      for (TermId t : col.header_terms[r]) {
+        col.header_vec.Add(t, index.idf().Idf(t));
+      }
+    }
+
+    // Content vector + frequent tokens.
+    std::unordered_map<TermId, int> cells_with_term;
+    int non_empty_cells = 0;
+    for (const auto& row : table.body) {
+      const std::string& cell = row[c];
+      if (cell.empty()) continue;
+      ++non_empty_cells;
+      std::vector<TermId> terms = KnownTerms(cell, index);
+      std::unordered_set<TermId> distinct(terms.begin(), terms.end());
+      for (TermId t : distinct) {
+        col.content_vec.Add(t, index.idf().Idf(t));
+        ++cells_with_term[t];
+      }
+    }
+    for (const auto& [t, n] : cells_with_term) {
+      if (n >= 2 && n >= frequent_cell_fraction * non_empty_cells) {
+        col.frequent_terms.insert(t);
+        cand.frequent_terms_all.insert(t);
+      }
+    }
+  }
+
+  cand.table = std::move(table);
+  return cand;
+}
+
+}  // namespace wwt

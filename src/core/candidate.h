@@ -1,0 +1,57 @@
+// Copyright 2026 The WWT Authors
+//
+// CandidateTable: a web table preprocessed for the column mapper — every
+// part of the table the SegSim similarity consults (title, context,
+// per-row-per-column headers, frequent body tokens) tokenized once, plus
+// per-column content vectors for the cross-table overlap machinery.
+
+#ifndef WWT_CORE_CANDIDATE_H_
+#define WWT_CORE_CANDIDATE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "index/table_index.h"
+#include "table/web_table.h"
+#include "text/tfidf.h"
+
+namespace wwt {
+
+/// Per-column preprocessed state.
+struct CandidateColumn {
+  /// Header tokens by header row: header_terms[r] = tokens of H_rc.
+  std::vector<std::vector<TermId>> header_terms;
+  /// Combined header vector (all rows), used by baselines and the
+  /// cross-table column matching.
+  SparseVector header_vec;
+  /// TF-IDF vector over the column's body cells (content overlap).
+  SparseVector content_vec;
+  /// Tokens appearing in a large fraction of the column's cells — the
+  /// "frequent content" part B of outSim (the "Black metal" signal).
+  std::unordered_set<TermId> frequent_terms;
+};
+
+/// A candidate web table ready for mapping.
+struct CandidateTable {
+  WebTable table;  // owned copy (consolidation reads the body later)
+
+  int num_cols = 0;
+  int num_header_rows = 0;
+  std::vector<CandidateColumn> cols;
+  std::unordered_set<TermId> title_terms;    // part T
+  std::unordered_set<TermId> context_terms;  // part C
+  /// Union of all columns' frequent terms (part B is defined over "some
+  /// column of t").
+  std::unordered_set<TermId> frequent_terms_all;
+
+  /// Tokenizes and vectorizes `table` against the corpus statistics.
+  /// `frequent_cell_fraction`: a token is "frequent content" when it
+  /// appears in at least this fraction of the column's non-empty cells
+  /// (and at least twice).
+  static CandidateTable Build(WebTable table, const TableIndex& index,
+                              double frequent_cell_fraction = 0.3);
+};
+
+}  // namespace wwt
+
+#endif  // WWT_CORE_CANDIDATE_H_

@@ -1,0 +1,92 @@
+#include "core/edges.h"
+
+#include <unordered_map>
+
+#include "flow/bipartite_matcher.h"
+
+namespace wwt {
+
+std::vector<CrossEdge> BuildCrossEdges(
+    const std::vector<CandidateTable>& tables, const EdgeOptions& options) {
+  const int n = static_cast<int>(tables.size());
+  std::vector<CrossEdge> edges;
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const CandidateTable& a = tables[i];
+      const CandidateTable& b = tables[j];
+      if (a.num_cols == 0 || b.num_cols == 0) continue;
+
+      // Content + header similarity for the one-to-one matching.
+      std::vector<std::vector<double>> content(
+          a.num_cols, std::vector<double>(b.num_cols, 0));
+      std::vector<std::vector<double>> match_w = content;
+      bool any = false;
+      for (int ca = 0; ca < a.num_cols; ++ca) {
+        for (int cb = 0; cb < b.num_cols; ++cb) {
+          double cs = SparseVector::Cosine(a.cols[ca].content_vec,
+                                           b.cols[cb].content_vec);
+          if (cs < options.sim_floor) continue;
+          double hs = SparseVector::Cosine(a.cols[ca].header_vec,
+                                           b.cols[cb].header_vec);
+          content[ca][cb] = cs;
+          match_w[ca][cb] = options.content_weight * cs +
+                            (1.0 - options.content_weight) * hs;
+          any = true;
+        }
+      }
+      if (!any) continue;
+
+      auto add_edge = [&](int ca, int cb) {
+        CrossEdge e;
+        e.t1 = i;
+        e.c1 = ca;
+        e.t2 = j;
+        e.c2 = cb;
+        e.sim = content[ca][cb];
+        edges.push_back(e);
+      };
+      if (options.max_matching_only) {
+        // Max-matching edges: one partner per column in this pair.
+        BipartiteSpec spec;
+        spec.left_cap.assign(a.num_cols, 1);
+        spec.right_cap.assign(b.num_cols, 1);
+        spec.weight = match_w;
+        CapacitatedMatcher matcher(std::move(spec));
+        for (const auto& [ca, cb] : matcher.Solve().edges) {
+          if (content[ca][cb] >= options.sim_floor) add_edge(ca, cb);
+        }
+      } else {
+        // Ablation: every similar pair gets an edge.
+        for (int ca = 0; ca < a.num_cols; ++ca) {
+          for (int cb = 0; cb < b.num_cols; ++cb) {
+            if (content[ca][cb] >= options.sim_floor) add_edge(ca, cb);
+          }
+        }
+      }
+    }
+  }
+
+  // nsim normalization: per column, the sum of similarities to all of its
+  // matched neighbors.
+  std::unordered_map<int64_t, double> denom;
+  auto key = [](int t, int c) {
+    return static_cast<int64_t>(t) * 1000 + c;
+  };
+  for (const CrossEdge& e : edges) {
+    denom[key(e.t1, e.c1)] += e.sim;
+    denom[key(e.t2, e.c2)] += e.sim;
+  }
+  for (CrossEdge& e : edges) {
+    if (options.normalize) {
+      e.nsim_12 = e.sim / (options.nsim_lambda + denom[key(e.t1, e.c1)]);
+      e.nsim_21 = e.sim / (options.nsim_lambda + denom[key(e.t2, e.c2)]);
+    } else {
+      e.nsim_12 = e.sim;
+      e.nsim_21 = e.sim;
+    }
+  }
+  return edges;
+}
+
+}  // namespace wwt

@@ -1,0 +1,84 @@
+// Copyright 2026 The WWT Authors
+//
+// The node-potential features of §3.2:
+//  * SegSim  — the two-part query segmentation similarity (Eq. 1),
+//  * Cover   — the matched-query-fraction variant (§3.2.2),
+//  * PMI^2   — corpus co-occurrence of keywords and column content
+//              (§3.2.3),
+//  * R(Q, t) — clipped table relevance (Eq. 2).
+
+#ifndef WWT_CORE_FEATURES_H_
+#define WWT_CORE_FEATURES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/query.h"
+
+namespace wwt {
+
+/// Reliability of a match in each table part for outSim, §3.2.1. The
+/// defaults are the paper's empirical values for {T, C, Hc, Hr, B}.
+struct PartReliability {
+  double title = 1.0;          // T: table title rows
+  double context = 0.9;        // C: page context
+  double other_header_row = 0.5;   // Hc: other header rows of column c
+  double other_header_col = 1.0;   // Hr: other columns' headers in row r
+  double frequent_body = 0.8;  // B: frequent content tokens
+};
+
+struct FeatureOptions {
+  PartReliability reliability;
+  /// Rows sampled per column for the PMI^2 statistic (it needs one index
+  /// probe per distinct cell; §5.1 reports it as the expensive feature).
+  int max_pmi_rows = 25;
+  /// §5.2 ablation: replace the segmentation model by plain whole-string
+  /// similarity against the column's header text (SegSim -> cosine,
+  /// Cover -> token coverage), the "unsegmented" comparison of Fig. 8.
+  bool unsegmented = false;
+};
+
+/// Computes all §3.2 features for one query against one candidate table.
+/// PMI^2 probes share a process-wide nothing; per-instance caches keep
+/// repeated cells cheap. Not thread-safe.
+class FeatureComputer {
+ public:
+  FeatureComputer(const TableIndex* index, FeatureOptions options = {});
+
+  /// Eq. 1. Zero when the table has no header rows (no valid
+  /// segmentation pins the query to a column).
+  double SegSim(const QueryColumn& ql, const CandidateTable& t,
+                int c) const;
+
+  /// §3.2.2: Eq. 1 with inSim replaced by the weighted fraction of the
+  /// header part's tokens present in H_rc.
+  double Cover(const QueryColumn& ql, const CandidateTable& t,
+               int c) const;
+
+  /// §3.2.3. Uses conjunctive index probes H(Q_l) and B(cell).
+  double Pmi2(const QueryColumn& ql, const CandidateTable& t, int c);
+
+  /// Eq. 2: (1/q) clip(sum_l max_c Cover(Q_l, tc), min(q, 1.5)).
+  double TableRelevance(const Query& query, const CandidateTable& t) const;
+
+ private:
+  /// Shared segmentation maximizer; `cover_mode` switches inSim.
+  double Segmented(const QueryColumn& ql, const CandidateTable& t, int c,
+                   bool cover_mode) const;
+
+  /// outSim(S, t, r, c) over suffix token indices [s_begin, s_end).
+  double OutSim(const QueryColumn& ql, size_t s_begin, size_t s_end,
+                const CandidateTable& t, int r, int c) const;
+
+  const TableIndex* index_;
+  FeatureOptions options_;
+
+  /// PMI caches: per query-column term-set probes and per cell probes.
+  std::unordered_map<std::string, std::vector<TableId>> h_cache_;
+  std::unordered_map<std::string, std::vector<TableId>> b_cache_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_CORE_FEATURES_H_

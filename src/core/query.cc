@@ -1,0 +1,27 @@
+#include "core/query.h"
+
+namespace wwt {
+
+Query Query::Parse(const std::vector<std::string>& col_keywords,
+                   const TableIndex& index) {
+  Query query;
+  for (const std::string& raw : col_keywords) {
+    QueryColumn col;
+    col.raw = raw;
+    for (const std::string& tok : index.tokenizer().Tokenize(raw)) {
+      if (Tokenizer::IsStopword(tok)) continue;
+      auto id = index.vocab().Find(tok);
+      if (!id) continue;  // unseen in corpus: cannot match anything
+      col.terms.push_back(*id);
+      double w = index.idf().Idf(*id);
+      col.term_weight.push_back(w);
+      col.vec.Add(*id, w);
+    }
+    col.norm_squared = col.vec.NormSquared();
+    query.cols.push_back(std::move(col));
+    query.all_keywords.push_back(raw);
+  }
+  return query;
+}
+
+}  // namespace wwt

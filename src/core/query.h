@@ -1,0 +1,45 @@
+// Copyright 2026 The WWT Authors
+//
+// Query model: q sets of column keywords, tokenized against the corpus
+// vocabulary and weighted by corpus IDF (the TI(w) weights of Eq. 1).
+
+#ifndef WWT_CORE_QUERY_H_
+#define WWT_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "index/table_index.h"
+#include "text/tfidf.h"
+
+namespace wwt {
+
+/// One query column Q_l.
+struct QueryColumn {
+  std::string raw;                 // "name of explorers"
+  std::vector<TermId> terms;       // in order, stopwords dropped
+  std::vector<double> term_weight;  // TI(w) per term
+  SparseVector vec;                // TF-IDF vector
+  double norm_squared = 0;         // ||Q_l||^2
+};
+
+/// A parsed multi-column query.
+struct Query {
+  std::vector<QueryColumn> cols;
+  /// Union of all column keywords (the §2.2.1 first index probe).
+  std::vector<std::string> all_keywords;
+
+  int q() const { return static_cast<int>(cols.size()); }
+
+  /// min-match threshold m: 2 for q >= 2, else 1 (§3.4).
+  int min_match() const { return q() >= 2 ? 2 : 1; }
+
+  /// Tokenizes each keyword set against `index`'s vocabulary. Tokens
+  /// absent from the corpus cannot match anything and are dropped.
+  static Query Parse(const std::vector<std::string>& col_keywords,
+                     const TableIndex& index);
+};
+
+}  // namespace wwt
+
+#endif  // WWT_CORE_QUERY_H_

@@ -1,0 +1,60 @@
+#include "corpus/ground_truth.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+ResolvedQuery Resolve(const QuerySpec& spec, const KnowledgeBase& kb) {
+  ResolvedQuery r;
+  r.spec = spec;
+  r.topic = kb.FindTopic(spec.topic);
+  WWT_CHECK(r.topic >= 0) << "workload query '" << spec.name
+                          << "' references unknown topic '" << spec.topic
+                          << "'";
+  for (const QueryColumnSpec& col : spec.columns) {
+    int c = kb.topic(r.topic).FindColumn(col.column);
+    WWT_CHECK(c >= 0) << "query '" << spec.name
+                      << "' references unknown column '" << col.column
+                      << "'";
+    r.semantics.push_back(KnowledgeBase::SemanticId(r.topic, c));
+  }
+  return r;
+}
+
+std::vector<int> TruthLabels(const ResolvedQuery& query,
+                             const TableTruth* truth, int num_cols) {
+  std::vector<int> labels(num_cols, kLabelNr);
+  if (truth == nullptr || truth->topic != query.topic) return labels;
+
+  std::vector<int> mapped(num_cols, kLabelNa);
+  int matched = 0;
+  bool has_key = false;
+  const int cols = std::min<int>(
+      num_cols, static_cast<int>(truth->column_semantics.size()));
+  for (int c = 0; c < cols; ++c) {
+    for (int l = 0; l < query.q(); ++l) {
+      if (truth->column_semantics[c] == query.semantics[l]) {
+        // First occurrence wins; duplicated semantics stay na (mutex).
+        bool already = false;
+        for (int c2 = 0; c2 < c; ++c2) {
+          if (mapped[c2] == l) already = true;
+        }
+        if (!already) {
+          mapped[c] = l;
+          ++matched;
+          if (l == 0) has_key = true;
+        }
+        break;
+      }
+    }
+  }
+  const int min_match = std::min(2, query.q());
+  if (!has_key || matched < std::min(min_match, num_cols)) {
+    return labels;  // all nr
+  }
+  return mapped;
+}
+
+}  // namespace wwt

@@ -1,0 +1,54 @@
+// Copyright 2026 The WWT Authors
+//
+// Ground truth for the synthetic corpus: each stored table is annotated
+// with its topic and the semantic id of every column, from which the
+// correct column labeling for any workload query follows (the synthetic
+// analogue of the paper's 1906 manually labeled tables).
+
+#ifndef WWT_CORPUS_GROUND_TRUTH_H_
+#define WWT_CORPUS_GROUND_TRUTH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/knowledge_base.h"
+#include "corpus/workload.h"
+#include "table/labels.h"
+#include "table/web_table.h"
+
+namespace wwt {
+
+/// What the generator knows about one stored table.
+struct TableTruth {
+  int topic = -1;                     // -1: noise / unknown provenance
+  std::vector<int> column_semantics;  // per column: semantic id or -1
+};
+
+/// A workload query resolved against the knowledge base.
+struct ResolvedQuery {
+  QuerySpec spec;
+  int topic = -1;
+  /// Semantic id of each query column's answer column.
+  std::vector<int> semantics;
+
+  int q() const { return static_cast<int>(spec.columns.size()); }
+};
+
+/// Resolves the query's topic/column bindings; check-fails on a workload/
+/// knowledge-base mismatch (that is a programming error, not input error).
+ResolvedQuery Resolve(const QuerySpec& spec, const KnowledgeBase& kb);
+
+/// Ground-truth labels for a table with `num_cols` columns under `query`.
+/// Relevance rule (mirrors the paper's operational labeling): the table's
+/// topic must match, its key/query-column-1 semantic must be present, and
+/// at least min(2, q) query columns must be present; otherwise every
+/// column is nr.
+std::vector<int> TruthLabels(const ResolvedQuery& query,
+                             const TableTruth* truth, int num_cols);
+
+/// TableId -> truth for a whole corpus.
+using TruthMap = std::unordered_map<TableId, TableTruth>;
+
+}  // namespace wwt
+
+#endif  // WWT_CORPUS_GROUND_TRUTH_H_

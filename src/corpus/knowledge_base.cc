@@ -1,0 +1,1077 @@
+#include "corpus/knowledge_base.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "corpus/value_lists.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wwt {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// ValueGen constructors (spec-building shorthand).
+// ---------------------------------------------------------------------
+
+ValueGen List(std::vector<std::string> values) {
+  ValueGen g;
+  g.kind = ValueGen::Kind::kList;
+  g.list = std::move(values);
+  return g;
+}
+
+ValueGen Simple(ValueGen::Kind kind) {
+  ValueGen g;
+  g.kind = kind;
+  return g;
+}
+
+ValueGen Number(double lo, double hi, int decimals = 0,
+                std::string prefix = "", std::string suffix = "") {
+  ValueGen g;
+  g.kind = ValueGen::Kind::kNumber;
+  g.lo = lo;
+  g.hi = hi;
+  g.decimals = decimals;
+  g.prefix = std::move(prefix);
+  g.suffix = std::move(suffix);
+  return g;
+}
+
+ValueGen Year(int lo, int hi) {
+  ValueGen g;
+  g.kind = ValueGen::Kind::kYear;
+  g.lo = lo;
+  g.hi = hi;
+  return g;
+}
+
+ValueGen Code(std::string stem, int lo = 100, int hi = 999) {
+  ValueGen g;
+  g.kind = ValueGen::Kind::kCode;
+  g.code_stem = std::move(stem);
+  g.lo = lo;
+  g.hi = hi;
+  return g;
+}
+
+ValueGen Date(int year_lo, int year_hi) {
+  ValueGen g;
+  g.kind = ValueGen::Kind::kDate;
+  g.lo = year_lo;
+  g.hi = year_hi;
+  return g;
+}
+
+ColumnSpec Col(std::string name, std::vector<std::string> headers,
+               ValueGen gen, bool is_key = false) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.headers = std::move(headers);
+  c.gen = std::move(gen);
+  c.is_key = is_key;
+  return c;
+}
+
+// ---------------------------------------------------------------------
+// Programmatic linked lists ("the world" — fixed internal seed so the
+// same lists exist for every corpus seed).
+// ---------------------------------------------------------------------
+
+std::vector<std::string> MakeTeamList(int n) {
+  Random rng(0xBA5EBA11);
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  const auto& prefixes = PlacePrefixes();
+  const auto& suffixes = PlaceSuffixes();
+  const auto& nouns = Nouns();
+  while (static_cast<int>(out.size()) < n) {
+    std::string city = prefixes[rng.Uniform(prefixes.size())] +
+                       suffixes[rng.Uniform(suffixes.size())];
+    std::string team = city + " " + nouns[rng.Uniform(nouns.size())] + "s";
+    if (seen.insert(team).second) out.push_back(team);
+  }
+  return out;
+}
+
+struct MatchLists {
+  std::vector<std::string> match;
+  std::vector<std::string> date;
+  std::vector<std::string> winner;
+};
+
+MatchLists MakeNbaMatches(int n) {
+  Random rng(0x5C0FF);
+  std::vector<std::string> teams = MakeTeamList(18);
+  MatchLists out;
+  const auto& months = MonthNames();
+  for (int i = 0; i < n; ++i) {
+    size_t a = rng.Uniform(teams.size());
+    size_t b = rng.Uniform(teams.size());
+    if (b == a) b = (a + 1) % teams.size();
+    out.match.push_back(teams[a] + " vs " + teams[b]);
+    out.date.push_back(months[rng.Uniform(12)] + " " +
+                       std::to_string(1 + rng.Uniform(28)) + ", " +
+                       std::to_string(2005 + rng.Uniform(7)));
+    out.winner.push_back(rng.Bernoulli(0.5) ? teams[a] : teams[b]);
+  }
+  return out;
+}
+
+struct PresidentLists {
+  std::vector<std::string> president;
+  std::vector<std::string> library;
+};
+
+PresidentLists MakePresidents() {
+  PresidentLists out;
+  out.president = {
+      "George Washington",  "Thomas Jefferson",  "Abraham Lincoln",
+      "Theodore Roosevelt", "Woodrow Wilson",    "Franklin Roosevelt",
+      "Harry Truman",       "Dwight Eisenhower", "John Kennedy",
+      "Lyndon Johnson",     "Richard Nixon",     "Gerald Ford",
+      "Jimmy Carter",       "Ronald Reagan",     "George Bush",
+      "Bill Clinton"};
+  for (const std::string& name : out.president) {
+    auto parts = Split(name, " ");
+    out.library.push_back(parts.back() + " Presidential Library");
+  }
+  return out;
+}
+
+std::vector<std::string> ParrotNames() {
+  return {"Scarlet Macaw",       "Blue and yellow Macaw",
+          "African Grey Parrot", "White Cockatoo",
+          "Blue fronted Amazon", "Eclectus Parrot",
+          "Cockatiel",           "Budgerigar",
+          "Green cheeked Conure", "Sun Conure",
+          "Senegal Parrot",      "Rosy faced Lovebird",
+          "Crimson Rosella",     "Australian King Parrot",
+          "Rainbow Lorikeet"};
+}
+
+std::vector<std::string> ParrotBinomials() {
+  return {"Ara macao",          "Ara ararauna",
+          "Psittacus erithacus", "Cacatua alba",
+          "Amazona aestiva",    "Eclectus roratus",
+          "Nymphicus hollandicus", "Melopsittacus undulatus",
+          "Pyrrhura molinae",   "Aratinga solstitialis",
+          "Poicephalus senegalus", "Agapornis roseicollis",
+          "Platycercus elegans", "Alisterus scapularis",
+          "Trichoglossus moluccanus"};
+}
+
+// ---------------------------------------------------------------------
+// Topic catalogue.
+// ---------------------------------------------------------------------
+
+std::vector<TopicSpec> BuildTopics() {
+  std::vector<TopicSpec> topics;
+  auto add = [&](std::string name, std::string display,
+                 std::vector<ColumnSpec> cols,
+                 std::vector<std::string> context, int entities) {
+    TopicSpec t;
+    t.name = std::move(name);
+    t.display = std::move(display);
+    t.columns = std::move(cols);
+    t.context_sentences = std::move(context);
+    t.num_entities = entities;
+    topics.push_back(std::move(t));
+  };
+
+  add("dogs", "List of dog breeds",
+      {Col("breed", {"Breed", "Dog breed", "Breed name"},
+           Simple(ValueGen::Kind::kList), true),
+       Col("origin", {"Country of origin", "Origin"},
+           Simple(ValueGen::Kind::kCountryName)),
+       Col("group", {"Group", "Breed group"},
+           List({"Working", "Herding", "Toy", "Hound", "Terrier",
+                 "Sporting", "Non Sporting"})),
+       Col("weight", {"Weight (kg)", "Typical weight"}, Number(4, 90))},
+      {"This article lists dog breeds recognized by major kennel clubs.",
+       "Each breed entry shows its origin and breed group."},
+      36);
+  topics.back().columns[0].gen = List(DogBreeds());
+
+  add("african_kings", "Kings of African kingdoms",
+      {Col("king", {"King", "Monarch", "Ruler"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("kingdom", {"Kingdom", "Realm"}, Simple(ValueGen::Kind::kPlace)),
+       Col("reign", {"Reign", "Years of reign"}, Year(1500, 1900))},
+      {"Historic kings of Africa and their kingdoms.",
+       "The monarchs of Africa ruled diverse kingdoms."},
+      30);
+
+  add("moon_phases", "Phases of the Moon",
+      {Col("phase", {"Phase", "Moon phase", "Phase name"},
+           List({"New Moon", "Waxing Crescent", "First Quarter",
+                 "Waxing Gibbous", "Full Moon", "Waning Gibbous",
+                 "Last Quarter", "Waning Crescent"}),
+           true),
+       Col("day", {"Day of cycle", "Day"}, Number(0, 29)),
+       Col("illumination", {"Illumination", "Visible fraction"},
+           Number(0, 100, 0, "", "%"))},
+      {"The phases of the moon repeat every lunar month.",
+       "Each phase of the moon is visible for several days."},
+      8);
+
+  add("uk_pms", "Prime Ministers of England",
+      {Col("pm", {"Prime Minister", "Name"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("term", {"Term began", "Took office"}, Year(1721, 2010)),
+       Col("party", {"Party", "Political party"},
+           List({"Whig", "Tory", "Conservative", "Labour", "Liberal"}))},
+      {"Prime ministers of England and the United Kingdom in order.",
+       "The office of prime minister emerged in the eighteenth century."},
+      40);
+
+  add("wrestlers", "Professional wrestlers",
+      {Col("wrestler", {"Wrestler", "Name"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("ring_name", {"Ring name", "Stage name"},
+           Simple(ValueGen::Kind::kTitle)),
+       Col("promotion", {"Promotion", "Company"},
+           List({"WWE", "WCW", "ECW", "NJPW", "AEW", "TNA"}))},
+      {"Professional wrestlers and the promotions they performed in.",
+       "Famous professional wrestlers are listed with their ring names."},
+      45);
+
+  add("beijing2008", "2008 Beijing Olympic events",
+      {Col("event", {"Event", "Olympic event"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("winner", {"Winner", "Gold medal winner"},
+           Simple(ValueGen::Kind::kPerson)),
+       Col("sport", {"Sport", "Discipline"},
+           List({"Swimming", "Athletics", "Gymnastics", "Rowing",
+                 "Cycling", "Fencing", "Wrestling", "Boxing"}))},
+      {"Events of the 2008 Beijing Olympic games and their winners.",
+       "Gold medal winners of the 2008 olympics by sport and event."},
+      40);
+
+  add("australian_cities", "Cities of Australia",
+      {Col("city", {"City", "City name"}, Simple(ValueGen::Kind::kPlace),
+           true),
+       Col("area", {"Area (km2)", "Land area"}, Number(80, 12000)),
+       Col("population", {"Population", "Residents"},
+           Number(20000, 5000000))},
+      {"Australian cities with their land area and population.",
+       "The largest cities of Australia span vast areas."},
+      40);
+
+  add("banks", "Major banks",
+      {Col("bank", {"Bank", "Bank name", "Institution"},
+           Simple(ValueGen::Kind::kCompany), true),
+       Col("interest_rate", {"Interest rate", "Savings rate"},
+           Number(0.5, 9.0, 2, "", "%")),
+       Col("country", {"Country", "Headquarters"},
+           Simple(ValueGen::Kind::kCountryName))},
+      {"Banks and the interest rates they offer on savings accounts.",
+       "Compare bank interest rates before opening an account."},
+      45);
+
+  add("metal_bands", "Black metal bands",
+      {Col("band", {"Band name", "Band", "Artist"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("country", {"Country", "Country of origin"},
+           Simple(ValueGen::Kind::kCountryName)),
+       Col("genre", {"Genre", "Style"},
+           List({"Black metal", "Death metal", "Doom metal",
+                 "Thrash metal", "Power metal", "Folk metal"}))},
+      {"Metal bands by country and genre.",
+       "The bands listed here span several extreme metal genres."},
+      48);
+
+  add("us_books", "Books published in the United States",
+      {Col("title", {"Title", "Book title"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("author", {"Author", "Written by"},
+           Simple(ValueGen::Kind::kPerson)),
+       Col("year", {"Year", "Published"}, Year(1950, 2011))},
+      {"Notable books published in the United States with their authors.",
+       "American literature includes these widely read books."},
+      40);
+
+  add("car_accidents", "Major car accidents",
+      {Col("location", {"Location", "Accident location", "Place"},
+           Simple(ValueGen::Kind::kPlace), true),
+       Col("year", {"Year", "Date"}, Year(1990, 2011)),
+       Col("fatalities", {"Fatalities", "Deaths"}, Number(1, 80))},
+      {"Serious car accidents by location and year.",
+       "Road safety records list accidents with their locations."},
+      40);
+
+  add("clothing_sizes", "International clothing sizes",
+      {Col("size", {"Size", "Clothing size"},
+           List({"XS", "S", "M", "L", "XL", "XXL"}), true),
+       Col("symbol", {"Symbol", "Size symbol"}, Code("SZ", 10, 99)),
+       Col("chest", {"Chest (inches)", "Chest"}, Number(32, 52))},
+      {"Clothing sizes and their symbols across regions.",
+       "Size conversion charts map symbols to measurements."},
+      6);
+
+  add("sun_composition", "Composition of the Sun",
+      {Col("element", {"Element", "Constituent"},
+           Simple(ValueGen::Kind::kElementName), true),
+       Col("percentage", {"Percentage", "Abundance", "Percent by mass"},
+           Number(0.001, 75.0, 3, "", "%"))},
+      {"The composition of the sun by element.",
+       "Hydrogen and helium dominate the composition of the sun."},
+      24);
+
+  add("countries", "Countries of the world",
+      {Col("country", {"Country", "Country name", "Nation"},
+           Simple(ValueGen::Kind::kCountryName), true),
+       Col("currency", {"Currency", "Official currency"},
+           Simple(ValueGen::Kind::kCountryCurrency)),
+       Col("gdp", {"GDP (billions USD)", "GDP", "Nominal GDP"},
+           Simple(ValueGen::Kind::kCountryGdp)),
+       Col("population", {"Population (millions)", "Population"},
+           Simple(ValueGen::Kind::kCountryPopulation)),
+       Col("exchange_rate", {"US dollar exchange rate", "Exchange rate"},
+           Number(0.1, 150.0, 2)),
+       Col("fuel_consumption",
+           {"Daily fuel consumption (kbbl)", "Fuel consumption"},
+           Number(10, 20000)),
+       Col("capital", {"Capital", "Capital city"},
+           Simple(ValueGen::Kind::kCountryCapital))},
+      {"Countries with their currency, population and economic data.",
+       "Reference table of the countries of the world."},
+      60);
+
+  add("fifa", "FIFA World Cup winners",
+      {Col("winner", {"Winner", "World cup winner", "Champion"},
+           Simple(ValueGen::Kind::kCountryName), true),
+       Col("year", {"Year", "Tournament year"}, Year(1930, 2010)),
+       Col("host", {"Host", "Host country"},
+           Simple(ValueGen::Kind::kCountryName))},
+      {"Winners of the FIFA world cup by year.",
+       "The world cup has been contested since 1930."},
+      20);
+
+  add("golden_globe", "Golden Globe award winners",
+      {Col("winner", {"Winner", "Award winner"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("year", {"Year", "Ceremony year"}, Year(1980, 2011)),
+       Col("film", {"Film", "Movie"}, Simple(ValueGen::Kind::kTitle))},
+      {"Golden globe award winners by year and film.",
+       "The golden globe awards honor excellence in film."},
+      40);
+
+  add("ibanez", "Ibanez guitar series",
+      {Col("series", {"Series", "Guitar series"}, Code("RG", 1, 9), true),
+       Col("model", {"Model", "Models"}, Code("RG", 100, 999)),
+       Col("pickups", {"Pickups", "Pickup configuration"},
+           List({"HSH", "HH", "SSS", "HSS", "SS"}))},
+      {"Ibanez guitar series and the models within each series.",
+       "Ibanez guitars are popular among rock and metal players."},
+      25);
+
+  add("domains", "Internet top-level domains",
+      {Col("domain", {"Domain", "TLD", "Internet domain"},
+           List({".com", ".org", ".net", ".edu", ".gov", ".mil", ".int",
+                 ".info", ".biz", ".name"}),
+           true),
+       Col("entity", {"Entity", "Intended use", "Sponsoring entity"},
+           Simple(ValueGen::Kind::kCompany)),
+       Col("year", {"Introduced", "Year"}, Year(1985, 2001))},
+      {"Internet domains and the entities they are intended for.",
+       "Top level domains of the internet and their sponsors."},
+      10);
+
+  add("bond_films", "James Bond films",
+      {Col("film", {"Film", "Title", "James Bond film"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("year", {"Year", "Release year"}, Year(1962, 2008)),
+       Col("actor", {"Bond actor", "Starring"},
+           List({"Sean Connery", "George Lazenby", "Roger Moore",
+                 "Timothy Dalton", "Pierce Brosnan", "Daniel Craig"}))},
+      {"James Bond films with release years and lead actors.",
+       "The James Bond film series began in 1962."},
+      24);
+
+  add("windows_products", "Microsoft Windows products",
+      {Col("product", {"Product", "Windows product", "Product name"},
+           List({"Windows 1.0", "Windows 2.0", "Windows 3.0",
+                 "Windows 3.1", "Windows NT 3.1", "Windows 95",
+                 "Windows NT 4.0", "Windows 98", "Windows 2000",
+                 "Windows ME", "Windows XP", "Windows Server 2003",
+                 "Windows Vista", "Windows Home Server", "Windows 7"}),
+           true),
+       Col("release_date", {"Release date", "Released"}, Date(1985, 2010)),
+       Col("edition", {"Edition", "Family"},
+           List({"Home", "Professional", "Server", "Enterprise"}))},
+      {"Microsoft Windows products and their release dates.",
+       "The Windows product line spans decades of releases."},
+      15);
+
+  add("mlb", "MLB World Series winners",
+      {Col("winner", {"Winner", "World series winner", "Champion"},
+           List(MakeTeamList(16)), true),
+       Col("year", {"Year", "Season"}, Year(1970, 2011)),
+       Col("opponent", {"Opponent", "Runner up"},
+           List(MakeTeamList(16)))},
+      {"World series winners of major league baseball by year.",
+       "MLB world series results and the teams involved."},
+      16);
+
+  add("movies", "Highest grossing movies",
+      {Col("title", {"Movie", "Title", "Film"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("gross", {"Gross collection", "Worldwide gross", "Box office"},
+           Number(120, 2800, 0, "$", " million")),
+       Col("year", {"Year", "Release year"}, Year(1975, 2011)),
+       Col("studio", {"Studio", "Distributor"},
+           Simple(ValueGen::Kind::kCompany))},
+      {"Movies ranked by gross collection at the box office.",
+       "The highest grossing movies of all time."},
+      50);
+
+  add("parrots", "Parrot species",
+      {Col("parrot", {"Name of parrot", "Common name", "Parrot"},
+           List(ParrotNames()), true),
+       Col("binomial", {"Binomial name", "Scientific name"},
+           List(ParrotBinomials())),
+       Col("region", {"Region", "Native range"},
+           List({"South America", "Africa", "Australia", "Indonesia",
+                 "Central America"}))},
+      {"Parrot species with their binomial names.",
+       "Parrots are found across the tropics."},
+      15);
+
+  add("mountains", "Mountains of North America",
+      {Col("mountain", {"Mountain", "Peak", "Mountain name"},
+           Simple(ValueGen::Kind::kList), true),
+       Col("height", {"Height (m)", "Elevation", "Height"},
+           Number(2000, 6190)),
+       Col("range", {"Range", "Mountain range"},
+           List({"Alaska Range", "Saint Elias Mountains", "Cascades",
+                 "Rocky Mountains", "Sierra Nevada", "Appalachians",
+                 "Trans Mexican Belt"})),
+       Col("country", {"Country", "Location"},
+           List({"United States", "Canada", "Mexico"}))},
+      {"The tallest mountains in north america by height.",
+       "North american mountains and the ranges they belong to."},
+      30);
+  topics.back().columns[0].gen = List(MountainNames());
+
+  add("painkillers", "Common pain killers",
+      {Col("drug", {"Pain killer", "Drug", "Medication"},
+           List({"Aspirin", "Ibuprofen", "Paracetamol", "Naproxen",
+                 "Diclofenac", "Celecoxib", "Tramadol", "Codeine",
+                 "Morphine", "Oxycodone", "Ketorolac", "Indomethacin"}),
+           true),
+       Col("company", {"Company", "Manufacturer"},
+           Simple(ValueGen::Kind::kCompany)),
+       Col("side_effects", {"Side effects", "Common side effects"},
+           List({"Nausea", "Dizziness", "Drowsiness", "Stomach upset",
+                 "Headache", "Constipation"}))},
+      {"Pain killers with their manufacturers and side effects.",
+       "Consult a doctor about pain killer side effects."},
+      12);
+
+  add("pga", "PGA tour players",
+      {Col("player", {"Player", "PGA player", "Golfer"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("total_score", {"Total score", "Score"}, Number(265, 290)),
+       Col("country", {"Country", "Nationality"},
+           Simple(ValueGen::Kind::kCountryName))},
+      {"PGA players and their total scores this season.",
+       "Professional golfers ranked by tournament score."},
+      42);
+
+  add("evs", "Pre-production electric vehicles",
+      {Col("model", {"Vehicle", "Model", "Electric vehicle"},
+           Code("EV", 10, 99), true),
+       Col("release_date", {"Release date", "Expected release"},
+           Date(2011, 2014)),
+       Col("maker", {"Maker", "Manufacturer"},
+           Simple(ValueGen::Kind::kCompany))},
+      {"Pre production electric vehicles and their expected release dates.",
+       "Upcoming electric vehicle models from major makers."},
+      18);
+
+  add("shoes", "Running shoe models",
+      {Col("model", {"Model", "Shoe model", "Running shoes model"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("company", {"Company", "Brand"},
+           List({"Nike", "Adidas", "Asics", "Brooks", "Saucony",
+                 "New Balance", "Mizuno", "Hoka"})),
+       Col("price", {"Price", "MSRP"}, Number(60, 220, 0, "$"))},
+      {"Running shoes models and the companies that make them.",
+       "Popular running shoes compared by price."},
+      30);
+
+  add("discoveries", "Scientific discoveries",
+      {Col("discovery", {"Discovery", "Science discovery"},
+           List({"Penicillin", "Gravity", "Radioactivity",
+                 "DNA structure", "Electron", "Neutron", "X rays",
+                 "Oxygen", "Insulin", "Vaccination", "Evolution",
+                 "Relativity", "Quantum mechanics", "Superconductivity",
+                 "Radio waves", "Electromagnetism", "Photosynthesis",
+                 "Blood circulation", "Periodic law", "Plate tectonics",
+                 "Genetics", "Cell theory", "Microorganisms",
+                 "Atomic nucleus", "Expansion of the universe"}),
+           true),
+       Col("discoverer", {"Discoverer", "Discovered by", "Scientist"},
+           List({"Alexander Fleming", "Isaac Newton", "Marie Curie",
+                 "Watson and Crick", "J J Thomson", "James Chadwick",
+                 "Wilhelm Rontgen", "Joseph Priestley",
+                 "Frederick Banting", "Edward Jenner", "Charles Darwin",
+                 "Albert Einstein", "Max Planck",
+                 "Heike Kamerlingh Onnes", "Heinrich Hertz",
+                 "Michael Faraday", "Jan Ingenhousz", "William Harvey",
+                 "Dmitri Mendeleev", "Alfred Wegener", "Gregor Mendel",
+                 "Theodor Schwann", "Antonie van Leeuwenhoek",
+                 "Ernest Rutherford", "Edwin Hubble"})),
+       Col("year", {"Year", "Year of discovery"}, Year(1600, 1960))},
+      {"Science discoveries and the scientists who made them.",
+       "Great discoveries in the history of science."},
+      25);
+
+  add("universities", "Universities and their mottos",
+      {Col("university", {"University", "Institution"},
+           Simple(ValueGen::Kind::kPlace), true),
+       Col("motto", {"Motto", "University motto"},
+           Simple(ValueGen::Kind::kTitle)),
+       Col("location", {"Location", "City"},
+           Simple(ValueGen::Kind::kStateLargestCity))},
+      {"Universities with their official mottos.",
+       "Each university motto reflects its founding ideals."},
+      35);
+
+  add("us_cities", "Largest cities of the United States",
+      {Col("city", {"City", "City name"},
+           Simple(ValueGen::Kind::kStateLargestCity), true),
+       Col("population", {"Population", "City population"},
+           Number(100000, 9000000)),
+       Col("state", {"State", "US state"},
+           Simple(ValueGen::Kind::kStateName))},
+      {"US cities ranked by population.",
+       "The most populous cities in the united states."},
+      50);
+
+  add("pizza_stores", "US pizza store chains",
+      {Col("store", {"Pizza store", "Chain", "Store"},
+           Simple(ValueGen::Kind::kCompany), true),
+       Col("annual_sales", {"Annual sales", "Sales"},
+           Number(5, 900, 0, "$", " million")),
+       Col("city", {"Headquarters", "City"},
+           Simple(ValueGen::Kind::kStateLargestCity))},
+      {"US pizza store chains by annual sales.",
+       "Pizza chains in the united states and their sales figures."},
+      28);
+
+  add("us_states", "States of the United States",
+      {Col("state", {"State", "US state", "State name"},
+           Simple(ValueGen::Kind::kStateName), true),
+       Col("population", {"Population (millions)", "Population"},
+           Simple(ValueGen::Kind::kStatePopulation)),
+       Col("capital", {"Capital", "State capital"},
+           Simple(ValueGen::Kind::kStateCapital)),
+       Col("largest_city", {"Largest city", "Biggest city"},
+           Simple(ValueGen::Kind::kStateLargestCity))},
+      {"US states with capitals, largest cities and population.",
+       "Reference table of the fifty united states."},
+      50);
+
+  add("cellphones", "Used cellphone prices",
+      {Col("model", {"Model", "Phone model", "Cellphone"},
+           Code("GT", 100, 999), true),
+       Col("price", {"Price", "Used price"}, Number(20, 400, 0, "$")),
+       Col("brand", {"Brand", "Maker"},
+           List({"Nokia", "Motorola", "Samsung", "LG", "Sony Ericsson",
+                 "BlackBerry", "HTC", "Apple"}))},
+      {"Used cellphones and their resale prices.",
+       "Secondhand phone prices vary by model and condition."},
+      32);
+
+  add("video_games", "Notable video games",
+      {Col("title", {"Video game", "Title", "Game"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("company", {"Company", "Developer", "Publisher"},
+           Simple(ValueGen::Kind::kCompany)),
+       Col("year", {"Year", "Release year"}, Year(1985, 2011))},
+      {"Video games and the companies that developed them.",
+       "Landmark video games across three decades."},
+      44);
+
+  add("wimbledon", "Wimbledon champions",
+      {Col("champion", {"Champion", "Wimbledon champion", "Winner"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("year", {"Year", "Championship year"}, Year(1968, 2011)),
+       Col("runner_up", {"Runner up", "Finalist"},
+           Simple(ValueGen::Kind::kPerson))},
+      {"Wimbledon champions by year.",
+       "The grass court championship crowns its champions each july."},
+      40);
+
+  add("buildings", "World's tallest buildings",
+      {Col("building", {"Building", "Tower", "Building name"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("height", {"Height (m)", "Height", "Structural height"},
+           Number(200, 830)),
+       Col("city", {"City", "Location"},
+           Simple(ValueGen::Kind::kCountryCapital)),
+       Col("country", {"Country"}, Simple(ValueGen::Kind::kCountryName))},
+      {"The world tallest buildings ranked by height.",
+       "Skyscrapers over 200 meters are listed with their cities."},
+      45);
+
+  add("academy_awards", "Academy Award winners",
+      {Col("category", {"Academy award category", "Category", "Award"},
+           List({"Best Picture", "Best Director", "Best Actor",
+                 "Best Actress", "Best Supporting Actor",
+                 "Best Supporting Actress", "Best Original Screenplay",
+                 "Best Adapted Screenplay", "Best Cinematography",
+                 "Best Film Editing", "Best Original Score",
+                 "Best Visual Effects", "Best Animated Feature",
+                 "Best Documentary Feature", "Best Foreign Language Film",
+                 "Best Costume Design"}),
+           true),
+       Col("winner", {"Winner", "Recipient"},
+           Simple(ValueGen::Kind::kPerson)),
+       Col("year", {"Year", "Ceremony year"}, Year(1990, 2011))},
+      {"Academy award categories and their winners by year.",
+       "Oscar winners across the major categories."},
+      16);
+
+  add("bittorrent", "BitTorrent clients",
+      {Col("client", {"Client", "BitTorrent client"}, Code("BT", 1, 99),
+           true),
+       Col("license", {"License"},
+           List({"GPL", "MIT", "Proprietary", "BSD", "Apache"})),
+       Col("cost", {"Cost", "Price"},
+           List({"Free", "$9.99", "$19.95", "Freemium"}))},
+      {"BitTorrent clients compared by license and cost."},
+      12);
+
+  add("elements", "Chemical elements",
+      {Col("element", {"Chemical element", "Element", "Element name"},
+           Simple(ValueGen::Kind::kElementName), true),
+       Col("atomic_number", {"Atomic number", "Z"},
+           Simple(ValueGen::Kind::kElementNumber)),
+       Col("atomic_weight", {"Atomic weight", "Standard atomic weight"},
+           Simple(ValueGen::Kind::kElementWeight))},
+      {"Chemical elements with atomic number and atomic weight.",
+       "The periodic table lists every chemical element."},
+      50);
+
+  add("stocks", "Stock tickers and prices",
+      {Col("company", {"Company", "Company name", "Corporation"},
+           Simple(ValueGen::Kind::kCompany), true),
+       Col("ticker", {"Stock ticker", "Ticker", "Symbol"},
+           Code("", 0, 0)),
+       Col("price", {"Price", "Share price", "Last trade"},
+           Number(4, 800, 2, "$"))},
+      {"Companies with their stock tickers and current prices.",
+       "Stock quotes for listed companies."},
+      48);
+
+  add("edu_exchange", "Educational exchange in the US",
+      {Col("discipline", {"Discipline", "Field of study",
+                          "Educational exchange discipline"},
+           List({"Engineering", "Business", "Computer Science",
+                 "Mathematics", "Physics", "Biology", "Chemistry",
+                 "Economics", "Medicine", "Law", "Education",
+                 "Psychology", "History", "Agriculture"}),
+           true),
+       Col("students", {"Number of students", "Students"},
+           Number(100, 20000)),
+       Col("year", {"Year", "Academic year"}, Year(2000, 2011))},
+      {"Educational exchange disciplines in the US by student numbers.",
+       "International students by discipline and year."},
+      14);
+
+  add("fast_cars", "Fastest production cars",
+      {Col("car", {"Car", "Fast car", "Model"}, Code("GT", 1, 99), true),
+       Col("company", {"Company", "Manufacturer"},
+           List({"Bugatti", "Koenigsegg", "Hennessey", "Ferrari",
+                 "Lamborghini", "McLaren", "Porsche", "Pagani",
+                 "Aston Martin", "SSC"})),
+       Col("top_speed", {"Top speed (km/h)", "Top speed", "Max speed"},
+           Number(300, 440))},
+      {"Fast cars and their top speeds.",
+       "The fastest production cars ever made."},
+      30);
+
+  add("foods", "Nutritional values of foods",
+      {Col("food", {"Food", "Food item"},
+           List({"Cheddar cheese", "Whole milk", "Brown rice",
+                 "Chicken breast", "Salmon", "Almonds", "Peanut butter",
+                 "Olive oil", "Avocado", "Banana", "Apple", "Broccoli",
+                 "Spinach", "Potato", "Sweet corn", "Black beans",
+                 "Lentils", "Oatmeal", "Yogurt", "Cottage cheese",
+                 "Ground beef", "Pork chop", "Turkey", "Tofu", "Quinoa",
+                 "Walnuts", "Butter", "Egg", "White bread", "Pasta"}),
+           true),
+       Col("fat", {"Fat (g)", "Fat", "Total fat"}, Number(0, 40, 1)),
+       Col("protein", {"Protein (g)", "Protein"}, Number(0, 35, 1)),
+       Col("calories", {"Calories", "Energy (kcal)"}, Number(15, 720))},
+      {"Foods with fat and protein per 100 gram serving.",
+       "Nutrition facts for common foods."},
+      30);
+
+  add("ipods", "iPod models",
+      {Col("model", {"iPod model", "Model"},
+           List({"iPod Classic", "iPod Mini", "iPod Nano",
+                 "iPod Shuffle", "iPod Touch", "iPod Photo",
+                 "iPod Video", "iPod Nano 2G", "iPod Touch 2G",
+                 "iPod Shuffle 3G", "iPod Nano 5G", "iPod Touch 4G"}),
+           true),
+       Col("release_date", {"Release date", "Released"}, Date(2001, 2010)),
+       Col("price", {"Price", "Launch price"}, Number(49, 499, 0, "$"))},
+      {"Apple iPod models with release dates and launch prices.",
+       "Every iPod model released by Apple."},
+      12);
+
+  add("explorers", "List of explorers",
+      {Col("explorer", {"Name of Explorers", "Explorer", "Name"},
+           Simple(ValueGen::Kind::kExplorerName), true),
+       Col("nationality", {"Nationality", "Country"},
+           Simple(ValueGen::Kind::kExplorerNationality)),
+       Col("area", {"Main areas explored", "Areas explored",
+                    "Exploration"},
+           Simple(ValueGen::Kind::kExplorerArea))},
+      {"This article lists the explorations in history.",
+       "Famous explorers with their nationality and areas explored."},
+      30);
+
+  {
+    MatchLists nba = MakeNbaMatches(40);
+    add("nba", "NBA match results",
+        {Col("match", {"NBA Match", "Match", "Game"},
+             List(std::move(nba.match)), true),
+         Col("date", {"Date", "Game date"}, List(std::move(nba.date))),
+         Col("winner", {"Winner", "Winning team"},
+             List(std::move(nba.winner)))},
+        {"NBA match results with dates and winners.",
+         "Basketball games and their winning teams."},
+        40);
+  }
+
+  add("jedi_novels", "New Jedi Order novels",
+      {Col("novel", {"Novel", "Title", "New Jedi Order novel"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("author", {"Authors", "Author", "Written by"},
+           Simple(ValueGen::Kind::kPerson)),
+       Col("year", {"Year", "Published"}, Year(1999, 2011))},
+      {"Novels of the new Jedi Order series with their authors.",
+       "The new Jedi Order novels continue the saga."},
+      25);
+
+  add("nobel", "Nobel prize winners",
+      {Col("winner", {"Nobel prize winner", "Winner", "Laureate"},
+           Simple(ValueGen::Kind::kPerson), true),
+       Col("field", {"Field", "Prize category"},
+           List({"Physics", "Chemistry", "Medicine", "Literature",
+                 "Peace", "Economics"})),
+       Col("year", {"Year", "Prize year"}, Year(1950, 2011))},
+      {"Nobel prize winners by field and year.",
+       "Laureates of the nobel prize across all fields."},
+      45);
+
+  add("olympus", "Olympus digital SLR models",
+      {Col("model", {"Olympus digital SLR Model", "Model", "Camera"},
+           Code("E", 1, 30), true),
+       Col("resolution", {"Resolution (MP)", "Resolution", "Megapixels"},
+           Number(5, 16, 1)),
+       Col("price", {"Price", "Body price"}, Number(399, 1999, 0, "$"))},
+      {"Olympus digital SLR models with resolution and price.",
+       "Olympus SLR cameras compared."},
+      15);
+
+  {
+    PresidentLists pres = MakePresidents();
+    add("presidents", "Presidential libraries",
+        {Col("president", {"President", "US president"},
+             List(std::move(pres.president)), true),
+         Col("library", {"Library name", "Presidential library"},
+             List(std::move(pres.library))),
+         Col("location", {"Location", "City"},
+             Simple(ValueGen::Kind::kStateLargestCity))},
+        {"US presidents and their presidential libraries.",
+         "Presidential libraries preserve the records of each president."},
+        16);
+  }
+
+  add("religions", "Major world religions",
+      {Col("religion", {"Religion", "Faith"},
+           List({"Christianity", "Islam", "Hinduism", "Buddhism",
+                 "Sikhism", "Judaism", "Bahai Faith", "Jainism",
+                 "Shinto", "Taoism", "Zoroastrianism", "Confucianism"}),
+           true),
+       Col("followers", {"Number of followers", "Followers (millions)",
+                         "Adherents"},
+           Number(5, 2400)),
+       Col("origin", {"Country of origin", "Origin", "Birthplace"},
+           List({"Levant", "Arabian Peninsula", "Indian subcontinent",
+                 "Indian subcontinent", "Punjab", "Levant", "Persia",
+                 "India", "Japan", "China", "Persia", "China"}))},
+      {"World religions with follower counts and origins.",
+       "The number of followers of each religion worldwide."},
+      12);
+
+  add("star_trek", "Star Trek novels",
+      {Col("novel", {"Star Trek novel", "Novel", "Title"},
+           Simple(ValueGen::Kind::kTitle), true),
+       Col("author", {"Authors", "Author"},
+           Simple(ValueGen::Kind::kPerson)),
+       Col("release_date", {"Release date", "Published"},
+           Date(1980, 2011))},
+      {"Star Trek novels with authors and release dates.",
+       "Novels set in the Star Trek universe."},
+      30);
+
+  // --- Distractor topics: never relevant to any query, but they share
+  // vocabulary with queries (the Fig. 1 "Forest reserves" trap).
+  add("forest_reserves", "Forest reserves",
+      {Col("reserve_id", {"ID"}, Number(1, 99), true),
+       Col("reserve_name", {"Name"}, Simple(ValueGen::Kind::kPlace)),
+       Col("reserve_area", {"Area"}, Number(100, 2500))},
+      {"Other formal reserves under the Forestry Act 1920.",
+       "All areas will be available for mineral exploration and mining."},
+      25);
+
+  add("tv_guide", "Television schedule",
+      {Col("show", {"Programme", "Show"}, Simple(ValueGen::Kind::kTitle),
+           true),
+       Col("channel", {"Channel"}, Code("CH", 1, 60)),
+       Col("time", {"Time"}, Number(0, 23, 0, "", ":00"))},
+      {"Tonight's television schedule with channels and times.",
+       "What to watch this week on television."},
+      30);
+
+  add("recipes", "Recipe collection",
+      {Col("dish", {"Dish", "Recipe"}, Simple(ValueGen::Kind::kTitle),
+           true),
+       Col("prep_time", {"Prep time"}, Number(5, 120, 0, "", " min")),
+       Col("servings", {"Servings"}, Number(1, 12))},
+      {"Recipes with preparation times and servings.",
+       "Cooking ideas for food lovers: protein rich dishes."},
+      30);
+
+  add("laptops", "Laptop comparison",
+      {Col("model", {"Model"}, Code("NB", 100, 999), true),
+       Col("price", {"Price"}, Number(300, 3000, 0, "$")),
+       Col("brand", {"Brand"},
+           List({"Dell", "HP", "Lenovo", "Acer", "Asus", "Toshiba"}))},
+      {"Laptop models compared by price and brand.",
+       "Find the best price on new laptop models."},
+      30);
+
+  add("football_clubs", "Football clubs",
+      {Col("club", {"Club"}, Simple(ValueGen::Kind::kCompany), true),
+       Col("league", {"League"},
+           List({"Premier League", "La Liga", "Serie A", "Bundesliga",
+                 "Ligue 1"})),
+       Col("titles", {"Titles"}, Number(0, 30))},
+      {"Football clubs and the titles they have won.",
+       "League winners and champions of club football."},
+      30);
+
+  add("hotels", "Hotel directory",
+      {Col("hotel", {"Hotel"}, Simple(ValueGen::Kind::kPlace), true),
+       Col("city", {"City"}, Simple(ValueGen::Kind::kCountryCapital)),
+       Col("rating", {"Rating"}, Number(1, 5))},
+      {"Hotels by city with guest ratings.",
+       "Where to stay: hotel locations and ratings."},
+      30);
+
+  return topics;
+}
+
+// ---------------------------------------------------------------------
+// Tuple materialization.
+// ---------------------------------------------------------------------
+
+std::string FormatNumber(double v, int decimals) {
+  if (decimals == 0) {
+    long long n = static_cast<long long>(v + 0.5);
+    std::string digits = std::to_string(n);
+    if (n >= 10000) {
+      // Insert thousands separators, as real web tables do.
+      std::string with_commas;
+      int count = 0;
+      for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0) with_commas += ',';
+        with_commas += *it;
+        ++count;
+      }
+      std::reverse(with_commas.begin(), with_commas.end());
+      return with_commas;
+    }
+    return digits;
+  }
+  return StringPrintf("%.*f", decimals, v);
+}
+
+std::string GenValue(const ValueGen& g, int i, Random* rng) {
+  using K = ValueGen::Kind;
+  switch (g.kind) {
+    case K::kList:
+      WWT_CHECK(!g.list.empty());
+      return g.list[static_cast<size_t>(i) % g.list.size()];
+    case K::kCountryName:
+      return Countries()[i % Countries().size()].name;
+    case K::kCountryCurrency:
+      return Countries()[i % Countries().size()].currency;
+    case K::kCountryCapital:
+      return Countries()[i % Countries().size()].capital;
+    case K::kCountryPopulation:
+      return FormatNumber(Countries()[i % Countries().size()]
+                              .population_millions, 1);
+    case K::kCountryGdp:
+      return FormatNumber(Countries()[i % Countries().size()].gdp_billions,
+                          0);
+    case K::kStateName:
+      return UsStates()[i % UsStates().size()].name;
+    case K::kStateCapital:
+      return UsStates()[i % UsStates().size()].capital;
+    case K::kStateLargestCity:
+      return UsStates()[i % UsStates().size()].largest_city;
+    case K::kStatePopulation:
+      return FormatNumber(UsStates()[i % UsStates().size()]
+                              .population_millions, 1);
+    case K::kElementName:
+      return Elements()[i % Elements().size()].name;
+    case K::kElementNumber:
+      return std::to_string(Elements()[i % Elements().size()]
+                                .atomic_number);
+    case K::kElementWeight:
+      return FormatNumber(Elements()[i % Elements().size()].atomic_weight,
+                          3);
+    case K::kExplorerName:
+      return Explorers()[i % Explorers().size()].name;
+    case K::kExplorerNationality:
+      return Explorers()[i % Explorers().size()].nationality;
+    case K::kExplorerArea:
+      return Explorers()[i % Explorers().size()].area;
+    case K::kPerson: {
+      const auto& fn = FirstNames();
+      const auto& ln = LastNames();
+      return fn[rng->Uniform(fn.size())] + " " +
+             ln[rng->Uniform(ln.size())];
+    }
+    case K::kTitle: {
+      const auto& adj = Adjectives();
+      const auto& noun = Nouns();
+      std::string t = adj[rng->Uniform(adj.size())] + " " +
+                      noun[rng->Uniform(noun.size())];
+      if (rng->Bernoulli(0.25)) t = "The " + t;
+      return t;
+    }
+    case K::kPlace: {
+      const auto& pre = PlacePrefixes();
+      const auto& suf = PlaceSuffixes();
+      return pre[rng->Uniform(pre.size())] +
+             suf[rng->Uniform(suf.size())];
+    }
+    case K::kCompany: {
+      const auto& ln = LastNames();
+      const auto& cs = CompanySuffixes();
+      return ln[rng->Uniform(ln.size())] + " " +
+             cs[rng->Uniform(cs.size())];
+    }
+    case K::kNumber: {
+      double v = g.lo + rng->NextDouble() * (g.hi - g.lo);
+      return g.prefix + FormatNumber(v, g.decimals) + g.suffix;
+    }
+    case K::kYear:
+      return std::to_string(
+          rng->UniformInt(static_cast<int64_t>(g.lo),
+                          static_cast<int64_t>(g.hi)));
+    case K::kCode: {
+      if (g.code_stem.empty()) {
+        // Ticker-style: 3-4 uppercase letters.
+        int len = 3 + static_cast<int>(rng->Uniform(2));
+        std::string code;
+        for (int k = 0; k < len; ++k) {
+          code += static_cast<char>('A' + rng->Uniform(26));
+        }
+        return code;
+      }
+      return g.code_stem +
+             std::to_string(rng->UniformInt(static_cast<int64_t>(g.lo),
+                                            static_cast<int64_t>(g.hi)));
+    }
+    case K::kDate: {
+      const auto& months = MonthNames();
+      return months[rng->Uniform(12)] + " " +
+             std::to_string(1 + rng->Uniform(28)) + ", " +
+             std::to_string(rng->UniformInt(static_cast<int64_t>(g.lo),
+                                            static_cast<int64_t>(g.hi)));
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int TopicSpec::FindColumn(const std::string& column_name) const {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].name == column_name) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+KnowledgeBase::KnowledgeBase(uint64_t seed) {
+  topics_ = BuildTopics();
+  WWT_CHECK(topics_.size() < 1000);
+  for (const TopicSpec& t : topics_) {
+    WWT_CHECK(t.columns.size() < 64) << "semantic id space exceeded";
+  }
+  GenerateTuples(seed);
+}
+
+int KnowledgeBase::FindTopic(const std::string& name) const {
+  for (int t = 0; t < num_topics(); ++t) {
+    if (topics_[t].name == name) return t;
+  }
+  return -1;
+}
+
+void KnowledgeBase::GenerateTuples(uint64_t seed) {
+  tuples_.resize(topics_.size());
+  for (size_t t = 0; t < topics_.size(); ++t) {
+    TopicSpec& topic = topics_[t];
+    // List-backed key columns cap the usable entity count.
+    int n = topic.num_entities;
+    for (const ColumnSpec& col : topic.columns) {
+      if (col.is_key && col.gen.kind == ValueGen::Kind::kList) {
+        n = std::min<int>(n, static_cast<int>(col.gen.list.size()));
+      }
+    }
+    topic.num_entities = n;
+
+    Random rng(seed ^ (0x9E3779B9ULL * (t + 1)));
+    std::unordered_set<std::string> seen_keys;
+    auto& rows = tuples_[t];
+    rows.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::string> row;
+      row.reserve(topic.columns.size());
+      for (const ColumnSpec& col : topic.columns) {
+        std::string value = GenValue(col.gen, i, &rng);
+        if (col.is_key) {
+          // Key values must identify the entity; retry random generators
+          // on collision, suffix deterministic ones.
+          int attempts = 0;
+          while (seen_keys.count(value) && attempts < 20) {
+            value = GenValue(col.gen, i, &rng);
+            if (++attempts >= 20 || seen_keys.count(value) == 0) break;
+          }
+          if (seen_keys.count(value)) {
+            value += " " + std::to_string(i);
+          }
+          seen_keys.insert(value);
+        }
+        row.push_back(std::move(value));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+}
+
+}  // namespace wwt

@@ -1,0 +1,113 @@
+// Copyright 2026 The WWT Authors
+//
+// The knowledge base behind the synthetic corpus: one topic per subject
+// area of the Table 1 workload (plus distractor topics), each with typed
+// columns and a fixed set of entity tuples. Tuples are generated once per
+// topic from the corpus seed, so every generated table of a topic draws
+// from the same tuple set — that is what gives tables of one topic real
+// content overlap (the signal behind the paper's edge potentials and
+// second index probe).
+
+#ifndef WWT_CORPUS_KNOWLEDGE_BASE_H_
+#define WWT_CORPUS_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace wwt {
+
+/// How one column's value is produced for entity i.
+struct ValueGen {
+  enum class Kind {
+    kList,               // explicit string list, cycled
+    kCountryName,        // linked country attributes (real data)
+    kCountryCurrency,
+    kCountryCapital,
+    kCountryPopulation,
+    kCountryGdp,
+    kStateName,          // linked US state attributes
+    kStateCapital,
+    kStateLargestCity,
+    kStatePopulation,
+    kElementName,        // linked chemical elements
+    kElementNumber,
+    kElementWeight,
+    kExplorerName,       // linked explorers (Fig. 1 example)
+    kExplorerNationality,
+    kExplorerArea,
+    kPerson,             // "First Last"
+    kTitle,              // "Adjective Noun" work titles
+    kPlace,              // "Prefix+suffix" place names
+    kCompany,            // "Lastname Suffix"
+    kNumber,             // numeric in [lo, hi] with formatting
+    kYear,               // integer year in [lo, hi]
+    kCode,               // "STEM-123" model codes
+    kDate,               // "March 14, 1998"
+  };
+
+  Kind kind = Kind::kList;
+  std::vector<std::string> list;
+  double lo = 0, hi = 0;
+  int decimals = 0;
+  std::string prefix, suffix;
+  std::string code_stem;
+};
+
+/// One column of a topic.
+struct ColumnSpec {
+  /// Stable semantic name ("explorer_name"); ground truth keys on this.
+  std::string name;
+  /// Header variants a page may print; the first is canonical.
+  std::vector<std::string> headers;
+  ValueGen gen;
+  /// The entity-identifying column (query column 1 maps to a key).
+  bool is_key = false;
+};
+
+/// One subject area.
+struct TopicSpec {
+  std::string name;      // machine name, "explorers"
+  std::string display;   // page heading, "List of explorers"
+  std::vector<ColumnSpec> columns;
+  /// Sentences woven into page context (the query keywords are added
+  /// separately by the page generator).
+  std::vector<std::string> context_sentences;
+  int num_entities = 50;
+
+  int FindColumn(const std::string& column_name) const;
+};
+
+/// Topics + materialized entity tuples.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(uint64_t seed = 42);
+
+  int num_topics() const { return static_cast<int>(topics_.size()); }
+  const TopicSpec& topic(int t) const { return topics_[t]; }
+
+  /// Index of a topic by machine name; -1 when absent.
+  int FindTopic(const std::string& name) const;
+
+  /// tuples(t)[i][c] = value of column c for entity i of topic t.
+  const std::vector<std::vector<std::string>>& tuples(int t) const {
+    return tuples_[t];
+  }
+
+  /// Globally unique id for (topic, column). Ground truth compares these.
+  static int SemanticId(int topic, int column) {
+    return topic * 64 + column;
+  }
+
+ private:
+  void GenerateTuples(uint64_t seed);
+
+  std::vector<TopicSpec> topics_;
+  std::vector<std::vector<std::vector<std::string>>> tuples_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_CORPUS_KNOWLEDGE_BASE_H_

@@ -1,0 +1,319 @@
+#include "corpus/page_generator.h"
+
+#include <algorithm>
+
+#include "html/html_parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wwt {
+
+namespace {
+
+const char* kGenericHeaders[] = {"Name", "Value", "Item", "Info",
+                                 "Details", "Data"};
+
+const char* kAnnotations[] = {"(Chronological order)", "(2011)",
+                              "(see notes)", "(alphabetical)",
+                              "(approximate)"};
+
+const char* kBoilerplate[] = {
+    "Home | About | Contact | Sitemap",
+    "This page was last updated in 2011.",
+    "See the related articles below for more information.",
+    "All content on this site is provided for reference.",
+};
+
+std::string Typo(const std::string& s, Random* rng) {
+  if (s.size() < 4) return s;
+  std::string out = s;
+  size_t i = 1 + rng->Uniform(out.size() - 2);
+  if (rng->Bernoulli(0.5)) {
+    std::swap(out[i], out[i - 1]);
+  } else {
+    out.erase(i, 1);
+  }
+  return out;
+}
+
+/// Splits header tokens across `rows` lines (the Fig. 1 "Main areas /
+/// explored" pattern).
+std::vector<std::string> SplitHeader(const std::string& header, int rows) {
+  std::vector<std::string> tokens = Split(header, " ");
+  std::vector<std::string> out(rows);
+  if (tokens.empty()) return out;
+  const int per = std::max<int>(
+      1, static_cast<int>((tokens.size() + rows - 1) / rows));
+  int r = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0 && i % per == 0 && r + 1 < rows) ++r;
+    if (!out[r].empty()) out[r] += ' ';
+    out[r] += tokens[i];
+  }
+  return out;
+}
+
+void AppendLayoutJunk(std::string* html, Random* rng) {
+  *html += "<table class=\"nav\"><tr>";
+  const char* items[] = {"Home", "News",  "Articles", "Archive",
+                         "Links", "About", "Search"};
+  for (const char* item : items) {
+    if (rng->Bernoulli(0.7)) {
+      *html += "<td><a href=\"#\">";
+      *html += item;
+      *html += "</a></td>";
+    }
+  }
+  *html += "</tr></table>\n";
+}
+
+void AppendFormJunk(std::string* html) {
+  *html +=
+      "<table class=\"login\"><tr><td>User</td>"
+      "<td><input type=\"text\" name=\"u\"></td></tr>"
+      "<tr><td>Pass</td><td><input type=\"password\" name=\"p\"></td></tr>"
+      "<tr><td colspan=\"2\"><input type=\"submit\" value=\"Go\"></td></tr>"
+      "</table>\n";
+}
+
+void AppendCalendarJunk(std::string* html, Random* rng) {
+  *html += "<table class=\"cal\"><tr>";
+  const char* days[] = {"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+  for (const char* d : days) {
+    *html += "<td>";
+    *html += d;
+    *html += "</td>";
+  }
+  *html += "</tr>";
+  int day = 1 - static_cast<int>(rng->Uniform(6));
+  for (int week = 0; week < 5; ++week) {
+    *html += "<tr>";
+    for (int dow = 0; dow < 7; ++dow, ++day) {
+      *html += "<td>";
+      if (day >= 1 && day <= 30) *html += std::to_string(day);
+      *html += "</td>";
+    }
+    *html += "</tr>";
+  }
+  *html += "</table>\n";
+}
+
+}  // namespace
+
+GeneratedPage PageGenerator::Generate(
+    int topic_id, const std::vector<int>& required_cols,
+    const std::vector<std::string>& context_keywords,
+    const PageNoise& noise, Random* rng, const std::string& url) {
+  const TopicSpec& topic = kb_->topic(topic_id);
+  const auto& tuples = kb_->tuples(topic_id);
+
+  GeneratedPage page;
+  page.url = url;
+  page.topic = topic_id;
+
+  // ----- Choose the emitted columns: required ones, then other topic
+  // columns with probability 0.4, then possibly 1-2 distractor columns
+  // from another topic.
+  std::vector<int> cols = required_cols;
+  for (int c = 0; c < static_cast<int>(topic.columns.size()); ++c) {
+    if (std::find(cols.begin(), cols.end(), c) != cols.end()) continue;
+    if (rng->Bernoulli(0.4)) cols.push_back(c);
+  }
+  if (cols.empty()) cols.push_back(0);
+
+  struct EmittedCol {
+    int semantic;          // -1 for distractor
+    std::string header;
+    const TopicSpec* src_topic;
+    int src_col;
+    int src_topic_id;
+  };
+  std::vector<EmittedCol> emitted;
+  for (int c : cols) {
+    EmittedCol e;
+    e.semantic = KnowledgeBase::SemanticId(topic_id, c);
+    const auto& variants = topic.columns[c].headers;
+    e.header = rng->Bernoulli(0.6)
+                   ? variants[0]
+                   : variants[rng->Uniform(variants.size())];
+    e.src_topic = &topic;
+    e.src_topic_id = topic_id;
+    e.src_col = c;
+    emitted.push_back(std::move(e));
+  }
+  if (rng->Bernoulli(0.2) && kb_->num_topics() > 1) {
+    int other = static_cast<int>(rng->Uniform(kb_->num_topics()));
+    if (other != topic_id) {
+      const TopicSpec& ot = kb_->topic(other);
+      int n_extra = 1;
+      for (int k = 0; k < n_extra &&
+                      k < static_cast<int>(ot.columns.size());
+           ++k) {
+        int c = static_cast<int>(rng->Uniform(ot.columns.size()));
+        EmittedCol e;
+        e.semantic = -1;
+        e.header = ot.columns[c].headers[0];
+        e.src_topic = &ot;
+        e.src_topic_id = other;
+        e.src_col = c;
+        emitted.push_back(std::move(e));
+      }
+    }
+  }
+  rng->Shuffle(&emitted);
+
+  // ----- Choose entity rows.
+  const int max_rows =
+      std::max<int>(3, static_cast<int>(tuples.size()));
+  int n_rows = 6 + static_cast<int>(rng->Uniform(18));
+  n_rows = std::min(n_rows, max_rows);
+  std::vector<size_t> entities =
+      rng->SampleWithoutReplacement(tuples.size(), n_rows);
+
+  // ----- Materialize body cells (with typos).
+  for (size_t r = 0; r < entities.size(); ++r) {
+    std::vector<std::string> row;
+    for (const EmittedCol& e : emitted) {
+      const auto& src_tuples = kb_->tuples(e.src_topic_id);
+      size_t src_row = e.semantic >= 0
+                           ? entities[r]
+                           : rng->Uniform(src_tuples.size());
+      std::string v = src_tuples[src_row % src_tuples.size()][e.src_col];
+      if (rng->Bernoulli(noise.p_typo)) v = Typo(v, rng);
+      row.push_back(std::move(v));
+    }
+    page.body.push_back(std::move(row));
+  }
+  for (const EmittedCol& e : emitted) {
+    page.column_semantics.push_back(e.semantic);
+  }
+
+  // ----- Header rows.
+  int header_rows;
+  double roll = rng->NextDouble();
+  if (roll < noise.p_no_header) {
+    header_rows = 0;
+  } else if (roll < noise.p_no_header + noise.p_two_headers) {
+    header_rows = 2;
+  } else if (roll <
+             noise.p_no_header + noise.p_two_headers +
+                 noise.p_three_headers) {
+    header_rows = 3;
+  } else {
+    header_rows = 1;
+  }
+
+  std::vector<std::vector<std::string>> headers(
+      header_rows, std::vector<std::string>(emitted.size()));
+  if (header_rows > 0) {
+    const bool split_style = header_rows > 1 && rng->Bernoulli(0.5);
+    for (size_t c = 0; c < emitted.size(); ++c) {
+      std::string text = emitted[c].header;
+      if (rng->Bernoulli(noise.p_uninformative)) {
+        text = kGenericHeaders[rng->Uniform(std::size(kGenericHeaders))];
+      }
+      if (split_style) {
+        std::vector<std::string> parts = SplitHeader(text, header_rows);
+        for (int r = 0; r < header_rows; ++r) headers[r][c] = parts[r];
+      } else {
+        headers[0][c] = text;
+        // Annotation style: extra header rows carry parenthetical notes
+        // on a few columns (Fig. 1 Table 2's "(Chronological order)").
+        for (int r = 1; r < header_rows; ++r) {
+          if (rng->Bernoulli(0.4)) {
+            headers[r][c] =
+                kAnnotations[rng->Uniform(std::size(kAnnotations))];
+          }
+        }
+      }
+    }
+  }
+
+  // ----- Render the page.
+  std::string& html = page.html;
+  html += "<html><head><title>";
+  html += EscapeHtml(topic.display);
+  html += " - WebPedia</title></head>\n<body>\n";
+
+  if (rng->Bernoulli(noise.p_layout_junk)) AppendLayoutJunk(&html, rng);
+
+  html += "<h1>";
+  html += EscapeHtml(topic.display);
+  html += "</h1>\n";
+
+  // Context paragraphs.
+  const bool mention_keywords =
+      !context_keywords.empty() && rng->Bernoulli(noise.p_context_keywords);
+  if (!topic.context_sentences.empty()) {
+    html += "<p>";
+    html += EscapeHtml(
+        topic.context_sentences[rng->Uniform(topic.context_sentences.size())]);
+    html += "</p>\n";
+  }
+  if (mention_keywords) {
+    std::string sentence = "This table lists ";
+    for (size_t i = 0; i < context_keywords.size(); ++i) {
+      if (i > 0) {
+        sentence += i + 1 == context_keywords.size() ? " and " : ", ";
+      }
+      sentence += context_keywords[i];
+    }
+    sentence += ".";
+    if (rng->Bernoulli(0.5)) {
+      html += "<h2>" + EscapeHtml(sentence) + "</h2>\n";
+    } else {
+      html += "<p>" + EscapeHtml(sentence) + "</p>\n";
+    }
+  }
+  html += "<p>";
+  html += kBoilerplate[rng->Uniform(std::size(kBoilerplate))];
+  html += "</p>\n";
+
+  // The data table.
+  const bool use_th = rng->Bernoulli(noise.p_th_markup);
+  const bool header_bold = !use_th;
+  const bool header_bg = !use_th && rng->Bernoulli(0.5);
+  html += "<table border=\"1\">\n";
+  if (rng->Bernoulli(noise.p_title_row)) {
+    html += "  <tr><td colspan=\"";
+    html += std::to_string(emitted.size());
+    html += "\"><b>";
+    html += EscapeHtml(topic.display);
+    html += "</b></td></tr>\n";
+  }
+  for (int r = 0; r < header_rows; ++r) {
+    html += header_bg ? "  <tr bgcolor=\"#ccccee\">" : "  <tr>";
+    for (size_t c = 0; c < emitted.size(); ++c) {
+      const char* cell_tag = use_th ? "th" : "td";
+      html += "<";
+      html += cell_tag;
+      html += ">";
+      if (header_bold) html += "<b>";
+      html += EscapeHtml(headers[r][c]);
+      if (header_bold) html += "</b>";
+      html += "</";
+      html += cell_tag;
+      html += ">";
+    }
+    html += "</tr>\n";
+  }
+  for (const auto& row : page.body) {
+    html += "  <tr>";
+    for (const std::string& cell : row) {
+      html += "<td>" + EscapeHtml(cell) + "</td>";
+    }
+    html += "</tr>\n";
+  }
+  html += "</table>\n";
+
+  html += "<p>";
+  html += kBoilerplate[rng->Uniform(std::size(kBoilerplate))];
+  html += "</p>\n";
+  if (rng->Bernoulli(noise.p_form_junk)) AppendFormJunk(&html);
+  if (rng->Bernoulli(noise.p_calendar_junk)) AppendCalendarJunk(&html, rng);
+  html += "</body></html>\n";
+
+  return page;
+}
+
+}  // namespace wwt

@@ -1,0 +1,79 @@
+// Copyright 2026 The WWT Authors
+//
+// Renders knowledge-base data into full HTML pages with the noise axes
+// the paper measures: missing/multi-row/uninformative headers, title
+// rows, varying header markup (real <th> on only ~20% of tables), layout
+// and form junk tables, context of varying usefulness, and cell typos.
+// Pages are parsed back through the real extraction pipeline, so the
+// corpus exercises every offline code path.
+
+#ifndef WWT_CORPUS_PAGE_GENERATOR_H_
+#define WWT_CORPUS_PAGE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge_base.h"
+#include "util/random.h"
+
+namespace wwt {
+
+/// Per-page noise probabilities. Defaults reproduce the paper's corpus
+/// statistics (§2.1.1: 18% headerless, 60% one header row, 17% two, 5%
+/// more; 80% of tables without <th>).
+struct PageNoise {
+  double p_no_header = 0.18;
+  double p_two_headers = 0.17;
+  double p_three_headers = 0.05;
+  /// Chance each header cell is replaced by a generic word ("Name").
+  double p_uninformative = 0.08;
+  double p_title_row = 0.20;
+  /// Chance the context mentions the query keywords (vs. topic-only or
+  /// generic verbosity).
+  double p_context_keywords = 0.80;
+  /// Chance of an extra nav/layout junk table on the page.
+  double p_layout_junk = 0.5;
+  double p_form_junk = 0.25;
+  double p_calendar_junk = 0.1;
+  /// Per-cell typo probability.
+  double p_typo = 0.03;
+  /// Chance the real header markup uses <th> (paper: 20%).
+  double p_th_markup = 0.2;
+};
+
+/// One generated page plus everything needed to register ground truth.
+struct GeneratedPage {
+  std::string html;
+  std::string url;
+  int topic = -1;
+  /// Semantic id of every emitted data-table column (-1 = distractor).
+  std::vector<int> column_semantics;
+  /// The emitted body grid (post-noise), for fingerprint matching against
+  /// harvested tables.
+  std::vector<std::vector<std::string>> body;
+};
+
+/// Stateless page renderer over a knowledge base.
+class PageGenerator {
+ public:
+  explicit PageGenerator(const KnowledgeBase* kb) : kb_(kb) {}
+
+  /// Generates a page whose data table is drawn from `topic`.
+  ///  * `required_cols`: topic column indices that must appear (a
+  ///    relevant page passes the query's columns; a confusable page
+  ///    passes {}).
+  ///  * `context_keywords`: phrases to weave into the context, subject to
+  ///    noise.p_context_keywords (a confusable page passes the query
+  ///    keywords it "steals").
+  GeneratedPage Generate(int topic, const std::vector<int>& required_cols,
+                         const std::vector<std::string>& context_keywords,
+                         const PageNoise& noise, Random* rng,
+                         const std::string& url);
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_CORPUS_PAGE_GENERATOR_H_

@@ -1,0 +1,332 @@
+#include "corpus/value_lists.h"
+
+namespace wwt {
+
+const std::vector<CountryRecord>& Countries() {
+  static const std::vector<CountryRecord>* kList =
+      new std::vector<CountryRecord>{
+          {"United States", "US Dollar", "Washington", 331.9, 23315.0},
+          {"China", "Renminbi", "Beijing", 1412.0, 17734.0},
+          {"Japan", "Yen", "Tokyo", 125.7, 4940.0},
+          {"Germany", "Euro", "Berlin", 83.2, 4259.0},
+          {"India", "Rupee", "New Delhi", 1393.0, 3176.0},
+          {"United Kingdom", "Pound Sterling", "London", 67.3, 3131.0},
+          {"France", "Euro", "Paris", 67.5, 2957.0},
+          {"Italy", "Euro", "Rome", 59.1, 2107.0},
+          {"Canada", "Canadian Dollar", "Ottawa", 38.2, 1988.0},
+          {"Brazil", "Real", "Brasilia", 214.3, 1609.0},
+          {"Russia", "Ruble", "Moscow", 143.4, 1775.0},
+          {"South Korea", "Won", "Seoul", 51.7, 1810.0},
+          {"Australia", "Australian Dollar", "Canberra", 25.7, 1542.0},
+          {"Mexico", "Peso", "Mexico City", 126.7, 1272.0},
+          {"Spain", "Euro", "Madrid", 47.4, 1427.0},
+          {"Indonesia", "Rupiah", "Jakarta", 273.8, 1186.0},
+          {"Netherlands", "Euro", "Amsterdam", 17.5, 1018.0},
+          {"Saudi Arabia", "Riyal", "Riyadh", 35.3, 833.5},
+          {"Turkey", "Lira", "Ankara", 84.8, 815.3},
+          {"Switzerland", "Swiss Franc", "Bern", 8.7, 800.6},
+          {"Poland", "Zloty", "Warsaw", 37.8, 679.4},
+          {"Sweden", "Krona", "Stockholm", 10.4, 627.4},
+          {"Belgium", "Euro", "Brussels", 11.6, 594.1},
+          {"Thailand", "Baht", "Bangkok", 70.0, 505.9},
+          {"Ireland", "Euro", "Dublin", 5.0, 498.6},
+          {"Argentina", "Argentine Peso", "Buenos Aires", 45.8, 491.5},
+          {"Norway", "Norwegian Krone", "Oslo", 5.4, 482.2},
+          {"Israel", "Shekel", "Jerusalem", 9.4, 481.6},
+          {"Austria", "Euro", "Vienna", 8.9, 477.1},
+          {"Nigeria", "Naira", "Abuja", 213.4, 440.8},
+          {"Egypt", "Egyptian Pound", "Cairo", 104.3, 404.1},
+          {"Denmark", "Danish Krone", "Copenhagen", 5.9, 398.3},
+          {"Singapore", "Singapore Dollar", "Singapore", 5.5, 396.9},
+          {"Philippines", "Philippine Peso", "Manila", 113.9, 394.1},
+          {"Malaysia", "Ringgit", "Kuala Lumpur", 33.6, 372.7},
+          {"Vietnam", "Dong", "Hanoi", 98.2, 366.1},
+          {"Bangladesh", "Taka", "Dhaka", 169.4, 416.3},
+          {"South Africa", "Rand", "Pretoria", 59.4, 419.0},
+          {"Colombia", "Colombian Peso", "Bogota", 51.5, 314.3},
+          {"Chile", "Chilean Peso", "Santiago", 19.5, 317.1},
+          {"Finland", "Euro", "Helsinki", 5.5, 297.3},
+          {"Portugal", "Euro", "Lisbon", 10.3, 253.7},
+          {"Greece", "Euro", "Athens", 10.7, 214.9},
+          {"New Zealand", "New Zealand Dollar", "Wellington", 5.1, 249.9},
+          {"Czech Republic", "Koruna", "Prague", 10.5, 281.8},
+          {"Romania", "Leu", "Bucharest", 19.1, 284.1},
+          {"Peru", "Sol", "Lima", 33.7, 223.3},
+          {"Hungary", "Forint", "Budapest", 9.7, 181.8},
+          {"Ukraine", "Hryvnia", "Kyiv", 43.8, 200.1},
+          {"Morocco", "Dirham", "Rabat", 37.1, 132.7},
+          {"Kenya", "Kenyan Shilling", "Nairobi", 53.0, 110.3},
+          {"Ethiopia", "Birr", "Addis Ababa", 120.3, 111.3},
+          {"Ghana", "Cedi", "Accra", 32.8, 77.6},
+          {"Iceland", "Icelandic Krona", "Reykjavik", 0.37, 25.6},
+          {"Croatia", "Euro", "Zagreb", 3.9, 68.9},
+          {"Uruguay", "Uruguayan Peso", "Montevideo", 3.4, 59.3},
+          {"Qatar", "Qatari Riyal", "Doha", 2.9, 179.6},
+          {"Kuwait", "Kuwaiti Dinar", "Kuwait City", 4.3, 136.9},
+          {"Pakistan", "Pakistani Rupee", "Islamabad", 231.4, 348.3},
+          {"Algeria", "Algerian Dinar", "Algiers", 44.2, 163.5},
+      };
+  return *kList;
+}
+
+const std::vector<StateRecord>& UsStates() {
+  static const std::vector<StateRecord>* kList = new std::vector<
+      StateRecord>{
+      {"California", "Sacramento", "Los Angeles", 39.2},
+      {"Texas", "Austin", "Houston", 29.5},
+      {"Florida", "Tallahassee", "Jacksonville", 21.8},
+      {"New York", "Albany", "New York City", 19.8},
+      {"Pennsylvania", "Harrisburg", "Philadelphia", 13.0},
+      {"Illinois", "Springfield", "Chicago", 12.7},
+      {"Ohio", "Columbus", "Columbus", 11.8},
+      {"Georgia", "Atlanta", "Atlanta", 10.8},
+      {"North Carolina", "Raleigh", "Charlotte", 10.6},
+      {"Michigan", "Lansing", "Detroit", 10.1},
+      {"New Jersey", "Trenton", "Newark", 9.3},
+      {"Virginia", "Richmond", "Virginia Beach", 8.6},
+      {"Washington", "Olympia", "Seattle", 7.7},
+      {"Arizona", "Phoenix", "Phoenix", 7.3},
+      {"Massachusetts", "Boston", "Boston", 7.0},
+      {"Tennessee", "Nashville", "Nashville", 7.0},
+      {"Indiana", "Indianapolis", "Indianapolis", 6.8},
+      {"Maryland", "Annapolis", "Baltimore", 6.2},
+      {"Missouri", "Jefferson City", "Kansas City", 6.2},
+      {"Wisconsin", "Madison", "Milwaukee", 5.9},
+      {"Colorado", "Denver", "Denver", 5.8},
+      {"Minnesota", "Saint Paul", "Minneapolis", 5.7},
+      {"South Carolina", "Columbia", "Charleston", 5.2},
+      {"Alabama", "Montgomery", "Huntsville", 5.0},
+      {"Louisiana", "Baton Rouge", "New Orleans", 4.6},
+      {"Kentucky", "Frankfort", "Louisville", 4.5},
+      {"Oregon", "Salem", "Portland", 4.2},
+      {"Oklahoma", "Oklahoma City", "Oklahoma City", 4.0},
+      {"Connecticut", "Hartford", "Bridgeport", 3.6},
+      {"Utah", "Salt Lake City", "Salt Lake City", 3.3},
+      {"Iowa", "Des Moines", "Des Moines", 3.2},
+      {"Nevada", "Carson City", "Las Vegas", 3.1},
+      {"Arkansas", "Little Rock", "Little Rock", 3.0},
+      {"Mississippi", "Jackson", "Jackson", 3.0},
+      {"Kansas", "Topeka", "Wichita", 2.9},
+      {"New Mexico", "Santa Fe", "Albuquerque", 2.1},
+      {"Nebraska", "Lincoln", "Omaha", 2.0},
+      {"Idaho", "Boise", "Boise", 1.9},
+      {"West Virginia", "Charleston", "Charleston", 1.8},
+      {"Hawaii", "Honolulu", "Honolulu", 1.4},
+      {"New Hampshire", "Concord", "Manchester", 1.4},
+      {"Maine", "Augusta", "Portland", 1.4},
+      {"Montana", "Helena", "Billings", 1.1},
+      {"Rhode Island", "Providence", "Providence", 1.1},
+      {"Delaware", "Dover", "Wilmington", 1.0},
+      {"South Dakota", "Pierre", "Sioux Falls", 0.9},
+      {"North Dakota", "Bismarck", "Fargo", 0.8},
+      {"Alaska", "Juneau", "Anchorage", 0.7},
+      {"Vermont", "Montpelier", "Burlington", 0.6},
+      {"Wyoming", "Cheyenne", "Cheyenne", 0.6},
+  };
+  return *kList;
+}
+
+const std::vector<ElementRecord>& Elements() {
+  static const std::vector<ElementRecord>* kList =
+      new std::vector<ElementRecord>{
+          {"Hydrogen", 1, 1.008},    {"Helium", 2, 4.0026},
+          {"Lithium", 3, 6.94},      {"Beryllium", 4, 9.0122},
+          {"Boron", 5, 10.81},       {"Carbon", 6, 12.011},
+          {"Nitrogen", 7, 14.007},   {"Oxygen", 8, 15.999},
+          {"Fluorine", 9, 18.998},   {"Neon", 10, 20.180},
+          {"Sodium", 11, 22.990},    {"Magnesium", 12, 24.305},
+          {"Aluminium", 13, 26.982}, {"Silicon", 14, 28.085},
+          {"Phosphorus", 15, 30.974}, {"Sulfur", 16, 32.06},
+          {"Chlorine", 17, 35.45},   {"Argon", 18, 39.948},
+          {"Potassium", 19, 39.098}, {"Calcium", 20, 40.078},
+          {"Scandium", 21, 44.956},  {"Titanium", 22, 47.867},
+          {"Vanadium", 23, 50.942},  {"Chromium", 24, 51.996},
+          {"Manganese", 25, 54.938}, {"Iron", 26, 55.845},
+          {"Cobalt", 27, 58.933},    {"Nickel", 28, 58.693},
+          {"Copper", 29, 63.546},    {"Zinc", 30, 65.38},
+          {"Gallium", 31, 69.723},   {"Germanium", 32, 72.630},
+          {"Arsenic", 33, 74.922},   {"Selenium", 34, 78.971},
+          {"Bromine", 35, 79.904},   {"Krypton", 36, 83.798},
+          {"Rubidium", 37, 85.468},  {"Strontium", 38, 87.62},
+          {"Yttrium", 39, 88.906},   {"Zirconium", 40, 91.224},
+          {"Niobium", 41, 92.906},   {"Molybdenum", 42, 95.95},
+          {"Silver", 47, 107.87},    {"Tin", 50, 118.71},
+          {"Iodine", 53, 126.90},    {"Tungsten", 74, 183.84},
+          {"Platinum", 78, 195.08},  {"Gold", 79, 196.97},
+          {"Mercury", 80, 200.59},   {"Lead", 82, 207.2},
+      };
+  return *kList;
+}
+
+const std::vector<ExplorerRecord>& Explorers() {
+  static const std::vector<ExplorerRecord>* kList =
+      new std::vector<ExplorerRecord>{
+          {"Abel Tasman", "Dutch", "Oceania"},
+          {"Vasco da Gama", "Portuguese", "Sea route to India"},
+          {"Alexander Mackenzie", "British", "Canada"},
+          {"Christopher Columbus", "Italian", "Caribbean"},
+          {"Ferdinand Magellan", "Portuguese", "Pacific Ocean"},
+          {"James Cook", "British", "Pacific Islands"},
+          {"Marco Polo", "Italian", "Central Asia and China"},
+          {"Hernan Cortes", "Spanish", "Mexico"},
+          {"Francisco Pizarro", "Spanish", "Peru"},
+          {"Henry Hudson", "English", "Hudson Bay"},
+          {"Jacques Cartier", "French", "Saint Lawrence River"},
+          {"Samuel de Champlain", "French", "New France"},
+          {"John Cabot", "Italian", "North America coast"},
+          {"Bartolomeu Dias", "Portuguese", "Cape of Good Hope"},
+          {"Amerigo Vespucci", "Italian", "South America coast"},
+          {"David Livingstone", "Scottish", "Central Africa"},
+          {"Roald Amundsen", "Norwegian", "South Pole"},
+          {"Ernest Shackleton", "Irish", "Antarctica"},
+          {"Robert Peary", "American", "Arctic"},
+          {"Meriwether Lewis", "American", "Western United States"},
+          {"William Clark", "American", "Missouri River"},
+          {"Zheng He", "Chinese", "Indian Ocean"},
+          {"Ibn Battuta", "Moroccan", "Islamic world"},
+          {"Leif Erikson", "Norse", "Vinland"},
+          {"Hernando de Soto", "Spanish", "Mississippi River"},
+          {"Juan Ponce de Leon", "Spanish", "Florida"},
+          {"Vitus Bering", "Danish", "Bering Strait"},
+          {"Mungo Park", "Scottish", "Niger River"},
+          {"Richard Burton", "British", "Lake Tanganyika"},
+          {"John Franklin", "British", "Northwest Passage"},
+      };
+  return *kList;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",   "David",   "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Carlos",  "Karen",   "Daniel",  "Nancy",    "Matthew", "Lisa",
+      "Anthony", "Betty",   "Marcus",  "Margaret", "Donald",  "Sandra",
+      "Steven",  "Ashley",  "Andrew",  "Kimberly", "Paulo",   "Emily",
+      "Joshua",  "Donna",   "Kenji",   "Michelle", "Kevin",   "Dorothy",
+      "Brian",   "Carol",   "George",  "Amanda",   "Timothy", "Melissa",
+      "Ronald",  "Deborah", "Jason",   "Stephanie", "Edward", "Rebecca",
+      "Jeffrey", "Sharon",  "Ryan",    "Laura",    "Jacob",   "Cynthia",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",
+      "Garcia",   "Miller",   "Davis",    "Rodriguez", "Martinez",
+      "Hernandez", "Lopez",   "Gonzalez", "Wilson",   "Anderson",
+      "Thomas",   "Taylor",   "Moore",    "Jackson",  "Martin",
+      "Lee",      "Perez",    "Thompson", "White",    "Harris",
+      "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",
+      "Scott",    "Torres",   "Nguyen",   "Hill",     "Flores",
+      "Green",    "Adams",    "Nelson",   "Baker",    "Hall",
+      "Rivera",   "Campbell", "Mitchell", "Carter",   "Roberts",
+      "Okafor",   "Tanaka",   "Kowalski", "Petrov",   "Silva",
+      "Fischer",  "Larsen",   "Moretti",  "Dubois",   "Novak",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& Adjectives() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "Silent",  "Golden",  "Crimson", "Hidden",  "Broken",  "Eternal",
+      "Savage",  "Frozen",  "Burning", "Lost",    "Ancient", "Electric",
+      "Midnight", "Shadow", "Iron",    "Velvet",  "Wild",    "Sacred",
+      "Falling", "Rising",  "Distant", "Hollow",  "Radiant", "Obsidian",
+      "Emerald", "Scarlet", "Thunder", "Winter",  "Solar",   "Lunar",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& Nouns() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "Empire",  "Horizon", "Legacy",  "Odyssey", "Kingdom", "Voyage",
+      "Requiem", "Dynasty", "Covenant", "Genesis", "Eclipse", "Phoenix",
+      "Citadel", "Tempest", "Serpent", "Vanguard", "Paradox", "Mirage",
+      "Anthem",  "Frontier", "Oracle", "Monolith", "Harvest", "Specter",
+      "Bastion", "Chronicle", "Tides",  "Summit",  "Ember",   "Labyrinth",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& PlacePrefixes() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "North", "South", "East",  "West",  "New",   "Old",   "Upper",
+      "Lower", "Grand", "Little", "Fort", "Port",  "Lake",  "Glen",
+      "Spring", "Oak",  "Cedar", "Maple", "River", "Stone",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& PlaceSuffixes() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "field", "ville", "burg",  "ton",  "ford", "haven", "wood",
+      "brook", "ridge", "dale",  "port", "mont", "crest", "shore",
+      "gate",  "march", "holm",  "wick", "stead", "moor",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& CompanySuffixes() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "Corporation", "Inc", "Systems", "Industries", "Group", "Holdings",
+      "Labs", "Technologies", "Partners", "Works", "Brands", "Motors",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& DogBreeds() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "Labrador Retriever", "German Shepherd",  "Golden Retriever",
+      "French Bulldog",     "Beagle",           "Poodle",
+      "Rottweiler",         "Yorkshire Terrier", "Boxer",
+      "Dachshund",          "Siberian Husky",   "Great Dane",
+      "Doberman Pinscher",  "Australian Shepherd", "Shih Tzu",
+      "Border Collie",      "Basset Hound",     "Saint Bernard",
+      "Akita",              "Samoyed",          "Whippet",
+      "Dalmatian",          "Papillon",         "Chow Chow",
+      "Bullmastiff",        "Weimaraner",       "Irish Setter",
+      "Alaskan Malamute",   "Greyhound",        "Bloodhound",
+      "Pomeranian",         "Chihuahua",        "Maltese",
+      "Newfoundland",       "Vizsla",           "Bernese Mountain Dog",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& MountainNames() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "Denali",         "Mount Logan",    "Pico de Orizaba",
+      "Mount Saint Elias", "Popocatepetl", "Mount Foraker",
+      "Mount Lucania",  "Iztaccihuatl",   "Mount King",
+      "Mount Bona",     "Mount Steele",   "Mount Blackburn",
+      "Mount Sanford",  "Mount Wood",     "Mount Vancouver",
+      "Mount Churchill", "Mount Fairweather", "Mount Hubbard",
+      "Mount Bear",     "Mount Whitney",  "Mount Elbert",
+      "Mount Rainier",  "Mount Shasta",   "Pikes Peak",
+      "Grand Teton",    "Mount Hood",     "Mount Baker",
+      "Mount Adams",    "Mount Mitchell", "Mount Washington",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& MonthNames() {
+  static const std::vector<std::string>* kList = new std::vector<
+      std::string>{
+      "January", "February", "March",     "April",   "May",      "June",
+      "July",    "August",   "September", "October", "November", "December",
+  };
+  return *kList;
+}
+
+}  // namespace wwt

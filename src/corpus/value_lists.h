@@ -1,0 +1,67 @@
+// Copyright 2026 The WWT Authors
+//
+// Static seed vocabularies for the synthetic web corpus: real-world
+// entity lists (countries, US states, chemical elements, explorers, ...)
+// plus name fragments for synthetic entity generation. Using real linked
+// tuples (country -> currency -> capital) makes content overlap across
+// generated tables behave like the paper's corpus.
+
+#ifndef WWT_CORPUS_VALUE_LISTS_H_
+#define WWT_CORPUS_VALUE_LISTS_H_
+
+#include <string>
+#include <vector>
+
+namespace wwt {
+
+/// A country with the linked attributes several Table 1 queries ask for.
+struct CountryRecord {
+  const char* name;
+  const char* currency;
+  const char* capital;
+  double population_millions;
+  double gdp_billions;
+};
+
+/// A US state with linked attributes.
+struct StateRecord {
+  const char* name;
+  const char* capital;
+  const char* largest_city;
+  double population_millions;
+};
+
+/// A chemical element.
+struct ElementRecord {
+  const char* name;
+  int atomic_number;
+  double atomic_weight;
+};
+
+/// An explorer (the paper's running example, Fig. 1).
+struct ExplorerRecord {
+  const char* name;
+  const char* nationality;
+  const char* area;
+};
+
+const std::vector<CountryRecord>& Countries();
+const std::vector<StateRecord>& UsStates();
+const std::vector<ElementRecord>& Elements();
+const std::vector<ExplorerRecord>& Explorers();
+
+/// Name fragments for synthetic entities.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Adjectives();
+const std::vector<std::string>& Nouns();
+const std::vector<std::string>& PlacePrefixes();
+const std::vector<std::string>& PlaceSuffixes();
+const std::vector<std::string>& CompanySuffixes();
+const std::vector<std::string>& DogBreeds();
+const std::vector<std::string>& MountainNames();
+const std::vector<std::string>& MonthNames();
+
+}  // namespace wwt
+
+#endif  // WWT_CORPUS_VALUE_LISTS_H_

@@ -1,0 +1,227 @@
+#include "corpus/workload.h"
+
+namespace wwt {
+
+namespace {
+
+QuerySpec Q(std::string name, std::string topic,
+            std::vector<QueryColumnSpec> cols, int total, int relevant) {
+  QuerySpec q;
+  q.name = std::move(name);
+  q.topic = std::move(topic);
+  q.columns = std::move(cols);
+  q.target_total = total;
+  q.target_relevant = relevant;
+  return q;
+}
+
+std::vector<QuerySpec> Build() {
+  std::vector<QuerySpec> w;
+
+  // ---- Single-column queries (5).
+  w.push_back(Q("dog breed", "dogs", {{"dog breed", "breed"}}, 68, 66));
+  w.push_back(Q("kings of africa", "african_kings",
+                {{"kings of africa", "king"}}, 26, 0));
+  w.push_back(Q("phases of moon", "moon_phases",
+                {{"phases of moon", "phase"}}, 56, 17));
+  w.push_back(Q("prime ministers of england", "uk_pms",
+                {{"prime ministers of england", "pm"}}, 35, 3));
+  w.push_back(Q("professional wrestlers", "wrestlers",
+                {{"professional wrestlers", "wrestler"}}, 52, 52));
+
+  // ---- Two-column queries (37).
+  w.push_back(Q("2008 beijing Olympic events | winners", "beijing2008",
+                {{"2008 beijing Olympic events", "event"},
+                 {"winners", "winner"}}, 29, 0));
+  w.push_back(Q("2008 olympic gold medal winners | sports/event",
+                "beijing2008",
+                {{"2008 olympic gold medal winners", "winner"},
+                 {"sports event", "sport"}}, 26, 0));
+  w.push_back(Q("australian cities | area", "australian_cities",
+                {{"australian cities", "city"}, {"area", "area"}}, 30, 4));
+  w.push_back(Q("banks | interest rates", "banks",
+                {{"banks", "bank"}, {"interest rates", "interest_rate"}},
+                51, 34));
+  w.push_back(Q("black metal bands | country", "metal_bands",
+                {{"black metal bands", "band"}, {"country", "country"}},
+                39, 19));
+  w.push_back(Q("books in United States | author", "us_books",
+                {{"books in United States", "title"},
+                 {"author", "author"}}, 6, 2));
+  w.push_back(Q("car accidents location | year", "car_accidents",
+                {{"car accidents location", "location"},
+                 {"year", "year"}}, 46, 8));
+  w.push_back(Q("clothing sizes | symbols", "clothing_sizes",
+                {{"clothing sizes", "size"}, {"symbols", "symbol"}},
+                20, 0));
+  w.push_back(Q("composition of the sun | percentage", "sun_composition",
+                {{"composition of the sun", "element"},
+                 {"percentage", "percentage"}}, 50, 12));
+  w.push_back(Q("country | currency", "countries",
+                {{"country", "country"}, {"currency", "currency"}},
+                56, 53));
+  w.push_back(Q("country | daily fuel consumption", "countries",
+                {{"country", "country"},
+                 {"daily fuel consumption", "fuel_consumption"}}, 38, 14));
+  w.push_back(Q("country | gdp", "countries",
+                {{"country", "country"}, {"gdp", "gdp"}}, 58, 56));
+  w.push_back(Q("country | population", "countries",
+                {{"country", "country"}, {"population", "population"}},
+                58, 55));
+  w.push_back(Q("country | us dollar exchange rate", "countries",
+                {{"country", "country"},
+                 {"us dollar exchange rate", "exchange_rate"}}, 52, 43));
+  w.push_back(Q("fifa worlds cup winners | year", "fifa",
+                {{"fifa worlds cup winners", "winner"}, {"year", "year"}},
+                49, 9));
+  w.push_back(Q("Golden Globe award winners | year", "golden_globe",
+                {{"Golden Globe award winners", "winner"},
+                 {"year", "year"}}, 23, 19));
+  w.push_back(Q("Ibanez guitar series | models", "ibanez",
+                {{"Ibanez guitar series", "series"}, {"models", "model"}},
+                21, 3));
+  w.push_back(Q("Internet domains | entity", "domains",
+                {{"Internet domains", "domain"}, {"entity", "entity"}},
+                10, 4));
+  w.push_back(Q("James Bond films | year", "bond_films",
+                {{"James Bond films", "film"}, {"year", "year"}}, 16, 11));
+  w.push_back(Q("Microsoft Windows products | release date",
+                "windows_products",
+                {{"Microsoft Windows products", "product"},
+                 {"release date", "release_date"}}, 25, 12));
+  w.push_back(Q("MLB world series winners | year", "mlb",
+                {{"MLB world series winners", "winner"},
+                 {"year", "year"}}, 13, 3));
+  w.push_back(Q("movies | gross collection", "movies",
+                {{"movies", "title"}, {"gross collection", "gross"}},
+                57, 57));
+  w.push_back(Q("name of parrot | binomial name", "parrots",
+                {{"name of parrot", "parrot"},
+                 {"binomial name", "binomial"}}, 11, 8));
+  w.push_back(Q("north american mountains | height", "mountains",
+                {{"north american mountains", "mountain"},
+                 {"height", "height"}}, 47, 28));
+  w.push_back(Q("pain killers | company", "painkillers",
+                {{"pain killers", "drug"}, {"company", "company"}}, 1, 1));
+  w.push_back(Q("pga players | total score", "pga",
+                {{"pga players", "player"},
+                 {"total score", "total_score"}}, 40, 29));
+  w.push_back(Q("pre-production electric vehicle | release date", "evs",
+                {{"pre-production electric vehicle", "model"},
+                 {"release date", "release_date"}}, 3, 0));
+  w.push_back(Q("running shoes model | company", "shoes",
+                {{"running shoes model", "model"},
+                 {"company", "company"}}, 11, 5));
+  w.push_back(Q("science discoveries | discoverers", "discoveries",
+                {{"science discoveries", "discovery"},
+                 {"discoverers", "discoverer"}}, 41, 37));
+  w.push_back(Q("university | motto", "universities",
+                {{"university", "university"}, {"motto", "motto"}}, 7, 5));
+  w.push_back(Q("us cities | population", "us_cities",
+                {{"us cities", "city"}, {"population", "population"}},
+                34, 32));
+  w.push_back(Q("us pizza store | annual sales", "pizza_stores",
+                {{"us pizza store", "store"},
+                 {"annual sales", "annual_sales"}}, 35, 1));
+  w.push_back(Q("usa states | population", "us_states",
+                {{"usa states", "state"}, {"population", "population"}},
+                41, 37));
+  w.push_back(Q("used cellphones | price", "cellphones",
+                {{"used cellphones", "model"}, {"price", "price"}},
+                29, 0));
+  w.push_back(Q("video games | company", "video_games",
+                {{"video games", "title"}, {"company", "company"}},
+                30, 28));
+  w.push_back(Q("wimbledon champions | year", "wimbledon",
+                {{"wimbledon champions", "champion"}, {"year", "year"}},
+                38, 24));
+  w.push_back(Q("world tallest buildings | height", "buildings",
+                {{"world tallest buildings", "building"},
+                 {"height", "height"}}, 51, 12));
+
+  // ---- Three-column queries (17).
+  w.push_back(Q("academy award category | winner | year", "academy_awards",
+                {{"academy award category", "category"},
+                 {"winner", "winner"},
+                 {"year", "year"}}, 56, 22));
+  w.push_back(Q("bittorrent clients | license | cost", "bittorrent",
+                {{"bittorrent clients", "client"},
+                 {"license", "license"},
+                 {"cost", "cost"}}, 0, 0));
+  w.push_back(Q("chemical element | atomic number | atomic weight",
+                "elements",
+                {{"chemical element", "element"},
+                 {"atomic number", "atomic_number"},
+                 {"atomic weight", "atomic_weight"}}, 33, 30));
+  w.push_back(Q("company | stock ticker | price", "stocks",
+                {{"company", "company"},
+                 {"stock ticker", "ticker"},
+                 {"price", "price"}}, 53, 53));
+  w.push_back(Q("educational exchange discipline in US | "
+                "number of students | year", "edu_exchange",
+                {{"educational exchange discipline in US", "discipline"},
+                 {"number of students", "students"},
+                 {"year", "year"}}, 13, 2));
+  w.push_back(Q("fast cars | company | top speed", "fast_cars",
+                {{"fast cars", "car"},
+                 {"company", "company"},
+                 {"top speed", "top_speed"}}, 34, 29));
+  w.push_back(Q("food | fat | protein", "foods",
+                {{"food", "food"}, {"fat", "fat"},
+                 {"protein", "protein"}}, 47, 43));
+  w.push_back(Q("ipod models | release date | price", "ipods",
+                {{"ipod models", "model"},
+                 {"release date", "release_date"},
+                 {"price", "price"}}, 44, 16));
+  w.push_back(Q("name of explorers | nationality | areas explored",
+                "explorers",
+                {{"name of explorers", "explorer"},
+                 {"nationality", "nationality"},
+                 {"areas explored", "area"}}, 19, 13));
+  w.push_back(Q("NBA Match | date | winner", "nba",
+                {{"NBA Match", "match"},
+                 {"date", "date"},
+                 {"winner", "winner"}}, 44, 34));
+  w.push_back(Q("new Jedi Order novels | authors | year", "jedi_novels",
+                {{"new Jedi Order novels", "novel"},
+                 {"authors", "author"},
+                 {"year", "year"}}, 25, 24));
+  w.push_back(Q("Nobel prize winners | field | year", "nobel",
+                {{"Nobel prize winners", "winner"},
+                 {"field", "field"},
+                 {"year", "year"}}, 12, 10));
+  w.push_back(Q("Olympus digital SLR Models | resolution | price",
+                "olympus",
+                {{"Olympus digital SLR Models", "model"},
+                 {"resolution", "resolution"},
+                 {"price", "price"}}, 11, 3));
+  w.push_back(Q("president | library name | location", "presidents",
+                {{"president", "president"},
+                 {"library name", "library"},
+                 {"location", "location"}}, 8, 1));
+  w.push_back(Q("religion | number of followers | country of origin",
+                "religions",
+                {{"religion", "religion"},
+                 {"number of followers", "followers"},
+                 {"country of origin", "origin"}}, 37, 32));
+  w.push_back(Q("Star Trek novels | authors | release date", "star_trek",
+                {{"Star Trek novels", "novel"},
+                 {"authors", "author"},
+                 {"release date", "release_date"}}, 8, 8));
+  w.push_back(Q("us states | capitals | largest cities", "us_states",
+                {{"us states", "state"},
+                 {"capitals", "capital"},
+                 {"largest cities", "largest_city"}}, 32, 30));
+
+  return w;
+}
+
+}  // namespace
+
+const std::vector<QuerySpec>& Table1Workload() {
+  static const std::vector<QuerySpec>* kWorkload =
+      new std::vector<QuerySpec>(Build());
+  return *kWorkload;
+}
+
+}  // namespace wwt

@@ -1,0 +1,40 @@
+// Copyright 2026 The WWT Authors
+//
+// The Table 1 workload: the 59 multi-column queries (5 single-, 37 two-,
+// 17 three-column) of the paper, each bound to a knowledge-base topic and
+// its per-query candidate-table targets (the paper's Total / Relevant
+// counts, which steer how many relevant and confusable pages the corpus
+// generator emits).
+
+#ifndef WWT_CORPUS_WORKLOAD_H_
+#define WWT_CORPUS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace wwt {
+
+/// One query column: the keyword set the user types, bound to the topic
+/// column that constitutes its ground-truth answer.
+struct QueryColumnSpec {
+  std::string keywords;  // e.g. "name of explorers"
+  std::string column;    // KB column name, e.g. "explorer"
+};
+
+/// One workload query (a row of Table 1).
+struct QuerySpec {
+  std::string name;    // "name of explorers | nationality | areas explored"
+  std::string topic;   // KB topic machine name
+  std::vector<QueryColumnSpec> columns;
+  int target_total = 0;     // Table 1 "Total" source tables
+  int target_relevant = 0;  // Table 1 "Relevant" source tables
+
+  int q() const { return static_cast<int>(columns.size()); }
+};
+
+/// The 59 queries, in Table 1 order (singles, then twos, then threes).
+const std::vector<QuerySpec>& Table1Workload();
+
+}  // namespace wwt
+
+#endif  // WWT_CORPUS_WORKLOAD_H_

@@ -1,0 +1,58 @@
+#include "eval/groups.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+QueryGroups GroupQueries(const std::vector<double>& basic_error,
+                         const std::vector<std::vector<double>>& methods,
+                         int num_groups, double easy_tolerance) {
+  const int n = static_cast<int>(basic_error.size());
+  for (const auto& m : methods) {
+    WWT_CHECK(static_cast<int>(m.size()) == n);
+  }
+
+  QueryGroups out;
+  std::vector<int> hard;
+  for (int i = 0; i < n; ++i) {
+    double lo = basic_error[i], hi = basic_error[i];
+    for (const auto& m : methods) {
+      lo = std::min(lo, m[i]);
+      hi = std::max(hi, m[i]);
+    }
+    if (hi - lo <= easy_tolerance) {
+      out.easy.push_back(i);
+    } else {
+      hard.push_back(i);
+    }
+  }
+
+  // Sort hard queries by descending Basic error and cut into contiguous
+  // near-equal groups (group 1 = hardest for Basic).
+  std::sort(hard.begin(), hard.end(), [&](int a, int b) {
+    if (basic_error[a] != basic_error[b]) {
+      return basic_error[a] > basic_error[b];
+    }
+    return a < b;
+  });
+  const int g = std::max(1, std::min<int>(num_groups,
+                                          static_cast<int>(hard.size())));
+  out.hard.resize(g);
+  for (size_t i = 0; i < hard.size(); ++i) {
+    size_t group = i * g / hard.size();
+    out.hard[group].push_back(hard[i]);
+  }
+  return out;
+}
+
+double MeanOver(const std::vector<int>& indices,
+                const std::vector<double>& values) {
+  if (indices.empty()) return 0.0;
+  double sum = 0;
+  for (int i : indices) sum += values[i];
+  return sum / static_cast<double>(indices.size());
+}
+
+}  // namespace wwt

@@ -1,0 +1,32 @@
+// Copyright 2026 The WWT Authors
+//
+// The §5 query partitioning: "easy" queries are those where all compared
+// methods land within 0.5% of each other; the remaining "hard" queries
+// are split into seven groups by binning on the Basic method's error.
+
+#ifndef WWT_EVAL_GROUPS_H_
+#define WWT_EVAL_GROUPS_H_
+
+#include <vector>
+
+namespace wwt {
+
+struct QueryGroups {
+  std::vector<int> easy;                 // query indices
+  std::vector<std::vector<int>> hard;    // groups, descending Basic error
+};
+
+/// Partitions queries. `methods` holds one per-query error vector per
+/// compared method (Basic included); a query is easy when the spread of
+/// its errors across methods is <= easy_tolerance percentage points.
+QueryGroups GroupQueries(const std::vector<double>& basic_error,
+                         const std::vector<std::vector<double>>& methods,
+                         int num_groups = 7, double easy_tolerance = 0.5);
+
+/// Mean of `values` over the given indices (0 when empty).
+double MeanOver(const std::vector<int>& indices,
+                const std::vector<double>& values);
+
+}  // namespace wwt
+
+#endif  // WWT_EVAL_GROUPS_H_

@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wwt {
+
+double F1Error(const std::vector<std::vector<int>>& predicted,
+               const std::vector<std::vector<int>>& truth) {
+  WWT_CHECK(predicted.size() == truth.size())
+      << "predicted/truth table counts differ";
+  int64_t correct = 0, pred_cnt = 0, truth_cnt = 0;
+  for (size_t t = 0; t < predicted.size(); ++t) {
+    const auto& p = predicted[t];
+    const auto& g = truth[t];
+    WWT_CHECK(p.size() == g.size()) << "column counts differ at table "
+                                    << t;
+    for (size_t c = 0; c < p.size(); ++c) {
+      if (p[c] >= 0) ++pred_cnt;
+      if (g[c] >= 0) ++truth_cnt;
+      if (p[c] >= 0 && p[c] == g[c]) ++correct;
+    }
+  }
+  const int64_t denom = pred_cnt + truth_cnt;
+  if (denom == 0) return 0.0;
+  return 100.0 * (1.0 - 2.0 * static_cast<double>(correct) /
+                            static_cast<double>(denom));
+}
+
+namespace {
+std::unordered_set<std::string> RowKeys(const AnswerTable& table) {
+  std::unordered_set<std::string> keys;
+  for (const AnswerRow& row : table.rows) {
+    if (row.cells.empty() || row.cells[0].empty()) continue;
+    std::string lower = ToLower(row.cells[0]);
+    keys.insert(Join(Split(lower, " \t\r\n,.;:!?'\"()[]"), " "));
+  }
+  return keys;
+}
+}  // namespace
+
+double RowSetError(const AnswerTable& predicted,
+                   const AnswerTable& truth) {
+  std::unordered_set<std::string> p = RowKeys(predicted);
+  std::unordered_set<std::string> g = RowKeys(truth);
+  if (p.empty() && g.empty()) return 0.0;
+  size_t inter = 0;
+  for (const std::string& k : p) inter += g.count(k);
+  const double denom = static_cast<double>(p.size() + g.size());
+  return 100.0 * (1.0 - 2.0 * static_cast<double>(inter) / denom);
+}
+
+}  // namespace wwt

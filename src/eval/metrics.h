@@ -1,0 +1,31 @@
+// Copyright 2026 The WWT Authors
+//
+// Evaluation metrics: the paper's F1 error for the column mapping task
+// (§5) and the answer-row error of Fig. 6.
+
+#ifndef WWT_EVAL_METRICS_H_
+#define WWT_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "wwt/consolidator.h"
+
+namespace wwt {
+
+/// §5's error measure, in percent:
+///   error = 100 * (1 - 2*correct / (|pred in query cols| +
+///                                   |truth in query cols|))
+/// where `correct` counts columns labeled with the right query column.
+/// External label encoding (>= 0 are query columns). Zero denominators
+/// (nothing predicted, nothing relevant) yield error 0.
+double F1Error(const std::vector<std::vector<int>>& predicted,
+               const std::vector<std::vector<int>>& truth);
+
+/// Fig. 6 answer quality: 100 * (1 - F1 between the row-key sets of the
+/// two consolidated tables), keys being the normalized first-column
+/// values.
+double RowSetError(const AnswerTable& predicted, const AnswerTable& truth);
+
+}  // namespace wwt
+
+#endif  // WWT_EVAL_METRICS_H_

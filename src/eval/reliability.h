@@ -1,0 +1,32 @@
+// Copyright 2026 The WWT Authors
+//
+// Empirical estimation of the SegSim part reliabilities (§3.2.1): for
+// each part i in {T, C, Hc, Hr, B}, p_i is the fraction of correctly
+// matched columns among all (query column, table column) pairs with a
+// positive header intersection and a positive match in part i. The paper
+// measured (1.0, 0.9, 0.5, 1.0, 0.8) on its workload.
+
+#ifndef WWT_EVAL_RELIABILITY_H_
+#define WWT_EVAL_RELIABILITY_H_
+
+#include "core/features.h"
+#include "eval/harness.h"
+
+namespace wwt {
+
+struct ReliabilityCounts {
+  int title_hits = 0, title_correct = 0;
+  int context_hits = 0, context_correct = 0;
+  int other_row_hits = 0, other_row_correct = 0;
+  int other_col_hits = 0, other_col_correct = 0;
+  int body_hits = 0, body_correct = 0;
+};
+
+/// Estimates part reliabilities from labeled cases. Pairs with no
+/// observations keep the paper's default for that part.
+PartReliability EstimateReliability(const std::vector<EvalCase>& cases,
+                                    ReliabilityCounts* counts = nullptr);
+
+}  // namespace wwt
+
+#endif  // WWT_EVAL_RELIABILITY_H_

@@ -1,0 +1,99 @@
+#include "eval/trainer.h"
+
+#include <limits>
+#include <numeric>
+
+namespace wwt {
+
+namespace {
+
+double MeanError(const TableIndex* index,
+                 const std::vector<EvalCase>& cases,
+                 const MapperOptions& options) {
+  double total = 0;
+  for (const EvalCase& c : cases) {
+    ColumnMapper mapper(index, options);
+    MapResult result = mapper.Map(c.query, c.retrieval.tables);
+    total += F1Error(EvalHarness::PredictedLabels(result), c.truth);
+  }
+  return cases.empty() ? 0 : total / static_cast<double>(cases.size());
+}
+
+double MeanErrorBaseline(const TableIndex* index,
+                         const std::vector<EvalCase>& cases,
+                         const BaselineOptions& options) {
+  double total = 0;
+  for (const EvalCase& c : cases) {
+    BaselineMapper mapper(index, options);
+    MapResult result = mapper.Map(c.query, c.retrieval.tables);
+    total += F1Error(EvalHarness::PredictedLabels(result), c.truth);
+  }
+  return cases.empty() ? 0 : total / static_cast<double>(cases.size());
+}
+
+}  // namespace
+
+WwtTrainResult TrainWwtWeights(const TableIndex* index,
+                               const std::vector<EvalCase>& cases,
+                               const MapperOptions& base_options,
+                               const WwtGrid& grid) {
+  WwtTrainResult best;
+  best.mean_error = std::numeric_limits<double>::infinity();
+  std::vector<double> w3_grid =
+      base_options.use_pmi2 ? grid.w3 : std::vector<double>{0.0};
+
+  for (double w1 : grid.w1) {
+    for (double w2 : grid.w2) {
+      for (double w3 : w3_grid) {
+        for (double w4 : grid.w4) {
+          for (double w5 : grid.w5) {
+            for (double we : grid.we) {
+              MapperOptions options = base_options;
+              options.weights = {w1, w2, w3, w4, w5, we};
+              double err = MeanError(index, cases, options);
+              ++best.configs_tried;
+              if (err < best.mean_error) {
+                best.mean_error = err;
+                best.weights = options.weights;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+BaselineTrainResult TrainBaseline(const TableIndex* index,
+                                  const std::vector<EvalCase>& cases,
+                                  const BaselineOptions& base_options,
+                                  const BaselineGrid& grid) {
+  BaselineTrainResult best;
+  best.options = base_options;
+  best.mean_error = std::numeric_limits<double>::infinity();
+  std::vector<double> pmi_grid = base_options.kind == BaselineKind::kPmi2
+                                     ? grid.pmi_weight
+                                     : std::vector<double>{0.0};
+  for (double t1 : grid.table_threshold) {
+    for (double t2 : grid.column_threshold) {
+      for (double beta : pmi_grid) {
+        BaselineOptions options = base_options;
+        options.table_threshold = t1;
+        options.column_threshold = t2;
+        if (base_options.kind == BaselineKind::kPmi2) {
+          options.pmi_weight = beta;
+        }
+        double err = MeanErrorBaseline(index, cases, options);
+        ++best.configs_tried;
+        if (err < best.mean_error) {
+          best.mean_error = err;
+          best.options = options;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace wwt

@@ -1,0 +1,60 @@
+// Copyright 2026 The WWT Authors
+//
+// Training (§3.4): the objective has six parameters (w1..w5, we); with so
+// few, the paper finds the best values by exhaustive enumeration over a
+// grid, minimizing the F1 error of the highest-scoring mapping on a
+// labeled split. Baseline thresholds are trained the same way.
+
+#ifndef WWT_EVAL_TRAINER_H_
+#define WWT_EVAL_TRAINER_H_
+
+#include <vector>
+
+#include "core/baselines.h"
+#include "eval/harness.h"
+
+namespace wwt {
+
+struct WwtGrid {
+  std::vector<double> w1{0.8, 1.2};
+  std::vector<double> w2{0.3, 0.7};
+  std::vector<double> w3{0.0};  // swept only when use_pmi2
+  std::vector<double> w4{0.3, 0.6, 0.9};
+  std::vector<double> w5{-0.1, -0.3, -0.5};
+  std::vector<double> we{0.5, 1.0, 1.5, 2.0};
+};
+
+struct WwtTrainResult {
+  MapperWeights weights;
+  double mean_error = 0;
+  int configs_tried = 0;
+};
+
+/// Exhaustive grid search for the mapper weights on `cases`; all other
+/// options (mode, feature settings) come from `base_options`.
+WwtTrainResult TrainWwtWeights(const TableIndex* index,
+                               const std::vector<EvalCase>& cases,
+                               const MapperOptions& base_options,
+                               const WwtGrid& grid = {});
+
+struct BaselineGrid {
+  std::vector<double> table_threshold{0.05, 0.10, 0.20, 0.30, 0.40, 0.50};
+  std::vector<double> column_threshold{0.10, 0.20, 0.30, 0.40, 0.50};
+  std::vector<double> pmi_weight{1.0, 2.0, 4.0};  // kPmi2 only
+};
+
+struct BaselineTrainResult {
+  BaselineOptions options;
+  double mean_error = 0;
+  int configs_tried = 0;
+};
+
+/// Grid search for a baseline's thresholds.
+BaselineTrainResult TrainBaseline(const TableIndex* index,
+                                  const std::vector<EvalCase>& cases,
+                                  const BaselineOptions& base_options,
+                                  const BaselineGrid& grid = {});
+
+}  // namespace wwt
+
+#endif  // WWT_EVAL_TRAINER_H_

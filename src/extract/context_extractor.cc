@@ -1,0 +1,136 @@
+#include "extract/context_extractor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace wwt {
+
+namespace {
+
+/// Counts every format-tag occurrence in the document; used to turn raw
+/// tag presence into document-relative salience.
+void CountFormatTags(const DomNode* node, std::map<std::string, int>* counts,
+                     int* total) {
+  if (node->type() == NodeType::kElement && IsFormatTag(node->value())) {
+    (*counts)[node->value()]++;
+    ++*total;
+  }
+  for (const auto& child : node->children()) {
+    CountFormatTags(child.get(), counts, total);
+  }
+}
+
+/// The format tag wrapping `node`, looking at the node itself and single-
+/// child descent (e.g. <h2><b>text</b></h2> -> "h2").
+std::string WrappingFormatTag(const DomNode* node) {
+  const DomNode* cur = node;
+  for (int depth = 0; depth < 3 && cur != nullptr; ++depth) {
+    if (cur->type() == NodeType::kElement && IsFormatTag(cur->value())) {
+      return cur->value();
+    }
+    if (cur->children().size() != 1) break;
+    cur = cur->children()[0].get();
+  }
+  return "";
+}
+
+bool ContainsTable(const DomNode* node) {
+  if (node->IsTag("table")) return true;
+  for (const auto& child : node->children()) {
+    if (ContainsTable(child.get())) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ContextSnippet> ExtractContext(const Document& doc,
+                                           const DomNode* table_node,
+                                           const ContextOptions& options) {
+  std::vector<ContextSnippet> snippets;
+
+  std::map<std::string, int> tag_counts;
+  int total_format_tags = 0;
+  CountFormatTags(doc.root(), &tag_counts, &total_format_tags);
+
+  auto format_factor = [&](const std::string& tag) {
+    if (tag.empty()) return 1.0;
+    double base = IsHeadingTag(tag) ? 1.8 : 1.3;
+    // Document-relative rarity in [0.5, 1]: a tag that decorates half the
+    // page carries little information; the page's only heading is a
+    // strong signal.
+    double rarity = 1.0;
+    if (total_format_tags > 0) {
+      double excess = static_cast<double>(tag_counts[tag] - 1) /
+                      static_cast<double>(total_format_tags);
+      rarity = std::max(0.5, 1.0 - excess);
+    }
+    return base * rarity;
+  };
+
+  auto add_snippet = [&](const DomNode* x, int edge_distance, bool left) {
+    if (x->type() == NodeType::kComment) return;
+    if (x->type() == NodeType::kElement) {
+      if (x->IsTag("script") || x->IsTag("style") || ContainsTable(x)) {
+        return;
+      }
+    }
+    std::string text = x->type() == NodeType::kText ? x->value()
+                                                    : x->TextContent();
+    std::string trimmed(StripWhitespace(text));
+    if (trimmed.empty()) return;
+    if (trimmed.size() > options.max_snippet_chars) {
+      trimmed.resize(options.max_snippet_chars);
+    }
+    double score = 1.0 / (1.0 + static_cast<double>(edge_distance));
+    if (!left) score *= options.right_sibling_factor;
+    score *= format_factor(WrappingFormatTag(x));
+    snippets.push_back({std::move(trimmed), score});
+  };
+
+  // Walk up from the table; at each level add the siblings of the path
+  // node, nearer siblings first.
+  int levels_up = 0;
+  for (const DomNode* path_node = table_node;
+       path_node->parent() != nullptr; path_node = path_node->parent()) {
+    ++levels_up;
+    const DomNode* parent = path_node->parent();
+    const auto& siblings = parent->children();
+    int self_index = -1;
+    for (size_t i = 0; i < siblings.size(); ++i) {
+      if (siblings[i].get() == path_node) {
+        self_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (self_index < 0) continue;
+    for (size_t i = 0; i < siblings.size(); ++i) {
+      if (static_cast<int>(i) == self_index) continue;
+      const bool left = static_cast<int>(i) < self_index;
+      const int offset = std::abs(static_cast<int>(i) - self_index);
+      // Edge distance in the tree: up `levels_up` edges plus one edge down
+      // to the sibling; farther siblings decay via their offset.
+      add_snippet(siblings[i].get(), levels_up + offset, left);
+    }
+  }
+
+  // Page <title> participates as context.
+  auto titles = doc.root()->FindAll("title");
+  if (!titles.empty()) {
+    std::string text = titles[0]->TextContent();
+    if (!text.empty()) snippets.push_back({std::move(text), 0.9});
+  }
+
+  std::stable_sort(snippets.begin(), snippets.end(),
+                   [](const ContextSnippet& a, const ContextSnippet& b) {
+                     return a.score > b.score;
+                   });
+  if (static_cast<int>(snippets.size()) > options.max_snippets) {
+    snippets.resize(options.max_snippets);
+  }
+  return snippets;
+}
+
+}  // namespace wwt

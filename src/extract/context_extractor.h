@@ -1,0 +1,38 @@
+// Copyright 2026 The WWT Authors
+//
+// Context extraction, §2.1.2: candidate snippets are text nodes that are
+// siblings of a node on the path from the table to the document root.
+// Each snippet is scored from (1) its tree distance to the table and
+// whether it precedes or follows the table, and (2) the document-relative
+// salience of the format tags wrapping it (a rare <h2> is a strong signal;
+// a page where everything is bold gets no boost).
+
+#ifndef WWT_EXTRACT_CONTEXT_EXTRACTOR_H_
+#define WWT_EXTRACT_CONTEXT_EXTRACTOR_H_
+
+#include <vector>
+
+#include "html/dom.h"
+#include "table/web_table.h"
+
+namespace wwt {
+
+struct ContextOptions {
+  /// Keep at most this many snippets (highest score first).
+  int max_snippets = 8;
+  /// Truncate snippet text to this many characters.
+  size_t max_snippet_chars = 400;
+  /// Score multiplier for text that follows the table in document order
+  /// (descriptions usually precede their table).
+  double right_sibling_factor = 0.7;
+};
+
+/// Extracts scored context for `table_node` (a <table> element inside the
+/// document). The page <title> is included as a snippet when present.
+std::vector<ContextSnippet> ExtractContext(const Document& doc,
+                                           const DomNode* table_node,
+                                           const ContextOptions& options = {});
+
+}  // namespace wwt
+
+#endif  // WWT_EXTRACT_CONTEXT_EXTRACTOR_H_

@@ -1,0 +1,132 @@
+#include "extract/data_table_filter.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace wwt {
+
+namespace {
+
+bool SubtreeHasFormControl(const DomNode* node) {
+  if (node->type() == NodeType::kElement) {
+    const std::string& tag = node->value();
+    if (tag == "input" || tag == "select" || tag == "textarea" ||
+        tag == "button" || tag == "form") {
+      return true;
+    }
+  }
+  for (const auto& child : node->children()) {
+    if (SubtreeHasFormControl(child.get())) return true;
+  }
+  return false;
+}
+
+const char* kDayNames[] = {"sun", "mon", "tue", "wed", "thu", "fri", "sat"};
+
+bool LooksLikeCalendar(const RawTable& table) {
+  if (table.num_cols != 7) return false;
+  // Day-name header?
+  int day_hits = 0;
+  if (!table.rows.empty()) {
+    for (int c = 0; c < 7; ++c) {
+      std::string cell = ToLower(table.rows[0][c].text);
+      for (const char* day : kDayNames) {
+        if (StartsWith(cell, day)) {
+          ++day_hits;
+          break;
+        }
+      }
+    }
+  }
+  if (day_hits >= 5) return true;
+  // Or a body of small day numbers.
+  int numeric_days = 0, non_empty = 0;
+  for (size_t r = 1; r < table.rows.size(); ++r) {
+    for (const CellInfo& cell : table.rows[r]) {
+      if (cell.text.empty()) continue;
+      ++non_empty;
+      if (LooksNumeric(cell.text) && cell.text.size() <= 2) ++numeric_days;
+    }
+  }
+  return non_empty >= 10 && numeric_days * 10 >= non_empty * 9;
+}
+
+}  // namespace
+
+const char* TableVerdictToString(TableVerdict verdict) {
+  switch (verdict) {
+    case TableVerdict::kAccepted:
+      return "accepted";
+    case TableVerdict::kTooSmall:
+      return "too-small";
+    case TableVerdict::kForm:
+      return "form";
+    case TableVerdict::kCalendar:
+      return "calendar";
+    case TableVerdict::kLayout:
+      return "layout";
+    case TableVerdict::kSparse:
+      return "sparse";
+    case TableVerdict::kTooWide:
+      return "too-wide";
+  }
+  return "?";
+}
+
+TableVerdict ClassifyTable(const RawTable& table,
+                           const FilterOptions& options) {
+  if (table.num_rows() < options.min_rows || table.num_cols < 1) {
+    return TableVerdict::kTooSmall;
+  }
+  if (table.num_cols > options.max_cols) {
+    return TableVerdict::kTooWide;
+  }
+  if (table.node != nullptr && SubtreeHasFormControl(table.node)) {
+    return TableVerdict::kForm;
+  }
+  if (LooksLikeCalendar(table)) {
+    return TableVerdict::kCalendar;
+  }
+
+  int total_cells = 0, empty_cells = 0, prose_cells = 0;
+  for (const auto& row : table.rows) {
+    for (const CellInfo& cell : row) {
+      ++total_cells;
+      if (cell.text.empty()) {
+        ++empty_cells;
+      } else if (cell.text.size() > options.prose_cell_chars) {
+        ++prose_cells;
+      }
+    }
+  }
+  if (total_cells == 0) return TableVerdict::kTooSmall;
+  if (static_cast<double>(prose_cells) / total_cells >
+      options.max_prose_cell_fraction) {
+    return TableVerdict::kLayout;
+  }
+  if (static_cast<double>(empty_cells) / total_cells >
+      options.max_empty_cell_fraction) {
+    return TableVerdict::kSparse;
+  }
+  // Single-column tables need several rows to look like an entity list
+  // rather than page scaffolding.
+  if (table.num_cols == 1 && table.num_rows() < 4) {
+    return TableVerdict::kLayout;
+  }
+  // A nested table inside most cells is a layout grid.
+  if (table.node != nullptr) {
+    int nested = static_cast<int>(table.node->FindAll("table").size());
+    if (nested >= std::max(2, table.num_rows())) {
+      return TableVerdict::kLayout;
+    }
+  }
+  return TableVerdict::kAccepted;
+}
+
+bool IsDataTable(const RawTable& table, const FilterOptions& options) {
+  return ClassifyTable(table, options) == TableVerdict::kAccepted;
+}
+
+}  // namespace wwt

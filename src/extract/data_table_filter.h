@@ -1,0 +1,47 @@
+// Copyright 2026 The WWT Authors
+//
+// Heuristic filter separating relational data tables from the ~90% of
+// <table> tags used for layout, forms, calendars and other artifacts
+// (§2.1: 25M data tables out of ~250M table tags).
+
+#ifndef WWT_EXTRACT_DATA_TABLE_FILTER_H_
+#define WWT_EXTRACT_DATA_TABLE_FILTER_H_
+
+#include <string>
+
+#include "extract/raw_table.h"
+
+namespace wwt {
+
+/// Why a table was rejected (or kAccepted).
+enum class TableVerdict {
+  kAccepted,
+  kTooSmall,       // under 2 rows / no usable columns
+  kForm,           // contains form controls
+  kCalendar,       // a month grid
+  kLayout,         // page-structure scaffolding (long prose cells, nesting)
+  kSparse,         // mostly empty cells
+  kTooWide,        // implausibly many columns
+};
+
+const char* TableVerdictToString(TableVerdict verdict);
+
+struct FilterOptions {
+  int min_rows = 2;
+  int max_cols = 40;
+  /// Cells longer than this suggest prose/layout rather than data.
+  size_t prose_cell_chars = 300;
+  double max_prose_cell_fraction = 0.3;
+  double max_empty_cell_fraction = 0.65;
+};
+
+/// Classifies one raw table.
+TableVerdict ClassifyTable(const RawTable& table,
+                           const FilterOptions& options = {});
+
+/// Convenience: true iff ClassifyTable() accepts.
+bool IsDataTable(const RawTable& table, const FilterOptions& options = {});
+
+}  // namespace wwt
+
+#endif  // WWT_EXTRACT_DATA_TABLE_FILTER_H_

@@ -1,0 +1,75 @@
+#include "extract/harvester.h"
+
+#include <algorithm>
+
+#include "extract/header_detector.h"
+#include "extract/table_extractor.h"
+#include "html/html_parser.h"
+
+namespace wwt {
+
+void HarvestStats::Merge(const HarvestStats& other) {
+  table_tags += other.table_tags;
+  data_tables += other.data_tables;
+  for (const auto& [k, v] : other.verdicts) verdicts[k] += v;
+  for (const auto& [k, v] : other.header_row_histogram) {
+    header_row_histogram[k] += v;
+  }
+  tables_with_title += other.tables_with_title;
+}
+
+std::vector<WebTable> HarvestPage(const std::string& html,
+                                  const std::string& url,
+                                  const HarvestOptions& options,
+                                  HarvestStats* stats) {
+  Document doc = ParseHtml(html);
+  std::vector<RawTable> raw_tables = ExtractRawTables(doc);
+
+  std::vector<WebTable> out;
+  int ordinal = 0;
+  HarvestStats local;
+  for (const RawTable& raw : raw_tables) {
+    ++local.table_tags;
+    TableVerdict verdict = ClassifyTable(raw, options.filter);
+    local.verdicts[verdict]++;
+    if (verdict != TableVerdict::kAccepted) continue;
+
+    HeaderDetection detection = DetectHeaders(raw);
+
+    WebTable table;
+    table.url = url;
+    table.ordinal = ordinal++;
+    table.num_cols = raw.num_cols;
+    table.title_rows = detection.title_rows;
+    if (!raw.caption.empty()) {
+      table.title_rows.insert(table.title_rows.begin(), raw.caption);
+    }
+
+    const int first_header = static_cast<int>(detection.title_rows.size());
+    const int first_body = first_header + detection.num_header_rows;
+    for (int r = first_header; r < first_body && r < raw.num_rows(); ++r) {
+      std::vector<std::string> row(raw.num_cols);
+      for (int c = 0; c < raw.num_cols; ++c) row[c] = raw.rows[r][c].text;
+      table.header_rows.push_back(std::move(row));
+    }
+    for (int r = first_body;
+         r < raw.num_rows() &&
+         static_cast<int>(table.body.size()) < options.max_body_rows;
+         ++r) {
+      std::vector<std::string> row(raw.num_cols);
+      for (int c = 0; c < raw.num_cols; ++c) row[c] = raw.rows[r][c].text;
+      table.body.push_back(std::move(row));
+    }
+    table.context = ExtractContext(doc, raw.node, options.context);
+
+    ++local.data_tables;
+    int bucket = std::min(table.num_header_rows(), 3);
+    local.header_row_histogram[bucket]++;
+    if (!table.title_rows.empty()) ++local.tables_with_title;
+    out.push_back(std::move(table));
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return out;
+}
+
+}  // namespace wwt

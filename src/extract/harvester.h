@@ -1,0 +1,49 @@
+// Copyright 2026 The WWT Authors
+//
+// End-to-end offline extraction (§2.1): HTML page -> WebTables with
+// detected titles/headers and scored context, plus the corpus statistics
+// the paper reports (data-table yield, header-row distribution).
+
+#ifndef WWT_EXTRACT_HARVESTER_H_
+#define WWT_EXTRACT_HARVESTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extract/context_extractor.h"
+#include "extract/data_table_filter.h"
+#include "table/web_table.h"
+
+namespace wwt {
+
+struct HarvestOptions {
+  FilterOptions filter;
+  ContextOptions context;
+  /// Body rows are capped at this many (defensive bound).
+  int max_body_rows = 5000;
+};
+
+/// Aggregate statistics across HarvestPage calls (§2.1 numbers).
+struct HarvestStats {
+  int table_tags = 0;      // <table> elements seen
+  int data_tables = 0;     // accepted by the filter
+  std::map<TableVerdict, int> verdicts;
+  /// data tables by number of detected header rows (0, 1, 2, 3+).
+  std::map<int, int> header_row_histogram;
+  int tables_with_title = 0;
+
+  void Merge(const HarvestStats& other);
+};
+
+/// Extracts all data tables from one page. `url` is recorded as
+/// provenance; ordinals number the *accepted* tables on the page in
+/// document order. Table ids are assigned later by the TableStore.
+std::vector<WebTable> HarvestPage(const std::string& html,
+                                  const std::string& url,
+                                  const HarvestOptions& options = {},
+                                  HarvestStats* stats = nullptr);
+
+}  // namespace wwt
+
+#endif  // WWT_EXTRACT_HARVESTER_H_

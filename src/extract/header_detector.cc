@@ -1,0 +1,221 @@
+#include "extract/header_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace wwt {
+namespace internal {
+
+RowSignature ComputeSignature(const std::vector<CellInfo>& row) {
+  RowSignature sig;
+  int present = 0;
+  std::map<std::string, int> bg_votes, class_votes;
+  double chars = 0;
+  int th = 0, bold = 0, italic = 0, underline = 0, code = 0;
+  int numeric = 0, capitalized = 0;
+  for (const CellInfo& cell : row) {
+    if (!cell.present) continue;
+    ++present;
+    th += cell.is_th;
+    bold += cell.bold;
+    italic += cell.italic;
+    underline += cell.underline;
+    code += cell.code;
+    if (!cell.bgcolor.empty()) bg_votes[cell.bgcolor]++;
+    if (!cell.css_class.empty()) class_votes[cell.css_class]++;
+    if (!cell.text.empty()) {
+      ++sig.non_empty;
+      chars += static_cast<double>(cell.text.size());
+      if (LooksNumeric(cell.text)) ++numeric;
+      if (UppercaseRatio(cell.text) > 0.9 && cell.text.size() > 1) {
+        ++capitalized;
+      }
+    }
+  }
+  if (present > 0) {
+    sig.frac_th = static_cast<double>(th) / present;
+    sig.frac_bold = static_cast<double>(bold) / present;
+    sig.frac_italic = static_cast<double>(italic) / present;
+    sig.frac_underline = static_cast<double>(underline) / present;
+    sig.frac_code = static_cast<double>(code) / present;
+  }
+  if (sig.non_empty > 0) {
+    sig.frac_numeric = static_cast<double>(numeric) / sig.non_empty;
+    sig.frac_capitalized = static_cast<double>(capitalized) / sig.non_empty;
+    sig.avg_chars = chars / sig.non_empty;
+  }
+  auto majority = [](const std::map<std::string, int>& votes) {
+    std::string best;
+    int best_n = 0;
+    for (const auto& [k, n] : votes) {
+      if (n > best_n) {
+        best = k;
+        best_n = n;
+      }
+    }
+    return best;
+  };
+  sig.bgcolor = majority(bg_votes);
+  sig.css_class = majority(class_votes);
+  return sig;
+}
+
+namespace {
+
+/// Mean of a row-signature field over `rows`.
+template <typename Getter>
+double Mean(const std::vector<RowSignature>& rows, Getter get) {
+  if (rows.empty()) return 0;
+  double s = 0;
+  for (const auto& r : rows) s += get(r);
+  return s / static_cast<double>(rows.size());
+}
+
+/// A binary formatting feature "distinguishes" the row from the rows
+/// below when the row mostly has it and the body mostly does not (or the
+/// reverse).
+bool Distinguishes(double row_frac, double below_mean) {
+  return (row_frac >= 0.6 && below_mean <= 0.3) ||
+         (row_frac <= 0.3 && below_mean >= 0.7);
+}
+
+}  // namespace
+
+bool IsDifferent(const RowSignature& row,
+                 const std::vector<RowSignature>& below) {
+  if (below.empty()) return false;
+
+  // Formatting axis.
+  if (Distinguishes(row.frac_th, Mean(below, [](auto& r) {
+        return r.frac_th;
+      }))) {
+    return true;
+  }
+  if (Distinguishes(row.frac_bold, Mean(below, [](auto& r) {
+        return r.frac_bold;
+      }))) {
+    return true;
+  }
+  if (Distinguishes(row.frac_italic, Mean(below, [](auto& r) {
+        return r.frac_italic;
+      }))) {
+    return true;
+  }
+  if (Distinguishes(row.frac_underline, Mean(below, [](auto& r) {
+        return r.frac_underline;
+      }))) {
+    return true;
+  }
+  if (Distinguishes(row.frac_code, Mean(below, [](auto& r) {
+        return r.frac_code;
+      }))) {
+    return true;
+  }
+  if (Distinguishes(row.frac_capitalized, Mean(below, [](auto& r) {
+        return r.frac_capitalized;
+      }))) {
+    return true;
+  }
+
+  // Layout axis: a background color or CSS class that most body rows do
+  // not share.
+  if (!row.bgcolor.empty()) {
+    int same = 0;
+    for (const auto& b : below) same += (b.bgcolor == row.bgcolor);
+    if (same * 2 < static_cast<int>(below.size())) return true;
+  }
+  if (!row.css_class.empty()) {
+    int same = 0;
+    for (const auto& b : below) same += (b.css_class == row.css_class);
+    if (same * 2 < static_cast<int>(below.size())) return true;
+  }
+
+  // Content axis: textual row over a mostly-numeric body.
+  double below_numeric = Mean(below, [](auto& r) { return r.frac_numeric; });
+  if (row.frac_numeric <= 0.2 && below_numeric >= 0.6) return true;
+
+  // Content axis: cell-length mismatch (short labels over long cells or
+  // vice versa), guarded against tiny strings.
+  double below_chars = Mean(below, [](auto& r) { return r.avg_chars; });
+  if (row.avg_chars > 0 && below_chars > 0) {
+    double ratio = row.avg_chars / below_chars;
+    if ((ratio > 3.0 || ratio < 1.0 / 3.0) &&
+        std::fabs(row.avg_chars - below_chars) > 12) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsSimilar(const RowSignature& a, const RowSignature& b) {
+  if (std::fabs(a.frac_th - b.frac_th) > 0.34) return false;
+  if (std::fabs(a.frac_bold - b.frac_bold) > 0.34) return false;
+  if (std::fabs(a.frac_italic - b.frac_italic) > 0.34) return false;
+  if (a.bgcolor != b.bgcolor) return false;
+  if (a.css_class != b.css_class) return false;
+  // Numeric header rows are implausible; a similar row must stay textual.
+  if (b.frac_numeric > 0.5) return false;
+  return true;
+}
+
+}  // namespace internal
+
+HeaderDetection DetectHeaders(const RawTable& table) {
+  HeaderDetection result;
+  const int n = table.num_rows();
+  if (n == 0) return result;
+
+  std::vector<internal::RowSignature> sigs(n);
+  for (int r = 0; r < n; ++r) {
+    sigs[r] = internal::ComputeSignature(table.rows[r]);
+  }
+
+  constexpr int kMaxScan = 5;  // titles + headers can't plausibly exceed this
+  int r = 0;
+  int first_header = -1;
+  while (r < n - 1 && r < kMaxScan) {
+    std::vector<internal::RowSignature> below(sigs.begin() + r + 1,
+                                              sigs.end());
+    if (first_header < 0) {
+      if (!internal::IsDifferent(sigs[r], below)) break;
+      // 'Different' row: title when only the leading cell carries text.
+      bool only_first = sigs[r].non_empty >= 1;
+      bool leading_text_seen = false;
+      for (const CellInfo& cell : table.rows[r]) {
+        if (!cell.text.empty()) {
+          if (leading_text_seen) {
+            only_first = false;
+            break;
+          }
+          leading_text_seen = true;
+        }
+      }
+      if (only_first && table.num_cols > 1) {
+        for (const CellInfo& cell : table.rows[r]) {
+          if (!cell.text.empty()) {
+            result.title_rows.push_back(cell.text);
+            break;
+          }
+        }
+      } else {
+        first_header = r;
+        result.num_header_rows = 1;
+      }
+    } else {
+      // Subsequent rows stay headers while similar to the first header
+      // row and different from the rows below.
+      if (!internal::IsSimilar(sigs[first_header], sigs[r]) ||
+          !internal::IsDifferent(sigs[r], below)) {
+        break;
+      }
+      ++result.num_header_rows;
+    }
+    ++r;
+  }
+  return result;
+}
+
+}  // namespace wwt

@@ -1,0 +1,62 @@
+// Copyright 2026 The WWT Authors
+//
+// Header and title detection, §2.1.1: scan rows from the top as long as
+// they differ from most of the rows below in formatting (bold, italics,
+// underline, capitalization, code, header tags), layout (background
+// color, CSS classes), or content (textual row over numeric body, cell
+// lengths). A 'different' row whose cells beyond the first are empty is a
+// title; otherwise it is a header. Subsequent rows stay headers while
+// similar to the first header row and different from the body below.
+
+#ifndef WWT_EXTRACT_HEADER_DETECTOR_H_
+#define WWT_EXTRACT_HEADER_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/raw_table.h"
+
+namespace wwt {
+
+struct HeaderDetection {
+  /// Title rows (text of the leading non-empty cell), top to bottom.
+  std::vector<std::string> title_rows;
+  /// Number of header rows immediately after the titles.
+  int num_header_rows = 0;
+};
+
+/// Runs the §2.1.1 scan on a raw grid.
+HeaderDetection DetectHeaders(const RawTable& table);
+
+namespace internal {
+
+/// Per-row signature used for the different/similar tests; exposed for
+/// unit tests.
+struct RowSignature {
+  double frac_th = 0;         // of present cells
+  double frac_bold = 0;
+  double frac_italic = 0;
+  double frac_underline = 0;
+  double frac_code = 0;
+  double frac_numeric = 0;    // of non-empty cells
+  double frac_capitalized = 0;
+  double avg_chars = 0;       // over non-empty cells
+  std::string bgcolor;        // majority value, "" if none
+  std::string css_class;      // majority value, "" if none
+  int non_empty = 0;
+};
+
+RowSignature ComputeSignature(const std::vector<CellInfo>& row);
+
+/// True if `row` differs from the aggregate of `below` on any §2.1.1 axis.
+bool IsDifferent(const RowSignature& row,
+                 const std::vector<RowSignature>& below);
+
+/// True if two candidate header rows look alike (formatting + layout).
+bool IsSimilar(const RowSignature& a, const RowSignature& b);
+
+}  // namespace internal
+
+}  // namespace wwt
+
+#endif  // WWT_EXTRACT_HEADER_DETECTOR_H_

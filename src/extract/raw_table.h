@@ -1,0 +1,45 @@
+// Copyright 2026 The WWT Authors
+//
+// RawTable: the grid form of a <table> element before header detection.
+// Cells carry the formatting/layout signals the §2.1.1 header detector
+// compares across rows.
+
+#ifndef WWT_EXTRACT_RAW_TABLE_H_
+#define WWT_EXTRACT_RAW_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace wwt {
+
+/// One cell with the signals used by header detection.
+struct CellInfo {
+  std::string text;
+  bool present = false;  // false for padding created by span expansion
+  bool is_th = false;
+  bool bold = false;
+  bool italic = false;
+  bool underline = false;
+  bool code = false;
+  std::string bgcolor;    // from td/tr bgcolor attribute
+  std::string css_class;  // from td/tr class attribute
+};
+
+/// A rectangular cell grid extracted from one <table> element.
+struct RawTable {
+  /// The source element; valid while the parsed Document is alive.
+  const DomNode* node = nullptr;
+  /// <caption> text, if present.
+  std::string caption;
+  /// Rectangular: every row has exactly num_cols cells.
+  std::vector<std::vector<CellInfo>> rows;
+  int num_cols = 0;
+
+  int num_rows() const { return static_cast<int>(rows.size()); }
+};
+
+}  // namespace wwt
+
+#endif  // WWT_EXTRACT_RAW_TABLE_H_

@@ -1,0 +1,165 @@
+#include "extract/table_extractor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace wwt {
+
+namespace {
+
+void AppendTextSkippingTables(const DomNode* node, std::string* out) {
+  if (node->type() == NodeType::kText) {
+    for (char c : node->value()) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!out->empty() && out->back() != ' ') out->push_back(' ');
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (!out->empty() && out->back() != ' ') out->push_back(' ');
+    return;
+  }
+  if (node->IsTag("table")) return;  // nested table: separate entry
+  for (const auto& child : node->children()) {
+    AppendTextSkippingTables(child.get(), out);
+  }
+}
+
+/// True if any descendant (not crossing nested tables) is one of `tags`.
+bool HasDescendantTag(const DomNode* node,
+                      std::initializer_list<const char*> tags) {
+  for (const auto& child : node->children()) {
+    if (child->type() != NodeType::kElement) continue;
+    if (child->IsTag("table")) continue;
+    for (const char* tag : tags) {
+      if (child->IsTag(tag)) return true;
+    }
+    if (HasDescendantTag(child.get(), tags)) return true;
+  }
+  return false;
+}
+
+int SpanAttr(const DomNode* cell, const char* name) {
+  std::string_view raw = cell->attr(name);
+  if (raw.empty()) return 1;
+  int v = 0;
+  for (char c : raw) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return 1;
+    v = v * 10 + (c - '0');
+    if (v > 1000) return 1;  // junk attribute
+  }
+  return std::max(v, 1);
+}
+
+CellInfo MakeCell(const DomNode* cell, const DomNode* tr) {
+  CellInfo info;
+  info.present = true;
+  info.is_th = cell->IsTag("th");
+  std::string text;
+  AppendTextSkippingTables(cell, &text);
+  info.text = std::string(StripWhitespace(text));
+  info.bold = HasDescendantTag(cell, {"b", "strong"});
+  info.italic = HasDescendantTag(cell, {"i", "em"});
+  info.underline = HasDescendantTag(cell, {"u"});
+  info.code = HasDescendantTag(cell, {"code", "tt"});
+  info.bgcolor = std::string(cell->attr("bgcolor"));
+  if (info.bgcolor.empty() && tr != nullptr) {
+    info.bgcolor = std::string(tr->attr("bgcolor"));
+  }
+  info.css_class = std::string(cell->attr("class"));
+  if (info.css_class.empty() && tr != nullptr) {
+    info.css_class = std::string(tr->attr("class"));
+  }
+  return info;
+}
+
+/// Collects the <tr> children of a table, descending through
+/// thead/tbody/tfoot but not into nested tables.
+void CollectRows(const DomNode* node, std::vector<const DomNode*>* out) {
+  for (const auto& child : node->children()) {
+    if (child->type() != NodeType::kElement) continue;
+    if (child->IsTag("tr")) {
+      out->push_back(child.get());
+    } else if (child->IsTag("thead") || child->IsTag("tbody") ||
+               child->IsTag("tfoot")) {
+      CollectRows(child.get(), out);
+    }
+  }
+}
+
+RawTable ExtractOne(const DomNode* table) {
+  RawTable raw;
+  raw.node = table;
+  for (const auto& child : table->children()) {
+    if (child->IsTag("caption")) {
+      raw.caption = child->TextContent();
+      break;
+    }
+  }
+
+  std::vector<const DomNode*> trs;
+  CollectRows(table, &trs);
+
+  // Span expansion: `pending[c]` counts rows still covered by a rowspan
+  // opened above in column c.
+  std::vector<std::vector<CellInfo>> grid;
+  std::vector<int> pending;
+  for (const DomNode* tr : trs) {
+    std::vector<CellInfo> row;
+    size_t col = 0;
+    auto skip_pending = [&]() {
+      while (col < pending.size() && pending[col] > 0) {
+        --pending[col];
+        row.push_back(CellInfo{});  // covered by a rowspan from above
+        ++col;
+      }
+    };
+    skip_pending();
+    for (const auto& child : tr->children()) {
+      if (!(child->IsTag("td") || child->IsTag("th"))) continue;
+      CellInfo info = MakeCell(child.get(), tr);
+      int colspan = std::min(SpanAttr(child.get(), "colspan"), 100);
+      int rowspan = std::min(SpanAttr(child.get(), "rowspan"), 500);
+      for (int k = 0; k < colspan; ++k) {
+        if (col >= pending.size()) pending.resize(col + 1, 0);
+        if (rowspan > 1) pending[col] = rowspan - 1;
+        if (k == 0) {
+          row.push_back(info);
+        } else {
+          CellInfo pad;  // spanned: text only in the top-left position
+          row.push_back(pad);
+        }
+        ++col;
+        skip_pending();
+      }
+    }
+    grid.push_back(std::move(row));
+  }
+
+  size_t width = 0;
+  for (const auto& row : grid) width = std::max(width, row.size());
+  for (auto& row : grid) row.resize(width);
+  raw.rows = std::move(grid);
+  raw.num_cols = static_cast<int>(width);
+  return raw;
+}
+
+}  // namespace
+
+std::string CellText(const DomNode* cell) {
+  std::string text;
+  AppendTextSkippingTables(cell, &text);
+  return std::string(StripWhitespace(text));
+}
+
+std::vector<RawTable> ExtractRawTables(const Document& doc) {
+  std::vector<RawTable> out;
+  for (const DomNode* table : doc.root()->FindAll("table")) {
+    out.push_back(ExtractOne(table));
+  }
+  return out;
+}
+
+}  // namespace wwt

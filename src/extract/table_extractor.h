@@ -1,0 +1,28 @@
+// Copyright 2026 The WWT Authors
+//
+// Extracts cell grids from every <table> element of a parsed document,
+// expanding rowspan/colspan and collecting per-cell formatting signals.
+
+#ifndef WWT_EXTRACT_TABLE_EXTRACTOR_H_
+#define WWT_EXTRACT_TABLE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "extract/raw_table.h"
+#include "html/dom.h"
+
+namespace wwt {
+
+/// Returns one RawTable per <table> element in document order (nested
+/// tables included as separate entries). Span attributes are expanded:
+/// the spanned cell's text lands in its top-left grid position and the
+/// remaining covered positions become empty padding cells.
+std::vector<RawTable> ExtractRawTables(const Document& doc);
+
+/// Text of a cell element, skipping any nested <table> content (nested
+/// tables are extracted as their own RawTable).
+std::string CellText(const DomNode* cell);
+
+}  // namespace wwt
+
+#endif  // WWT_EXTRACT_TABLE_EXTRACTOR_H_

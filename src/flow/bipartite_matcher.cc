@@ -1,0 +1,120 @@
+#include "flow/bipartite_matcher.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+CapacitatedMatcher::CapacitatedMatcher(BipartiteSpec spec)
+    : spec_(std::move(spec)), mcmf_(0) {
+  Build();
+}
+
+void CapacitatedMatcher::Build() {
+  const int nl = spec_.num_left();
+  const int nr = spec_.num_right();
+  WWT_CHECK(static_cast<int>(spec_.weight.size()) == nl);
+  for (const auto& row : spec_.weight) {
+    WWT_CHECK(static_cast<int>(row.size()) == nr);
+  }
+
+  int64_t total_left = std::accumulate(spec_.left_cap.begin(),
+                                       spec_.left_cap.end(), int64_t{0});
+  int64_t total_right = std::accumulate(spec_.right_cap.begin(),
+                                        spec_.right_cap.end(), int64_t{0});
+
+  // Nodes: s, t, left nodes, right nodes, and possibly one dummy on the
+  // deficient side (§4.2.1).
+  mcmf_ = MinCostMaxFlow(2);
+  s_ = 0;
+  t_ = 1;
+  left_node_.resize(nl);
+  right_node_.resize(nr);
+  for (int l = 0; l < nl; ++l) left_node_[l] = mcmf_.AddNode();
+  for (int r = 0; r < nr; ++r) right_node_[r] = mcmf_.AddNode();
+  dummy_ = -1;
+  const int64_t deficit = total_right - total_left;
+  if (deficit != 0) dummy_ = mcmf_.AddNode();
+
+  for (int l = 0; l < nl; ++l) {
+    mcmf_.AddEdge(s_, left_node_[l], spec_.left_cap[l], 0.0);
+  }
+  for (int r = 0; r < nr; ++r) {
+    mcmf_.AddEdge(right_node_[r], t_, spec_.right_cap[r], 0.0);
+  }
+  edge_id_.assign(nl, std::vector<int>(nr, -1));
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      int cap = std::min(spec_.left_cap[l], spec_.right_cap[r]);
+      edge_id_[l][r] =
+          mcmf_.AddEdge(left_node_[l], right_node_[r], cap,
+                        -spec_.weight[l][r]);
+    }
+  }
+  if (deficit > 0) {
+    // Right side is larger: dummy left node absorbs the excess capacity.
+    mcmf_.AddEdge(s_, dummy_, deficit, 0.0);
+    for (int r = 0; r < nr; ++r) {
+      mcmf_.AddEdge(dummy_, right_node_[r], spec_.right_cap[r], 0.0);
+    }
+  } else if (deficit < 0) {
+    mcmf_.AddEdge(dummy_, t_, -deficit, 0.0);
+    for (int l = 0; l < nl; ++l) {
+      mcmf_.AddEdge(left_node_[l], dummy_, spec_.left_cap[l], 0.0);
+    }
+  }
+}
+
+const BipartiteResult& CapacitatedMatcher::Solve() {
+  if (solved_) return result_;
+  solved_ = true;
+  mcmf_.Solve(s_, t_);
+  const int nl = spec_.num_left();
+  const int nr = spec_.num_right();
+  result_.left_match.assign(nl, -1);
+  result_.total_weight = 0;
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      int64_t f = mcmf_.Flow(edge_id_[l][r]);
+      if (f > 0) {
+        if (result_.left_match[l] < 0) result_.left_match[l] = r;
+        for (int64_t k = 0; k < f; ++k) result_.edges.emplace_back(l, r);
+        result_.total_weight +=
+            spec_.weight[l][r] * static_cast<double>(f);
+      }
+    }
+  }
+  return result_;
+}
+
+std::vector<std::vector<double>> CapacitatedMatcher::MaxMarginals() {
+  WWT_CHECK(solved_) << "call Solve() before MaxMarginals()";
+  const int nl = spec_.num_left();
+  const int nr = spec_.num_right();
+  std::vector<std::vector<double>> mu(nl, std::vector<double>(nr, 0));
+  const double opt = result_.total_weight;
+  for (int r = 0; r < nr; ++r) {
+    // d(r, .) over the residual graph; one Bellman-Ford per right node
+    // (Fig. 3) instead of one full matching per (l, r) pair.
+    std::vector<double> d = mcmf_.ShortestDistancesFrom(right_node_[r]);
+    for (int l = 0; l < nl; ++l) {
+      if (mcmf_.Flow(edge_id_[l][r]) > 0) {
+        // Already matched: forcing the pair changes nothing.
+        mu[l][r] = opt;
+        continue;
+      }
+      const double cost_lr = -spec_.weight[l][r];
+      double dist = d[left_node_[l]];
+      if (dist == kFlowInf) {
+        // Forcing (l, r) is infeasible (zero capacity somewhere).
+        mu[l][r] = -kFlowInf;
+      } else {
+        mu[l][r] = opt - dist - cost_lr;
+      }
+    }
+  }
+  return mu;
+}
+
+}  // namespace wwt

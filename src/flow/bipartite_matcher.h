@@ -1,0 +1,78 @@
+// Copyright 2026 The WWT Authors
+//
+// Capacitated maximum-weight bipartite matching (§4.1/§4.2.1) and the
+// all-pairs max-marginal computation of Fig. 3.
+//
+// The column mapper reduces per-table inference to this problem: left
+// nodes are the table's columns, right nodes are the query labels plus
+// `na`, edge weights are node potentials (plus the must-match bonus), and
+// node capacities encode the mutex / min-match constraints.
+
+#ifndef WWT_FLOW_BIPARTITE_MATCHER_H_
+#define WWT_FLOW_BIPARTITE_MATCHER_H_
+
+#include <vector>
+
+#include "flow/min_cost_flow.h"
+
+namespace wwt {
+
+/// Problem spec: complete bipartite weights with node capacities.
+/// weight[l][r] is the gain of matching left l to right r. A left node may
+/// be matched to at most left_cap[l] right nodes and vice versa.
+struct BipartiteSpec {
+  std::vector<int> left_cap;
+  std::vector<int> right_cap;
+  /// Dense matrix, size left x right.
+  std::vector<std::vector<double>> weight;
+
+  int num_left() const { return static_cast<int>(left_cap.size()); }
+  int num_right() const { return static_cast<int>(right_cap.size()); }
+};
+
+/// Result of a matching solve.
+struct BipartiteResult {
+  /// For unit-capacity left nodes: the matched right node, or -1.
+  /// (For capacity > 1 left nodes, only the first match is recorded here;
+  /// use `edges` for the full assignment.)
+  std::vector<int> left_match;
+  /// All matched (left, right) pairs.
+  std::vector<std::pair<int, int>> edges;
+  /// Sum of matched edge weights.
+  double total_weight = 0;
+};
+
+/// Solves capacitated max-weight bipartite matching via the reduction to
+/// min-cost max-flow recapped in §4.2.1 (dummy node balances the sides so
+/// max-flow saturates every real node's capacity: every left node receives
+/// exactly left_cap matches, possibly to the dummy).
+class CapacitatedMatcher {
+ public:
+  explicit CapacitatedMatcher(BipartiteSpec spec);
+
+  /// Runs the flow; idempotent.
+  const BipartiteResult& Solve();
+
+  /// Fig. 3: mu[l][r] = maximum total matching weight subject to the pair
+  /// (l, r) being forced into the matching. Computed from the optimal
+  /// residual graph with one Bellman-Ford per right node:
+  ///   mu(l, r) = Opt - d(r, l) - cost(l, r).
+  /// Must be called after Solve().
+  std::vector<std::vector<double>> MaxMarginals();
+
+ private:
+  void Build();
+
+  BipartiteSpec spec_;
+  MinCostMaxFlow mcmf_;
+  BipartiteResult result_;
+  bool solved_ = false;
+
+  int s_, t_, dummy_;                    // dummy_ == -1 if sides balanced
+  std::vector<std::vector<int>> edge_id_;  // [l][r] -> mcmf edge id
+  std::vector<int> left_node_, right_node_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_FLOW_BIPARTITE_MATCHER_H_

@@ -1,0 +1,109 @@
+#include "flow/constrained_cut.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+ConstrainedMinCut::ConstrainedMinCut(int num_vertices)
+    : n_(num_vertices), flow_(num_vertices + 2) {
+  s_ = num_vertices;
+  t_ = num_vertices + 1;
+  s_edge_.resize(n_);
+  t_edge_.resize(n_);
+  for (int v = 0; v < n_; ++v) {
+    s_edge_[v] = flow_.AddEdge(s_, v, 0);
+    t_edge_[v] = flow_.AddEdge(v, t_, 0);
+  }
+}
+
+void ConstrainedMinCut::AddTerminalCaps(int v, double s_cap, double t_cap) {
+  WWT_CHECK(v >= 0 && v < n_);
+  flow_.IncreaseCap(s_edge_[v], s_cap);
+  flow_.IncreaseCap(t_edge_[v], t_cap);
+}
+
+void ConstrainedMinCut::ForceSourceSide(int v) {
+  flow_.MakeInfinite(s_edge_[v]);
+}
+
+void ConstrainedMinCut::ForceSinkSide(int v) {
+  flow_.MakeInfinite(t_edge_[v]);
+}
+
+void ConstrainedMinCut::AddPairwise(int u, int v, double cap_uv,
+                                    double cap_vu) {
+  WWT_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (cap_uv > 0) flow_.AddEdge(u, v, cap_uv);
+  if (cap_vu > 0) flow_.AddEdge(v, u, cap_vu);
+}
+
+void ConstrainedMinCut::AddGroup(std::vector<int> members) {
+  // Deduplicate: a repeated vertex would make the group permanently
+  // "violated" (forcing the empty complement changes nothing).
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()),
+                members.end());
+  if (members.size() > 1) groups_.push_back(std::move(members));
+}
+
+std::vector<bool> ConstrainedMinCut::TSide(const MaxFlow& flow) const {
+  std::vector<bool> src = flow.SourceSide(s_);
+  std::vector<bool> t_side(n_);
+  for (int v = 0; v < n_; ++v) t_side[v] = !src[v];
+  return t_side;
+}
+
+ConstrainedMinCut::Result ConstrainedMinCut::Solve() {
+  flow_.Solve(s_, t_);
+  std::vector<bool> t_side = TSide(flow_);
+
+  while (true) {
+    // Find violated groups: more than one member on the t side.
+    std::vector<std::vector<int>> violated;  // members on t side, per group
+    for (const auto& group : groups_) {
+      std::vector<int> on_t;
+      for (int v : group) {
+        if (t_side[v]) on_t.push_back(v);
+      }
+      if (on_t.size() > 1) violated.push_back(std::move(on_t));
+    }
+    if (violated.empty()) break;
+
+    // Fig. 4: for every violated group i and every candidate survivor
+    // v in U_i, measure the extra flow needed to force U_i - {v} to the
+    // s side; keep the globally cheapest (i*, v*).
+    double best_extra = std::numeric_limits<double>::infinity();
+    const std::vector<int>* best_group = nullptr;
+    int best_v = -1;
+    for (const auto& on_t : violated) {
+      for (int v : on_t) {
+        MaxFlow probe = flow_.Clone();
+        for (int u : on_t) {
+          if (u != v) probe.MakeInfinite(s_edge_[u]);
+        }
+        double extra = probe.Solve(s_, t_);
+        if (extra < best_extra) {
+          best_extra = extra;
+          best_group = &on_t;
+          best_v = v;
+        }
+      }
+    }
+    WWT_CHECK(best_group != nullptr);
+    for (int u : *best_group) {
+      if (u != best_v) flow_.MakeInfinite(s_edge_[u]);
+    }
+    flow_.Solve(s_, t_);
+    t_side = TSide(flow_);
+  }
+
+  Result result;
+  result.t_side = std::move(t_side);
+  result.cut_value = flow_.TotalFlow();
+  return result;
+}
+
+}  // namespace wwt

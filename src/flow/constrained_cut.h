@@ -1,0 +1,66 @@
+// Copyright 2026 The WWT Authors
+//
+// The constrained minimum s-t cut problem of §4.3 / Fig. 4: find a minimum
+// s-t cut such that at most one vertex of each disjoint vertex group lies
+// on the t side. NP-hard in general; this implements the paper's
+// incremental-max-flow approximation, which performed best in their
+// experiments.
+//
+// α-expansion uses this to enforce the mutex constraint: groups are the
+// columns of one table, the t side is "switches to label α".
+
+#ifndef WWT_FLOW_CONSTRAINED_CUT_H_
+#define WWT_FLOW_CONSTRAINED_CUT_H_
+
+#include <vector>
+
+#include "flow/max_flow.h"
+
+namespace wwt {
+
+/// Builder/solver for the constrained cut. Vertices are 0..n-1; s and t
+/// are implicit terminals.
+class ConstrainedMinCut {
+ public:
+  explicit ConstrainedMinCut(int num_vertices);
+
+  /// Adds capacity on the terminal edges of v (accumulates).
+  void AddTerminalCaps(int v, double s_cap, double t_cap);
+
+  /// Forces v to the s side (resp. t side) by making the corresponding
+  /// terminal edge uncuttable.
+  void ForceSourceSide(int v);
+  void ForceSinkSide(int v);
+
+  /// Adds a directed pair of capacities between u and v.
+  void AddPairwise(int u, int v, double cap_uv, double cap_vu);
+
+  /// Declares a mutex group; at most one member may end on the t side.
+  /// Groups must be disjoint.
+  void AddGroup(std::vector<int> members);
+
+  struct Result {
+    /// Per-vertex: true if the vertex is on the t side of the final cut.
+    std::vector<bool> t_side;
+    /// Total flow = value of the (constrained) cut.
+    double cut_value = 0;
+  };
+
+  /// Runs Fig. 4: plain min-cut, then repeatedly repair violated groups by
+  /// forcing all but the cheapest-to-keep vertex to the s side.
+  Result Solve();
+
+ private:
+  std::vector<bool> TSide(const MaxFlow& flow) const;
+
+  int n_;
+  int s_, t_;
+  MaxFlow flow_;
+  std::vector<int> s_edge_;  // edge id s -> v
+  std::vector<int> t_edge_;  // edge id v -> t
+  std::vector<std::vector<int>> groups_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_FLOW_CONSTRAINED_CUT_H_

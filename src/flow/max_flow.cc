@@ -1,0 +1,109 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInfCap = 1e18;
+}  // namespace
+
+MaxFlow::MaxFlow(int num_nodes) : adj_(num_nodes) {}
+
+int MaxFlow::AddNode() {
+  adj_.emplace_back();
+  return static_cast<int>(adj_.size()) - 1;
+}
+
+int MaxFlow::AddEdge(int u, int v, double cap) {
+  WWT_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  WWT_CHECK(cap >= 0);
+  int id = static_cast<int>(arcs_.size());
+  arcs_.push_back({v, cap});
+  arcs_.push_back({u, 0});
+  adj_[u].push_back(id);
+  adj_[v].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlow::Bfs(int s, int t) {
+  level_.assign(num_nodes(), -1);
+  level_[s] = 0;
+  std::deque<int> queue{s};
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (int id : adj_[u]) {
+      const Arc& a = arcs_[id];
+      if (a.cap > kEps && level_[a.to] < 0) {
+        level_[a.to] = level_[u] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::Dfs(int u, int t, double limit) {
+  if (u == t || limit <= kEps) return limit;
+  for (size_t& i = iter_[u]; i < adj_[u].size(); ++i) {
+    int id = adj_[u][i];
+    Arc& a = arcs_[id];
+    if (a.cap > kEps && level_[a.to] == level_[u] + 1) {
+      double pushed = Dfs(a.to, t, std::min(limit, a.cap));
+      if (pushed > kEps) {
+        a.cap -= pushed;
+        arcs_[id ^ 1].cap += pushed;
+        return pushed;
+      }
+    }
+  }
+  level_[u] = -1;  // dead end
+  return 0;
+}
+
+double MaxFlow::Solve(int s, int t) {
+  double added = 0;
+  while (Bfs(s, t)) {
+    iter_.assign(num_nodes(), 0);
+    while (true) {
+      double pushed = Dfs(s, t, std::numeric_limits<double>::max());
+      if (pushed <= kEps) break;
+      added += pushed;
+    }
+  }
+  total_flow_ += added;
+  return added;
+}
+
+void MaxFlow::IncreaseCap(int id, double delta) {
+  WWT_CHECK(delta >= 0);
+  arcs_[id].cap += delta;
+}
+
+void MaxFlow::MakeInfinite(int id) { arcs_[id].cap = kInfCap; }
+
+std::vector<bool> MaxFlow::SourceSide(int s) const {
+  std::vector<bool> vis(num_nodes(), false);
+  vis[s] = true;
+  std::deque<int> queue{s};
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (int id : adj_[u]) {
+      const Arc& a = arcs_[id];
+      if (a.cap > kEps && !vis[a.to]) {
+        vis[a.to] = true;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return vis;
+}
+
+}  // namespace wwt

@@ -1,0 +1,69 @@
+// Copyright 2026 The WWT Authors
+//
+// Dinic max-flow / min-cut over real-valued capacities, used by the
+// α-expansion graph-cut moves (§4.3). Supports incremental capacity
+// increases followed by re-augmentation, which the constrained-cut
+// algorithm of Fig. 4 relies on.
+
+#ifndef WWT_FLOW_MAX_FLOW_H_
+#define WWT_FLOW_MAX_FLOW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wwt {
+
+/// Dinic's algorithm. Capacities are doubles (graph-cut energies);
+/// a small epsilon guards saturation tests.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  int AddNode();
+
+  /// Adds directed edge u -> v with capacity cap (>= 0). Returns edge id.
+  int AddEdge(int u, int v, double cap);
+
+  /// Augments to a maximum flow from s to t; returns the *additional*
+  /// flow pushed by this call. Callable repeatedly after capacity
+  /// increases.
+  double Solve(int s, int t);
+
+  /// Total flow pushed so far across all Solve() calls.
+  double TotalFlow() const { return total_flow_; }
+
+  /// Increases the capacity of edge `id` by `delta` (>= 0).
+  void IncreaseCap(int id, double delta);
+
+  /// Sets edge capacity to (effectively) infinity.
+  void MakeInfinite(int id);
+
+  /// After Solve(): true iff `v` is reachable from s in the residual
+  /// graph, i.e. v lies on the source side of the minimum cut.
+  std::vector<bool> SourceSide(int s) const;
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  /// Deep copy (used to evaluate candidate vertices in Fig. 4 without
+  /// committing).
+  MaxFlow Clone() const { return *this; }
+
+ private:
+  struct Arc {
+    int to;
+    double cap;  // residual capacity
+  };
+
+  bool Bfs(int s, int t);
+  double Dfs(int u, int t, double limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+  double total_flow_ = 0;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_FLOW_MAX_FLOW_H_

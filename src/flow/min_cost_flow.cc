@@ -1,0 +1,120 @@
+#include "flow/min_cost_flow.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+namespace {
+// Tolerance for "strictly shorter" comparisons; avoids infinite relaxation
+// loops from floating-point noise.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MinCostMaxFlow::MinCostMaxFlow(int num_nodes) : adj_(num_nodes) {}
+
+int MinCostMaxFlow::AddNode() {
+  adj_.emplace_back();
+  return static_cast<int>(adj_.size()) - 1;
+}
+
+int MinCostMaxFlow::AddEdge(int u, int v, int64_t cap, double cost) {
+  WWT_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  WWT_CHECK(cap >= 0);
+  int id = static_cast<int>(arcs_.size());
+  arcs_.push_back({v, cap, cost});
+  arcs_.push_back({u, 0, -cost});
+  adj_[u].push_back(id);
+  adj_[v].push_back(id + 1);
+  orig_cap_.push_back(cap);
+  return id;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::Solve(int s, int t) {
+  Result result;
+  const int n = num_nodes();
+  std::vector<double> dist(n);
+  std::vector<int> in_arc(n);
+  std::vector<bool> in_queue(n);
+
+  while (true) {
+    // SPFA (queue-based Bellman-Ford) for the cheapest augmenting path.
+    dist.assign(n, kFlowInf);
+    in_arc.assign(n, -1);
+    in_queue.assign(n, false);
+    dist[s] = 0;
+    std::deque<int> queue{s};
+    in_queue[s] = true;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      in_queue[u] = false;
+      for (int id : adj_[u]) {
+        const Arc& a = arcs_[id];
+        if (a.cap <= 0) continue;
+        double nd = dist[u] + a.cost;
+        if (nd < dist[a.to] - kEps) {
+          dist[a.to] = nd;
+          in_arc[a.to] = id;
+          if (!in_queue[a.to]) {
+            in_queue[a.to] = true;
+            queue.push_back(a.to);
+          }
+        }
+      }
+    }
+    if (in_arc[t] < 0 && s != t) break;
+    if (dist[t] == kFlowInf) break;
+
+    // Bottleneck along the path.
+    int64_t push = std::numeric_limits<int64_t>::max();
+    for (int v = t; v != s;) {
+      const Arc& a = arcs_[in_arc[v]];
+      push = std::min(push, a.cap);
+      v = arcs_[in_arc[v] ^ 1].to;
+    }
+    for (int v = t; v != s;) {
+      int id = in_arc[v];
+      arcs_[id].cap -= push;
+      arcs_[id ^ 1].cap += push;
+      v = arcs_[id ^ 1].to;
+    }
+    result.flow += push;
+    result.cost += dist[t] * static_cast<double>(push);
+  }
+  return result;
+}
+
+int64_t MinCostMaxFlow::Flow(int id) const {
+  return orig_cap_[id / 2] - arcs_[id].cap;
+}
+
+int64_t MinCostMaxFlow::ResidualCap(int id) const { return arcs_[id].cap; }
+
+std::vector<double> MinCostMaxFlow::ShortestDistancesFrom(int src) const {
+  const int n = num_nodes();
+  std::vector<double> dist(n, kFlowInf);
+  dist[src] = 0;
+  // Bellman-Ford: negative residual costs are expected; no negative cycles
+  // exist in the residual graph of an optimal min-cost flow.
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (int u = 0; u < n; ++u) {
+      if (dist[u] == kFlowInf) continue;
+      for (int id : adj_[u]) {
+        const Arc& a = arcs_[id];
+        if (a.cap <= 0) continue;
+        double nd = dist[u] + a.cost;
+        if (nd < dist[a.to] - kEps) {
+          dist[a.to] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace wwt

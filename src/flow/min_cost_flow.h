@@ -1,0 +1,81 @@
+// Copyright 2026 The WWT Authors
+//
+// Min-cost max-flow via successive shortest augmenting paths
+// (Bellman-Ford/SPFA), the classic algorithm the paper recaps in §4.2.2.
+// Costs may be negative (bipartite matching uses cost = -weight) but the
+// input graph must not contain negative-cost cycles; bipartite reductions
+// never do.
+
+#ifndef WWT_FLOW_MIN_COST_FLOW_H_
+#define WWT_FLOW_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wwt {
+
+/// Infinity marker for distances.
+inline constexpr double kFlowInf = std::numeric_limits<double>::infinity();
+
+/// Min-cost max-flow solver. Integral capacities, real costs.
+///
+/// Usage:
+///   MinCostMaxFlow mcmf(n);
+///   int e = mcmf.AddEdge(u, v, cap, cost);
+///   auto r = mcmf.Solve(s, t);
+///   int64_t f = mcmf.Flow(e);
+///
+/// After Solve(), the residual graph is exposed for the max-marginal
+/// computation of Fig. 3 via ShortestDistancesFrom(): single-source
+/// shortest path costs over residual arcs (Bellman-Ford; the residual
+/// graph of an optimal flow has no negative cycles).
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(int num_nodes);
+
+  /// Adds a node, returning its id.
+  int AddNode();
+
+  /// Adds a directed edge u -> v. Returns an edge id usable with Flow().
+  /// Capacity must be >= 0.
+  int AddEdge(int u, int v, int64_t cap, double cost);
+
+  struct Result {
+    int64_t flow = 0;
+    double cost = 0;
+  };
+
+  /// Pushes the maximum flow from s to t along successive cheapest paths;
+  /// among maximum flows the result has minimum total cost.
+  Result Solve(int s, int t);
+
+  /// Flow pushed on edge `id` (after Solve()).
+  int64_t Flow(int id) const;
+
+  /// Remaining forward capacity of edge `id`.
+  int64_t ResidualCap(int id) const;
+
+  /// Shortest-path costs from `src` to every node over residual arcs
+  /// (arcs with positive residual capacity, cost as stored; reverse arcs
+  /// carry negated cost). Unreachable nodes get kFlowInf.
+  std::vector<double> ShortestDistancesFrom(int src) const;
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    int64_t cap;  // remaining (residual) capacity
+    double cost;
+  };
+
+  // Arcs are stored in pairs: forward at even index 2k, reverse at 2k+1.
+  std::vector<Arc> arcs_;
+  std::vector<int64_t> orig_cap_;      // original capacity of forward arcs
+  std::vector<std::vector<int>> adj_;  // node -> arc indices
+};
+
+}  // namespace wwt
+
+#endif  // WWT_FLOW_MIN_COST_FLOW_H_

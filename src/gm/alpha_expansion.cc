@@ -1,0 +1,113 @@
+#include "gm/alpha_expansion.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "flow/constrained_cut.h"
+#include "util/logging.h"
+
+namespace wwt {
+
+namespace {
+
+// Tolerance for submodularity checks and move acceptance.
+constexpr double kTol = 1e-7;
+
+/// One α-expansion move. Returns the proposed labeling (current labels or
+/// α). Binary semantics: a vertex on the t side of the cut switches to α.
+std::vector<int> ExpandMove(const Mrf& mrf, const std::vector<int>& y,
+                            int alpha, bool constrained,
+                            const std::vector<std::vector<int>>& groups) {
+  const int n = mrf.num_nodes();
+  const int L = mrf.num_labels;
+
+  // Accumulated binary unary energies: a0[u] charged when u keeps y[u],
+  // a1[u] charged when u takes alpha.
+  std::vector<double> a0(n), a1(n);
+  for (int u = 0; u < n; ++u) {
+    a0[u] = mrf.node_energy[u][y[u]];
+    a1[u] = mrf.node_energy[u][alpha];
+  }
+
+  struct NLink {
+    int u, v;
+    double cap;  // charged when u stays (s side) and v switches (t side)
+  };
+  std::vector<NLink> nlinks;
+  nlinks.reserve(mrf.edges.size());
+
+  for (const Mrf::Edge& edge : mrf.edges) {
+    const int u = edge.u, v = edge.v;
+    const double e00 = edge.energy[y[u] * L + y[v]];
+    const double e01 = edge.energy[y[u] * L + alpha];
+    const double e10 = edge.energy[alpha * L + y[v]];
+    const double e11 = edge.energy[alpha * L + alpha];
+    // Decomposition:
+    //   E = e00 + (e10-e00)[xu=1] + (e11-e10)[xv=1]
+    //       + (e01+e10-e00-e11)[xu=0][xv=1]
+    double d = e01 + e10 - e00 - e11;
+    WWT_CHECK(d >= -kTol) << "non-submodular move for alpha=" << alpha;
+    if (d < 0) d = 0;
+    a1[u] += e10 - e00;
+    a1[v] += e11 - e10;
+    if (d > 0) nlinks.push_back({u, v, d});
+  }
+
+  ConstrainedMinCut cut(n);
+  for (int u = 0; u < n; ++u) {
+    // Shift so both terminal capacities are non-negative.
+    const double shift = std::min(a0[u], a1[u]);
+    cut.AddTerminalCaps(u, /*s_cap=*/a1[u] - shift,
+                        /*t_cap=*/a0[u] - shift);
+    if (y[u] == alpha) {
+      // Already alpha: both binary states mean alpha; pin to the t side so
+      // mutex groups count it correctly.
+      cut.ForceSinkSide(u);
+    }
+  }
+  for (const NLink& nl : nlinks) cut.AddPairwise(nl.u, nl.v, nl.cap, 0);
+  if (constrained) {
+    for (const auto& g : groups) cut.AddGroup(g);
+  }
+
+  ConstrainedMinCut::Result res = cut.Solve();
+  std::vector<int> proposal(n);
+  for (int u = 0; u < n; ++u) {
+    proposal[u] = res.t_side[u] ? alpha : y[u];
+  }
+  return proposal;
+}
+
+}  // namespace
+
+std::vector<int> AlphaExpansion(const Mrf& mrf,
+                                const AlphaExpansionOptions& options) {
+  const int n = mrf.num_nodes();
+  const int L = mrf.num_labels;
+  std::vector<int> y = options.init;
+  if (static_cast<int>(y.size()) != n) {
+    y.assign(n, options.init_label);
+  }
+  std::unordered_set<int> constrained(options.constrained_labels.begin(),
+                                      options.constrained_labels.end());
+
+  double cur_energy = mrf.Energy(y);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    for (int alpha = 0; alpha < L; ++alpha) {
+      std::vector<int> proposal =
+          ExpandMove(mrf, y, alpha, constrained.count(alpha) > 0,
+                     options.mutex_groups);
+      double e = mrf.Energy(proposal);
+      if (e < cur_energy - kTol) {
+        cur_energy = e;
+        y = std::move(proposal);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return y;
+}
+
+}  // namespace wwt

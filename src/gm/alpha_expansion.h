@@ -1,0 +1,37 @@
+// Copyright 2026 The WWT Authors
+//
+// α-expansion (Boykov-Veksler-Zabih) with the paper's modification (§4.3):
+// for a configurable subset of labels, expansion moves solve the
+// *constrained* minimum s-t cut of Fig. 4, allowing at most one vertex per
+// mutex group to hold the label after the move.
+
+#ifndef WWT_GM_ALPHA_EXPANSION_H_
+#define WWT_GM_ALPHA_EXPANSION_H_
+
+#include <vector>
+
+#include "gm/mrf.h"
+
+namespace wwt {
+
+struct AlphaExpansionOptions {
+  /// Maximum full sweeps over the label set.
+  int max_rounds = 8;
+  /// Initial labeling; defaults to all nodes at `init_label`.
+  std::vector<int> init;
+  int init_label = 0;
+  /// Disjoint vertex groups subject to the mutex constraint.
+  std::vector<std::vector<int>> mutex_groups;
+  /// Labels for which at most one vertex per group may hold the label.
+  std::vector<int> constrained_labels;
+};
+
+/// Runs α-expansion and returns the best labeling found. Every binary
+/// move requires the induced two-variable energies to be submodular; the
+/// mapper's potentials are (checked at run time).
+std::vector<int> AlphaExpansion(const Mrf& mrf,
+                                const AlphaExpansionOptions& options = {});
+
+}  // namespace wwt
+
+#endif  // WWT_GM_ALPHA_EXPANSION_H_

@@ -1,0 +1,30 @@
+// Copyright 2026 The WWT Authors
+//
+// Loopy min-sum (max-product in log space) belief propagation — one of the
+// edge-centric collective inference baselines of §4.3 / Table 2.
+
+#ifndef WWT_GM_BELIEF_PROPAGATION_H_
+#define WWT_GM_BELIEF_PROPAGATION_H_
+
+#include <vector>
+
+#include "gm/mrf.h"
+
+namespace wwt {
+
+struct BpOptions {
+  int max_iters = 100;
+  /// New message = damping*old + (1-damping)*computed; 0 = undamped.
+  double damping = 0.5;
+  /// Stop when no message entry moves by more than this.
+  double tolerance = 1e-6;
+};
+
+/// Runs loopy min-sum BP and returns the per-node argmin of beliefs.
+/// Exact on trees; approximate on loopy graphs.
+std::vector<int> MinSumBeliefPropagation(const Mrf& mrf,
+                                         const BpOptions& options = {});
+
+}  // namespace wwt
+
+#endif  // WWT_GM_BELIEF_PROPAGATION_H_

@@ -1,0 +1,52 @@
+#include "gm/mrf.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+int Mrf::AddNode(std::vector<double> energies) {
+  WWT_CHECK(static_cast<int>(energies.size()) == num_labels);
+  node_energy.push_back(std::move(energies));
+  return num_nodes() - 1;
+}
+
+void Mrf::AddEdge(int u, int v, std::vector<double> energy) {
+  WWT_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  WWT_CHECK(static_cast<int>(energy.size()) == num_labels * num_labels);
+  edges.push_back({u, v, std::move(energy)});
+}
+
+double Mrf::Energy(const std::vector<int>& labels) const {
+  WWT_CHECK(static_cast<int>(labels.size()) == num_nodes());
+  double e = 0;
+  for (int u = 0; u < num_nodes(); ++u) e += node_energy[u][labels[u]];
+  for (const Edge& edge : edges) {
+    e += edge.energy[labels[edge.u] * num_labels + labels[edge.v]];
+  }
+  return e;
+}
+
+std::vector<int> BruteForceMinimize(const Mrf& mrf) {
+  const int n = mrf.num_nodes();
+  const int L = mrf.num_labels;
+  std::vector<int> cur(n, 0), best(n, 0);
+  double best_e = std::numeric_limits<double>::infinity();
+  while (true) {
+    double e = mrf.Energy(cur);
+    if (e < best_e) {
+      best_e = e;
+      best = cur;
+    }
+    int i = 0;
+    while (i < n && ++cur[i] == L) {
+      cur[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return best;
+}
+
+}  // namespace wwt

@@ -1,0 +1,52 @@
+// Copyright 2026 The WWT Authors
+//
+// Pairwise Markov random field over a shared discrete label space.
+// Inference algorithms (BP, TRW-S, α-expansion) minimize total energy;
+// the column mapper converts its score-maximization objective by negation.
+
+#ifndef WWT_GM_MRF_H_
+#define WWT_GM_MRF_H_
+
+#include <vector>
+
+namespace wwt {
+
+/// Large-but-finite stand-in for the paper's -inf hard-constraint
+/// potentials (as energies: +kHardPenalty). Big enough to dominate any sum
+/// of soft energies, small enough to keep arithmetic exact.
+inline constexpr double kHardPenalty = 1e6;
+
+/// A pairwise MRF: every node takes a label in [0, num_labels).
+struct Mrf {
+  struct Edge {
+    int u = 0;
+    int v = 0;
+    /// Row-major num_labels x num_labels energy table:
+    /// energy[xu * num_labels + xv].
+    std::vector<double> energy;
+  };
+
+  int num_labels = 0;
+  /// node_energy[node][label].
+  std::vector<std::vector<double>> node_energy;
+  std::vector<Edge> edges;
+
+  int num_nodes() const { return static_cast<int>(node_energy.size()); }
+
+  /// Adds a node, returns its id.
+  int AddNode(std::vector<double> energies);
+
+  /// Adds an edge with a dense energy table (size num_labels^2).
+  void AddEdge(int u, int v, std::vector<double> energy);
+
+  /// Total energy of a labeling.
+  double Energy(const std::vector<int>& labels) const;
+};
+
+/// Exact MAP by exhaustive enumeration; only for tests (num_labels ^
+/// num_nodes must stay tiny).
+std::vector<int> BruteForceMinimize(const Mrf& mrf);
+
+}  // namespace wwt
+
+#endif  // WWT_GM_MRF_H_

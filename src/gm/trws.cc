@@ -1,0 +1,97 @@
+#include "gm/trws.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace wwt {
+
+namespace {
+
+struct Neighbor {
+  int edge;     // edge index in mrf.edges
+  int other;    // the neighbor node
+  bool is_u;    // true if this node is edge.u
+};
+
+}  // namespace
+
+std::vector<int> Trws(const Mrf& mrf, const TrwsOptions& options) {
+  const int L = mrf.num_labels;
+  const int n = mrf.num_nodes();
+  const int m = static_cast<int>(mrf.edges.size());
+
+  std::vector<std::vector<Neighbor>> nbrs(n);
+  for (int e = 0; e < m; ++e) {
+    nbrs[mrf.edges[e].u].push_back({e, mrf.edges[e].v, true});
+    nbrs[mrf.edges[e].v].push_back({e, mrf.edges[e].u, false});
+  }
+
+  // gamma_u = 1 / max(#neighbors before u, #neighbors after u).
+  std::vector<double> gamma(n, 1.0);
+  for (int u = 0; u < n; ++u) {
+    int before = 0, after = 0;
+    for (const Neighbor& nb : nbrs[u]) {
+      (nb.other < u ? before : after)++;
+    }
+    int denom = std::max({before, after, 1});
+    gamma[u] = 1.0 / denom;
+  }
+
+  // msg[e][0][x]: message u -> v of edge e; msg[e][1][x]: v -> u.
+  std::vector<std::array<std::vector<double>, 2>> msg(m);
+  for (int e = 0; e < m; ++e) {
+    msg[e][0].assign(L, 0.0);
+    msg[e][1].assign(L, 0.0);
+  }
+
+  auto reparam_unary = [&](int u) {
+    std::vector<double> h = mrf.node_energy[u];
+    for (const Neighbor& nb : nbrs[u]) {
+      const auto& in = nb.is_u ? msg[nb.edge][1] : msg[nb.edge][0];
+      for (int x = 0; x < L; ++x) h[x] += in[x];
+    }
+    return h;
+  };
+
+  auto pass = [&](bool forward) {
+    for (int idx = 0; idx < n; ++idx) {
+      int u = forward ? idx : n - 1 - idx;
+      std::vector<double> h = reparam_unary(u);
+      for (const Neighbor& nb : nbrs[u]) {
+        const bool later = forward ? (nb.other > u) : (nb.other < u);
+        if (!later) continue;
+        const Mrf::Edge& edge = mrf.edges[nb.edge];
+        auto& out = nb.is_u ? msg[nb.edge][0] : msg[nb.edge][1];
+        const auto& in = nb.is_u ? msg[nb.edge][1] : msg[nb.edge][0];
+        std::vector<double> updated(L);
+        for (int xv = 0; xv < L; ++xv) {
+          double best = std::numeric_limits<double>::infinity();
+          for (int xu = 0; xu < L; ++xu) {
+            double pair_e = nb.is_u ? edge.energy[xu * L + xv]
+                                    : edge.energy[xv * L + xu];
+            best = std::min(best, gamma[u] * h[xu] - in[xu] + pair_e);
+          }
+          updated[xv] = best;
+        }
+        double lo = *std::min_element(updated.begin(), updated.end());
+        for (int x = 0; x < L; ++x) out[x] = updated[x] - lo;
+      }
+    }
+  };
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    pass(/*forward=*/true);
+    pass(/*forward=*/false);
+  }
+
+  std::vector<int> labels(n, 0);
+  for (int u = 0; u < n; ++u) {
+    std::vector<double> h = reparam_unary(u);
+    labels[u] = static_cast<int>(
+        std::min_element(h.begin(), h.end()) - h.begin());
+  }
+  return labels;
+}
+
+}  // namespace wwt

@@ -1,0 +1,27 @@
+// Copyright 2026 The WWT Authors
+//
+// Sequential tree-reweighted message passing (TRW-S, Kolmogorov 2006) —
+// the second edge-centric message-passing baseline of §4.3 / Table 2.
+
+#ifndef WWT_GM_TRWS_H_
+#define WWT_GM_TRWS_H_
+
+#include <vector>
+
+#include "gm/mrf.h"
+
+namespace wwt {
+
+struct TrwsOptions {
+  /// One iteration = one forward + one backward pass.
+  int max_iters = 60;
+};
+
+/// Runs TRW-S with the monotonic-chains decomposition induced by node
+/// order and returns the per-node label chosen greedily from the final
+/// reparameterized unaries.
+std::vector<int> Trws(const Mrf& mrf, const TrwsOptions& options = {});
+
+}  // namespace wwt
+
+#endif  // WWT_GM_TRWS_H_

@@ -1,0 +1,180 @@
+#include "index/table_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+TableIndex::TableIndex(IndexOptions options,
+                       TokenizerOptions tokenizer_options)
+    : options_(options), tokenizer_(tokenizer_options) {
+  postings_.resize(kNumFields);
+  field_len_.resize(kNumFields);
+}
+
+std::vector<TermId> TableIndex::TermsOf(const std::string& text) {
+  return vocab_.InternAll(tokenizer_.Tokenize(text));
+}
+
+std::vector<TermId> TableIndex::QueryTerms(
+    const std::vector<std::string>& keywords, bool keep_unknown) const {
+  std::vector<TermId> out;
+  for (const std::string& kw : keywords) {
+    for (const std::string& tok : tokenizer_.Tokenize(kw)) {
+      if (options_.drop_query_stopwords && Tokenizer::IsStopword(tok)) {
+        continue;
+      }
+      auto id = vocab_.Find(tok);
+      if (id) {
+        out.push_back(*id);
+      } else if (keep_unknown) {
+        out.push_back(kInvalidTerm);
+      }
+    }
+  }
+  return out;
+}
+
+void TableIndex::Add(const WebTable& table) {
+  const TableId doc = table.id;
+
+  std::string header_text;
+  for (const std::string& title : table.title_rows) {
+    header_text += title;
+    header_text += ' ';
+  }
+  for (const auto& row : table.header_rows) {
+    for (const auto& cell : row) {
+      header_text += cell;
+      header_text += ' ';
+    }
+  }
+  std::string context_text = table.ContextText();
+  std::string content_text;
+  for (const auto& row : table.body) {
+    for (const auto& cell : row) {
+      content_text += cell;
+      content_text += ' ';
+    }
+  }
+
+  const std::string* field_text[kNumFields] = {&header_text, &context_text,
+                                               &content_text};
+  std::vector<TermId> all_terms;
+  for (int f = 0; f < kNumFields; ++f) {
+    std::vector<TermId> terms = TermsOf(*field_text[f]);
+    all_terms.insert(all_terms.end(), terms.begin(), terms.end());
+
+    std::unordered_map<TermId, uint32_t> tf;
+    for (TermId t : terms) ++tf[t];
+    auto& field_postings = postings_[f];
+    if (vocab_.size() > field_postings.size()) {
+      field_postings.resize(vocab_.size());
+    }
+    for (const auto& [t, count] : tf) {
+      // Ids are assigned in ascending order by the store, so postings
+      // remain sorted by construction; enforced here.
+      auto& plist = field_postings[t];
+      WWT_CHECK(plist.empty() || plist.back().doc < doc)
+          << "tables must be added in ascending id order";
+      plist.push_back({doc, static_cast<float>(count)});
+    }
+    auto& lens = field_len_[f];
+    if (doc >= lens.size()) lens.resize(doc + 1, 0);
+    lens[doc] = static_cast<uint32_t>(terms.size());
+  }
+  idf_.AddDocument(all_terms);
+  ++doc_count_;
+}
+
+std::vector<ScoredDoc> TableIndex::Search(
+    const std::vector<std::string>& keywords, int k) const {
+  std::vector<TermId> terms = QueryTerms(keywords);
+  // Deduplicate query terms; repeated keywords should not double-count.
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  std::unordered_map<TableId, double> scores;
+  for (TermId t : terms) {
+    const double idf = idf_.Idf(t);
+    for (int f = 0; f < kNumFields; ++f) {
+      if (t >= postings_[f].size()) continue;
+      for (const Posting& p : postings_[f][t]) {
+        const double len = field_len_[f][p.doc] + 1.0;
+        scores[p.doc] += options_.boosts[f] * std::sqrt(p.tf) * idf * idf /
+                         std::sqrt(len);
+      }
+    }
+  }
+  std::vector<ScoredDoc> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) hits.push_back({doc, score});
+  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a,
+                                         const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (k >= 0 && static_cast<int>(hits.size()) > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<TableId> TableIndex::DocsWithTerm(
+    TermId term, std::initializer_list<Field> fields) const {
+  std::vector<TableId> out;
+  for (Field field : fields) {
+    const auto& field_postings = postings_[static_cast<int>(field)];
+    if (term >= field_postings.size()) continue;
+    for (const Posting& p : field_postings[term]) out.push_back(p.doc);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+std::vector<TableId> IntersectSorted(const std::vector<TableId>& a,
+                                     const std::vector<TableId>& b) {
+  std::vector<TableId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+}  // namespace
+
+std::vector<TableId> TableIndex::MatchAllInHeaderOrContext(
+    const std::vector<std::string>& keywords) const {
+  std::vector<TermId> terms = QueryTerms(keywords, /*keep_unknown=*/true);
+  if (terms.empty()) return {};
+  std::vector<TableId> docs;
+  bool first = true;
+  for (TermId t : terms) {
+    if (t == kInvalidTerm) return {};  // unknown term: no doc matches
+    auto with = DocsWithTerm(t, {Field::kHeader, Field::kContext});
+    docs = first ? std::move(with) : IntersectSorted(docs, with);
+    first = false;
+    if (docs.empty()) break;
+  }
+  return docs;
+}
+
+std::vector<TableId> TableIndex::MatchAllInContent(
+    const std::vector<std::string>& keywords) const {
+  std::vector<TermId> terms = QueryTerms(keywords, /*keep_unknown=*/true);
+  if (terms.empty()) return {};
+  std::vector<TableId> docs;
+  bool first = true;
+  for (TermId t : terms) {
+    if (t == kInvalidTerm) return {};
+    auto with = DocsWithTerm(t, {Field::kContent});
+    docs = first ? std::move(with) : IntersectSorted(docs, with);
+    first = false;
+    if (docs.empty()) break;
+  }
+  return docs;
+}
+
+}  // namespace wwt

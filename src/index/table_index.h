@@ -1,0 +1,109 @@
+// Copyright 2026 The WWT Authors
+//
+// Fielded inverted index over web tables — the stand-in for the paper's
+// Lucene deployment (§2.1): each table is a document with three text
+// fields (header, context, content) carrying boosts 2.0 / 1.5 / 1.0.
+//
+// Two probe styles are exposed:
+//  * Search(): disjunctive boosted TF-IDF top-k — the §2.2.1 index probes.
+//  * MatchAllIn*(): conjunctive doc-id sets — the building blocks of the
+//    PMI^2 corpus statistic (§3.2.3), where H(Q) is the set of tables
+//    matching Q in header-or-context and B(cell) the set matching the
+//    cell words in content.
+
+#ifndef WWT_INDEX_TABLE_INDEX_H_
+#define WWT_INDEX_TABLE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "table/web_table.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace wwt {
+
+/// The three indexed fields.
+enum class Field : int { kHeader = 0, kContext = 1, kContent = 2 };
+inline constexpr int kNumFields = 3;
+
+struct IndexOptions {
+  /// Per-field boosts, §2.1: header 2.0, context 1.5, content 1.0.
+  double boosts[kNumFields] = {2.0, 1.5, 1.0};
+  /// Drop stopwords from probe keywords ("mountains IN north america").
+  bool drop_query_stopwords = true;
+};
+
+/// A search hit.
+struct ScoredDoc {
+  TableId doc = 0;
+  double score = 0;
+};
+
+/// Append-only in-memory inverted index. Build once, then query from any
+/// number of threads.
+class TableIndex {
+ public:
+  explicit TableIndex(IndexOptions options = {},
+                      TokenizerOptions tokenizer_options = {});
+
+  /// Indexes a table under table.id. Title rows are indexed as header
+  /// text (they describe the table, not a specific column, but the paper
+  /// treats title as a header-adjacent part).
+  void Add(const WebTable& table);
+
+  /// Disjunctive boosted TF-IDF search; returns up to `k` docs by
+  /// descending score.
+  std::vector<ScoredDoc> Search(const std::vector<std::string>& keywords,
+                                int k) const;
+
+  /// Sorted ids of docs whose header+context fields contain ALL of
+  /// `keywords` (after tokenization).
+  std::vector<TableId> MatchAllInHeaderOrContext(
+      const std::vector<std::string>& keywords) const;
+
+  /// Sorted ids of docs whose content field contains ALL of `keywords`.
+  std::vector<TableId> MatchAllInContent(
+      const std::vector<std::string>& keywords) const;
+
+  /// Corpus-wide IDF statistics (document = one table, all fields).
+  const IdfDictionary& idf() const { return idf_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+  size_t num_docs() const { return doc_count_; }
+
+ private:
+  struct Posting {
+    TableId doc;
+    float tf;
+  };
+
+  /// Tokenizes and interns, returning term ids (unknown terms are
+  /// interned too — the vocabulary is owned here).
+  std::vector<TermId> TermsOf(const std::string& text);
+  /// Lookup-only variant for queries.
+  std::vector<TermId> QueryTerms(const std::vector<std::string>& keywords,
+                                 bool keep_unknown = false) const;
+
+  /// Sorted doc ids containing term in any of `fields`.
+  std::vector<TableId> DocsWithTerm(TermId term,
+                                    std::initializer_list<Field> fields) const;
+
+  IndexOptions options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  IdfDictionary idf_;
+  size_t doc_count_ = 0;
+
+  /// postings_[field][term] -> postings sorted by doc id (insertion order
+  /// is ascending because ids are assigned ascending).
+  std::vector<std::vector<std::vector<Posting>>> postings_;
+  /// Field lengths (in tokens) per doc, for length normalization.
+  std::vector<std::vector<uint32_t>> field_len_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_INDEX_TABLE_INDEX_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The WWT Authors
+//
+// TableStore: assigns ids and stores serialized tables. Reads go through
+// the serialization layer so that query-time "read and parse the raw
+// tables" cost (Fig. 7's table-read stages) is really paid. Optional file
+// persistence round-trips the whole corpus.
+
+#ifndef WWT_INDEX_TABLE_STORE_H_
+#define WWT_INDEX_TABLE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/web_table.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wwt {
+
+/// Append-only table storage keyed by dense TableId.
+class TableStore {
+ public:
+  /// Assigns the next id to `table` (overwriting table.id), serializes and
+  /// stores it. Returns the assigned id.
+  TableId Put(WebTable table);
+
+  /// Deserializes table `id`.
+  StatusOr<WebTable> Get(TableId id) const;
+
+  /// Bytes of the serialized record (for size accounting in benches).
+  size_t RecordSize(TableId id) const;
+
+  size_t size() const { return records_.size(); }
+
+  /// Writes all records to `path` (atomic length-prefixed records).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Replaces the store contents from a file written by SaveToFile.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<std::string> records_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_INDEX_TABLE_STORE_H_

@@ -1,0 +1,19 @@
+// Copyright 2026 The WWT Authors
+//
+// Shared external column-label encoding: a column of a candidate table is
+// labeled with a query column index 0..q-1, or one of these sentinels.
+// Used by the mapper's outputs and the corpus ground truth alike.
+
+#ifndef WWT_TABLE_LABELS_H_
+#define WWT_TABLE_LABELS_H_
+
+namespace wwt {
+
+/// Column belongs to a relevant table but matches no query column.
+inline constexpr int kLabelNa = -1;
+/// Column belongs to an irrelevant table.
+inline constexpr int kLabelNr = -2;
+
+}  // namespace wwt
+
+#endif  // WWT_TABLE_LABELS_H_

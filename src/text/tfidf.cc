@@ -1,0 +1,104 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace wwt {
+
+void IdfDictionary::AddDocument(const std::vector<TermId>& terms) {
+  std::unordered_set<TermId> distinct(terms.begin(), terms.end());
+  distinct.erase(kInvalidTerm);
+  for (TermId t : distinct) {
+    if (t >= df_.size()) df_.resize(t + 1, 0);
+    ++df_[t];
+  }
+  ++num_docs_;
+}
+
+uint32_t IdfDictionary::DocFreq(TermId term) const {
+  return term < df_.size() ? df_[term] : 0;
+}
+
+double IdfDictionary::Idf(TermId term) const {
+  const double n = std::max<uint32_t>(num_docs_, 1);
+  return std::log(1.0 + n / (1.0 + DocFreq(term)));
+}
+
+SparseVector SparseVector::FromTerms(const std::vector<TermId>& terms,
+                                     const IdfProvider& idf) {
+  SparseVector v;
+  for (TermId t : terms) {
+    if (t == kInvalidTerm) continue;
+    v.Add(t, idf.Idf(t));
+  }
+  return v;
+}
+
+void SparseVector::Add(TermId term, double weight) {
+  entries_.emplace_back(term, weight);
+  dirty_ = true;
+}
+
+void SparseVector::Compact() {
+  if (!dirty_) return;
+  std::sort(entries_.begin(), entries_.end());
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    TermId t = entries_[i].first;
+    double sum = 0;
+    while (i < entries_.size() && entries_[i].first == t) {
+      sum += entries_[i].second;
+      ++i;
+    }
+    entries_[out++] = {t, sum};
+  }
+  entries_.resize(out);
+  dirty_ = false;
+}
+
+double SparseVector::Get(TermId term) const {
+  const_cast<SparseVector*>(this)->Compact();
+  auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                             std::make_pair(term, 0.0),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             });
+  if (it != entries_.end() && it->first == term) return it->second;
+  return 0.0;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  const_cast<SparseVector*>(this)->Compact();
+  const_cast<SparseVector*>(&other)->Compact();
+  double dot = 0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].first < other.entries_[j].first) {
+      ++i;
+    } else if (entries_[i].first > other.entries_[j].first) {
+      ++j;
+    } else {
+      dot += entries_[i].second * other.entries_[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+double SparseVector::NormSquared() const {
+  const_cast<SparseVector*>(this)->Compact();
+  double s = 0;
+  for (const auto& [_, w] : entries_) s += w * w;
+  return s;
+}
+
+double SparseVector::Cosine(const SparseVector& a, const SparseVector& b) {
+  const double na = a.NormSquared();
+  const double nb = b.NormSquared();
+  if (na <= 0 || nb <= 0) return 0.0;
+  return a.Dot(b) / std::sqrt(na * nb);
+}
+
+}  // namespace wwt

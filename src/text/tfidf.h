@@ -1,0 +1,99 @@
+// Copyright 2026 The WWT Authors
+//
+// TF-IDF weighting and sparse vectors. The paper's similarity functions
+// (Eq. 1 and §3.2.2) weight every token w by TI(w), its TF-IDF score; the
+// IDF statistics come from the table corpus via IdfDictionary.
+
+#ifndef WWT_TEXT_TFIDF_H_
+#define WWT_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace wwt {
+
+/// Supplies IDF weights. Implemented by IdfDictionary (corpus statistics)
+/// and UniformIdf (tests / standalone use).
+class IdfProvider {
+ public:
+  virtual ~IdfProvider() = default;
+
+  /// IDF weight of a term; must be >= 0. Unknown terms get the weight of a
+  /// document frequency of zero (maximally informative).
+  virtual double Idf(TermId term) const = 0;
+};
+
+/// Every term weighs 1.0; cosine degenerates to set overlap.
+class UniformIdf : public IdfProvider {
+ public:
+  double Idf(TermId) const override { return 1.0; }
+};
+
+/// Document-frequency dictionary accumulated over a corpus.
+/// Idf(w) = ln(1 + N / (1 + df(w))) — the +1s keep rare/unknown terms
+/// finite and make the function monotone in N.
+class IdfDictionary : public IdfProvider {
+ public:
+  /// Records one document's distinct terms (duplicates are fine; they are
+  /// deduplicated internally).
+  void AddDocument(const std::vector<TermId>& terms);
+
+  /// Document frequency of a term.
+  uint32_t DocFreq(TermId term) const;
+
+  /// Number of documents added.
+  uint32_t num_docs() const { return num_docs_; }
+
+  double Idf(TermId term) const override;
+
+ private:
+  std::vector<uint32_t> df_;
+  uint32_t num_docs_ = 0;
+};
+
+/// Sparse vector over TermIds, kept sorted by term. Supports the TF-IDF
+/// algebra the mapper needs: dot products, squared norms, cosine.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds sum of TI weights per term from a token-id sequence: entry(w) =
+  /// tf(w) * idf(w). kInvalidTerm tokens are skipped.
+  static SparseVector FromTerms(const std::vector<TermId>& terms,
+                                const IdfProvider& idf);
+
+  /// Adds `weight` to `term`'s entry.
+  void Add(TermId term, double weight);
+
+  /// Entry for a term (0 if absent).
+  double Get(TermId term) const;
+
+  double Dot(const SparseVector& other) const;
+
+  /// Sum of squared entries. The paper's ||P||^2.
+  double NormSquared() const;
+
+  /// Cosine similarity; 0 when either vector is empty/zero.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Sorted (term, weight) pairs.
+  const std::vector<std::pair<TermId, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  void Compact();
+
+  std::vector<std::pair<TermId, double>> entries_;
+  bool dirty_ = false;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_TEXT_TFIDF_H_

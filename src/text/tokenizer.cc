@@ -1,0 +1,101 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace wwt {
+
+namespace {
+const std::unordered_set<std::string>& StopwordSet() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "a",  "an",  "and", "are", "as",   "at",   "be",  "by",  "for",
+          "from", "has", "he",  "in", "is",  "it",   "its", "of",  "on",
+          "or", "that", "the", "to", "was", "were", "will", "with"};
+  return *kSet;
+}
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view word) {
+  return StopwordSet().count(ToLower(word)) > 0;
+}
+
+std::string Tokenizer::Normalize(std::string_view raw) const {
+  std::string tok(raw);
+  if (options_.lowercase) tok = ToLower(tok);
+  if (options_.strip_possessive && tok.size() > 2 &&
+      EndsWith(tok, "'s")) {
+    tok.resize(tok.size() - 2);
+  }
+  if (!options_.stem_plurals) return tok;
+
+  // Porter-lite stemming. Correctness requirement is consistency, not
+  // linguistic beauty: the same rules run on page text and on queries, so
+  // "explored", "exploring" and "Exploration" all land on "explor" and
+  // match each other (the paper's Fig. 1 Table 2 depends on this).
+  // Step 1: plurals.
+  if (tok.size() >= 3) {
+    if (EndsWith(tok, "sses")) {
+      tok.resize(tok.size() - 2);
+    } else if (EndsWith(tok, "ies") && tok.size() > 3) {
+      tok.resize(tok.size() - 3);
+      tok += 'i';  // cities -> citi; pairs with the y->i rule below
+    } else if (tok.size() > 4 && (EndsWith(tok, "ses") ||
+                                  EndsWith(tok, "xes") ||
+                                  EndsWith(tok, "zes"))) {
+      tok.resize(tok.size() - 2);
+    } else if (tok.size() > 5 &&
+               (EndsWith(tok, "ches") || EndsWith(tok, "shes"))) {
+      tok.resize(tok.size() - 2);
+    } else if (tok.back() == 's' && tok[tok.size() - 2] != 's' &&
+               tok[tok.size() - 2] != 'u') {
+      // Drop plural 's' but keep "...ss" (glass) and "...us" (status).
+      tok.resize(tok.size() - 1);
+    }
+  }
+  // Step 2: derivational/inflectional suffixes (stem must stay >= 4).
+  if (EndsWith(tok, "ation") && tok.size() >= 9) {
+    tok.resize(tok.size() - 5);
+  } else if (EndsWith(tok, "ing") && tok.size() >= 7) {
+    tok.resize(tok.size() - 3);
+  } else if (EndsWith(tok, "ed") && tok.size() >= 6) {
+    tok.resize(tok.size() - 2);
+  }
+  // Step 3: terminal-letter normalization so singular/derived forms
+  // collide ("city"/"citi", "release"/"releas").
+  if (tok.size() >= 3 && tok.back() == 'y') tok.back() = 'i';
+  if (tok.size() >= 4 && tok.back() == 'e') tok.pop_back();
+  return tok;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && !std::isalnum(static_cast<unsigned char>(text[i]))) {
+      // Keep apostrophes inside words so possessive stripping can see them.
+      ++i;
+    }
+    size_t start = i;
+    while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                     (text[i] == '\'' && i + 1 < n &&
+                      std::isalnum(static_cast<unsigned char>(text[i + 1]))))) {
+      ++i;
+    }
+    if (i > start) {
+      std::string tok = Normalize(text.substr(start, i - start));
+      if (tok.size() >= options_.min_token_length &&
+          (!options_.drop_stopwords || !StopwordSet().count(tok))) {
+        if (!tok.empty()) out.push_back(std::move(tok));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wwt

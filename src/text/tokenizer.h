@@ -1,0 +1,57 @@
+// Copyright 2026 The WWT Authors
+//
+// Word tokenizer shared by the indexer, the query parser, and the column
+// mapper. Tokenization must be identical on both sides or header/query
+// matches silently fail, so every module goes through this class.
+
+#ifndef WWT_TEXT_TOKENIZER_H_
+#define WWT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wwt {
+
+struct TokenizerOptions {
+  /// Lowercase all tokens (ASCII).
+  bool lowercase = true;
+  /// Strip trailing "'s" possessives ("world's" -> "world").
+  bool strip_possessive = true;
+  /// Light plural stemming: "...ies" -> "...y", "...ses/xes/ches/shes" ->
+  /// drop "es", otherwise drop a single trailing "s" (but never "ss").
+  /// This makes "winners" match "winner" the way the paper's workload
+  /// requires, without a full stemmer.
+  bool stem_plurals = true;
+  /// Drop a small closed class of English stopwords ("of", "the", "in"...).
+  /// Off by default: column keywords are short, every token is signal for
+  /// IDF weighting; the index drops stopwords itself at query time.
+  bool drop_stopwords = false;
+  /// Tokens shorter than this (after normalization) are dropped.
+  size_t min_token_length = 1;
+};
+
+/// Splits text into normalized word tokens. Splitting happens on any
+/// non-alphanumeric character; digits are kept so "2008" and "m4a1"
+/// survive. Thread-safe (stateless after construction).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `text` into normalized tokens, in order.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// True if `word` is in the built-in stopword list (after lowercasing).
+  static bool IsStopword(std::string_view word);
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  std::string Normalize(std::string_view raw) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_TEXT_TOKENIZER_H_

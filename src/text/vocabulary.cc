@@ -1,0 +1,39 @@
+#include "text/vocabulary.h"
+
+namespace wwt {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::Find(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TermId> Vocabulary::InternAll(
+    const std::vector<std::string>& tokens) {
+  std::vector<TermId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(Intern(t));
+  return out;
+}
+
+std::vector<TermId> Vocabulary::FindAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TermId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    auto id = Find(t);
+    out.push_back(id ? *id : kInvalidTerm);
+  }
+  return out;
+}
+
+}  // namespace wwt

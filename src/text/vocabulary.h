@@ -1,0 +1,52 @@
+// Copyright 2026 The WWT Authors
+//
+// String interning: maps tokens to dense TermIds so the index, the TF-IDF
+// vectors, and the mapper all manipulate integers instead of strings.
+
+#ifndef WWT_TEXT_VOCABULARY_H_
+#define WWT_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wwt {
+
+/// Dense identifier for an interned term.
+using TermId = uint32_t;
+
+/// Sentinel for "not in vocabulary".
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+/// Append-only term dictionary. Not thread-safe for writes.
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` if present.
+  std::optional<TermId> Find(std::string_view term) const;
+
+  /// The term for an id; id must be valid.
+  const std::string& Term(TermId id) const { return terms_[id]; }
+
+  /// Number of distinct terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Interns every string in `tokens`.
+  std::vector<TermId> InternAll(const std::vector<std::string>& tokens);
+
+  /// Looks up every string; unknown tokens map to kInvalidTerm.
+  std::vector<TermId> FindAll(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_TEXT_VOCABULARY_H_

@@ -1,0 +1,31 @@
+// Copyright 2026 The WWT Authors
+//
+// Small hashing helpers.
+
+#ifndef WWT_UTIL_HASH_H_
+#define WWT_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace wwt {
+
+/// FNV-1a 64-bit hash; stable across platforms (used to derive
+/// deterministic per-query seeds).
+inline uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Boost-style hash combiner.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace wwt
+
+#endif  // WWT_UTIL_HASH_H_

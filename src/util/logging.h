@@ -1,0 +1,76 @@
+// Copyright 2026 The WWT Authors
+//
+// Minimal leveled logging and check macros.
+
+#ifndef WWT_UTIL_LOGGING_H_
+#define WWT_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wwt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that aborts the process after emitting; used by WWT_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define WWT_LOG(level)                                                 \
+  ::wwt::internal::LogMessage(::wwt::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard internal invariants whose violation would corrupt results.
+#define WWT_CHECK(cond)                                            \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::wwt::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define WWT_CHECK_OK(expr)                                     \
+  do {                                                         \
+    ::wwt::Status _st = (expr);                                \
+    WWT_CHECK(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+}  // namespace wwt
+
+#endif  // WWT_UTIL_LOGGING_H_

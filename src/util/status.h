@@ -1,0 +1,151 @@
+// Copyright 2026 The WWT Authors
+//
+// Status: lightweight error propagation without exceptions, in the style of
+// RocksDB's rocksdb::Status / Arrow's arrow::Status.
+
+#ifndef WWT_UTIL_STATUS_H_
+#define WWT_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wwt {
+
+/// Error categories used throughout the library. Keep this list short;
+/// the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kCorruption,
+  kNotImplemented,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code plus message. Statuses are cheap to copy (small string).
+///
+/// Typical use:
+///
+///   Status DoThing() {
+///     if (bad) return Status::InvalidArgument("bad thing: ", detail);
+///     return Status::OK();
+///   }
+///
+/// Callers must check `ok()` before relying on side effects; the
+/// WWT_RETURN_NOT_OK macro propagates errors up the stack.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Success.
+  static Status OK() { return Status(); }
+
+  /// Factory helpers; each concatenates all arguments into the message.
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Status(StatusCode::kInvalidArgument, Concat(args...));
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Status(StatusCode::kNotFound, Concat(args...));
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Status(StatusCode::kAlreadyExists, Concat(args...));
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Status(StatusCode::kOutOfRange, Concat(args...));
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Status(StatusCode::kFailedPrecondition, Concat(args...));
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Status(StatusCode::kInternal, Concat(args...));
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Status(StatusCode::kIOError, Concat(args...));
+  }
+  template <typename... Args>
+  static Status Corruption(Args&&... args) {
+    return Status(StatusCode::kCorruption, Concat(args...));
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Status(StatusCode::kNotImplemented, Concat(args...));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  template <typename... Args>
+  static std::string Concat(Args&&... args) {
+    std::string out;
+    (AppendOne(&out, std::forward<Args>(args)), ...);
+    return out;
+  }
+  static void AppendOne(std::string* out, const std::string& s) { *out += s; }
+  static void AppendOne(std::string* out, const char* s) { *out += s; }
+  static void AppendOne(std::string* out, char c) { *out += c; }
+  template <typename T>
+  static void AppendOne(std::string* out, const T& v) {
+    *out += std::to_string(v);
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define WWT_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::wwt::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace wwt
+
+#endif  // WWT_UTIL_STATUS_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 The WWT Authors
+//
+// StatusOr<T>: a value-or-error union, Arrow's Result<T> idiom.
+
+#ifndef WWT_UTIL_STATUSOR_H_
+#define WWT_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace wwt {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Construction from a value yields ok(); construction from
+/// a non-OK Status yields an error. Accessing the value of an error
+/// StatusOr is a programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a StatusOr expression, or assigns its value.
+///
+///   WWT_ASSIGN_OR_RETURN(auto table, store.Get(id));
+#define WWT_ASSIGN_OR_RETURN(decl, expr)            \
+  decl = ({                                         \
+    auto _res = (expr);                             \
+    if (!_res.ok()) return _res.status();           \
+    std::move(_res).value();                        \
+  })
+
+}  // namespace wwt
+
+#endif  // WWT_UTIL_STATUSOR_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The WWT Authors
+//
+// Consolidator + ranker (§2.2.3): merges the mapped columns and rows of
+// all relevant tables into one q-column answer table, deduplicating rows
+// that describe the same entity, and orders rows by support.
+
+#ifndef WWT_WWT_CONSOLIDATOR_H_
+#define WWT_WWT_CONSOLIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/column_mapper.h"
+#include "core/query.h"
+
+namespace wwt {
+
+/// One consolidated answer row.
+struct AnswerRow {
+  std::vector<std::string> cells;  // q cells; "" when no source had it
+  int support = 0;                 // number of source tables contributing
+  double score = 0;                // sum of source relevance probabilities
+  std::vector<TableId> sources;
+};
+
+/// The final q-column answer.
+struct AnswerTable {
+  std::vector<std::string> column_keywords;
+  std::vector<AnswerRow> rows;
+};
+
+struct ConsolidatorOptions {
+  /// Rows are keyed by the normalized text of query column 1; keys within
+  /// edit distance 1 (length >= 6) also merge when true.
+  bool fuzzy_keys = true;
+  int max_rows = 2000;
+  /// Tables below this relevance probability contribute no rows. Rescued
+  /// low-confidence tables mostly duplicate rows of confident ones (same
+  /// content overlap that rescued them), so excluding them costs little
+  /// recall while keeping weakly-justified junk rows out of the answer.
+  double min_relevance_prob = 0.5;
+};
+
+/// Builds the consolidated table from the mapper's output. Rows from
+/// irrelevant tables are ignored; duplicate rows (same normalized key)
+/// merge, filling empty cells and accumulating support.
+AnswerTable Consolidate(const Query& query,
+                        const std::vector<CandidateTable>& tables,
+                        const MapResult& mapping,
+                        const ConsolidatorOptions& options = {});
+
+/// Ranker (§2.2.3): reorders rows to bring highly supported, high-score
+/// rows to the top.
+void RankRows(AnswerTable* answer);
+
+}  // namespace wwt
+
+#endif  // WWT_WWT_CONSOLIDATOR_H_

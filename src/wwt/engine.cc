@@ -1,0 +1,154 @@
+#include "wwt/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace wwt {
+
+WwtEngine::WwtEngine(const TableStore* store, const TableIndex* index,
+                     EngineOptions options)
+    : store_(store), index_(index), options_(std::move(options)) {}
+
+std::vector<CandidateTable> WwtEngine::ReadTables(
+    const std::vector<ScoredDoc>& docs,
+    const std::vector<CandidateTable>* have) const {
+  std::unordered_set<TableId> skip;
+  if (have != nullptr) {
+    for (const CandidateTable& t : *have) skip.insert(t.table.id);
+  }
+  std::vector<CandidateTable> out;
+  for (const ScoredDoc& doc : docs) {
+    if (skip.count(doc.doc)) continue;
+    StatusOr<WebTable> table = store_->Get(doc.doc);
+    if (!table.ok()) {
+      WWT_LOG(Warning) << "skipping unreadable table " << doc.doc << ": "
+                       << table.status().ToString();
+      continue;
+    }
+    out.push_back(CandidateTable::Build(std::move(table).value(), *index_));
+  }
+  return out;
+}
+
+RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
+  StageTimer local;
+  if (timer == nullptr) timer = &local;
+  RetrievalResult result;
+
+  auto apply_score_floor = [](std::vector<ScoredDoc>* hits,
+                              double fraction) {
+    if (hits->empty()) return;
+    const double floor = (*hits)[0].score * fraction;
+    while (!hits->empty() && hits->back().score < floor) {
+      hits->pop_back();
+    }
+  };
+
+  // ----- First probe: union of all query keywords.
+  std::vector<ScoredDoc> hits1;
+  {
+    ScopedStageTimer st(timer, kStage1stIndex);
+    hits1 = index_->Search(query.all_keywords, options_.probe1_k);
+    apply_score_floor(&hits1, options_.score_floor_fraction);
+  }
+  {
+    ScopedStageTimer st(timer, kStage1stRead);
+    result.tables = ReadTables(hits1, nullptr);
+  }
+  result.from_first_probe = static_cast<int>(result.tables.size());
+
+  // ----- Find the top-2 very confident tables (quick mapping pass).
+  std::vector<std::pair<double, int>> confident;
+  {
+    ScopedStageTimer st(timer, kStageColumnMap);
+    MapperOptions quick = options_.mapper;
+    quick.mode = InferenceMode::kIndependent;  // cheap confidence pass
+    ColumnMapper mapper(index_, quick);
+    MapResult quick_map = mapper.Map(query, result.tables);
+    for (size_t t = 0; t < quick_map.tables.size(); ++t) {
+      const TableMapping& tm = quick_map.tables[t];
+      if (tm.relevant && tm.relevance_prob >= options_.confident_prob) {
+        confident.emplace_back(tm.relevance_prob, static_cast<int>(t));
+      }
+    }
+    std::sort(confident.begin(), confident.end(),
+              std::greater<std::pair<double, int>>());
+    if (confident.size() > 2) confident.resize(2);
+  }
+
+  // ----- Second probe: Q plus rows sampled from the confident tables.
+  if (!confident.empty()) {
+    result.used_second_probe = true;
+    std::vector<std::string> probe2_keywords = query.all_keywords;
+    uint64_t seed = 0xC0FFEE;
+    for (const std::string& kw : query.all_keywords) {
+      seed = seed * 1099511628211ULL + Fnv1a(kw);
+    }
+    Random rng(seed);
+    for (const auto& [prob, t] : confident) {
+      const WebTable& table = result.tables[t].table;
+      const int rows = table.num_body_rows();
+      if (rows == 0) continue;
+      int want = options_.sample_rows / static_cast<int>(confident.size());
+      for (size_t r : rng.SampleWithoutReplacement(
+               rows, std::max(want, 1))) {
+        std::string row_text;
+        for (const std::string& cell : table.body[r]) {
+          row_text += cell;
+          row_text += ' ';
+        }
+        probe2_keywords.push_back(std::move(row_text));
+      }
+    }
+
+    std::vector<ScoredDoc> hits2;
+    {
+      ScopedStageTimer st(timer, kStage2ndIndex);
+      hits2 = index_->Search(probe2_keywords, options_.probe2_k);
+      // The second probe exists to pull in content-overlapping tables;
+      // a stricter floor keeps tables that merely share a few common
+      // tokens with the sampled rows (years, small numbers) out.
+      apply_score_floor(
+          &hits2, std::max(options_.score_floor_fraction, 0.25));
+    }
+    {
+      ScopedStageTimer st(timer, kStage2ndRead);
+      std::vector<CandidateTable> extra =
+          ReadTables(hits2, &result.tables);
+      result.new_from_second_probe = static_cast<int>(extra.size());
+      for (CandidateTable& t : extra) {
+        result.tables.push_back(std::move(t));
+      }
+    }
+  }
+
+  if (static_cast<int>(result.tables.size()) > options_.max_candidates) {
+    result.tables.resize(options_.max_candidates);
+  }
+  return result;
+}
+
+QueryExecution WwtEngine::Execute(
+    const std::vector<std::string>& column_keywords) {
+  QueryExecution exec;
+  exec.query = Query::Parse(column_keywords, *index_);
+  exec.retrieval = Retrieve(exec.query, &exec.timing);
+
+  {
+    ScopedStageTimer st(&exec.timing, kStageColumnMap);
+    ColumnMapper mapper(index_, options_.mapper);
+    exec.mapping = mapper.Map(exec.query, exec.retrieval.tables);
+  }
+  {
+    ScopedStageTimer st(&exec.timing, kStageConsolidate);
+    exec.answer = Consolidate(exec.query, exec.retrieval.tables,
+                              exec.mapping, options_.consolidator);
+  }
+  return exec;
+}
+
+}  // namespace wwt

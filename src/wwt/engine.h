@@ -1,0 +1,93 @@
+// Copyright 2026 The WWT Authors
+//
+// WwtEngine: the end-to-end query pipeline of Fig. 2 — two-phase index
+// probe (§2.2.1), column mapping (§3-4), consolidation and ranking
+// (§2.2.3) — with per-stage wall-clock accounting for the Fig. 7
+// runtime-breakdown experiment.
+
+#ifndef WWT_WWT_ENGINE_H_
+#define WWT_WWT_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/column_mapper.h"
+#include "index/table_store.h"
+#include "util/timer.h"
+#include "wwt/consolidator.h"
+
+namespace wwt {
+
+/// Stage names recorded in QueryExecution::timing (Fig. 7's series).
+inline constexpr char kStage1stIndex[] = "1st Index";
+inline constexpr char kStage1stRead[] = "1st Table Read";
+inline constexpr char kStage2ndIndex[] = "2nd Index";
+inline constexpr char kStage2ndRead[] = "2nd Table Read";
+inline constexpr char kStageColumnMap[] = "Column Map";
+inline constexpr char kStageConsolidate[] = "Consolidate";
+
+struct EngineOptions {
+  /// Top-k of the first / second index probe.
+  int probe1_k = 60;
+  int probe2_k = 60;
+  /// Hits scoring below this fraction of the top hit are dropped (keeps
+  /// single-stopword-grade matches out of the candidate set).
+  double score_floor_fraction = 0.05;
+  /// Rows sampled from the top-2 confident tables for the second probe.
+  int sample_rows = 10;
+  /// Relevance probability a table needs to seed the second probe.
+  double confident_prob = 0.8;
+  /// Hard cap on the candidate set after both probes.
+  int max_candidates = 150;
+  MapperOptions mapper;
+  ConsolidatorOptions consolidator;
+};
+
+/// Candidate retrieval outcome (§2.2.1 statistics).
+struct RetrievalResult {
+  std::vector<CandidateTable> tables;
+  int from_first_probe = 0;
+  int new_from_second_probe = 0;
+  bool used_second_probe = false;
+};
+
+/// Everything one query produces.
+struct QueryExecution {
+  Query query;
+  RetrievalResult retrieval;
+  MapResult mapping;
+  AnswerTable answer;
+  StageTimer timing;
+};
+
+/// The search engine over a built corpus (store + index are borrowed and
+/// must outlive the engine).
+class WwtEngine {
+ public:
+  WwtEngine(const TableStore* store, const TableIndex* index,
+            EngineOptions options = {});
+
+  /// Full pipeline for one query.
+  QueryExecution Execute(const std::vector<std::string>& column_keywords);
+
+  /// Retrieval only (used by the evaluation harness so every method maps
+  /// the same candidate set). Timing lands in `timer` when non-null.
+  RetrievalResult Retrieve(const Query& query, StageTimer* timer);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// Reads and preprocesses the given docs, skipping ids in `have`.
+  std::vector<CandidateTable> ReadTables(
+      const std::vector<ScoredDoc>& docs,
+      const std::vector<CandidateTable>* have) const;
+
+  const TableStore* store_;
+  const TableIndex* index_;
+  EngineOptions options_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_WWT_ENGINE_H_

@@ -1,0 +1,297 @@
+// Copyright 2026 The WWT Authors
+//
+// Feature tests with hand-computed expected values. The index fixture
+// gives every term document frequency 1, so all IDF weights are equal
+// and the Eq. 1 arithmetic can be verified by hand: with k distinct
+// equal-weight tokens, ||P||^2/||Q||^2 = |P|/|Q| and cosine reduces to
+// |P ∩ H| / sqrt(|P| |H|).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "core/potentials.h"
+#include "table/labels.h"
+
+namespace wwt {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One document holding every term once: uniform IDF.
+    WebTable vocab_doc;
+    vocab_doc.id = 0;
+    vocab_doc.num_cols = 1;
+    vocab_doc.body = {{"nobel prize winner main areas explored band name "
+                       "black metal genre year country dutch oceania"}};
+    index_.Add(vocab_doc);
+  }
+
+  Query MakeQuery(const std::vector<std::string>& cols) {
+    return Query::Parse(cols, index_);
+  }
+
+  CandidateTable MakeCandidate(
+      const std::vector<std::string>& title_rows,
+      const std::vector<std::string>& context,
+      const std::vector<std::vector<std::string>>& header_rows,
+      const std::vector<std::vector<std::string>>& body) {
+    WebTable t;
+    t.id = 1;
+    t.num_cols = header_rows.empty()
+                     ? (body.empty() ? 1 : static_cast<int>(body[0].size()))
+                     : static_cast<int>(header_rows[0].size());
+    t.title_rows = title_rows;
+    for (const std::string& c : context) t.context.push_back({c, 1.0});
+    t.header_rows = header_rows;
+    t.body = body;
+    return CandidateTable::Build(std::move(t), index_);
+  }
+
+  TableIndex index_;
+};
+
+// ---------------------------------------------------------------- SegSim
+
+TEST_F(FeaturesTest, SegSimPureHeaderMatch) {
+  // Full query in the header: SegSim = cosine = 1.
+  Query q = MakeQuery({"winner"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner", "Year"}},
+                                   {{"A", "2001"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0), 1.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimZeroWithoutHeaders) {
+  // No header rows: no valid segmentation can pin the query to a column.
+  Query q = MakeQuery({"winner"});
+  CandidateTable t = MakeCandidate({}, {"winner list"}, {},
+                                   {{"A"}, {"B"}});
+  FeatureComputer f(&index_);
+  EXPECT_DOUBLE_EQ(f.SegSim(q.cols[0], t, 0), 0.0);
+}
+
+TEST_F(FeaturesTest, SegSimZeroWithoutHeaderIntersection) {
+  // Context matches but the header shares no token: table-level matches
+  // must not count for unrelated columns (Eq. 1's P ∩ H != {} guard).
+  Query q = MakeQuery({"winner"});
+  CandidateTable t = MakeCandidate({}, {"winner list"}, {{"Name"}},
+                                   {{"A"}});
+  FeatureComputer f(&index_);
+  EXPECT_DOUBLE_EQ(f.SegSim(q.cols[0], t, 0), 0.0);
+}
+
+TEST_F(FeaturesTest, SegSimSplitsQueryAcrossHeaderAndContext) {
+  // The paper's "Nobel prize winner" case: "winner" in the header,
+  // "Nobel prize" in the context. With uniform weights:
+  //   score = (1/3)*inSim([winner],[winner])
+  //         + (2/3)*outSim([nobel,prize]) = 1/3 + 2/3*0.9 = 0.9333.
+  Query q = MakeQuery({"nobel prize winner"});
+  CandidateTable t = MakeCandidate(
+      {}, {"list of nobel prize recipients"}, {{"Winner", "Year"}},
+      {{"A", "2001"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0), 1.0 / 3 + 2.0 / 3 * 0.9, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimBeatsUnsegmentedCosineOnSplitQueries) {
+  Query q = MakeQuery({"nobel prize winner"});
+  CandidateTable t = MakeCandidate(
+      {}, {"list of nobel prize recipients"}, {{"Winner", "Year"}},
+      {{"A", "2001"}});
+  FeatureOptions unseg;
+  unseg.unsegmented = true;
+  FeatureComputer segmented(&index_), unsegmented(&index_, unseg);
+  EXPECT_GT(segmented.SegSim(q.cols[0], t, 0),
+            unsegmented.SegSim(q.cols[0], t, 0) + 0.3);
+}
+
+TEST_F(FeaturesTest, SegSimMultiRowHeaderUsesBestRowPlusHc) {
+  // Fig. 1 Table 1, column 3: header split "Main areas" / "explored".
+  // Best row is r=1 ("explored"): inSim = 1, and "areas" matches the
+  // other header row of the same column (part Hc, reliability 0.5):
+  //   score = 1/2*1 + 1/2*0.5 = 0.75.
+  Query q = MakeQuery({"areas explored"});
+  CandidateTable t = MakeCandidate(
+      {}, {}, {{"Main areas", "Name"}, {"explored", ""}},
+      {{"Oceania", "Tasman"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0), 0.75, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimIgnoresSpuriousSecondHeaderRow) {
+  // Fig. 1 Table 2: an annotation row must not dilute the match the way
+  // full concatenation would. Expect the single-best row to win: 1.0.
+  Query q = MakeQuery({"winner"});
+  CandidateTable t = MakeCandidate(
+      {}, {}, {{"Winner", "Year"}, {"chronological order", ""}},
+      {{"A", "2001"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0), 1.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimUsesFrequentBodyContent) {
+  // The "Black metal bands" case: "band" in the header, "black metal"
+  // frequent in the genre column (part B, reliability 0.8):
+  //   score = (1/3)*inSim([band],[band,name]) + (2/3)*0.8.
+  Query q = MakeQuery({"black metal bands"});
+  CandidateTable t = MakeCandidate(
+      {}, {}, {{"Band name", "Genre"}},
+      {{"Alpha", "Black metal"},
+       {"Beta", "Black metal"},
+       {"Gamma", "Death metal"}});
+  FeatureComputer f(&index_);
+  const double in_sim = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0),
+              1.0 / 3 * in_sim + 2.0 / 3 * 0.8, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimUsesOtherColumnHeaders) {
+  // The "dog breeds" case: header "dog" on one column, "breed" on
+  // another; mapping the "breed" column uses part Hr (reliability 1.0):
+  //   score = 1/2*1 + 1/2*1.0 = 1.0.
+  WebTable vocab2;
+  vocab2.id = 2;
+  vocab2.num_cols = 1;
+  vocab2.body = {{"dog breed"}};
+  index_.Add(vocab2);
+  Query q = MakeQuery({"dog breeds"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Dog", "Breed"}},
+                                   {{"Rex", "Beagle"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 1), 1.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimMultiPartMatchesDecayExponentially) {
+  // A token matching title (1.0 reliability) and context (0.9) together:
+  // 1 - (1-1.0)(1-0.9) = 1.0 — capped by the noisy-or, not additive.
+  Query q = MakeQuery({"nobel winner"});
+  CandidateTable t = MakeCandidate(
+      {"nobel"}, {"nobel"}, {{"Winner"}}, {{"A"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0), 0.5 * 1.0 + 0.5 * 1.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, SegSimEmptyQuery) {
+  Query q = MakeQuery({""});
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner"}}, {{"A"}});
+  FeatureComputer f(&index_);
+  EXPECT_DOUBLE_EQ(f.SegSim(q.cols[0], t, 0), 0.0);
+}
+
+// ----------------------------------------------------------------- Cover
+
+TEST_F(FeaturesTest, CoverFullWhenAllTokensPresent) {
+  Query q = MakeQuery({"nobel prize winner"});
+  CandidateTable t = MakeCandidate(
+      {}, {"nobel prize"}, {{"Winner", "Year"}}, {{"A", "2001"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.Cover(q.cols[0], t, 0), 1.0 / 3 + 2.0 / 3 * 0.9, 1e-9);
+}
+
+TEST_F(FeaturesTest, CoverHigherThanSegSimOnPartialHeaders) {
+  // Header "winner year": inSim cosine dilutes by the extra header token
+  // but coverage does not.
+  Query q = MakeQuery({"winner"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner Year"}}, {{"A"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.Cover(q.cols[0], t, 0), 1.0, 1e-9);
+  EXPECT_NEAR(f.SegSim(q.cols[0], t, 0), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+// ------------------------------------------------------------------ PMI2
+
+TEST_F(FeaturesTest, Pmi2CountsCooccurrence) {
+  // Corpus: two tables whose header matches the query AND whose content
+  // contains the cell value, out of controlled totals.
+  TableIndex index;
+  auto add = [&](TableId id, const std::string& header,
+                 const std::string& content) {
+    WebTable t;
+    t.id = id;
+    t.num_cols = 1;
+    if (!header.empty()) t.header_rows = {{header}};
+    t.body = {{content}};
+    index.Add(t);
+  };
+  add(0, "breed", "beagle");   // in H(Q) and B(beagle)
+  add(1, "breed", "beagle");   // in H(Q) and B(beagle)
+  add(2, "breed", "poodle");   // in H(Q) only
+  add(3, "name", "beagle");    // in B(beagle) only
+  // |H| = 3, |B| = 3, |H ∩ B| = 2 -> per-row PMI2 = 4/9.
+  Query q = Query::Parse({"breed"}, index);
+  WebTable cand;
+  cand.id = 99;
+  cand.num_cols = 1;
+  cand.body = {{"beagle"}};
+  CandidateTable t = CandidateTable::Build(std::move(cand), index);
+  FeatureComputer f(&index);
+  EXPECT_NEAR(f.Pmi2(q.cols[0], t, 0), 4.0 / 9.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, Pmi2ZeroWhenQueryUnseen) {
+  Query q = MakeQuery({"winner"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Name"}}, {{"zzz"}});
+  FeatureComputer f(&index_);
+  EXPECT_DOUBLE_EQ(f.Pmi2(q.cols[0], t, 0), 0.0);
+}
+
+// --------------------------------------------------------------- R(Q, t)
+
+TEST_F(FeaturesTest, TableRelevanceClipsLowCoverage) {
+  // Two-column query; only one column covered => sum = 1 < 1.5 => R = 0.
+  Query q = MakeQuery({"winner", "country"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner", "Name"}},
+                                   {{"A", "B"}});
+  FeatureComputer f(&index_);
+  EXPECT_DOUBLE_EQ(f.TableRelevance(q, t), 0.0);
+}
+
+TEST_F(FeaturesTest, TableRelevancePassesFullCoverage) {
+  Query q = MakeQuery({"winner", "country"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner", "Country"}},
+                                   {{"A", "B"}});
+  FeatureComputer f(&index_);
+  EXPECT_NEAR(f.TableRelevance(q, t), 1.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, TableRelevanceSingleColumnNeedsFullCover) {
+  Query q = MakeQuery({"nobel prize winner"});
+  // Header covers only "winner" (1/3): below the min(q,1.5)=1 threshold.
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner"}}, {{"A"}});
+  FeatureComputer f(&index_);
+  EXPECT_DOUBLE_EQ(f.TableRelevance(q, t), 0.0);
+}
+
+// --------------------------------------------------------- Node potential
+
+TEST_F(FeaturesTest, NodePotentialShape) {
+  Query q = MakeQuery({"winner", "country"});
+  CandidateTable t = MakeCandidate({}, {}, {{"Winner", "Name"}},
+                                   {{"A", "B"}});
+  FeatureComputer f(&index_);
+  MapperWeights w;
+  auto theta = ComputeNodePotentials(q, t, &f, w, /*use_pmi2=*/false);
+  ASSERT_EQ(theta.size(), 2u);
+  ASSERT_EQ(theta[0].size(), 4u);  // q + na + nr
+  // Winner column strongly prefers label 0.
+  EXPECT_GT(theta[0][0], theta[0][1]);
+  // na is exactly zero.
+  EXPECT_DOUBLE_EQ(theta[0][NaLabel(2)], 0.0);
+  // nr equals w4 * (min(q,nt)/nt) * (1 - R); R=0 here (cover sum = 1).
+  EXPECT_NEAR(theta[0][NrLabel(2)], w.w4 * 1.0, 1e-9);
+  // Both columns share the table-level nr potential.
+  EXPECT_DOUBLE_EQ(theta[0][NrLabel(2)], theta[1][NrLabel(2)]);
+}
+
+TEST_F(FeaturesTest, ExternalLabelConversion) {
+  EXPECT_EQ(ToExternalLabel(0, 3), 0);
+  EXPECT_EQ(ToExternalLabel(2, 3), 2);
+  EXPECT_EQ(ToExternalLabel(NaLabel(3), 3), kLabelNa);
+  EXPECT_EQ(ToExternalLabel(NrLabel(3), 3), kLabelNr);
+}
+
+}  // namespace
+}  // namespace wwt

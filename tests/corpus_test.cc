@@ -1,0 +1,300 @@
+// Copyright 2026 The WWT Authors
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "corpus/knowledge_base.h"
+#include "corpus/page_generator.h"
+#include "corpus/workload.h"
+#include "extract/harvester.h"
+#include "table/labels.h"
+
+namespace wwt {
+namespace {
+
+// --------------------------------------------------------- KnowledgeBase
+
+TEST(KnowledgeBaseTest, HasTopicsForEveryWorkloadQuery) {
+  KnowledgeBase kb(1);
+  for (const QuerySpec& q : Table1Workload()) {
+    int topic = kb.FindTopic(q.topic);
+    ASSERT_GE(topic, 0) << q.name << " topic " << q.topic;
+    for (const QueryColumnSpec& col : q.columns) {
+      EXPECT_GE(kb.topic(topic).FindColumn(col.column), 0)
+          << q.name << " column " << col.column;
+    }
+  }
+}
+
+TEST(KnowledgeBaseTest, TuplesAreRectangular) {
+  KnowledgeBase kb(1);
+  for (int t = 0; t < kb.num_topics(); ++t) {
+    const auto& tuples = kb.tuples(t);
+    EXPECT_EQ(static_cast<int>(tuples.size()), kb.topic(t).num_entities);
+    for (const auto& row : tuples) {
+      EXPECT_EQ(row.size(), kb.topic(t).columns.size());
+    }
+  }
+}
+
+TEST(KnowledgeBaseTest, KeyValuesDistinctWithinTopic) {
+  KnowledgeBase kb(1);
+  for (int t = 0; t < kb.num_topics(); ++t) {
+    int key = -1;
+    for (size_t c = 0; c < kb.topic(t).columns.size(); ++c) {
+      if (kb.topic(t).columns[c].is_key) key = static_cast<int>(c);
+    }
+    ASSERT_GE(key, 0) << kb.topic(t).name << " has no key column";
+    std::set<std::string> seen;
+    for (const auto& row : kb.tuples(t)) {
+      EXPECT_TRUE(seen.insert(row[key]).second)
+          << "duplicate key '" << row[key] << "' in " << kb.topic(t).name;
+    }
+  }
+}
+
+TEST(KnowledgeBaseTest, DeterministicForSeed) {
+  KnowledgeBase a(42), b(42);
+  ASSERT_EQ(a.num_topics(), b.num_topics());
+  for (int t = 0; t < a.num_topics(); ++t) {
+    EXPECT_EQ(a.tuples(t), b.tuples(t));
+  }
+}
+
+TEST(KnowledgeBaseTest, LinkedCountryAttributes) {
+  KnowledgeBase kb(1);
+  int t = kb.FindTopic("countries");
+  ASSERT_GE(t, 0);
+  const TopicSpec& topic = kb.topic(t);
+  int name = topic.FindColumn("country");
+  int currency = topic.FindColumn("currency");
+  ASSERT_GE(name, 0);
+  ASSERT_GE(currency, 0);
+  // Entity 0 must be a consistent (country, currency) pair from the
+  // seed list, not independently sampled.
+  const auto& row = kb.tuples(t)[0];
+  EXPECT_EQ(row[name], "United States");
+  EXPECT_EQ(row[currency], "US Dollar");
+}
+
+TEST(KnowledgeBaseTest, SemanticIdsUniquePerColumn) {
+  EXPECT_NE(KnowledgeBase::SemanticId(1, 2), KnowledgeBase::SemanticId(2, 1));
+  EXPECT_NE(KnowledgeBase::SemanticId(0, 1), KnowledgeBase::SemanticId(0, 2));
+}
+
+// -------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, Has59QueriesWithPaperArity) {
+  const auto& w = Table1Workload();
+  EXPECT_EQ(w.size(), 59u);
+  int singles = 0, twos = 0, threes = 0;
+  for (const QuerySpec& q : w) {
+    switch (q.q()) {
+      case 1: ++singles; break;
+      case 2: ++twos; break;
+      case 3: ++threes; break;
+      default: FAIL() << q.name;
+    }
+  }
+  EXPECT_EQ(singles, 5);
+  EXPECT_EQ(twos, 37);
+  EXPECT_EQ(threes, 17);
+}
+
+TEST(WorkloadTest, TargetsMatchTable1Extremes) {
+  const auto& w = Table1Workload();
+  int max_total = 0, zero_relevant = 0, zero_total = 0;
+  for (const QuerySpec& q : w) {
+    max_total = std::max(max_total, q.target_total);
+    zero_relevant += (q.target_relevant == 0);
+    zero_total += (q.target_total == 0);
+    EXPECT_LE(q.target_relevant, q.target_total) << q.name;
+  }
+  EXPECT_EQ(max_total, 68);   // "dog breed"
+  EXPECT_EQ(zero_total, 1);   // "bittorrent clients | license | cost"
+  EXPECT_EQ(zero_relevant, 7);
+}
+
+// -------------------------------------------------------- PageGenerator
+
+TEST(PageGeneratorTest, RelevantPageContainsRequiredColumns) {
+  KnowledgeBase kb(5);
+  PageGenerator gen(&kb);
+  Random rng(3);
+  int topic = kb.FindTopic("explorers");
+  PageNoise noise;
+  noise.p_no_header = 0;  // force headers for this test
+  GeneratedPage page = gen.Generate(topic, {0, 1, 2},
+                                    {"name of explorers"}, noise, &rng,
+                                    "http://t/1");
+  // All three semantics present.
+  for (int c = 0; c < 3; ++c) {
+    bool found = false;
+    for (int sem : page.column_semantics) {
+      found |= sem == KnowledgeBase::SemanticId(topic, c);
+    }
+    EXPECT_TRUE(found) << "semantic " << c;
+  }
+  EXPECT_FALSE(page.body.empty());
+  EXPECT_NE(page.html.find("<table"), std::string::npos);
+}
+
+TEST(PageGeneratorTest, PageParsesBackToOneDataTable) {
+  KnowledgeBase kb(5);
+  PageGenerator gen(&kb);
+  Random rng(7);
+  PageNoise noise;
+  noise.p_layout_junk = 1.0;  // force junk; it must be filtered out
+  noise.p_form_junk = 1.0;
+  GeneratedPage page = gen.Generate(kb.FindTopic("dogs"), {0}, {}, noise,
+                                    &rng, "http://t/2");
+  auto tables = HarvestPage(page.html, page.url);
+  ASSERT_EQ(tables.size(), 1u)
+      << "junk tables must be rejected by the data-table filter";
+  EXPECT_EQ(tables[0].num_cols,
+            static_cast<int>(page.column_semantics.size()));
+}
+
+TEST(PageGeneratorTest, HeaderDistributionTracksNoise) {
+  KnowledgeBase kb(5);
+  PageGenerator gen(&kb);
+  Random rng(11);
+  PageNoise noise;
+  noise.p_no_header = 1.0;
+  GeneratedPage page = gen.Generate(kb.FindTopic("dogs"), {0}, {}, noise,
+                                    &rng, "http://t/3");
+  auto tables = HarvestPage(page.html, page.url);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].num_header_rows(), 0);
+}
+
+// ---------------------------------------------------------- ground truth
+
+TEST(GroundTruthTest, LabelsMatchSemantics) {
+  KnowledgeBase kb(1);
+  QuerySpec spec = Table1Workload()[0];  // "dog breed"
+  ResolvedQuery rq = Resolve(spec, kb);
+  TableTruth truth;
+  truth.topic = rq.topic;
+  truth.column_semantics = {rq.semantics[0], -1};
+  auto labels = TruthLabels(rq, &truth, 2);
+  EXPECT_EQ(labels, (std::vector<int>{0, kLabelNa}));
+}
+
+TEST(GroundTruthTest, WrongTopicIsNr) {
+  KnowledgeBase kb(1);
+  ResolvedQuery rq = Resolve(Table1Workload()[0], kb);
+  TableTruth truth;
+  truth.topic = rq.topic + 1;
+  truth.column_semantics = {rq.semantics[0]};
+  auto labels = TruthLabels(rq, &truth, 1);
+  EXPECT_EQ(labels, (std::vector<int>{kLabelNr}));
+}
+
+TEST(GroundTruthTest, MissingKeyIsNr) {
+  KnowledgeBase kb(1);
+  // Two-column query; table has the second column but not the key.
+  ResolvedQuery rq = Resolve(Table1Workload()[8], kb);  // banks | rates
+  ASSERT_EQ(rq.q(), 2);
+  TableTruth truth;
+  truth.topic = rq.topic;
+  truth.column_semantics = {rq.semantics[1], -1};
+  auto labels = TruthLabels(rq, &truth, 2);
+  EXPECT_EQ(labels, (std::vector<int>{kLabelNr, kLabelNr}));
+}
+
+TEST(GroundTruthTest, NoTruthMeansNoise) {
+  KnowledgeBase kb(1);
+  ResolvedQuery rq = Resolve(Table1Workload()[0], kb);
+  auto labels = TruthLabels(rq, nullptr, 3);
+  EXPECT_EQ(labels,
+            (std::vector<int>{kLabelNr, kLabelNr, kLabelNr}));
+}
+
+// ------------------------------------------------------ corpus generator
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  static const Corpus& GetCorpus() {
+    static Corpus* corpus = [] {
+      CorpusOptions options;
+      options.seed = 11;
+      options.scale = 0.15;  // small but real
+      return new Corpus(GenerateCorpus(options));
+    }();
+    return *corpus;
+  }
+};
+
+TEST_F(CorpusTest, ProducesTablesAndTruth) {
+  const Corpus& c = GetCorpus();
+  EXPECT_GT(c.store.size(), 100u);
+  EXPECT_EQ(c.index->num_docs(), c.store.size());
+  EXPECT_GT(c.truth.size(), c.store.size() / 2);
+  EXPECT_EQ(c.queries.size(), 59u);
+}
+
+TEST_F(CorpusTest, TruthColumnsMatchStoredTables) {
+  const Corpus& c = GetCorpus();
+  int checked = 0;
+  for (const auto& [id, truth] : c.truth) {
+    auto table = c.store.Get(id);
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(static_cast<int>(truth.column_semantics.size()),
+              table->num_cols);
+    if (++checked > 50) break;
+  }
+}
+
+TEST_F(CorpusTest, EveryQueryWithRelevantTargetHasRelevantTables) {
+  const Corpus& c = GetCorpus();
+  for (const ResolvedQuery& rq : c.queries) {
+    if (rq.spec.target_relevant < 10) continue;  // scale may round low
+    int relevant = 0;
+    for (const auto& [id, truth] : c.truth) {
+      if (truth.topic != rq.topic) continue;
+      auto table = c.store.Get(id);
+      ASSERT_TRUE(table.ok());
+      auto labels = TruthLabels(rq, &truth, table->num_cols);
+      bool rel = false;
+      for (int l : labels) rel |= (l != kLabelNr);
+      relevant += rel;
+    }
+    EXPECT_GT(relevant, 0) << rq.spec.name;
+  }
+}
+
+TEST_F(CorpusTest, HarvestStatsShapeMatchesPaper) {
+  const HarvestStats& s = GetCorpus().harvest_stats;
+  // More table tags than data tables (junk gets filtered).
+  EXPECT_GT(s.table_tags, s.data_tables);
+  // Header distribution: one-row headers dominate, some headerless.
+  int h0 = s.header_row_histogram.count(0)
+               ? s.header_row_histogram.at(0) : 0;
+  int h1 = s.header_row_histogram.count(1)
+               ? s.header_row_histogram.at(1) : 0;
+  EXPECT_GT(h1, h0);
+  EXPECT_GT(h0, 0);
+}
+
+TEST_F(CorpusTest, DeterministicAcrossRuns) {
+  CorpusOptions options;
+  options.seed = 77;
+  options.scale = 0.05;
+  Corpus a = GenerateCorpus(options);
+  Corpus b = GenerateCorpus(options);
+  ASSERT_EQ(a.store.size(), b.store.size());
+  for (TableId id = 0; id < a.store.size(); id += 7) {
+    auto ta = a.store.Get(id);
+    auto tb = b.store.Get(id);
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    EXPECT_EQ(ta->url, tb->url);
+    EXPECT_EQ(ta->body, tb->body);
+  }
+}
+
+}  // namespace
+}  // namespace wwt

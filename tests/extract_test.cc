@@ -1,0 +1,380 @@
+// Copyright 2026 The WWT Authors
+
+#include <gtest/gtest.h>
+
+#include "extract/context_extractor.h"
+#include "extract/data_table_filter.h"
+#include "extract/harvester.h"
+#include "extract/header_detector.h"
+#include "extract/table_extractor.h"
+#include "html/html_parser.h"
+
+namespace wwt {
+namespace {
+
+RawTable ExtractFirst(const Document& doc) {
+  auto tables = ExtractRawTables(doc);
+  EXPECT_FALSE(tables.empty());
+  return tables.empty() ? RawTable{} : tables[0];
+}
+
+// ------------------------------------------------------- table extractor
+
+TEST(TableExtractorTest, BasicGrid) {
+  Document doc = ParseHtml(
+      "<table><tr><td>a</td><td>b</td></tr>"
+      "<tr><td>c</td><td>d</td></tr></table>");
+  RawTable t = ExtractFirst(doc);
+  ASSERT_EQ(t.num_rows(), 2);
+  ASSERT_EQ(t.num_cols, 2);
+  EXPECT_EQ(t.rows[0][0].text, "a");
+  EXPECT_EQ(t.rows[1][1].text, "d");
+}
+
+TEST(TableExtractorTest, RaggedRowsPadded) {
+  Document doc = ParseHtml(
+      "<table><tr><td>a</td><td>b</td><td>c</td></tr>"
+      "<tr><td>d</td></tr></table>");
+  RawTable t = ExtractFirst(doc);
+  EXPECT_EQ(t.num_cols, 3);
+  EXPECT_EQ(t.rows[1][0].text, "d");
+  EXPECT_FALSE(t.rows[1][1].present);
+  EXPECT_EQ(t.rows[1][2].text, "");
+}
+
+TEST(TableExtractorTest, ColspanExpandsWithTextTopLeft) {
+  Document doc = ParseHtml(
+      "<table><tr><td colspan=\"3\">Title</td></tr>"
+      "<tr><td>a</td><td>b</td><td>c</td></tr></table>");
+  RawTable t = ExtractFirst(doc);
+  EXPECT_EQ(t.num_cols, 3);
+  EXPECT_EQ(t.rows[0][0].text, "Title");
+  EXPECT_EQ(t.rows[0][1].text, "");
+  EXPECT_EQ(t.rows[0][2].text, "");
+}
+
+TEST(TableExtractorTest, RowspanOccupiesBelow) {
+  Document doc = ParseHtml(
+      "<table><tr><td rowspan=\"2\">x</td><td>a</td></tr>"
+      "<tr><td>b</td></tr></table>");
+  RawTable t = ExtractFirst(doc);
+  ASSERT_EQ(t.num_cols, 2);
+  EXPECT_EQ(t.rows[0][0].text, "x");
+  EXPECT_EQ(t.rows[1][0].text, "");   // covered by rowspan
+  EXPECT_EQ(t.rows[1][1].text, "b");  // pushed to column 1
+}
+
+TEST(TableExtractorTest, FormatFlagsDetected) {
+  Document doc = ParseHtml(
+      "<table><tr bgcolor=\"#eee\"><th><b>H</b></th>"
+      "<td><i>i</i></td></tr></table>");
+  RawTable t = ExtractFirst(doc);
+  EXPECT_TRUE(t.rows[0][0].is_th);
+  EXPECT_TRUE(t.rows[0][0].bold);
+  EXPECT_TRUE(t.rows[0][1].italic);
+  EXPECT_EQ(t.rows[0][0].bgcolor, "#eee");  // inherited from <tr>
+}
+
+TEST(TableExtractorTest, NestedTableTextExcludedFromCell) {
+  Document doc = ParseHtml(
+      "<table><tr><td>outer<table><tr><td>inner</td></tr></table>"
+      "</td></tr><tr><td>x</td></tr></table>");
+  auto tables = ExtractRawTables(doc);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].rows[0][0].text, "outer");
+  EXPECT_EQ(tables[1].rows[0][0].text, "inner");
+}
+
+TEST(TableExtractorTest, CaptionCaptured) {
+  Document doc = ParseHtml(
+      "<table><caption>Forest reserves</caption>"
+      "<tr><td>a</td></tr><tr><td>b</td></tr></table>");
+  RawTable t = ExtractFirst(doc);
+  EXPECT_EQ(t.caption, "Forest reserves");
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+// -------------------------------------------------------- header detector
+
+RawTable MakeGrid(const std::vector<std::vector<std::string>>& cells,
+                  int header_rows_bold = 0) {
+  RawTable t;
+  t.num_cols = static_cast<int>(cells[0].size());
+  for (size_t r = 0; r < cells.size(); ++r) {
+    std::vector<CellInfo> row;
+    for (const std::string& text : cells[r]) {
+      CellInfo c;
+      c.present = true;
+      c.text = text;
+      c.bold = static_cast<int>(r) < header_rows_bold;
+      row.push_back(c);
+    }
+    t.rows.push_back(row);
+  }
+  return t;
+}
+
+TEST(HeaderDetectorTest, BoldHeaderOverPlainBody) {
+  RawTable t = MakeGrid({{"Name", "Height"},
+                         {"Denali", "6190"},
+                         {"Logan", "5959"},
+                         {"Rainier", "4392"}},
+                        /*header_rows_bold=*/1);
+  HeaderDetection d = DetectHeaders(t);
+  EXPECT_EQ(d.num_header_rows, 1);
+  EXPECT_TRUE(d.title_rows.empty());
+}
+
+TEST(HeaderDetectorTest, TextualHeaderOverNumericBody) {
+  // No formatting at all; content signal (numeric body) must carry it.
+  RawTable t = MakeGrid({{"Year", "Score"},
+                         {"2001", "278"},
+                         {"2002", "271"},
+                         {"2003", "269"}});
+  HeaderDetection d = DetectHeaders(t);
+  EXPECT_EQ(d.num_header_rows, 1);
+}
+
+TEST(HeaderDetectorTest, NoHeaderWhenUniform) {
+  RawTable t = MakeGrid({{"Denali", "6190"},
+                         {"Logan", "5959"},
+                         {"Rainier", "4392"}});
+  HeaderDetection d = DetectHeaders(t);
+  EXPECT_EQ(d.num_header_rows, 0);
+  EXPECT_TRUE(d.title_rows.empty());
+}
+
+TEST(HeaderDetectorTest, TitleRowDetected) {
+  RawTable t = MakeGrid({{"Forest reserves", "", ""},
+                         {"ID", "Name", "Area"},
+                         {"7", "Shakespeare Hills", "2236"},
+                         {"9", "Plains Creek", "880"},
+                         {"13", "Welcome Swamp", "168"}},
+                        /*header_rows_bold=*/2);
+  HeaderDetection d = DetectHeaders(t);
+  ASSERT_EQ(d.title_rows.size(), 1u);
+  EXPECT_EQ(d.title_rows[0], "Forest reserves");
+  EXPECT_EQ(d.num_header_rows, 1);
+}
+
+TEST(HeaderDetectorTest, TwoSimilarHeaderRows) {
+  RawTable t = MakeGrid({{"Main areas", "Who"},
+                         {"explored", "(explorer)"},
+                         {"Oceania", "Abel Tasman"},
+                         {"Caribbean", "Columbus"},
+                         {"Canada", "Mackenzie"}},
+                        /*header_rows_bold=*/2);
+  HeaderDetection d = DetectHeaders(t);
+  EXPECT_EQ(d.num_header_rows, 2);
+}
+
+TEST(HeaderDetectorTest, ThHeaderDetected) {
+  Document doc = ParseHtml(
+      "<table><tr><th>A</th><th>B</th></tr>"
+      "<tr><td>1</td><td>2</td></tr>"
+      "<tr><td>3</td><td>4</td></tr></table>");
+  HeaderDetection d = DetectHeaders(ExtractFirst(doc));
+  EXPECT_EQ(d.num_header_rows, 1);
+}
+
+TEST(HeaderDetectorTest, SignatureComputation) {
+  CellInfo a;
+  a.present = true;
+  a.text = "2236";
+  CellInfo b;
+  b.present = true;
+  b.text = "Welcome Swamp";
+  auto sig = internal::ComputeSignature({a, b});
+  EXPECT_DOUBLE_EQ(sig.frac_numeric, 0.5);
+  EXPECT_EQ(sig.non_empty, 2);
+}
+
+// ------------------------------------------------------------ filter
+
+TEST(DataTableFilterTest, AcceptsDataTable) {
+  Document doc = ParseHtml(
+      "<table><tr><td>a</td><td>1</td></tr>"
+      "<tr><td>b</td><td>2</td></tr></table>");
+  EXPECT_EQ(ClassifyTable(ExtractFirst(doc)), TableVerdict::kAccepted);
+}
+
+TEST(DataTableFilterTest, RejectsSingleRow) {
+  Document doc = ParseHtml("<table><tr><td>nav</td><td>bar</td></tr></table>");
+  EXPECT_EQ(ClassifyTable(ExtractFirst(doc)), TableVerdict::kTooSmall);
+}
+
+TEST(DataTableFilterTest, RejectsForms) {
+  Document doc = ParseHtml(
+      "<table><tr><td>User</td><td><input type=\"text\"></td></tr>"
+      "<tr><td>Pass</td><td><input type=\"password\"></td></tr></table>");
+  EXPECT_EQ(ClassifyTable(ExtractFirst(doc)), TableVerdict::kForm);
+}
+
+TEST(DataTableFilterTest, RejectsCalendarByDayNames) {
+  std::string html = "<table><tr>";
+  for (const char* d : {"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}) {
+    html += std::string("<td>") + d + "</td>";
+  }
+  html += "</tr><tr>";
+  for (int i = 1; i <= 7; ++i) {
+    html += "<td>" + std::to_string(i) + "</td>";
+  }
+  html += "</tr></table>";
+  Document doc = ParseHtml(html);
+  EXPECT_EQ(ClassifyTable(ExtractFirst(doc)), TableVerdict::kCalendar);
+}
+
+TEST(DataTableFilterTest, RejectsProseLayout) {
+  std::string prose(400, 'x');
+  std::string html = "<table>";
+  for (int r = 0; r < 3; ++r) {
+    html += "<tr><td>" + prose + "</td></tr>";
+  }
+  html += "</table>";
+  Document doc = ParseHtml(html);
+  EXPECT_EQ(ClassifyTable(ExtractFirst(doc)), TableVerdict::kLayout);
+}
+
+TEST(DataTableFilterTest, RejectsMostlyEmpty) {
+  Document doc = ParseHtml(
+      "<table><tr><td>a</td><td></td><td></td><td></td></tr>"
+      "<tr><td></td><td></td><td></td><td></td></tr>"
+      "<tr><td></td><td></td><td></td><td>b</td></tr></table>");
+  EXPECT_EQ(ClassifyTable(ExtractFirst(doc)), TableVerdict::kSparse);
+}
+
+TEST(DataTableFilterTest, VerdictNames) {
+  EXPECT_STREQ(TableVerdictToString(TableVerdict::kAccepted), "accepted");
+  EXPECT_STREQ(TableVerdictToString(TableVerdict::kForm), "form");
+}
+
+// ----------------------------------------------------- context extractor
+
+TEST(ContextExtractorTest, SiblingTextCaptured) {
+  Document doc = ParseHtml(
+      "<html><body><h2>List of explorers</h2>"
+      "<p>This article lists explorations in history.</p>"
+      "<table id='t'><tr><td>a</td></tr><tr><td>b</td></tr></table>"
+      "</body></html>");
+  const DomNode* table = doc.root()->FindAll("table")[0];
+  auto snippets = ExtractContext(doc, table);
+  ASSERT_FALSE(snippets.empty());
+  bool saw_heading = false, saw_para = false;
+  for (const auto& s : snippets) {
+    if (s.text.find("explorers") != std::string::npos) saw_heading = true;
+    if (s.text.find("explorations") != std::string::npos) saw_para = true;
+  }
+  EXPECT_TRUE(saw_heading);
+  EXPECT_TRUE(saw_para);
+}
+
+TEST(ContextExtractorTest, CloserTextScoresHigher) {
+  Document doc = ParseHtml(
+      "<html><body><p>far away text</p><div>"
+      "<p>near text</p><table><tr><td>a</td></tr></table>"
+      "</div></body></html>");
+  const DomNode* table = doc.root()->FindAll("table")[0];
+  auto snippets = ExtractContext(doc, table);
+  double near_score = 0, far_score = 0;
+  for (const auto& s : snippets) {
+    if (s.text == "near text") near_score = s.score;
+    if (s.text == "far away text") far_score = s.score;
+  }
+  EXPECT_GT(near_score, far_score);
+}
+
+TEST(ContextExtractorTest, HeadingBoostsScore) {
+  Document doc = ParseHtml(
+      "<html><body><h1>Heading text</h1><p>plain text</p>"
+      "<table><tr><td>a</td></tr></table></body></html>");
+  const DomNode* table = doc.root()->FindAll("table")[0];
+  auto snippets = ExtractContext(doc, table);
+  double heading = 0, plain = 0;
+  for (const auto& s : snippets) {
+    if (s.text == "Heading text") heading = s.score;
+    if (s.text == "plain text") plain = s.score;
+  }
+  EXPECT_GT(heading, plain);
+}
+
+TEST(ContextExtractorTest, PageTitleIncluded) {
+  Document doc = ParseHtml(
+      "<html><head><title>Dog breeds - WebPedia</title></head>"
+      "<body><table><tr><td>a</td></tr></table></body></html>");
+  const DomNode* table = doc.root()->FindAll("table")[0];
+  auto snippets = ExtractContext(doc, table);
+  bool saw_title = false;
+  for (const auto& s : snippets) {
+    saw_title |= s.text.find("Dog breeds") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_title);
+}
+
+TEST(ContextExtractorTest, MaxSnippetsRespected) {
+  std::string html = "<html><body>";
+  for (int i = 0; i < 30; ++i) {
+    html += "<p>snippet " + std::to_string(i) + "</p>";
+  }
+  html += "<table><tr><td>a</td></tr></table></body></html>";
+  Document doc = ParseHtml(html);
+  const DomNode* table = doc.root()->FindAll("table")[0];
+  ContextOptions options;
+  options.max_snippets = 5;
+  EXPECT_EQ(ExtractContext(doc, table, options).size(), 5u);
+}
+
+// ------------------------------------------------------------- harvester
+
+TEST(HarvesterTest, EndToEndPage) {
+  const std::string html =
+      "<html><head><title>Explorers</title></head><body>"
+      "<h1>List of explorers</h1><p>Great explorations in history.</p>"
+      "<table><tr><th>Name</th><th>Nationality</th></tr>"
+      "<tr><td>Abel Tasman</td><td>Dutch</td></tr>"
+      "<tr><td>Vasco da Gama</td><td>Portuguese</td></tr></table>"
+      "<table><tr><td>Login<input></td></tr><tr><td>x</td></tr></table>"
+      "</body></html>";
+  HarvestStats stats;
+  auto tables = HarvestPage(html, "http://x/1", {}, &stats);
+  ASSERT_EQ(tables.size(), 1u);  // the form table is rejected
+  EXPECT_EQ(stats.table_tags, 2);
+  EXPECT_EQ(stats.data_tables, 1);
+  const WebTable& t = tables[0];
+  EXPECT_EQ(t.url, "http://x/1");
+  EXPECT_EQ(t.ordinal, 0);
+  EXPECT_EQ(t.num_cols, 2);
+  ASSERT_EQ(t.num_header_rows(), 1);
+  EXPECT_EQ(t.header_rows[0][1], "Nationality");
+  ASSERT_EQ(t.num_body_rows(), 2);
+  EXPECT_EQ(t.body[1][0], "Vasco da Gama");
+  EXPECT_FALSE(t.context.empty());
+}
+
+TEST(HarvesterTest, StatsMergeAndHistogram) {
+  HarvestStats a, b;
+  a.table_tags = 2;
+  a.data_tables = 1;
+  a.header_row_histogram[1] = 1;
+  b.table_tags = 3;
+  b.data_tables = 2;
+  b.header_row_histogram[1] = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.table_tags, 5);
+  EXPECT_EQ(a.data_tables, 3);
+  EXPECT_EQ(a.header_row_histogram[1], 3);
+}
+
+TEST(HarvesterTest, CaptionBecomesTitle) {
+  const std::string html =
+      "<table><caption>Forest reserves</caption>"
+      "<tr><th>ID</th><th>Area</th></tr>"
+      "<tr><td>7</td><td>2236</td></tr>"
+      "<tr><td>9</td><td>880</td></tr></table>";
+  auto tables = HarvestPage(html, "http://x/2");
+  ASSERT_EQ(tables.size(), 1u);
+  ASSERT_FALSE(tables[0].title_rows.empty());
+  EXPECT_EQ(tables[0].title_rows[0], "Forest reserves");
+}
+
+}  // namespace
+}  // namespace wwt

@@ -1,0 +1,373 @@
+// Copyright 2026 The WWT Authors
+//
+// Flow-solver tests. The max-marginal computation (Fig. 3) and the
+// constrained cut (Fig. 4) are verified against brute-force enumeration
+// on randomized instances — these are the algorithms the whole column
+// mapper rests on.
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "flow/bipartite_matcher.h"
+#include "flow/constrained_cut.h"
+#include "flow/max_flow.h"
+#include "flow/min_cost_flow.h"
+#include "util/random.h"
+
+namespace wwt {
+namespace {
+
+// ------------------------------------------------------------------ MCMF
+
+TEST(MinCostFlowTest, SimplePath) {
+  MinCostMaxFlow mcmf(3);
+  int e = mcmf.AddEdge(0, 1, 5, 1.0);
+  mcmf.AddEdge(1, 2, 3, 2.0);
+  auto r = mcmf.Solve(0, 2);
+  EXPECT_EQ(r.flow, 3);
+  EXPECT_DOUBLE_EQ(r.cost, 9.0);
+  EXPECT_EQ(mcmf.Flow(e), 3);
+  EXPECT_EQ(mcmf.ResidualCap(e), 2);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  MinCostMaxFlow mcmf(4);
+  int cheap = mcmf.AddEdge(0, 1, 1, 1.0);
+  mcmf.AddEdge(1, 3, 1, 0.0);
+  int costly = mcmf.AddEdge(0, 2, 1, 10.0);
+  mcmf.AddEdge(2, 3, 1, 0.0);
+  auto r = mcmf.Solve(0, 3);
+  EXPECT_EQ(r.flow, 2);  // max flow still saturates both
+  EXPECT_DOUBLE_EQ(r.cost, 11.0);
+  EXPECT_EQ(mcmf.Flow(cheap), 1);
+  EXPECT_EQ(mcmf.Flow(costly), 1);
+}
+
+TEST(MinCostFlowTest, NegativeCostEdges) {
+  MinCostMaxFlow mcmf(3);
+  mcmf.AddEdge(0, 1, 1, -5.0);
+  mcmf.AddEdge(1, 2, 1, -5.0);
+  auto r = mcmf.Solve(0, 2);
+  EXPECT_EQ(r.flow, 1);
+  EXPECT_DOUBLE_EQ(r.cost, -10.0);
+}
+
+TEST(MinCostFlowTest, DisconnectedIsZero) {
+  MinCostMaxFlow mcmf(4);
+  mcmf.AddEdge(0, 1, 1, 1.0);
+  mcmf.AddEdge(2, 3, 1, 1.0);
+  auto r = mcmf.Solve(0, 3);
+  EXPECT_EQ(r.flow, 0);
+}
+
+TEST(MinCostFlowTest, ResidualDistances) {
+  MinCostMaxFlow mcmf(3);
+  mcmf.AddEdge(0, 1, 2, 1.0);
+  mcmf.AddEdge(1, 2, 1, 1.0);
+  mcmf.Solve(0, 2);
+  // After the solve, edge 1->2 is saturated; the reverse arc 2->1 exists
+  // with cost -1.
+  auto d = mcmf.ShortestDistancesFrom(2);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], -1.0);
+}
+
+// ------------------------------------------------- CapacitatedMatcher
+
+/// Brute-force maximum-weight b-matching by enumerating left->right
+/// assignments (right side may also absorb, capacity permitting).
+double BruteForceMatching(const BipartiteSpec& spec) {
+  const int nl = spec.num_left();
+  const int nr = spec.num_right();
+  // Each unit-capacity left node picks a right node or stays unmatched.
+  // (Brute force only supports left_cap == 1, which our tests use.)
+  std::vector<int> right_used(nr, 0);
+  double best = -1e18;
+  std::vector<int> choice(nl, -1);
+  std::function<void(int, double)> rec = [&](int l, double w) {
+    if (l == nl) {
+      best = std::max(best, w);
+      return;
+    }
+    rec(l + 1, w);  // unmatched
+    for (int r = 0; r < nr; ++r) {
+      if (right_used[r] < spec.right_cap[r]) {
+        ++right_used[r];
+        rec(l + 1, w + spec.weight[l][r]);
+        --right_used[r];
+      }
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+TEST(MatcherTest, SimpleAssignment) {
+  BipartiteSpec spec;
+  spec.left_cap = {1, 1};
+  spec.right_cap = {1, 1};
+  spec.weight = {{5, 1}, {2, 4}};
+  CapacitatedMatcher matcher(spec);
+  const BipartiteResult& r = matcher.Solve();
+  EXPECT_DOUBLE_EQ(r.total_weight, 9.0);
+  EXPECT_EQ(r.left_match[0], 0);
+  EXPECT_EQ(r.left_match[1], 1);
+}
+
+TEST(MatcherTest, CrossAssignmentWhenBetter) {
+  BipartiteSpec spec;
+  spec.left_cap = {1, 1};
+  spec.right_cap = {1, 1};
+  spec.weight = {{1, 10}, {10, 1}};
+  CapacitatedMatcher matcher(spec);
+  EXPECT_DOUBLE_EQ(matcher.Solve().total_weight, 20.0);
+}
+
+TEST(MatcherTest, CapacityAbsorbsMultipleLefts) {
+  BipartiteSpec spec;
+  spec.left_cap = {1, 1, 1};
+  spec.right_cap = {1, 3};
+  spec.weight = {{9, 1}, {8, 1}, {7, 1}};
+  CapacitatedMatcher matcher(spec);
+  // Only one left can take the 9/8/7 column; others take the second.
+  EXPECT_DOUBLE_EQ(matcher.Solve().total_weight, 9 + 1 + 1);
+}
+
+TEST(MatcherTest, NegativeWeightsStillSaturate) {
+  // With balanced capacities every left node is matched even at a loss
+  // (this is what the min-match constraint relies on).
+  BipartiteSpec spec;
+  spec.left_cap = {1};
+  spec.right_cap = {1};
+  spec.weight = {{-3}};
+  CapacitatedMatcher matcher(spec);
+  const BipartiteResult& r = matcher.Solve();
+  EXPECT_EQ(r.left_match[0], 0);
+  EXPECT_DOUBLE_EQ(r.total_weight, -3.0);
+}
+
+class MatcherPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherPropertyTest, MatchesBruteForce) {
+  Random rng(GetParam() * 7919 + 1);
+  const int nl = 1 + static_cast<int>(rng.Uniform(4));
+  const int nr = 1 + static_cast<int>(rng.Uniform(3));
+  BipartiteSpec spec;
+  spec.left_cap.assign(nl, 1);
+  spec.right_cap.resize(nr);
+  for (int r = 0; r < nr; ++r) {
+    spec.right_cap[r] = 1 + static_cast<int>(rng.Uniform(2));
+  }
+  spec.weight.assign(nl, std::vector<double>(nr));
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      spec.weight[l][r] = rng.NextDouble() * 4 - 1;  // mixed signs
+    }
+  }
+  double brute = BruteForceMatching(spec);
+  CapacitatedMatcher matcher(spec);
+  // The flow formulation saturates capacities; compare against brute
+  // force allowing unmatched lefts only when weights make it better --
+  // saturation can force negative edges, so flow weight <= brute.
+  EXPECT_LE(matcher.Solve().total_weight, brute + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherPropertyTest,
+                         ::testing::Range(0, 30));
+
+// ---------------------------------------------------- Max-marginals
+
+/// Brute force mu(l, r): best saturating assignment weight with l -> r
+/// forced (mirrors the flow formulation's semantics: all lefts matched,
+/// right capacities respected).
+double BruteForceMu(const BipartiteSpec& spec, int fl, int fr) {
+  const int nl = spec.num_left();
+  const int nr = spec.num_right();
+  std::vector<int> right_used(nr, 0);
+  double best = -std::numeric_limits<double>::infinity();
+  std::function<void(int, double)> rec = [&](int l, double w) {
+    if (l == nl) {
+      best = std::max(best, w);
+      return;
+    }
+    if (l == fl) {
+      if (right_used[fr] < spec.right_cap[fr]) {
+        ++right_used[fr];
+        rec(l + 1, w + spec.weight[l][fr]);
+        --right_used[fr];
+      }
+      return;
+    }
+    for (int r = 0; r < nr; ++r) {
+      if (right_used[r] < spec.right_cap[r]) {
+        ++right_used[r];
+        rec(l + 1, w + spec.weight[l][r]);
+        --right_used[r];
+      }
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+class MaxMarginalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMarginalPropertyTest, MatchesBruteForce) {
+  Random rng(GetParam() * 104729 + 13);
+  const int nl = 1 + static_cast<int>(rng.Uniform(4));   // columns
+  const int nq = 1 + static_cast<int>(rng.Uniform(3));   // query labels
+  BipartiteSpec spec;
+  spec.left_cap.assign(nl, 1);
+  spec.right_cap.assign(nq, 1);
+  spec.right_cap.push_back(nl);  // na absorbs everything
+  spec.weight.assign(nl, std::vector<double>(nq + 1));
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r <= nq; ++r) {
+      spec.weight[l][r] = rng.NextDouble() * 3 - 1;
+    }
+  }
+  CapacitatedMatcher matcher(spec);
+  matcher.Solve();
+  auto mu = matcher.MaxMarginals();
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r <= nq; ++r) {
+      double brute = BruteForceMu(spec, l, r);
+      ASSERT_NEAR(mu[l][r], brute, 1e-6)
+          << "mu(" << l << "," << r << ") seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMarginalPropertyTest,
+                         ::testing::Range(0, 40));
+
+// ------------------------------------------------------------- Max flow
+
+TEST(MaxFlowTest, ClassicNetwork) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 3);
+  flow.AddEdge(0, 2, 2);
+  flow.AddEdge(1, 2, 1);
+  flow.AddEdge(1, 3, 2);
+  flow.AddEdge(2, 3, 3);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 3), 5.0);
+}
+
+TEST(MaxFlowTest, SourceSideAfterCut) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 10);
+  flow.AddEdge(1, 2, 1);  // bottleneck
+  flow.AddEdge(2, 3, 10);
+  flow.Solve(0, 3);
+  auto side = flow.SourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlowTest, IncrementalCapacityIncrease) {
+  MaxFlow flow(3);
+  int e = flow.AddEdge(0, 1, 1);
+  flow.AddEdge(1, 2, 5);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 2), 1.0);
+  flow.IncreaseCap(e, 2);
+  EXPECT_DOUBLE_EQ(flow.Solve(0, 2), 2.0);  // additional flow
+  EXPECT_DOUBLE_EQ(flow.TotalFlow(), 3.0);
+}
+
+// ------------------------------------------------- Constrained min-cut
+
+// Terminal-cap semantics: a vertex on the t side cuts its s-edge (pays
+// s_cap); on the s side it cuts its t-edge (pays t_cap). So a large
+// t_cap pulls the vertex toward the t side.
+
+TEST(ConstrainedCutTest, UnconstrainedEqualsMinCut) {
+  ConstrainedMinCut cut(2);
+  cut.AddTerminalCaps(0, 5, 1);  // cheaper on the s side
+  cut.AddTerminalCaps(1, 1, 5);  // cheaper on the t side
+  auto r = cut.Solve();
+  EXPECT_FALSE(r.t_side[0]);
+  EXPECT_TRUE(r.t_side[1]);
+  EXPECT_DOUBLE_EQ(r.cut_value, 2.0);
+}
+
+TEST(ConstrainedCutTest, GroupLimitEnforced) {
+  ConstrainedMinCut cut(3);
+  // All three prefer the t side (forcing one to s costs 10).
+  for (int v = 0; v < 3; ++v) cut.AddTerminalCaps(v, 1, 10);
+  cut.AddGroup({0, 1, 2});
+  auto r = cut.Solve();
+  int on_t = r.t_side[0] + r.t_side[1] + r.t_side[2];
+  EXPECT_LE(on_t, 1);
+}
+
+TEST(ConstrainedCutTest, KeepsCheapestSurvivor) {
+  ConstrainedMinCut cut(2);
+  cut.AddTerminalCaps(0, 1, 100);  // expensive to force to the s side
+  cut.AddTerminalCaps(1, 1, 3);    // cheap to force to the s side
+  cut.AddGroup({0, 1});
+  auto r = cut.Solve();
+  EXPECT_TRUE(r.t_side[0]);   // survivor = the expensive one
+  EXPECT_FALSE(r.t_side[1]);
+}
+
+TEST(ConstrainedCutTest, DuplicateGroupMembersDeduplicated) {
+  // Regression: a duplicated vertex in a group used to make the group
+  // permanently violated (infinite repair loop).
+  ConstrainedMinCut cut(2);
+  cut.AddTerminalCaps(0, 1, 10);
+  cut.AddTerminalCaps(1, 1, 10);
+  cut.AddGroup({0, 0, 1, 1});
+  auto r = cut.Solve();
+  EXPECT_LE(r.t_side[0] + r.t_side[1], 1);
+}
+
+TEST(ConstrainedCutTest, ForcedSidesRespected) {
+  ConstrainedMinCut cut(2);
+  cut.AddTerminalCaps(0, 10, 1);
+  cut.AddTerminalCaps(1, 1, 10);
+  cut.ForceSourceSide(0);
+  cut.ForceSinkSide(1);
+  auto r = cut.Solve();
+  EXPECT_FALSE(r.t_side[0]);
+  EXPECT_TRUE(r.t_side[1]);
+}
+
+TEST(ConstrainedCutTest, PairwiseEdgesCouple) {
+  ConstrainedMinCut cut(2);
+  cut.AddTerminalCaps(0, 0, 10);   // 0 wants t
+  cut.AddTerminalCaps(1, 10, 0);   // 1 wants s
+  cut.AddPairwise(1, 0, 100, 100);  // but separating them is expensive
+  auto r = cut.Solve();
+  EXPECT_EQ(r.t_side[0], r.t_side[1]);
+}
+
+class ConstrainedCutPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConstrainedCutPropertyTest, NeverViolatesGroups) {
+  Random rng(GetParam() * 31 + 5);
+  const int n = 6 + static_cast<int>(rng.Uniform(4));
+  ConstrainedMinCut cut(n);
+  for (int v = 0; v < n; ++v) {
+    cut.AddTerminalCaps(v, rng.NextDouble() * 10, rng.NextDouble() * 10);
+  }
+  for (int k = 0; k < n; ++k) {
+    int u = static_cast<int>(rng.Uniform(n));
+    int v = static_cast<int>(rng.Uniform(n));
+    if (u != v) cut.AddPairwise(u, v, rng.NextDouble() * 3, 0);
+  }
+  // Two disjoint groups covering a prefix of the vertices.
+  cut.AddGroup({0, 1, 2});
+  cut.AddGroup({3, 4});
+  auto r = cut.Solve();
+  EXPECT_LE(r.t_side[0] + r.t_side[1] + r.t_side[2], 1);
+  EXPECT_LE(r.t_side[3] + r.t_side[4], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainedCutPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace wwt

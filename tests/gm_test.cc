@@ -1,0 +1,210 @@
+// Copyright 2026 The WWT Authors
+//
+// Graphical-model inference tests: BP exact on trees, α-expansion vs
+// brute force on random submodular instances, TRW-S sanity, and the
+// mutex-group constraint of the paper's modified α-expansion.
+
+#include <gtest/gtest.h>
+
+#include "gm/alpha_expansion.h"
+#include "gm/belief_propagation.h"
+#include "gm/mrf.h"
+#include "gm/trws.h"
+#include "util/random.h"
+
+namespace wwt {
+namespace {
+
+// ------------------------------------------------------------------- Mrf
+
+TEST(MrfTest, EnergyEvaluation) {
+  Mrf mrf;
+  mrf.num_labels = 2;
+  mrf.AddNode({0.0, 1.0});
+  mrf.AddNode({2.0, 0.0});
+  mrf.AddEdge(0, 1, {0.0, 3.0, 3.0, 0.0});  // Potts
+  EXPECT_DOUBLE_EQ(mrf.Energy({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(mrf.Energy({0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(mrf.Energy({1, 1}), 1.0);
+}
+
+TEST(MrfTest, BruteForceFindsOptimum) {
+  Mrf mrf;
+  mrf.num_labels = 3;
+  mrf.AddNode({5, 0, 2});
+  mrf.AddNode({1, 4, 0});
+  auto best = BruteForceMinimize(mrf);
+  EXPECT_EQ(best, (std::vector<int>{1, 2}));
+}
+
+// -------------------------------------------------------------------- BP
+
+TEST(BpTest, SingleNodeArgmin) {
+  Mrf mrf;
+  mrf.num_labels = 3;
+  mrf.AddNode({3, 1, 2});
+  EXPECT_EQ(MinSumBeliefPropagation(mrf), (std::vector<int>{1}));
+}
+
+TEST(BpTest, ExactOnChain) {
+  // Chain with attractive couplings; BP is exact on trees.
+  Mrf mrf;
+  mrf.num_labels = 2;
+  mrf.AddNode({0, 2});
+  mrf.AddNode({1, 1});
+  mrf.AddNode({2, 0});
+  std::vector<double> potts{0, 1.5, 1.5, 0};
+  mrf.AddEdge(0, 1, potts);
+  mrf.AddEdge(1, 2, potts);
+  auto bp = MinSumBeliefPropagation(mrf);
+  auto brute = BruteForceMinimize(mrf);
+  EXPECT_DOUBLE_EQ(mrf.Energy(bp), mrf.Energy(brute));
+}
+
+TEST(BpTest, ExactOnStarTree) {
+  Mrf mrf;
+  mrf.num_labels = 3;
+  Random rng(99);
+  for (int i = 0; i < 5; ++i) {
+    mrf.AddNode({rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+  }
+  for (int leaf = 1; leaf < 5; ++leaf) {
+    std::vector<double> e(9);
+    for (auto& x : e) x = rng.NextDouble();
+    mrf.AddEdge(0, leaf, e);
+  }
+  BpOptions options;
+  options.damping = 0.0;  // trees need no damping
+  auto bp = MinSumBeliefPropagation(mrf, options);
+  auto brute = BruteForceMinimize(mrf);
+  EXPECT_NEAR(mrf.Energy(bp), mrf.Energy(brute), 1e-9);
+}
+
+// ----------------------------------------------------------------- TRW-S
+
+TEST(TrwsTest, SingleNodeArgmin) {
+  Mrf mrf;
+  mrf.num_labels = 4;
+  mrf.AddNode({3, 1, 2, 5});
+  EXPECT_EQ(Trws(mrf), (std::vector<int>{1}));
+}
+
+TEST(TrwsTest, ExactOnChain) {
+  Mrf mrf;
+  mrf.num_labels = 2;
+  mrf.AddNode({0, 2});
+  mrf.AddNode({1, 1});
+  mrf.AddNode({2, 0});
+  std::vector<double> potts{0, 1.5, 1.5, 0};
+  mrf.AddEdge(0, 1, potts);
+  mrf.AddEdge(1, 2, potts);
+  auto labels = Trws(mrf);
+  auto brute = BruteForceMinimize(mrf);
+  EXPECT_NEAR(mrf.Energy(labels), mrf.Energy(brute), 1e-9);
+}
+
+// --------------------------------------------------------- α-expansion
+
+TEST(AlphaExpansionTest, UnaryOnly) {
+  Mrf mrf;
+  mrf.num_labels = 3;
+  mrf.AddNode({3, 1, 2});
+  mrf.AddNode({0, 5, 9});
+  EXPECT_EQ(AlphaExpansion(mrf), (std::vector<int>{1, 0}));
+}
+
+TEST(AlphaExpansionTest, AttractivePottsPullsTogether) {
+  Mrf mrf;
+  mrf.num_labels = 2;
+  mrf.AddNode({0.0, 0.4});   // slightly prefers 0
+  mrf.AddNode({0.6, 0.0});   // prefers 1
+  // Strong attraction: same label saves 2.0.
+  mrf.AddEdge(0, 1, {-2.0, 0.0, 0.0, -2.0});
+  auto labels = AlphaExpansion(mrf);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NEAR(mrf.Energy(labels),
+              mrf.Energy(BruteForceMinimize(mrf)), 1e-9);
+}
+
+class AlphaExpansionPropertyTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaExpansionPropertyTest, MatchesBruteForceOnPottsModels) {
+  // Random attractive-Potts instances (the mapper's edge family):
+  // pairwise reward for equal labels, arbitrary unaries. Every move is
+  // submodular and α-expansion has strong guarantees for Potts.
+  Random rng(GetParam() * 271 + 3);
+  const int n = 2 + static_cast<int>(rng.Uniform(4));
+  const int L = 2 + static_cast<int>(rng.Uniform(3));
+  Mrf mrf;
+  mrf.num_labels = L;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> unary(L);
+    for (auto& u : unary) u = rng.NextDouble() * 4 - 2;
+    mrf.AddNode(std::move(unary));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!rng.Bernoulli(0.6)) continue;
+      double reward = rng.NextDouble() * 1.5;
+      std::vector<double> e(L * L, 0.0);
+      for (int l = 0; l < L; ++l) e[l * L + l] = -reward;
+      mrf.AddEdge(i, j, std::move(e));
+    }
+  }
+  auto labels = AlphaExpansion(mrf);
+  auto brute = BruteForceMinimize(mrf);
+  // α-expansion is optimal for 2 labels and near-optimal for Potts; we
+  // require it to never be worse than 1.01x brute force + epsilon on
+  // these small instances (empirically it is exact).
+  EXPECT_LE(mrf.Energy(labels), mrf.Energy(brute) + 1e-6 +
+                                    0.01 * std::abs(mrf.Energy(brute)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlphaExpansionPropertyTest,
+                         ::testing::Range(0, 30));
+
+TEST(AlphaExpansionTest, MutexGroupLimitsLabel) {
+  // Three nodes all strongly preferring label 1, but in one mutex group
+  // constrained for label 1: at most one may take it.
+  Mrf mrf;
+  mrf.num_labels = 2;
+  for (int i = 0; i < 3; ++i) mrf.AddNode({5.0, 0.0});
+  AlphaExpansionOptions options;
+  options.init_label = 0;
+  options.mutex_groups = {{0, 1, 2}};
+  options.constrained_labels = {1};
+  auto labels = AlphaExpansion(mrf, options);
+  int ones = 0;
+  for (int l : labels) ones += (l == 1);
+  EXPECT_LE(ones, 1);
+}
+
+TEST(AlphaExpansionTest, UnconstrainedLabelUnaffectedByGroups) {
+  Mrf mrf;
+  mrf.num_labels = 2;
+  for (int i = 0; i < 3; ++i) mrf.AddNode({5.0, 0.0});
+  AlphaExpansionOptions options;
+  options.init_label = 0;
+  options.mutex_groups = {{0, 1, 2}};
+  options.constrained_labels = {};  // label 1 not constrained
+  auto labels = AlphaExpansion(mrf, options);
+  EXPECT_EQ(labels, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(AlphaExpansionTest, HardPairwisePenaltyRespected) {
+  // all-Irr style: exactly one of the pair at label 1 is forbidden.
+  Mrf mrf;
+  mrf.num_labels = 2;
+  mrf.AddNode({1.0, 0.0});  // prefers 1
+  mrf.AddNode({0.0, 1.0});  // prefers 0
+  std::vector<double> e(4, 0.0);
+  e[0 * 2 + 1] = kHardPenalty;
+  e[1 * 2 + 0] = kHardPenalty;
+  mrf.AddEdge(0, 1, e);
+  auto labels = AlphaExpansion(mrf);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+}  // namespace
+}  // namespace wwt

@@ -1,0 +1,87 @@
+// Copyright 2026 The WWT Authors
+
+#include <gtest/gtest.h>
+
+#include "eval/reliability.h"
+
+namespace wwt {
+namespace {
+
+TEST(ReliabilityTest, EmptyCasesKeepPaperDefaults) {
+  PartReliability p = EstimateReliability({});
+  EXPECT_DOUBLE_EQ(p.title, 1.0);
+  EXPECT_DOUBLE_EQ(p.context, 0.9);
+  EXPECT_DOUBLE_EQ(p.other_header_row, 0.5);
+  EXPECT_DOUBLE_EQ(p.other_header_col, 1.0);
+  EXPECT_DOUBLE_EQ(p.frequent_body, 0.8);
+}
+
+class ReliabilityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WebTable vocab;
+    vocab.id = 0;
+    vocab.num_cols = 1;
+    vocab.body = {{"winner year nobel prize name"}};
+    index_.Add(vocab);
+  }
+
+  EvalCase MakeCase(const std::vector<std::string>& query_cols,
+                    const std::vector<std::string>& context,
+                    const std::vector<std::vector<std::string>>& headers,
+                    std::vector<int> truth) {
+    EvalCase c;
+    c.query = Query::Parse(query_cols, index_);
+    WebTable t;
+    t.id = 1;
+    t.num_cols = static_cast<int>(headers[0].size());
+    t.header_rows = headers;
+    for (const auto& s : context) t.context.push_back({s, 1.0});
+    t.body = {{std::vector<std::string>(t.num_cols, "x")}};
+    c.retrieval.tables.push_back(CandidateTable::Build(t, index_));
+    c.truth.push_back(std::move(truth));
+    return c;
+  }
+
+  TableIndex index_;
+};
+
+TEST_F(ReliabilityFixture, ContextPartCountsCorrectMatches) {
+  // Query token "nobel" in context; the header-intersecting column is
+  // correctly labeled -> context reliability observation = correct.
+  EvalCase c = MakeCase({"nobel winner"}, {"nobel laureates"},
+                        {{"Winner", "Year"}}, {0, kLabelNa});
+  ReliabilityCounts counts;
+  PartReliability p = EstimateReliability({c}, &counts);
+  EXPECT_EQ(counts.context_hits, 1);
+  EXPECT_EQ(counts.context_correct, 1);
+  EXPECT_DOUBLE_EQ(p.context, 1.0);
+}
+
+TEST_F(ReliabilityFixture, WrongMatchLowersReliability) {
+  // The "Year" column intersects the query too ("winner year"-style
+  // confusion): labeled na in truth, so its observation counts against.
+  EvalCase good = MakeCase({"nobel winner"}, {"nobel page"},
+                           {{"Winner", "Name"}}, {0, kLabelNa});
+  EvalCase bad = MakeCase({"nobel winner"}, {"nobel page"},
+                          {{"Name", "Winner"}}, {kLabelNa, kLabelNr});
+  // `bad` is irrelevant per truth (nr present? column 1 nr) — make it a
+  // relevant table with a wrong match instead:
+  bad.truth[0] = {kLabelNa, kLabelNa};
+  ReliabilityCounts counts;
+  PartReliability p = EstimateReliability({good, bad}, &counts);
+  EXPECT_EQ(counts.context_hits, 2);
+  EXPECT_EQ(counts.context_correct, 1);
+  EXPECT_DOUBLE_EQ(p.context, 0.5);
+}
+
+TEST_F(ReliabilityFixture, IrrelevantTablesExcluded) {
+  EvalCase c = MakeCase({"nobel winner"}, {"nobel laureates"},
+                        {{"Winner"}}, {kLabelNr});
+  ReliabilityCounts counts;
+  EstimateReliability({c}, &counts);
+  EXPECT_EQ(counts.context_hits, 0);
+}
+
+}  // namespace
+}  // namespace wwt
