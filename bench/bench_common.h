@@ -32,6 +32,17 @@ inline uint64_t EnvSeed() {
   return s != nullptr ? std::strtoull(s, nullptr, 10) : 42;
 }
 
+/// Integer knob with a floor of 1 (0 / garbage fall back to `fallback`).
+inline int EnvInt(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  const int v = s != nullptr ? std::atoi(s) : fallback;
+  return v >= 1 ? v : fallback;
+}
+
+/// WWT_THREADS — batch concurrency of the runtime benches (default 1
+/// for undistorted per-query stage timing).
+inline int EnvThreads() { return EnvInt("WWT_THREADS", 1); }
+
 /// Everything the experiment benches share.
 struct Experiment {
   Corpus corpus;

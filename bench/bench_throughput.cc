@@ -1,0 +1,118 @@
+// Copyright 2026 The WWT Authors
+//
+// Batch-serving throughput: the Table 1 workload replicated into a batch
+// and pushed through QueryRunner at increasing thread counts. Reports
+// QPS, speedup over 1 thread, and p50/p95/p99 latency per sweep point,
+// and verifies that every concurrent result is byte-identical to serial
+// WwtEngine::Execute.
+//
+// Extra knobs (on top of bench_common's WWT_SCALE / WWT_SEED):
+//   WWT_BATCH_MULT   — workload replication factor (default 4)
+//   WWT_MAX_THREADS  — top of the thread sweep (default: max(4, hw))
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "wwt/query_runner.h"
+
+using namespace wwt;
+using namespace wwt::bench;
+
+namespace {
+
+std::string Fingerprint(const QueryExecution& exec) {
+  std::ostringstream out;
+  for (const CandidateTable& t : exec.retrieval.tables) {
+    out << t.table.id << ' ';
+  }
+  for (const TableMapping& tm : exec.mapping.tables) {
+    out << tm.relevant;
+    for (int l : tm.labels) out << ',' << l;
+    out << ';';
+  }
+  for (const AnswerRow& row : exec.answer.rows) {
+    for (const std::string& cell : row.cells) out << cell << '|';
+    out << row.support << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  CorpusOptions corpus_options;
+  corpus_options.seed = EnvSeed();
+  corpus_options.scale = EnvScale();
+  std::fprintf(stderr, "[bench] generating corpus (scale=%.2f seed=%llu)\n",
+               corpus_options.scale,
+               static_cast<unsigned long long>(corpus_options.seed));
+  Corpus corpus = GenerateCorpus(corpus_options);
+
+  // The batch: the whole workload, replicated.
+  const int mult = EnvInt("WWT_BATCH_MULT", 4);
+  std::vector<std::vector<std::string>> queries;
+  for (int m = 0; m < mult; ++m) {
+    for (const ResolvedQuery& rq : corpus.queries) {
+      std::vector<std::string> cols;
+      for (const QueryColumnSpec& col : rq.spec.columns) {
+        cols.push_back(col.keywords);
+      }
+      queries.push_back(std::move(cols));
+    }
+  }
+  std::fprintf(stderr, "[bench] %zu tables, %zu queries in batch\n",
+               corpus.store.size(), queries.size());
+
+  // Serial reference (also warms any OS-level caches).
+  WwtEngine engine(&corpus.store, corpus.index.get(), {});
+  std::vector<std::string> serial_fp;
+  serial_fp.reserve(queries.size());
+  WallTimer serial_timer;
+  for (const auto& q : queries) {
+    serial_fp.push_back(Fingerprint(engine.Execute(q)));
+  }
+  const double serial_seconds = serial_timer.ElapsedSeconds();
+
+  const int hw = ThreadPool::DefaultNumThreads();
+  const int max_threads = EnvInt("WWT_MAX_THREADS", std::max(4, hw));
+  std::printf("=== Batch serving throughput (hardware threads: %d) ===\n",
+              hw);
+  std::printf("serial reference: %.2f s for %zu queries (%.1f QPS)\n\n",
+              serial_seconds, queries.size(),
+              queries.size() / serial_seconds);
+  std::printf("%8s%10s%10s%12s%10s%10s%10s\n", "threads", "QPS",
+              "speedup", "batch(s)", "p50(ms)", "p95(ms)", "p99(ms)");
+
+  double qps1 = 0;
+  bool all_identical = true;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    RunnerOptions options;
+    options.num_threads = t;
+    QueryRunner runner(&corpus.store, corpus.index.get(), options);
+    BatchResult batch = runner.RunBatch(queries, t);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (Fingerprint(batch.executions[i]) != serial_fp[i]) {
+        all_identical = false;
+        std::fprintf(stderr,
+                     "[bench] MISMATCH vs serial at query %zu (%d threads)\n",
+                     i, t);
+      }
+    }
+    const BatchStats& s = batch.stats;
+    if (t == 1) qps1 = s.qps;
+    std::printf("%8d%10.1f%9.2fx%12.2f%10.2f%10.2f%10.2f\n", t, s.qps,
+                qps1 > 0 ? s.qps / qps1 : 0.0, s.wall_seconds,
+                s.latency.p50 * 1e3, s.latency.p95 * 1e3,
+                s.latency.p99 * 1e3);
+  }
+
+  std::printf("\nresults vs serial execution: %s\n",
+              all_identical ? "IDENTICAL" : "MISMATCH (bug!)");
+  if (hw == 1) {
+    std::printf("note: single hardware thread — speedup is bounded by "
+                "1.0x here; scaling shows on multicore hosts.\n");
+  }
+  return all_identical ? 0 : 1;
+}

@@ -57,6 +57,7 @@ MapResult BaselineMapper::Map(const Query& query,
       query_vec.Add(col.terms[i], col.term_weight[i]);
     }
   }
+  query_vec.Compact();
 
   FeatureComputer features(index_, options_.features);
 
@@ -111,6 +112,7 @@ MapResult BaselineMapper::Map(const Query& query,
         table_vec.Add(w, weight);
       }
     }
+    table_vec.Compact();
     double rel_score = SparseVector::Cosine(query_vec, table_vec);
 
     // PMI2 augmentation.

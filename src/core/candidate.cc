@@ -66,6 +66,10 @@ CandidateTable CandidateTable::Build(WebTable table,
         cand.frequent_terms_all.insert(t);
       }
     }
+    // Candidate tables are shared read-only across query threads;
+    // compact now so no reader ever sees a dirty vector.
+    col.header_vec.Compact();
+    col.content_vec.Compact();
   }
 
   cand.table = std::move(table);

@@ -67,6 +67,7 @@ double FeatureComputer::Segmented(const QueryColumn& ql,
     if (hrc.empty()) continue;
     SparseVector hvec;
     for (TermId w : hrc) hvec.Add(w, index_->idf().Idf(w));
+    hvec.Compact();
 
     // inSim of a query-token index range [b, e) against H_rc.
     auto in_sim = [&](size_t b, size_t e, double* norm_sq,
@@ -81,6 +82,7 @@ double FeatureComputer::Segmented(const QueryColumn& ql,
           hit = true;
         }
       }
+      pvec.Compact();
       *norm_sq = ns;
       *intersects = hit;
       if (!hit || ns <= 0) return 0.0;

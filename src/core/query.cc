@@ -17,6 +17,7 @@ Query Query::Parse(const std::vector<std::string>& col_keywords,
       col.term_weight.push_back(w);
       col.vec.Add(*id, w);
     }
+    col.vec.Compact();
     col.norm_squared = col.vec.NormSquared();
     query.cols.push_back(std::move(col));
     query.all_keywords.push_back(raw);

@@ -17,21 +17,38 @@ int EvalCase::num_relevant_truth() const {
   return n;
 }
 
-EvalHarness::EvalHarness(const Corpus* corpus, EngineOptions engine_options)
-    : corpus_(corpus), engine_options_(std::move(engine_options)) {}
+EvalHarness::EvalHarness(const Corpus* corpus, EngineOptions engine_options,
+                         int num_threads)
+    : corpus_(corpus),
+      engine_options_(std::move(engine_options)),
+      num_threads_(num_threads) {}
 
 std::vector<EvalCase> EvalHarness::BuildCases() {
-  WwtEngine engine(&corpus_->store, corpus_->index.get(), engine_options_);
-  std::vector<EvalCase> cases;
+  std::vector<std::vector<std::string>> keywords;
+  keywords.reserve(corpus_->queries.size());
   for (const ResolvedQuery& rq : corpus_->queries) {
+    std::vector<std::string> cols;
+    for (const QueryColumnSpec& col : rq.spec.columns) {
+      cols.push_back(col.keywords);
+    }
+    keywords.push_back(std::move(cols));
+  }
+
+  RunnerOptions runner_options;
+  runner_options.engine = engine_options_;
+  runner_options.num_threads = num_threads_;
+  QueryRunner runner(&corpus_->store, corpus_->index.get(), runner_options);
+  std::vector<QueryExecution> retrieved = runner.RetrieveBatch(keywords);
+
+  std::vector<EvalCase> cases;
+  cases.reserve(retrieved.size());
+  for (size_t i = 0; i < retrieved.size(); ++i) {
+    const ResolvedQuery& rq = corpus_->queries[i];
     EvalCase c;
     c.resolved = rq;
-    std::vector<std::string> keywords;
-    for (const QueryColumnSpec& col : rq.spec.columns) {
-      keywords.push_back(col.keywords);
-    }
-    c.query = Query::Parse(keywords, *corpus_->index);
-    c.retrieval = engine.Retrieve(c.query, &c.retrieval_timing);
+    c.query = std::move(retrieved[i].query);
+    c.retrieval = std::move(retrieved[i].retrieval);
+    c.retrieval_timing = std::move(retrieved[i].timing);
     for (const CandidateTable& table : c.retrieval.tables) {
       c.truth.push_back(TruthLabels(rq, corpus_->TruthFor(table.table.id),
                                     table.num_cols));

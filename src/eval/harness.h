@@ -16,6 +16,7 @@
 #include "corpus/corpus_generator.h"
 #include "eval/metrics.h"
 #include "wwt/engine.h"
+#include "wwt/query_runner.h"
 
 namespace wwt {
 
@@ -38,10 +39,15 @@ using MappingFn = std::function<MapResult(
 
 class EvalHarness {
  public:
-  /// `corpus` must outlive the harness.
-  EvalHarness(const Corpus* corpus, EngineOptions engine_options = {});
+  /// `corpus` must outlive the harness. `num_threads` sizes the batch
+  /// query runner used by BuildCases (0 = hardware concurrency; 1 =
+  /// fully serial).
+  EvalHarness(const Corpus* corpus, EngineOptions engine_options = {},
+              int num_threads = 0);
 
-  /// Runs retrieval + truth labeling for every workload query.
+  /// Runs retrieval + truth labeling for every workload query, batched
+  /// through the QueryRunner. Results are deterministic and identical to
+  /// serial retrieval (case order follows the workload order).
   std::vector<EvalCase> BuildCases();
 
   /// Per-query F1 error of `method` over `cases`.
@@ -66,6 +72,7 @@ class EvalHarness {
 
   const Corpus* corpus_;
   EngineOptions engine_options_;
+  int num_threads_;
 };
 
 }  // namespace wwt

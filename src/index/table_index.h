@@ -42,7 +42,9 @@ struct ScoredDoc {
 };
 
 /// Append-only in-memory inverted index. Build once, then query from any
-/// number of threads.
+/// number of threads: Search()/MatchAllIn*()/idf()/vocab() are pure
+/// reads with no hidden mutable state (audited for the batch query
+/// runner). Add() must not overlap queries.
 class TableIndex {
  public:
   explicit TableIndex(IndexOptions options = {},

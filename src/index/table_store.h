@@ -18,6 +18,11 @@
 namespace wwt {
 
 /// Append-only table storage keyed by dense TableId.
+///
+/// Thread safety: Get()/RecordSize() are pure reads with no hidden
+/// mutable state (audited for the batch query runner) — safe from any
+/// number of threads once building (Put/LoadFromFile) has finished.
+/// Writes must not overlap reads.
 class TableStore {
  public:
   /// Assigns the next id to `table` (overwriting table.id), serializes and

@@ -25,6 +25,45 @@ double IdfDictionary::Idf(TermId term) const {
   return std::log(1.0 + n / (1.0 + DocFreq(term)));
 }
 
+namespace {
+
+using Entries = std::vector<std::pair<TermId, double>>;
+
+/// Sorts by term and merges duplicate entries in place.
+void SortMerge(Entries* entries) {
+  std::sort(entries->begin(), entries->end());
+  size_t out = 0;
+  for (size_t i = 0; i < entries->size();) {
+    TermId t = (*entries)[i].first;
+    double sum = 0;
+    while (i < entries->size() && (*entries)[i].first == t) {
+      sum += (*entries)[i].second;
+      ++i;
+    }
+    (*entries)[out++] = {t, sum};
+  }
+  entries->resize(out);
+}
+
+double DotSorted(const Entries& a, const Entries& b) {
+  double dot = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace
+
 SparseVector SparseVector::FromTerms(const std::vector<TermId>& terms,
                                      const IdfProvider& idf) {
   SparseVector v;
@@ -32,6 +71,7 @@ SparseVector SparseVector::FromTerms(const std::vector<TermId>& terms,
     if (t == kInvalidTerm) continue;
     v.Add(t, idf.Idf(t));
   }
+  v.Compact();
   return v;
 }
 
@@ -42,23 +82,23 @@ void SparseVector::Add(TermId term, double weight) {
 
 void SparseVector::Compact() {
   if (!dirty_) return;
-  std::sort(entries_.begin(), entries_.end());
-  size_t out = 0;
-  for (size_t i = 0; i < entries_.size();) {
-    TermId t = entries_[i].first;
-    double sum = 0;
-    while (i < entries_.size() && entries_[i].first == t) {
-      sum += entries_[i].second;
-      ++i;
-    }
-    entries_[out++] = {t, sum};
-  }
-  entries_.resize(out);
+  SortMerge(&entries_);
   dirty_ = false;
 }
 
+// The const readers must not mutate shared state (vectors inside shared
+// candidate tables are read concurrently by the batch query runner), so a
+// still-dirty vector is handled by computing over a local sorted copy
+// instead of compacting in place.
+
 double SparseVector::Get(TermId term) const {
-  const_cast<SparseVector*>(this)->Compact();
+  if (dirty_) {
+    double sum = 0;
+    for (const auto& [t, w] : entries_) {
+      if (t == term) sum += w;
+    }
+    return sum;
+  }
   auto it = std::lower_bound(entries_.begin(), entries_.end(),
                              std::make_pair(term, 0.0),
                              [](const auto& a, const auto& b) {
@@ -69,28 +109,30 @@ double SparseVector::Get(TermId term) const {
 }
 
 double SparseVector::Dot(const SparseVector& other) const {
-  const_cast<SparseVector*>(this)->Compact();
-  const_cast<SparseVector*>(&other)->Compact();
-  double dot = 0;
-  size_t i = 0, j = 0;
-  while (i < entries_.size() && j < other.entries_.size()) {
-    if (entries_[i].first < other.entries_[j].first) {
-      ++i;
-    } else if (entries_[i].first > other.entries_[j].first) {
-      ++j;
-    } else {
-      dot += entries_[i].second * other.entries_[j].second;
-      ++i;
-      ++j;
-    }
+  if (!dirty_ && !other.dirty_) {
+    return DotSorted(entries_, other.entries_);
   }
-  return dot;
+  Entries a, b;
+  if (dirty_) {
+    a = entries_;
+    SortMerge(&a);
+  }
+  if (other.dirty_) {
+    b = other.entries_;
+    SortMerge(&b);
+  }
+  return DotSorted(dirty_ ? a : entries_, other.dirty_ ? b : other.entries_);
 }
 
 double SparseVector::NormSquared() const {
-  const_cast<SparseVector*>(this)->Compact();
   double s = 0;
-  for (const auto& [_, w] : entries_) s += w * w;
+  if (dirty_) {
+    Entries merged = entries_;
+    SortMerge(&merged);
+    for (const auto& [_, w] : merged) s += w * w;
+  } else {
+    for (const auto& [_, w] : entries_) s += w * w;
+  }
   return s;
 }
 

@@ -56,17 +56,26 @@ class IdfDictionary : public IdfProvider {
 
 /// Sparse vector over TermIds, kept sorted by term. Supports the TF-IDF
 /// algebra the mapper needs: dot products, squared norms, cosine.
+///
+/// Thread safety: the const readers never mutate, so a compacted vector
+/// can be read from any number of threads. Call Compact() once after the
+/// Add() build loop; reading a still-dirty vector is correct but falls
+/// back to a slower non-mutating path every call.
 class SparseVector {
  public:
   SparseVector() = default;
 
   /// Builds sum of TI weights per term from a token-id sequence: entry(w) =
-  /// tf(w) * idf(w). kInvalidTerm tokens are skipped.
+  /// tf(w) * idf(w). kInvalidTerm tokens are skipped. Compacted.
   static SparseVector FromTerms(const std::vector<TermId>& terms,
                                 const IdfProvider& idf);
 
   /// Adds `weight` to `term`'s entry.
   void Add(TermId term, double weight);
+
+  /// Sorts entries by term and merges duplicates. Idempotent. Must not
+  /// race with readers of the same vector (build-then-share).
+  void Compact();
 
   /// Entry for a term (0 if absent).
   double Get(TermId term) const;
@@ -81,15 +90,15 @@ class SparseVector {
 
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
+  bool compacted() const { return !dirty_; }
 
-  /// Sorted (term, weight) pairs.
+  /// (term, weight) pairs — sorted and duplicate-free only after
+  /// Compact(); raw insertion order (duplicates possible) before.
   const std::vector<std::pair<TermId, double>>& entries() const {
     return entries_;
   }
 
  private:
-  void Compact();
-
   std::vector<std::pair<TermId, double>> entries_;
   bool dirty_ = false;
 };

@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <climits>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(num_threads, 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+int ThreadPool::CurrentWorkerIndex() const {
+  return tls_pool == this ? tls_worker_index : -1;
+}
+
+int ThreadPool::DefaultNumThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WWT_CHECK(!stopping_) << "Submit() on a shut-down ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_pool = this;
+  tls_worker_index = worker_index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task routes any exception into the future; a bare
+    // std::function task that throws would terminate, as with std::thread.
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, int concurrency,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  int shards = concurrency <= 0 ? pool->num_threads() : concurrency;
+  shards = std::min<int>({shards, pool->num_threads(),
+                          static_cast<int>(std::min<size_t>(n, INT_MAX))});
+
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  std::vector<std::future<void>> done;
+  done.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    done.push_back(pool->Submit([next, n, &fn] {
+      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    }));
+  }
+  // Every shard must finish before we return (or rethrow): they hold
+  // references to the caller's stack (`fn`, `n`). The first exception is
+  // saved and rethrown only once all shards are done.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wwt

@@ -1,0 +1,91 @@
+// Copyright 2026 The WWT Authors
+//
+// Fixed-size worker pool over a FIFO task queue — the execution substrate
+// of the batch query-serving layer (QueryRunner) and the parallel
+// evaluation harness. Tasks are arbitrary callables submitted with
+// Submit(); results and exceptions travel back through std::future.
+
+#ifndef WWT_UTIL_THREAD_POOL_H_
+#define WWT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wwt {
+
+/// A fixed set of worker threads draining a shared FIFO queue.
+///
+/// * Submit() never blocks (the queue is unbounded) and is safe from any
+///   thread, including pool workers.
+/// * Tasks submitted from one thread start in FIFO order; with more than
+///   one worker they naturally run (and finish) concurrently.
+/// * An exception thrown by a task is captured into its future and
+///   rethrown by future::get() — workers never die from task exceptions.
+/// * Shutdown() (implied by the destructor) drains every already-queued
+///   task, then joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. Must not be
+  /// called after Shutdown().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Index of the calling worker in [0, num_threads()), or -1 when the
+  /// caller is not a thread of this pool. Lets per-thread state (e.g. one
+  /// WwtEngine per worker) be indexed without locks.
+  int CurrentWorkerIndex() const;
+
+  /// Finishes every queued task, then stops the workers. Idempotent;
+  /// called automatically by the destructor.
+  void Shutdown();
+
+  /// Hardware concurrency, always >= 1 (the portable default pool width).
+  static int DefaultNumThreads();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop(int worker_index);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1) on the pool, keeping at most `concurrency`
+/// (clamped to [1, pool->num_threads()]) invocations in flight; indices
+/// are claimed dynamically so uneven task costs still balance. Blocks the
+/// caller until every index finished. The first exception thrown by any
+/// fn(i) is rethrown here (remaining indices may be skipped).
+void ParallelFor(ThreadPool* pool, size_t n, int concurrency,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace wwt
+
+#endif  // WWT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,117 @@
+#include "wwt/query_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wwt {
+
+LatencySummary Summarize(std::vector<double> seconds) {
+  LatencySummary s;
+  s.count = seconds.size();
+  if (seconds.empty()) return s;
+  std::sort(seconds.begin(), seconds.end());
+  double sum = 0;
+  for (double v : seconds) sum += v;
+  s.mean = sum / seconds.size();
+  // Nearest-rank: percentile p is the ceil(p/100 * n)-th smallest.
+  auto rank = [&](double p) {
+    size_t r = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(seconds.size())));
+    return seconds[std::min(seconds.size() - 1, std::max<size_t>(r, 1) - 1)];
+  };
+  s.p50 = rank(50);
+  s.p95 = rank(95);
+  s.p99 = rank(99);
+  s.max = seconds.back();
+  return s;
+}
+
+QueryRunner::QueryRunner(const TableStore* store, const TableIndex* index,
+                         RunnerOptions options)
+    : store_(store),
+      index_(index),
+      options_(std::move(options)),
+      pool_(options_.num_threads > 0 ? options_.num_threads
+                                     : ThreadPool::DefaultNumThreads()) {
+  engines_.reserve(pool_.num_threads() + 1);
+  for (int i = 0; i < pool_.num_threads() + 1; ++i) {
+    engines_.push_back(
+        std::make_unique<WwtEngine>(store_, index_, options_.engine));
+  }
+}
+
+WwtEngine* QueryRunner::EngineForCurrentThread() {
+  return engines_[1 + pool_.CurrentWorkerIndex()].get();
+}
+
+BatchResult QueryRunner::RunBatch(
+    const std::vector<std::vector<std::string>>& queries, int concurrency) {
+  const size_t n = queries.size();
+  int shards = concurrency <= 0 || concurrency > pool_.num_threads()
+                   ? pool_.num_threads()
+                   : concurrency;
+
+  // Report the shard count actually used (ParallelFor never runs more
+  // shards than there are queries).
+  shards = static_cast<int>(std::min<size_t>(shards, n));
+
+  BatchResult result;
+  result.executions.resize(n);
+  std::vector<double> latency(n, 0.0);
+
+  WallTimer wall;
+  ParallelFor(&pool_, n, shards, [&](size_t i) {
+    WallTimer query_timer;
+    result.executions[i] = EngineForCurrentThread()->Execute(queries[i]);
+    latency[i] = query_timer.ElapsedSeconds();
+  });
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  result.stats = BuildStats(result.executions, latency, shards, wall_seconds);
+  return result;
+}
+
+std::vector<QueryExecution> QueryRunner::RetrieveBatch(
+    const std::vector<std::vector<std::string>>& queries, int concurrency) {
+  const size_t n = queries.size();
+  int shards = concurrency <= 0 || concurrency > pool_.num_threads()
+                   ? pool_.num_threads()
+                   : concurrency;
+
+  std::vector<QueryExecution> executions(n);
+  ParallelFor(&pool_, n, shards, [&](size_t i) {
+    QueryExecution& exec = executions[i];
+    WwtEngine* engine = EngineForCurrentThread();
+    exec.query = Query::Parse(queries[i], *index_);
+    exec.retrieval = engine->Retrieve(exec.query, &exec.timing);
+  });
+  return executions;
+}
+
+BatchStats QueryRunner::BuildStats(
+    const std::vector<QueryExecution>& executions,
+    const std::vector<double>& latency_seconds, int concurrency,
+    double wall_seconds) const {
+  BatchStats stats;
+  stats.num_queries = executions.size();
+  stats.concurrency = concurrency;
+  stats.wall_seconds = wall_seconds;
+  stats.qps = wall_seconds > 0 ? executions.size() / wall_seconds : 0;
+  stats.latency = Summarize(latency_seconds);
+
+  std::map<std::string, std::vector<double>> per_stage;
+  for (const QueryExecution& exec : executions) {
+    for (const auto& [stage, seconds] : exec.timing.stages()) {
+      stats.total_stage_time.Add(stage, seconds);
+      per_stage[stage].push_back(seconds);
+    }
+  }
+  for (auto& [stage, samples] : per_stage) {
+    stats.stage_latency[stage] = Summarize(std::move(samples));
+  }
+  return stats;
+}
+
+}  // namespace wwt

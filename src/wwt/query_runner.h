@@ -1,0 +1,117 @@
+// Copyright 2026 The WWT Authors
+//
+// QueryRunner: the batch query-serving layer. Owns a ThreadPool and one
+// WwtEngine per worker over the shared read-only TableStore/TableIndex,
+// and answers whole batches of column-keyword queries concurrently with
+// aggregate throughput and latency accounting (QPS, p50/p95/p99 per
+// stage, merged StageTimer) — the foundation the scaling work (sharding,
+// caching, async I/O) builds on.
+//
+// Per-query results are deterministic and identical to serial
+// WwtEngine::Execute: the pipeline's only randomness (second-probe row
+// sampling) is seeded from the query text, and all shared state is
+// immutable after corpus build.
+
+#ifndef WWT_WWT_QUERY_RUNNER_H_
+#define WWT_WWT_QUERY_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+#include "wwt/engine.h"
+
+namespace wwt {
+
+/// Latency distribution over a batch, in seconds.
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Nearest-rank percentile summary of `seconds` (not required sorted).
+LatencySummary Summarize(std::vector<double> seconds);
+
+/// Aggregate accounting for one RunBatch call.
+struct BatchStats {
+  size_t num_queries = 0;
+  /// Worker shards actually used for the batch.
+  int concurrency = 0;
+  /// Wall clock of the whole batch, and queries per second derived of it.
+  double wall_seconds = 0;
+  double qps = 0;
+  /// End-to-end per-query latency (one sample per query).
+  LatencySummary latency;
+  /// Per pipeline stage (kStage1stIndex...kStageConsolidate) latency
+  /// across queries.
+  std::map<std::string, LatencySummary> stage_latency;
+  /// Every query's StageTimer merged (total seconds per stage).
+  StageTimer total_stage_time;
+};
+
+/// A served batch: executions in input order + the aggregate stats.
+struct BatchResult {
+  std::vector<QueryExecution> executions;
+  BatchStats stats;
+};
+
+struct RunnerOptions {
+  EngineOptions engine;
+  /// Worker threads (and engines); 0 = ThreadPool::DefaultNumThreads().
+  int num_threads = 0;
+};
+
+/// Thread-pool query server over a built corpus. `store` and `index`
+/// are borrowed, must outlive the runner, and must not be mutated while
+/// batches are in flight (the index is build-once / read-many).
+class QueryRunner {
+ public:
+  QueryRunner(const TableStore* store, const TableIndex* index,
+              RunnerOptions options = {});
+
+  /// Runs every query (a list of column keywords each) through the full
+  /// pipeline with at most `concurrency` (0 / out-of-range = all pool
+  /// threads) queries in flight. Results are in input order.
+  BatchResult RunBatch(const std::vector<std::vector<std::string>>& queries,
+                       int concurrency = 0);
+
+  /// Parse + two-phase retrieval only, no column mapping/consolidation —
+  /// the evaluation-harness path (it maps the shared candidate sets with
+  /// every method itself). Results in input order; `mapping`/`answer` of
+  /// each execution are left empty.
+  std::vector<QueryExecution> RetrieveBatch(
+      const std::vector<std::vector<std::string>>& queries,
+      int concurrency = 0);
+
+  int num_threads() const { return pool_.num_threads(); }
+  const EngineOptions& engine_options() const { return options_.engine; }
+
+ private:
+  /// The engine owned by the calling pool worker (or the caller-thread
+  /// spare when invoked off-pool).
+  WwtEngine* EngineForCurrentThread();
+
+  /// Computes BatchStats from finished executions.
+  BatchStats BuildStats(const std::vector<QueryExecution>& executions,
+                        const std::vector<double>& latency_seconds,
+                        int concurrency, double wall_seconds) const;
+
+  const TableStore* store_;
+  const TableIndex* index_;
+  RunnerOptions options_;
+  /// engines_[0] serves off-pool callers; engines_[1 + w] worker w.
+  /// Declared before pool_ so the pool (and any in-flight task touching
+  /// an engine) is torn down first.
+  std::vector<std::unique_ptr<WwtEngine>> engines_;
+  ThreadPool pool_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_WWT_QUERY_RUNNER_H_

@@ -1,0 +1,236 @@
+// Copyright 2026 The WWT Authors
+//
+// QueryRunner: batch serving must be byte-identical to serial execution,
+// report sane aggregate stats, and the shared read paths (index, store,
+// candidate vectors) must hold up under concurrent probing.
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "wwt/query_runner.h"
+
+namespace wwt {
+namespace {
+
+class QueryRunnerTest : public ::testing::Test {
+ protected:
+  static const Corpus& GetCorpus() {
+    static Corpus* corpus = [] {
+      CorpusOptions options;
+      options.seed = 3;
+      options.scale = 0.25;
+      return new Corpus(GenerateCorpus(options));
+    }();
+    return *corpus;
+  }
+
+  /// The whole workload as keyword lists.
+  static std::vector<std::vector<std::string>> WorkloadQueries() {
+    std::vector<std::vector<std::string>> queries;
+    for (const ResolvedQuery& rq : GetCorpus().queries) {
+      std::vector<std::string> cols;
+      for (const QueryColumnSpec& col : rq.spec.columns) {
+        cols.push_back(col.keywords);
+      }
+      queries.push_back(std::move(cols));
+    }
+    return queries;
+  }
+
+  /// Serializes everything observable about one execution.
+  static std::string Fingerprint(const QueryExecution& exec) {
+    std::ostringstream out;
+    out << "retrieved:";
+    for (const CandidateTable& t : exec.retrieval.tables) {
+      out << ' ' << t.table.id;
+    }
+    out << "\nmapping:";
+    for (const TableMapping& tm : exec.mapping.tables) {
+      out << " [" << tm.id << ':' << tm.relevant;
+      for (int l : tm.labels) out << ',' << l;
+      out << ']';
+    }
+    out << "\nobjective: " << exec.mapping.objective << "\nanswer:\n";
+    for (const AnswerRow& row : exec.answer.rows) {
+      out << row.support << '|' << row.score;
+      for (const std::string& cell : row.cells) out << '|' << cell;
+      out << '\n';
+    }
+    return out.str();
+  }
+};
+
+TEST_F(QueryRunnerTest, BatchIdenticalToSerialExecution) {
+  const Corpus& c = GetCorpus();
+  const auto queries = WorkloadQueries();
+  ASSERT_FALSE(queries.empty());
+
+  // Serial reference: one engine, one query at a time.
+  WwtEngine engine(&c.store, c.index.get(), {});
+  std::vector<std::string> serial;
+  for (const auto& q : queries) serial.push_back(Fingerprint(engine.Execute(q)));
+
+  // Batch with 4 worker threads.
+  RunnerOptions options;
+  options.num_threads = 4;
+  QueryRunner runner(&c.store, c.index.get(), options);
+  BatchResult batch = runner.RunBatch(queries, 4);
+
+  ASSERT_EQ(batch.executions.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(Fingerprint(batch.executions[i]), serial[i])
+        << "query #" << i << " diverged under concurrency";
+  }
+}
+
+TEST_F(QueryRunnerTest, RepeatedBatchesAreDeterministic) {
+  const Corpus& c = GetCorpus();
+  const auto queries = WorkloadQueries();
+  RunnerOptions options;
+  options.num_threads = 3;
+  QueryRunner runner(&c.store, c.index.get(), options);
+
+  BatchResult first = runner.RunBatch(queries);
+  BatchResult second = runner.RunBatch(queries);
+  ASSERT_EQ(first.executions.size(), second.executions.size());
+  for (size_t i = 0; i < first.executions.size(); ++i) {
+    EXPECT_EQ(Fingerprint(first.executions[i]),
+              Fingerprint(second.executions[i]));
+  }
+}
+
+TEST_F(QueryRunnerTest, BatchStatsAreConsistent) {
+  const Corpus& c = GetCorpus();
+  const auto queries = WorkloadQueries();
+  RunnerOptions options;
+  options.num_threads = 2;
+  QueryRunner runner(&c.store, c.index.get(), options);
+  BatchResult batch = runner.RunBatch(queries, 2);
+  const BatchStats& s = batch.stats;
+
+  EXPECT_EQ(s.num_queries, queries.size());
+  EXPECT_EQ(s.concurrency, 2);
+  EXPECT_GT(s.wall_seconds, 0.0);
+  EXPECT_GT(s.qps, 0.0);
+  EXPECT_EQ(s.latency.count, queries.size());
+  EXPECT_LE(s.latency.p50, s.latency.p95);
+  EXPECT_LE(s.latency.p95, s.latency.p99);
+  EXPECT_LE(s.latency.p99, s.latency.max);
+  EXPECT_GT(s.latency.mean, 0.0);
+
+  // Merged stage accounting equals the sum over per-query timers.
+  double merged = 0;
+  for (const auto& [stage, seconds] : s.total_stage_time.stages()) {
+    EXPECT_TRUE(s.stage_latency.count(stage)) << stage;
+    merged += seconds;
+  }
+  double summed = 0;
+  for (const QueryExecution& exec : batch.executions) {
+    summed += exec.timing.Total();
+  }
+  EXPECT_NEAR(merged, summed, 1e-9);
+  // The mandatory first-probe stage is present.
+  EXPECT_TRUE(s.stage_latency.count(kStage1stIndex));
+}
+
+TEST_F(QueryRunnerTest, ConcurrencyClampAndEmptyBatch) {
+  const Corpus& c = GetCorpus();
+  RunnerOptions options;
+  options.num_threads = 2;
+  QueryRunner runner(&c.store, c.index.get(), options);
+
+  BatchResult empty = runner.RunBatch({});
+  EXPECT_TRUE(empty.executions.empty());
+  EXPECT_EQ(empty.stats.num_queries, 0u);
+
+  // concurrency beyond the pool width is clamped, not an error; the
+  // stats report the shards actually used (never more than queries).
+  BatchResult r = runner.RunBatch({{"country", "population"}}, 99);
+  EXPECT_EQ(r.executions.size(), 1u);
+  EXPECT_EQ(r.stats.concurrency, 1);
+
+  std::vector<std::vector<std::string>> three(3, {"country"});
+  EXPECT_EQ(runner.RunBatch(three, 99).stats.concurrency, 2);
+}
+
+TEST_F(QueryRunnerTest, RetrieveBatchMatchesSerialRetrieve) {
+  const Corpus& c = GetCorpus();
+  const auto queries = WorkloadQueries();
+  WwtEngine engine(&c.store, c.index.get(), {});
+  RunnerOptions options;
+  options.num_threads = 4;
+  QueryRunner runner(&c.store, c.index.get(), options);
+
+  std::vector<QueryExecution> batch = runner.RetrieveBatch(queries, 4);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Query q = Query::Parse(queries[i], *c.index);
+    RetrievalResult serial = engine.Retrieve(q, nullptr);
+    ASSERT_EQ(batch[i].retrieval.tables.size(), serial.tables.size());
+    for (size_t t = 0; t < serial.tables.size(); ++t) {
+      EXPECT_EQ(batch[i].retrieval.tables[t].table.id,
+                serial.tables[t].table.id);
+    }
+    EXPECT_EQ(batch[i].retrieval.used_second_probe,
+              serial.used_second_probe);
+    // Mapping/answer stay empty on the retrieval-only path.
+    EXPECT_TRUE(batch[i].mapping.tables.empty());
+    EXPECT_TRUE(batch[i].answer.rows.empty());
+  }
+}
+
+// Regression test for the shared-read-path audit: the index, store and
+// prebuilt candidate vectors are hammered from many threads at once.
+// Under ASan/UBSan (the CI sanitizer job) a lazily-mutating "const" read
+// path — like SparseVector's old compact-on-read — corrupts or races
+// here.
+TEST_F(QueryRunnerTest, SharedReadPathsSurviveConcurrentProbes) {
+  const Corpus& c = GetCorpus();
+  const TableIndex& index = *c.index;
+
+  // A shared dirty vector: const reads must not mutate it.
+  SparseVector shared_dirty;
+  for (TermId t = 0; t < 64; ++t) shared_dirty.Add(t % 8, 1.0);
+  ASSERT_FALSE(shared_dirty.compacted());
+  const SparseVector& dirty_ref = shared_dirty;
+
+  std::vector<ScoredDoc> expect_hits =
+      index.Search({"country", "population"}, 10);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 20; ++iter) {
+        std::vector<ScoredDoc> hits =
+            index.Search({"country", "population"}, 10);
+        if (hits.size() != expect_hits.size()) ok = false;
+        for (size_t i = 0; i < hits.size(); ++i) {
+          if (hits[i].doc != expect_hits[i].doc) ok = false;
+        }
+        index.MatchAllInHeaderOrContext({"country"});
+        index.MatchAllInContent({"india"});
+        for (TableId id = 0; id < std::min<TableId>(c.store.size(), 16);
+             ++id) {
+          if (!c.store.Get(id).ok()) ok = false;
+        }
+        // Concurrent reads of one dirty vector: correct sums, no mutation.
+        if (dirty_ref.Get(3) != 8.0) ok = false;
+        if (dirty_ref.NormSquared() != 8 * 64.0) ok = false;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_FALSE(shared_dirty.compacted()) << "const read mutated the vector";
+}
+
+}  // namespace
+}  // namespace wwt
