@@ -4,8 +4,12 @@
 // construction and the mapping functions of every compared method.
 // Environment knobs (so `for b in build/bench/*; do $b; done` stays fast
 // but scale is adjustable):
-//   WWT_SCALE  — corpus scale factor (default 0.5)
-//   WWT_SEED   — corpus seed (default 42)
+//   WWT_SCALE      — corpus scale factor (default 0.5)
+//   WWT_SEED       — corpus seed (default 42)
+//   WWT_SNAPSHOT   — when set, BuildExperiment build-or-loads the corpus
+//                    through the snapshot at this path (CI caches it)
+//   WWT_BENCH_JSON — when set, benches that support it write a JSON
+//                    summary to this path (the CI perf trajectory)
 
 #ifndef WWT_BENCH_BENCH_COMMON_H_
 #define WWT_BENCH_BENCH_COMMON_H_
@@ -19,6 +23,7 @@
 #include "eval/groups.h"
 #include "eval/harness.h"
 #include "eval/trainer.h"
+#include "index/snapshot.h"
 
 namespace wwt::bench {
 
@@ -48,22 +53,56 @@ struct Experiment {
   Corpus corpus;
   std::unique_ptr<EvalHarness> harness;
   std::vector<EvalCase> cases;
+  /// True when the corpus came out of the WWT_SNAPSHOT artifact instead
+  /// of a fresh generate+index build.
+  bool loaded_from_snapshot = false;
+  /// Seconds spent obtaining the corpus (load, or generate+save).
+  double corpus_seconds = 0;
 };
 
+/// Obtains the corpus for a bench run: a fresh build, or — when
+/// WWT_SNAPSHOT is set — a build-or-load through the snapshot file, so
+/// warm runs cold-start from the artifact like the serving path does.
 inline Experiment BuildExperiment(double scale = EnvScale(),
                                   uint64_t seed = EnvSeed()) {
   Experiment e;
   CorpusOptions options;
   options.seed = seed;
   options.scale = scale;
-  std::fprintf(stderr, "[bench] generating corpus (scale=%.2f seed=%llu)\n",
-               scale, static_cast<unsigned long long>(seed));
-  e.corpus = GenerateCorpus(options);
+  // BuildOrLoadCorpus with an empty path is a plain generate, so the
+  // WWT_SNAPSHOT dispatch lives in one place.
+  const std::string snapshot = SnapshotPathFromEnv();
+  BuildOrLoadResult result = BuildOrLoadCorpus(options, snapshot);
+  e.corpus = std::move(result.corpus);
+  e.loaded_from_snapshot = result.loaded;
+  e.corpus_seconds = result.seconds;
+  if (snapshot.empty()) {
+    std::fprintf(stderr,
+                 "[bench] generated corpus (scale=%.2f seed=%llu, %.2f s)\n",
+                 scale, static_cast<unsigned long long>(seed),
+                 result.seconds);
+  } else {
+    std::fprintf(stderr, "[bench] %s corpus via snapshot %s (%.2f s)\n",
+                 result.loaded ? "loaded" : "built", snapshot.c_str(),
+                 result.seconds);
+  }
   e.harness = std::make_unique<EvalHarness>(&e.corpus);
   e.cases = e.harness->BuildCases();
   std::fprintf(stderr, "[bench] %zu tables, %zu queries\n",
                e.corpus.store.size(), e.cases.size());
   return e;
+}
+
+/// Opens the WWT_BENCH_JSON output, or nullptr when the knob is unset.
+/// Callers own the FILE and close it with std::fclose.
+inline FILE* OpenBenchJson() {
+  const char* path = std::getenv("WWT_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return nullptr;
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write WWT_BENCH_JSON=%s\n", path);
+  }
+  return f;
 }
 
 /// Mapping function for a WWT configuration.

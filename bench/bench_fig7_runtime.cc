@@ -8,6 +8,8 @@
 //
 // Queries are served through the batch QueryRunner; WWT_THREADS (default
 // 1 for undistorted per-stage timing) sets the batch concurrency.
+// WWT_SNAPSHOT routes corpus construction through the snapshot artifact;
+// WWT_BENCH_JSON writes the machine-readable summary CI archives.
 
 #include "bench/bench_common.h"
 #include "wwt/query_runner.h"
@@ -84,5 +86,42 @@ int main() {
                                                       : 0.0);
   }
   std::printf("\n");
+
+  // Machine-readable summary for the CI perf trajectory.
+  if (FILE* json = OpenBenchJson()) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fig7_runtime\",\n"
+                 "  \"scale\": %.4f,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"tables\": %zu,\n"
+                 "  \"queries\": %zu,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"qps\": %.2f,\n"
+                 "  \"mean_total_ms\": %.4f,\n"
+                 "  \"corpus_seconds\": %.4f,\n"
+                 "  \"corpus_from_snapshot\": %s,\n",
+                 EnvScale(), static_cast<unsigned long long>(EnvSeed()),
+                 e.corpus.store.size(), rows.size(),
+                 batch.stats.concurrency, batch.stats.qps,
+                 total_all / rows.size(), e.corpus_seconds,
+                 e.loaded_from_snapshot ? "true" : "false");
+    std::fprintf(json, "  \"stage_total_ms\": {");
+    for (int s = 0; s < 6; ++s) {
+      std::fprintf(json, "\"%s\": %.4f%s", stages[s], stage_sum[s],
+                   s < 5 ? ", " : "");
+    }
+    std::fprintf(json, "},\n  \"stage_p95_ms\": {");
+    for (int s = 0; s < 6; ++s) {
+      auto it = batch.stats.stage_latency.find(stages[s]);
+      std::fprintf(json, "\"%s\": %.4f%s", stages[s],
+                   it != batch.stats.stage_latency.end()
+                       ? it->second.p95 * 1e3
+                       : 0.0,
+                   s < 5 ? ", " : "");
+    }
+    std::fprintf(json, "}\n}\n");
+    std::fclose(json);
+  }
   return 0;
 }

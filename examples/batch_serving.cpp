@@ -1,23 +1,36 @@
 // Copyright 2026 The WWT Authors
 //
-// Batch query serving: build a corpus once, then answer the whole
-// Table 1 workload in one QueryRunner batch and print the aggregate
-// serving stats — the programmatic face of the high-throughput layer.
+// Batch query serving: build a corpus once (or cold-start it from a
+// WWT_SNAPSHOT artifact), then answer the whole Table 1 workload in one
+// QueryRunner batch and print the aggregate serving stats — the
+// programmatic face of the high-throughput layer.
 //
 // Usage: batch_serving [scale] [threads]
+// Env:   WWT_SNAPSHOT=path.wwtsnap — build-or-load the corpus through a
+//        snapshot file instead of regenerating it every run.
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "corpus/corpus_generator.h"
+#include "index/snapshot.h"
 #include "wwt/query_runner.h"
 
 int main(int argc, char** argv) {
   wwt::CorpusOptions corpus_options;
   corpus_options.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
 
-  std::printf("Building corpus (scale %.2f)...\n", corpus_options.scale);
-  wwt::Corpus corpus = wwt::GenerateCorpus(corpus_options);
+  const std::string snapshot = wwt::SnapshotPathFromEnv();
+  std::printf(snapshot.empty()
+                  ? "Building corpus (scale %.2f)...\n"
+                  : "Build-or-load via WWT_SNAPSHOT (scale %.2f)...\n",
+              corpus_options.scale);
+  wwt::BuildOrLoadResult result =
+      wwt::BuildOrLoadCorpus(corpus_options, snapshot);
+  std::printf("%s in %.2f s\n",
+              result.loaded ? "Loaded snapshot" : "Built",
+              result.seconds);
+  wwt::Corpus corpus = std::move(result.corpus);
 
   // One runner for the process: a thread pool plus one engine per
   // worker over the shared read-only store and index.

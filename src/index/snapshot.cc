@@ -1,0 +1,647 @@
+#include "index/snapshot.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/serde.h"
+#include "util/timer.h"
+
+namespace wwt {
+
+namespace {
+
+/// Section tags (ASCII fourcc, little-endian). Unknown tags are skipped
+/// on load so new sections can be appended without a version bump;
+/// changing the LAYOUT of an existing section bumps
+/// kSnapshotFormatVersion instead.
+constexpr uint32_t SectionTag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr uint32_t kSecMeta = SectionTag('M', 'E', 'T', 'A');
+constexpr uint32_t kSecStore = SectionTag('S', 'T', 'O', 'R');
+constexpr uint32_t kSecIndex = SectionTag('I', 'N', 'D', 'X');
+constexpr uint32_t kSecTruth = SectionTag('T', 'R', 'T', 'H');
+constexpr uint32_t kSecQueries = SectionTag('Q', 'R', 'Y', 'S');
+constexpr uint32_t kSecHarvest = SectionTag('H', 'S', 'T', 'S');
+
+/// Fixed file header: magic + version + flags + payload size + checksum.
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+/// Sections are written in place: tag + a reserved u64 size slot,
+/// patched once the body is appended (no per-section buffering).
+size_t BeginSection(uint32_t tag, serde::Writer* w) {
+  w->WriteU32(tag);
+  w->WriteU64(0);  // size slot
+  return w->size();
+}
+
+void EndSection(size_t body_start, serde::Writer* w) {
+  w->PatchU64(body_start - sizeof(uint64_t), w->size() - body_start);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotCodec: the one place allowed to touch the private state of
+// TableStore / TableIndex / IdfDictionary (befriended by each).
+
+class SnapshotCodec {
+ public:
+  // ----- TableStore: the already-serialized records verbatim.
+  static void WriteStore(const TableStore& store, serde::Writer* w) {
+    w->WriteU64(store.records_.size());
+    for (const std::string& rec : store.records_) w->WriteString(rec);
+  }
+
+  static Status ReadStore(serde::Reader* r, TableStore* store) {
+    uint64_t count;
+    WWT_RETURN_NOT_OK(r->ReadU64(&count));
+    WWT_RETURN_NOT_OK(r->CheckCount(count, 8));
+    std::vector<std::string> records;
+    records.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string rec;
+      WWT_RETURN_NOT_OK(r->ReadString(&rec));
+      records.push_back(std::move(rec));
+    }
+    store->records_ = std::move(records);
+    return Status::OK();
+  }
+
+  // ----- TableIndex: options, vocabulary, idf, postings, field stats.
+  static void WriteIndex(const TableIndex& index, serde::Writer* w) {
+    const IndexOptions& opt = index.options_;
+    for (double boost : opt.boosts) w->WriteDouble(boost);
+    w->WriteU8(opt.drop_query_stopwords ? 1 : 0);
+
+    const TokenizerOptions& tok = index.tokenizer_.options();
+    w->WriteU8(tok.lowercase ? 1 : 0);
+    w->WriteU8(tok.strip_possessive ? 1 : 0);
+    w->WriteU8(tok.stem_plurals ? 1 : 0);
+    w->WriteU8(tok.drop_stopwords ? 1 : 0);
+    w->WriteU64(tok.min_token_length);
+
+    const Vocabulary& vocab = index.vocab_;
+    w->WriteU64(vocab.size());
+    for (TermId t = 0; t < vocab.size(); ++t) w->WriteString(vocab.Term(t));
+
+    const IdfDictionary& idf = index.idf_;
+    w->WriteU32(idf.num_docs_);
+    w->WriteU64(idf.df_.size());
+    for (uint32_t df : idf.df_) w->WriteU32(df);
+
+    w->WriteU64(index.doc_count_);
+    for (int f = 0; f < kNumFields; ++f) {
+      const auto& lens = index.field_len_[f];
+      w->WriteU64(lens.size());
+      for (uint32_t len : lens) w->WriteU32(len);
+
+      const auto& field_postings = index.postings_[f];
+      w->WriteU64(field_postings.size());
+      for (const auto& plist : field_postings) {
+        w->WriteU64(plist.size());
+        for (const TableIndex::Posting& p : plist) {
+          w->WriteU32(p.doc);
+          w->WriteFloat(p.tf);
+        }
+      }
+    }
+  }
+
+  static Status ReadIndex(serde::Reader* r,
+                          std::unique_ptr<TableIndex>* out) {
+    IndexOptions opt;
+    for (double& boost : opt.boosts) WWT_RETURN_NOT_OK(r->ReadDouble(&boost));
+    uint8_t flag;
+    WWT_RETURN_NOT_OK(r->ReadU8(&flag));
+    opt.drop_query_stopwords = flag != 0;
+
+    TokenizerOptions tok;
+    WWT_RETURN_NOT_OK(r->ReadU8(&flag));
+    tok.lowercase = flag != 0;
+    WWT_RETURN_NOT_OK(r->ReadU8(&flag));
+    tok.strip_possessive = flag != 0;
+    WWT_RETURN_NOT_OK(r->ReadU8(&flag));
+    tok.stem_plurals = flag != 0;
+    WWT_RETURN_NOT_OK(r->ReadU8(&flag));
+    tok.drop_stopwords = flag != 0;
+    uint64_t min_len;
+    WWT_RETURN_NOT_OK(r->ReadU64(&min_len));
+    tok.min_token_length = static_cast<size_t>(min_len);
+
+    auto index = std::make_unique<TableIndex>(opt, tok);
+
+    uint64_t vocab_size;
+    WWT_RETURN_NOT_OK(r->ReadU64(&vocab_size));
+    WWT_RETURN_NOT_OK(r->CheckCount(vocab_size, 8));
+    std::string term;
+    for (uint64_t t = 0; t < vocab_size; ++t) {
+      WWT_RETURN_NOT_OK(r->ReadString(&term));
+      const TermId id = index->vocab_.Intern(term);
+      if (id != t) {
+        return Status::Corruption("duplicate vocabulary term '", term,
+                                  "' at id ", t);
+      }
+    }
+
+    WWT_RETURN_NOT_OK(r->ReadU32(&index->idf_.num_docs_));
+    uint64_t df_size;
+    WWT_RETURN_NOT_OK(r->ReadU64(&df_size));
+    WWT_RETURN_NOT_OK(r->CheckCount(df_size, 4));
+    index->idf_.df_.resize(df_size);
+    for (uint64_t i = 0; i < df_size; ++i) {
+      WWT_RETURN_NOT_OK(r->ReadU32(&index->idf_.df_[i]));
+    }
+
+    uint64_t doc_count;
+    WWT_RETURN_NOT_OK(r->ReadU64(&doc_count));
+    index->doc_count_ = static_cast<size_t>(doc_count);
+
+    for (int f = 0; f < kNumFields; ++f) {
+      uint64_t num_lens;
+      WWT_RETURN_NOT_OK(r->ReadU64(&num_lens));
+      WWT_RETURN_NOT_OK(r->CheckCount(num_lens, 4));
+      auto& lens = index->field_len_[f];
+      lens.resize(num_lens);
+      for (uint64_t i = 0; i < num_lens; ++i) {
+        WWT_RETURN_NOT_OK(r->ReadU32(&lens[i]));
+      }
+
+      uint64_t num_terms;
+      WWT_RETURN_NOT_OK(r->ReadU64(&num_terms));
+      WWT_RETURN_NOT_OK(r->CheckCount(num_terms, 8));
+      auto& field_postings = index->postings_[f];
+      field_postings.resize(num_terms);
+      for (uint64_t t = 0; t < num_terms; ++t) {
+        uint64_t plist_size;
+        WWT_RETURN_NOT_OK(r->ReadU64(&plist_size));
+        WWT_RETURN_NOT_OK(r->CheckCount(plist_size, 8));
+        auto& plist = field_postings[t];
+        plist.resize(plist_size);
+        for (uint64_t i = 0; i < plist_size; ++i) {
+          WWT_RETURN_NOT_OK(r->ReadU32(&plist[i].doc));
+          WWT_RETURN_NOT_OK(r->ReadFloat(&plist[i].tf));
+          // Search() indexes field_len_[f][doc] without a bounds check
+          // (a build-time invariant), so a checksum-valid but
+          // inconsistent file must be rejected here, not crash there.
+          if (plist[i].doc >= num_lens) {
+            return Status::Corruption("posting doc id ", plist[i].doc,
+                                      " out of range (field ", f, " has ",
+                                      num_lens, " docs)");
+          }
+          if (i > 0 && plist[i].doc <= plist[i - 1].doc) {
+            return Status::Corruption(
+                "postings for term ", t, " in field ", f,
+                " are not strictly ascending by doc id");
+          }
+        }
+      }
+    }
+    *out = std::move(index);
+    return Status::OK();
+  }
+};
+
+namespace {
+
+// ---------------------------------------------------------------- sections
+
+void WriteMeta(const Corpus& corpus, const CorpusOptions& options,
+               serde::Writer* w) {
+  w->WriteU64(options.seed);
+  w->WriteDouble(options.scale);
+  w->WriteI32(options.noise_pages);
+  w->WriteU64(WorkloadFingerprint(options));
+  w->WriteU64(corpus.store.size());
+  w->WriteU64(corpus.queries.size());
+  w->WriteU64(corpus.index->vocab().size());
+}
+
+Status ReadMeta(serde::Reader* r, SnapshotInfo* info) {
+  WWT_RETURN_NOT_OK(r->ReadU64(&info->seed));
+  WWT_RETURN_NOT_OK(r->ReadDouble(&info->scale));
+  WWT_RETURN_NOT_OK(r->ReadI32(&info->noise_pages));
+  WWT_RETURN_NOT_OK(r->ReadU64(&info->workload_hash));
+  WWT_RETURN_NOT_OK(r->ReadU64(&info->num_tables));
+  WWT_RETURN_NOT_OK(r->ReadU64(&info->num_queries));
+  WWT_RETURN_NOT_OK(r->ReadU64(&info->num_terms));
+  return Status::OK();
+}
+
+void WriteTruth(const TruthMap& truth, serde::Writer* w) {
+  // Sorted by table id so identical corpora produce identical bytes
+  // (content_hash doubles as a cache key).
+  std::vector<TableId> ids;
+  ids.reserve(truth.size());
+  for (const auto& [id, _] : truth) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w->WriteU64(ids.size());
+  for (TableId id : ids) {
+    const TableTruth& t = truth.at(id);
+    w->WriteU32(id);
+    w->WriteI32(t.topic);
+    w->WriteU64(t.column_semantics.size());
+    for (int sem : t.column_semantics) w->WriteI32(sem);
+  }
+}
+
+Status ReadTruth(serde::Reader* r, TruthMap* truth) {
+  uint64_t count;
+  WWT_RETURN_NOT_OK(r->ReadU64(&count));
+  WWT_RETURN_NOT_OK(r->CheckCount(count, 16));
+  truth->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TableId id;
+    WWT_RETURN_NOT_OK(r->ReadU32(&id));
+    TableTruth t;
+    WWT_RETURN_NOT_OK(r->ReadI32(&t.topic));
+    uint64_t nsem;
+    WWT_RETURN_NOT_OK(r->ReadU64(&nsem));
+    WWT_RETURN_NOT_OK(r->CheckCount(nsem, 4));
+    t.column_semantics.resize(nsem);
+    for (uint64_t s = 0; s < nsem; ++s) {
+      WWT_RETURN_NOT_OK(r->ReadI32(&t.column_semantics[s]));
+    }
+    truth->emplace(id, std::move(t));
+  }
+  return Status::OK();
+}
+
+void WriteQueries(const std::vector<ResolvedQuery>& queries,
+                  serde::Writer* w) {
+  w->WriteU64(queries.size());
+  for (const ResolvedQuery& rq : queries) {
+    w->WriteString(rq.spec.name);
+    w->WriteString(rq.spec.topic);
+    w->WriteU64(rq.spec.columns.size());
+    for (const QueryColumnSpec& col : rq.spec.columns) {
+      w->WriteString(col.keywords);
+      w->WriteString(col.column);
+    }
+    w->WriteI32(rq.spec.target_total);
+    w->WriteI32(rq.spec.target_relevant);
+    w->WriteI32(rq.topic);
+    w->WriteU64(rq.semantics.size());
+    for (int sem : rq.semantics) w->WriteI32(sem);
+  }
+}
+
+Status ReadQueries(serde::Reader* r, std::vector<ResolvedQuery>* queries) {
+  uint64_t count;
+  WWT_RETURN_NOT_OK(r->ReadU64(&count));
+  WWT_RETURN_NOT_OK(r->CheckCount(count, 16));
+  queries->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ResolvedQuery rq;
+    WWT_RETURN_NOT_OK(r->ReadString(&rq.spec.name));
+    WWT_RETURN_NOT_OK(r->ReadString(&rq.spec.topic));
+    uint64_t ncols;
+    WWT_RETURN_NOT_OK(r->ReadU64(&ncols));
+    WWT_RETURN_NOT_OK(r->CheckCount(ncols, 16));
+    rq.spec.columns.resize(ncols);
+    for (uint64_t c = 0; c < ncols; ++c) {
+      WWT_RETURN_NOT_OK(r->ReadString(&rq.spec.columns[c].keywords));
+      WWT_RETURN_NOT_OK(r->ReadString(&rq.spec.columns[c].column));
+    }
+    WWT_RETURN_NOT_OK(r->ReadI32(&rq.spec.target_total));
+    WWT_RETURN_NOT_OK(r->ReadI32(&rq.spec.target_relevant));
+    WWT_RETURN_NOT_OK(r->ReadI32(&rq.topic));
+    uint64_t nsem;
+    WWT_RETURN_NOT_OK(r->ReadU64(&nsem));
+    WWT_RETURN_NOT_OK(r->CheckCount(nsem, 4));
+    rq.semantics.resize(nsem);
+    for (uint64_t s = 0; s < nsem; ++s) {
+      WWT_RETURN_NOT_OK(r->ReadI32(&rq.semantics[s]));
+    }
+    queries->push_back(std::move(rq));
+  }
+  return Status::OK();
+}
+
+void WriteHarvestStats(const HarvestStats& stats, serde::Writer* w) {
+  w->WriteI32(stats.table_tags);
+  w->WriteI32(stats.data_tables);
+  w->WriteI32(stats.tables_with_title);
+  w->WriteU64(stats.verdicts.size());
+  for (const auto& [verdict, count] : stats.verdicts) {
+    w->WriteI32(static_cast<int32_t>(verdict));
+    w->WriteI32(count);
+  }
+  w->WriteU64(stats.header_row_histogram.size());
+  for (const auto& [rows, count] : stats.header_row_histogram) {
+    w->WriteI32(rows);
+    w->WriteI32(count);
+  }
+}
+
+Status ReadHarvestStats(serde::Reader* r, HarvestStats* stats) {
+  WWT_RETURN_NOT_OK(r->ReadI32(&stats->table_tags));
+  WWT_RETURN_NOT_OK(r->ReadI32(&stats->data_tables));
+  WWT_RETURN_NOT_OK(r->ReadI32(&stats->tables_with_title));
+  uint64_t count;
+  WWT_RETURN_NOT_OK(r->ReadU64(&count));
+  WWT_RETURN_NOT_OK(r->CheckCount(count, 8));
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t verdict, n;
+    WWT_RETURN_NOT_OK(r->ReadI32(&verdict));
+    WWT_RETURN_NOT_OK(r->ReadI32(&n));
+    stats->verdicts[static_cast<TableVerdict>(verdict)] = n;
+  }
+  WWT_RETURN_NOT_OK(r->ReadU64(&count));
+  WWT_RETURN_NOT_OK(r->CheckCount(count, 8));
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t rows, n;
+    WWT_RETURN_NOT_OK(r->ReadI32(&rows));
+    WWT_RETURN_NOT_OK(r->ReadI32(&n));
+    stats->header_row_histogram[rows] = n;
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ header
+
+Status ParseHeader(std::string_view file, const std::string& path,
+                   SnapshotInfo* info, std::string_view* payload) {
+  if (file.size() < kHeaderBytes) {
+    return Status::Corruption("'", path, "' is not a snapshot: ",
+                              file.size(), " bytes, header needs ",
+                              kHeaderBytes);
+  }
+  if (std::memcmp(file.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Corruption("'", path,
+                              "' is not a snapshot (bad magic)");
+  }
+  serde::Reader header(file.substr(sizeof(kSnapshotMagic)));
+  uint32_t version, flags;
+  uint64_t payload_size, checksum;
+  WWT_RETURN_NOT_OK(header.ReadU32(&version));
+  WWT_RETURN_NOT_OK(header.ReadU32(&flags));
+  WWT_RETURN_NOT_OK(header.ReadU64(&payload_size));
+  WWT_RETURN_NOT_OK(header.ReadU64(&checksum));
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot format version mismatch in '", path, "': file has ",
+        version, ", this build reads ", kSnapshotFormatVersion,
+        " — rebuild the snapshot with tools/wwt_indexer");
+  }
+  if (file.size() - kHeaderBytes != payload_size) {
+    return Status::Corruption("truncated snapshot '", path, "': header says ",
+                              payload_size, " payload bytes, file has ",
+                              file.size() - kHeaderBytes);
+  }
+  *payload = file.substr(kHeaderBytes);
+  if (serde::Checksum(*payload) != checksum) {
+    return Status::Corruption("checksum mismatch in '", path,
+                              "': snapshot payload is corrupt");
+  }
+  info->format_version = version;
+  info->content_hash = checksum;
+  info->file_bytes = file.size();
+  return Status::OK();
+}
+
+/// Splits the payload into (tag -> body) spans, preserving bounds checks.
+struct Sections {
+  std::string_view meta, store, index, truth, queries, harvest;
+};
+
+Status ParseSections(std::string_view payload, Sections* out) {
+  serde::Reader r(payload);
+  while (!r.exhausted()) {
+    uint32_t tag;
+    WWT_RETURN_NOT_OK(r.ReadU32(&tag));
+    uint64_t size;
+    WWT_RETURN_NOT_OK(r.ReadU64(&size));
+    std::string_view body;
+    WWT_RETURN_NOT_OK(r.ReadSpan(size, &body));
+    switch (tag) {
+      case kSecMeta: out->meta = body; break;
+      case kSecStore: out->store = body; break;
+      case kSecIndex: out->index = body; break;
+      case kSecTruth: out->truth = body; break;
+      case kSecQueries: out->queries = body; break;
+      case kSecHarvest: out->harvest = body; break;
+      default: break;  // unknown section: forward-compatible skip
+    }
+  }
+  if (out->meta.data() == nullptr || out->store.data() == nullptr ||
+      out->index.data() == nullptr || out->truth.data() == nullptr ||
+      out->queries.data() == nullptr) {
+    return Status::Corruption("snapshot is missing a required section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public API
+
+uint64_t WorkloadFingerprint(const CorpusOptions& options) {
+  const std::vector<QuerySpec>& workload =
+      options.workload.empty() ? Table1Workload() : options.workload;
+  uint64_t h = Fnv1a("wwt-workload-v1");
+  for (const QuerySpec& spec : workload) {
+    h = HashCombine(h, Fnv1a(spec.name));
+    h = HashCombine(h, Fnv1a(spec.topic));
+    for (const QueryColumnSpec& col : spec.columns) {
+      h = HashCombine(h, Fnv1a(col.keywords));
+      h = HashCombine(h, Fnv1a(col.column));
+    }
+    h = HashCombine(h, static_cast<uint64_t>(spec.target_total));
+    h = HashCombine(h, static_cast<uint64_t>(spec.target_relevant));
+  }
+  return h;
+}
+
+Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
+                    const std::string& path, SnapshotInfo* info) {
+  if (corpus.index == nullptr) {
+    return Status::InvalidArgument("corpus has no index to snapshot");
+  }
+  serde::Writer payload;
+  {
+    size_t s = BeginSection(kSecMeta, &payload);
+    WriteMeta(corpus, options, &payload);
+    EndSection(s, &payload);
+  }
+  {
+    size_t s = BeginSection(kSecStore, &payload);
+    SnapshotCodec::WriteStore(corpus.store, &payload);
+    EndSection(s, &payload);
+  }
+  {
+    size_t s = BeginSection(kSecIndex, &payload);
+    SnapshotCodec::WriteIndex(*corpus.index, &payload);
+    EndSection(s, &payload);
+  }
+  {
+    size_t s = BeginSection(kSecTruth, &payload);
+    WriteTruth(corpus.truth, &payload);
+    EndSection(s, &payload);
+  }
+  {
+    size_t s = BeginSection(kSecQueries, &payload);
+    WriteQueries(corpus.queries, &payload);
+    EndSection(s, &payload);
+  }
+  {
+    size_t s = BeginSection(kSecHarvest, &payload);
+    WriteHarvestStats(corpus.harvest_stats, &payload);
+    EndSection(s, &payload);
+  }
+
+  const uint64_t checksum = serde::Checksum(payload.buffer());
+  serde::Writer header;
+  header.WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU32(0);  // flags, reserved
+  header.WriteU64(payload.size());
+  header.WriteU64(checksum);
+
+  WWT_RETURN_NOT_OK(serde::EnsureParentDir(path));
+  WWT_RETURN_NOT_OK(
+      serde::WriteFileAtomic(path, {header.buffer(), payload.buffer()}));
+  if (info != nullptr) {
+    info->format_version = kSnapshotFormatVersion;
+    info->content_hash = checksum;
+    info->file_bytes = header.size() + payload.size();
+    info->seed = options.seed;
+    info->scale = options.scale;
+    info->noise_pages = options.noise_pages;
+    info->workload_hash = WorkloadFingerprint(options);
+    info->num_tables = corpus.store.size();
+    info->num_queries = corpus.queries.size();
+    info->num_terms = corpus.index->vocab().size();
+  }
+  return Status::OK();
+}
+
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  WWT_ASSIGN_OR_RETURN(serde::InputFile file, serde::InputFile::Open(path));
+  SnapshotInfo info;
+  std::string_view payload;
+  WWT_RETURN_NOT_OK(ParseHeader(file.data(), path, &info, &payload));
+  Sections sections;
+  WWT_RETURN_NOT_OK(ParseSections(payload, &sections));
+  serde::Reader meta(sections.meta);
+  WWT_RETURN_NOT_OK(ReadMeta(&meta, &info));
+  return info;
+}
+
+StatusOr<Corpus> LoadSnapshot(const std::string& path, SnapshotInfo* info) {
+  WWT_ASSIGN_OR_RETURN(serde::InputFile file, serde::InputFile::Open(path));
+  SnapshotInfo local_info;
+  std::string_view payload;
+  WWT_RETURN_NOT_OK(ParseHeader(file.data(), path, &local_info, &payload));
+  Sections sections;
+  WWT_RETURN_NOT_OK(ParseSections(payload, &sections));
+
+  serde::Reader meta(sections.meta);
+  WWT_RETURN_NOT_OK(ReadMeta(&meta, &local_info));
+
+  Corpus corpus;
+  {
+    serde::Reader r(sections.store);
+    WWT_RETURN_NOT_OK(SnapshotCodec::ReadStore(&r, &corpus.store));
+  }
+  {
+    serde::Reader r(sections.index);
+    WWT_RETURN_NOT_OK(SnapshotCodec::ReadIndex(&r, &corpus.index));
+  }
+  {
+    serde::Reader r(sections.truth);
+    WWT_RETURN_NOT_OK(ReadTruth(&r, &corpus.truth));
+  }
+  {
+    serde::Reader r(sections.queries);
+    WWT_RETURN_NOT_OK(ReadQueries(&r, &corpus.queries));
+  }
+  if (sections.harvest.data() != nullptr) {
+    serde::Reader r(sections.harvest);
+    WWT_RETURN_NOT_OK(ReadHarvestStats(&r, &corpus.harvest_stats));
+  }
+
+  // Cross-section sanity: META counts must agree with the decoded state.
+  if (corpus.store.size() != local_info.num_tables ||
+      corpus.queries.size() != local_info.num_queries ||
+      corpus.index->vocab().size() != local_info.num_terms) {
+    return Status::Corruption("snapshot '", path,
+                              "' META counts disagree with decoded state");
+  }
+  if (corpus.index->num_docs() != corpus.store.size()) {
+    return Status::Corruption("snapshot '", path, "' has ",
+                              corpus.store.size(), " tables but ",
+                              corpus.index->num_docs(), " indexed docs");
+  }
+
+  // The knowledge base is deterministic in the seed and cheap; rebuild it
+  // rather than serializing generated tuples.
+  corpus.kb = std::make_unique<KnowledgeBase>(local_info.seed);
+  if (info != nullptr) *info = local_info;
+  return corpus;
+}
+
+BuildOrLoadResult BuildOrLoadCorpus(const CorpusOptions& options,
+                                    const std::string& path) {
+  BuildOrLoadResult result;
+  WallTimer timer;
+  if (!path.empty()) {
+    // One read of the file: load it, then compare its recorded
+    // generation parameters (an Inspect-then-Load probe would page in
+    // and checksum the whole payload twice on every warm start).
+    SnapshotInfo info;
+    StatusOr<Corpus> loaded = LoadSnapshot(path, &info);
+    if (loaded.ok()) {
+      if (info.seed == options.seed && info.scale == options.scale &&
+          info.noise_pages == options.noise_pages &&
+          info.workload_hash == WorkloadFingerprint(options)) {
+        result.corpus = std::move(loaded).value();
+        result.info = info;
+        result.loaded = true;
+        result.seconds = timer.ElapsedSeconds();
+        return result;
+      }
+      WWT_LOG(Info) << "snapshot '" << path
+                    << "' was built with different parameters, rebuilding";
+    } else if (!loaded.status().IsIOError()) {
+      // Missing file is the normal first run; anything else is worth a
+      // warning before the silent rebuild.
+      WWT_LOG(Warning) << "snapshot '" << path << "' is unusable ("
+                       << loaded.status().ToString() << "), rebuilding";
+    }
+  }
+
+  WallTimer generate_timer;
+  result.corpus = GenerateCorpus(options);
+  result.generate_seconds = generate_timer.ElapsedSeconds();
+  if (!path.empty()) {
+    // A failed save (read-only path, full disk) must not discard the
+    // corpus we just spent the real money building: warn and serve it.
+    Status saved = SaveSnapshot(result.corpus, options, path, &result.info);
+    if (!saved.ok()) {
+      WWT_LOG(Warning) << "could not save snapshot '" << path
+                       << "': " << saved.ToString()
+                       << " — continuing with the in-memory corpus";
+      result.info = SnapshotInfo();
+    }
+  }
+  result.loaded = false;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::string SnapshotPathFromEnv() {
+  const char* path = std::getenv("WWT_SNAPSHOT");
+  return path != nullptr ? std::string(path) : std::string();
+}
+
+}  // namespace wwt

@@ -1,0 +1,120 @@
+// Copyright 2026 The WWT Authors
+//
+// Persistent index snapshots: one versioned binary `.wwtsnap` file holds
+// the full retrieval state of a built corpus — TableStore records,
+// TableIndex postings and field statistics, Vocabulary, IdfDictionary —
+// plus the ground truth and resolved workload the evaluation harness
+// needs. This is the offline/online split of the paper's deployment
+// (§2.1 builds the Lucene index over 25M tables once, then serves
+// queries against the frozen artifact): `tools/wwt_indexer` writes the
+// snapshot, `tools/wwt_serve` and the benches load it, and cold start
+// becomes a file read instead of a corpus rebuild.
+//
+// Format (see docs/SNAPSHOTS.md for the layout in full):
+//   [magic "WWTSNAP\n"][u32 version][u32 flags]
+//   [u64 payload size][u64 payload FNV-1a checksum][payload]
+// The payload is a sequence of tagged sections; unknown sections are
+// skipped (forward-compatible additions), any layout change to an
+// existing section bumps kSnapshotFormatVersion and old files are
+// rejected with a clean Status.
+
+#ifndef WWT_INDEX_SNAPSHOT_H_
+#define WWT_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "corpus/corpus_generator.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wwt {
+
+/// Bump on ANY change to the header or a section layout. Loaders reject
+/// other versions; CI cache keys embed this constant.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// First 8 bytes of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'W', 'W', 'T', 'S',
+                                           'N', 'A', 'P', '\n'};
+
+/// Header + META facts about a snapshot, cheap to read (InspectSnapshot
+/// parses only the fixed header and the META section).
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  /// FNV-1a checksum of the payload — the artifact's content hash, used
+  /// for cache keys (a shard or query-cache key is derived from it).
+  uint64_t content_hash = 0;
+  uint64_t file_bytes = 0;
+
+  /// Generation parameters the corpus was built with.
+  uint64_t seed = 0;
+  double scale = 1.0;
+  int32_t noise_pages = 0;
+  /// Fingerprint of the workload specs (detects custom workloads).
+  uint64_t workload_hash = 0;
+
+  uint64_t num_tables = 0;
+  uint64_t num_queries = 0;
+  uint64_t num_terms = 0;
+};
+
+/// Serializes `corpus` (built with `options`) to `path`, creating parent
+/// directories as needed. The write is atomic (tmp file + rename). On
+/// success `info` (when non-null) is filled from the in-memory state —
+/// no read-back of the file.
+Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
+                    const std::string& path, SnapshotInfo* info = nullptr);
+
+/// Loads a snapshot written by SaveSnapshot. The file is memory-mapped
+/// when possible. Fails with a clean Status on missing file (IOError),
+/// bad magic / checksum / truncation (Corruption), or a format version
+/// mismatch (InvalidArgument) — never crashes on garbage input.
+StatusOr<Corpus> LoadSnapshot(const std::string& path,
+                              SnapshotInfo* info = nullptr);
+
+/// Reads header + META without decoding the store/index sections (the
+/// payload checksum is still verified, so the whole file is read once).
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Fingerprint of a workload spec list (order-sensitive), stored in META
+/// so BuildOrLoad can tell a custom workload from the Table 1 default.
+uint64_t WorkloadFingerprint(const CorpusOptions& options);
+
+/// Outcome of BuildOrLoadCorpus.
+struct BuildOrLoadResult {
+  Corpus corpus;
+  /// Default-initialized (format_version == 0) when no snapshot file
+  /// backs the corpus: empty path, or the save failed (warned, not
+  /// fatal — the in-memory corpus is still valid).
+  SnapshotInfo info;
+  /// True when the corpus came from the snapshot file; false when it was
+  /// generated (and, if a path was given, saved).
+  bool loaded = false;
+  /// Wall seconds of the load or of the generate(+save).
+  double seconds = 0;
+  /// Wall seconds of GenerateCorpus alone (0 when loaded) — the
+  /// unbiased "rebuild" side of cold-start comparisons, excluding the
+  /// snapshot save.
+  double generate_seconds = 0;
+};
+
+/// Loads `path` when it exists and matches (format version AND the
+/// generation parameters seed/scale/noise_pages/workload); otherwise
+/// generates the corpus with `options` and — when `path` is non-empty —
+/// saves the snapshot for the next run. Never fails: a stale or corrupt
+/// file is rebuilt and overwritten, and a failed save (read-only path,
+/// full disk) is only a warning — the freshly built corpus is returned
+/// either way (`info.format_version == 0` records that no file backs
+/// it). An empty `path` always generates and never touches the
+/// filesystem.
+BuildOrLoadResult BuildOrLoadCorpus(const CorpusOptions& options,
+                                    const std::string& path);
+
+/// The WWT_SNAPSHOT environment knob: snapshot path benches/examples
+/// route through BuildOrLoadCorpus ("" when unset).
+std::string SnapshotPathFromEnv();
+
+}  // namespace wwt
+
+#endif  // WWT_INDEX_SNAPSHOT_H_

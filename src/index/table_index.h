@@ -24,6 +24,8 @@
 
 namespace wwt {
 
+class SnapshotCodec;
+
 /// The three indexed fields.
 enum class Field : int { kHeader = 0, kContext = 1, kContent = 2 };
 inline constexpr int kNumFields = 3;
@@ -77,6 +79,10 @@ class TableIndex {
   size_t num_docs() const { return doc_count_; }
 
  private:
+  /// Snapshot save/load (src/index/snapshot.cc) serializes the private
+  /// postings/field-stats state directly.
+  friend class SnapshotCodec;
+
   struct Posting {
     TableId doc;
     float tf;

@@ -17,6 +17,8 @@
 
 namespace wwt {
 
+class SnapshotCodec;
+
 /// Append-only table storage keyed by dense TableId.
 ///
 /// Thread safety: Get()/RecordSize() are pure reads with no hidden
@@ -44,6 +46,10 @@ class TableStore {
   Status LoadFromFile(const std::string& path);
 
  private:
+  /// Snapshot save/load (src/index/snapshot.cc) moves records in and out
+  /// without re-serializing each table.
+  friend class SnapshotCodec;
+
   std::vector<std::string> records_;
 };
 

@@ -15,6 +15,8 @@
 
 namespace wwt {
 
+class SnapshotCodec;
+
 /// Supplies IDF weights. Implemented by IdfDictionary (corpus statistics)
 /// and UniformIdf (tests / standalone use).
 class IdfProvider {
@@ -50,6 +52,10 @@ class IdfDictionary : public IdfProvider {
   double Idf(TermId term) const override;
 
  private:
+  /// Snapshot save/load (src/index/snapshot.cc) restores the df table
+  /// directly instead of replaying every document.
+  friend class SnapshotCodec;
+
   std::vector<uint32_t> df_;
   uint32_t num_docs_ = 0;
 };

@@ -74,7 +74,9 @@ TEST_F(QueryRunnerTest, BatchIdenticalToSerialExecution) {
   // Serial reference: one engine, one query at a time.
   WwtEngine engine(&c.store, c.index.get(), {});
   std::vector<std::string> serial;
-  for (const auto& q : queries) serial.push_back(Fingerprint(engine.Execute(q)));
+  for (const auto& q : queries) {
+    serial.push_back(Fingerprint(engine.Execute(q)));
+  }
 
   // Batch with 4 worker threads.
   RunnerOptions options;
