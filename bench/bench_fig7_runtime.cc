@@ -6,13 +6,14 @@
 // Expected shape: table reads and consolidation dominate; column mapping
 // is a negligible fraction (the paper's key observation).
 //
-// Queries are served through the batch QueryRunner; WWT_THREADS (default
+// Queries are served through a WwtService batch; WWT_THREADS (default
 // 1 for undistorted per-stage timing) sets the batch concurrency.
 // WWT_SNAPSHOT routes corpus construction through the snapshot artifact;
 // WWT_BENCH_JSON writes the machine-readable summary CI archives.
 
 #include "bench/bench_common.h"
-#include "wwt/query_runner.h"
+#include "util/logging.h"
+#include "wwt/service.h"
 
 using namespace wwt;
 using namespace wwt::bench;
@@ -20,21 +21,23 @@ using namespace wwt::bench;
 int main() {
   Experiment e = BuildExperiment();
 
-  RunnerOptions runner_options;
-  runner_options.num_threads = EnvThreads();
-  QueryRunner runner(&e.corpus.store, e.corpus.index.get(), runner_options);
+  ServiceOptions service_options;
+  service_options.num_threads = EnvThreads();
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(service_options);
+  WWT_CHECK(service.ok()) << service.status();
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&e.corpus));
 
-  std::vector<std::vector<std::string>> queries;
-  std::vector<std::string> names;
+  std::vector<QueryRequest> requests;
   for (const EvalCase& c : e.cases) {
-    std::vector<std::string> keywords;
+    QueryRequest request;
     for (const auto& col : c.resolved.spec.columns) {
-      keywords.push_back(col.keywords);
+      request.columns.push_back(col.keywords);
     }
-    queries.push_back(std::move(keywords));
-    names.push_back(c.resolved.spec.name);
+    request.tag = c.resolved.spec.name;
+    requests.push_back(std::move(request));
   }
-  BatchResult batch = runner.RunBatch(queries);
+  BatchResponse batch = (*service)->RunBatch(std::move(requests));
 
   struct Row {
     std::string name;
@@ -42,9 +45,9 @@ int main() {
     double total;
   };
   std::vector<Row> rows;
-  for (size_t i = 0; i < batch.executions.size(); ++i) {
-    const StageTimer& timing = batch.executions[i].timing;
-    rows.push_back({names[i], timing, timing.Total()});
+  for (const QueryResponse& r : batch.responses) {
+    WWT_CHECK(r.ok()) << r.status;
+    rows.push_back({r.tag, r.timing, r.timing.Total()});
   }
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.total < b.total; });

@@ -4,10 +4,12 @@
 // Paper: 6.3 s / 6.7 s / 40 s per query — PMI2's conjunctive corpus
 // probes dominate. Shape to check: PMI2 >> WWT >= Basic.
 //
-// Each method's mapping pass is driven over the shared candidate sets
-// through the ThreadPool; WWT_THREADS (default 1 for a clean serial
-// per-query figure) sets the concurrency, and mapping throughput (QPS)
-// is reported alongside the per-query mean.
+// The shared candidate sets come from the WwtService-backed eval
+// harness (retrieval-only requests); each method's mapping pass is then
+// driven over them through the ThreadPool — this bench times the mapper
+// alone, not the serving path. WWT_THREADS (default 1 for a clean
+// serial per-query figure) sets the concurrency, and mapping throughput
+// (QPS) is reported alongside the per-query mean.
 
 #include "bench/bench_common.h"
 #include "util/thread_pool.h"

@@ -1,10 +1,12 @@
 // Copyright 2026 The WWT Authors
 //
 // Batch-serving throughput: the Table 1 workload replicated into a batch
-// and pushed through QueryRunner at increasing thread counts. Reports
+// and pushed through WwtService at increasing thread counts. Reports
 // QPS, speedup over 1 thread, and p50/p95/p99 latency per sweep point,
-// and verifies that every concurrent result is byte-identical to serial
-// WwtEngine::Execute.
+// verifies that every concurrent result is byte-identical to serial
+// WwtEngine::Execute, and measures the Submit-path overhead — the
+// request/response service wrapper (validation, fingerprinting, futures)
+// vs direct engine execution — which must stay within noise.
 //
 // When WWT_SNAPSHOT is set the corpus is build-or-loaded through the
 // snapshot file and the bench additionally measures the cold-start
@@ -20,35 +22,18 @@
 //                            ratio (default 0: warm runs stay cheap; CI's
 //                            bench job sets it)
 
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "index/snapshot.h"
-#include "wwt/query_runner.h"
+#include "util/logging.h"
+#include "wwt/service.h"
 
 using namespace wwt;
 using namespace wwt::bench;
 
 namespace {
-
-std::string Fingerprint(const QueryExecution& exec) {
-  std::ostringstream out;
-  for (const CandidateTable& t : exec.retrieval.tables) {
-    out << t.table.id << ' ';
-  }
-  for (const TableMapping& tm : exec.mapping.tables) {
-    out << tm.relevant;
-    for (int l : tm.labels) out << ',' << l;
-    out << ';';
-  }
-  for (const AnswerRow& row : exec.answer.rows) {
-    for (const std::string& cell : row.cells) out << cell << '|';
-    out << row.support << '\n';
-  }
-  return out.str();
-}
 
 struct SweepPoint {
   int threads = 0;
@@ -122,11 +107,16 @@ int main() {
     }
   }
 
+  // The serving snapshot every sweep point runs against.
+  std::shared_ptr<const CorpusHandle> handle = CorpusHandle::Own(
+      std::move(corpus), result.info.content_hash, snapshot_path);
+  const Corpus& served = handle->corpus();
+
   // The batch: the whole workload, replicated.
   const int mult = EnvInt("WWT_BATCH_MULT", 4);
   std::vector<std::vector<std::string>> queries;
   for (int m = 0; m < mult; ++m) {
-    for (const ResolvedQuery& rq : corpus.queries) {
+    for (const ResolvedQuery& rq : served.queries) {
       std::vector<std::string> cols;
       for (const QueryColumnSpec& col : rq.spec.columns) {
         cols.push_back(col.keywords);
@@ -135,17 +125,19 @@ int main() {
     }
   }
   std::fprintf(stderr, "[bench] %zu tables, %zu queries in batch\n",
-               corpus.store.size(), queries.size());
+               served.store.size(), queries.size());
 
-  // Serial reference (also warms any OS-level caches).
-  WwtEngine engine(&corpus.store, corpus.index.get(), {});
+  // Serial reference (also warms any OS-level caches): the direct-engine
+  // baseline the Submit path is compared against.
+  WwtEngine engine(&served.store, served.index.get(), {});
   std::vector<std::string> serial_fp;
   serial_fp.reserve(queries.size());
   WallTimer serial_timer;
   for (const auto& q : queries) {
-    serial_fp.push_back(Fingerprint(engine.Execute(q)));
+    serial_fp.push_back(ResultDigest(engine.Execute(q)));
   }
   const double serial_seconds = serial_timer.ElapsedSeconds();
+  const double serial_qps = queries.size() / serial_seconds;
 
   const int hw = ThreadPool::DefaultNumThreads();
   const int max_threads = EnvInt("WWT_MAX_THREADS", std::max(4, hw));
@@ -162,8 +154,7 @@ int main() {
                 load_seconds);
   }
   std::printf("serial reference: %.2f s for %zu queries (%.1f QPS)\n\n",
-              serial_seconds, queries.size(),
-              queries.size() / serial_seconds);
+              serial_seconds, queries.size(), serial_qps);
   std::printf("%8s%10s%10s%12s%10s%10s%10s\n", "threads", "QPS",
               "speedup", "batch(s)", "p50(ms)", "p95(ms)", "p99(ms)");
 
@@ -171,12 +162,16 @@ int main() {
   bool all_identical = true;
   std::vector<SweepPoint> sweep;
   for (int t = 1; t <= max_threads; t *= 2) {
-    RunnerOptions options;
+    ServiceOptions options;
     options.num_threads = t;
-    QueryRunner runner(&corpus.store, corpus.index.get(), options);
-    BatchResult batch = runner.RunBatch(queries, t);
+    StatusOr<std::unique_ptr<WwtService>> service =
+        WwtService::Create(options);
+    WWT_CHECK(service.ok()) << service.status();
+    (*service)->SwapCorpus(handle);
+    BatchResponse batch = (*service)->RunBatch(queries, t);
     for (size_t i = 0; i < queries.size(); ++i) {
-      if (Fingerprint(batch.executions[i]) != serial_fp[i]) {
+      WWT_CHECK(batch.responses[i].ok()) << batch.responses[i].status;
+      if (ResultDigest(batch.responses[i]) != serial_fp[i]) {
         all_identical = false;
         std::fprintf(stderr,
                      "[bench] MISMATCH vs serial at query %zu (%d threads)\n",
@@ -199,7 +194,18 @@ int main() {
                 point.p99_ms);
   }
 
-  std::printf("\nresults vs serial execution: %s\n",
+  // Submit-path overhead: the 1-thread service sweep point vs the
+  // direct-engine serial loop over the identical batch. The service adds
+  // validation + fingerprinting + a future per query; it must stay
+  // within noise of direct execution.
+  const double submit_overhead_fraction =
+      qps1 > 0 ? serial_qps / qps1 - 1.0 : 0.0;
+  std::printf(
+      "\nsubmit-path overhead: serial %.1f QPS vs service@1 %.1f QPS "
+      "(%+.1f%%)\n",
+      serial_qps, qps1, submit_overhead_fraction * 100.0);
+
+  std::printf("results vs serial execution: %s\n",
               all_identical ? "IDENTICAL" : "MISMATCH (bug!)");
   if (hw == 1) {
     std::printf("note: single hardware thread — speedup is bounded by "
@@ -220,9 +226,13 @@ int main() {
                  "  \"serial_qps\": %.2f,\n",
                  corpus_options.scale,
                  static_cast<unsigned long long>(corpus_options.seed),
-                 corpus.store.size(), queries.size(), hw,
-                 all_identical ? "true" : "false",
-                 queries.size() / serial_seconds);
+                 served.store.size(), queries.size(), hw,
+                 all_identical ? "true" : "false", serial_qps);
+    std::fprintf(json,
+                 "  \"submit_overhead\": {\"serial_qps\": %.2f, "
+                 "\"service_qps_1thread\": %.2f, \"overhead_fraction\": "
+                 "%.4f},\n",
+                 serial_qps, qps1, submit_overhead_fraction);
     std::fprintf(json,
                  "  \"snapshot\": {\"used\": %s, \"loaded\": %s, "
                  "\"load_seconds\": %.6f, \"build_seconds\": %.6f, "

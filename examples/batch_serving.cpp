@@ -1,9 +1,10 @@
 // Copyright 2026 The WWT Authors
 //
-// Batch query serving: build a corpus once (or cold-start it from a
-// WWT_SNAPSHOT artifact), then answer the whole Table 1 workload in one
-// QueryRunner batch and print the aggregate serving stats — the
-// programmatic face of the high-throughput layer.
+// Batch query serving through WwtService: build a corpus once (or
+// cold-start it from a WWT_SNAPSHOT artifact), install it as the
+// service's corpus snapshot, then answer the whole Table 1 workload in
+// one RunBatch and print the aggregate serving stats — the programmatic
+// face of the request/response serving layer.
 //
 // Usage: batch_serving [scale] [threads]
 // Env:   WWT_SNAPSHOT=path.wwtsnap — build-or-load the corpus through a
@@ -14,7 +15,7 @@
 
 #include "corpus/corpus_generator.h"
 #include "index/snapshot.h"
-#include "wwt/query_runner.h"
+#include "wwt/service.h"
 
 int main(int argc, char** argv) {
   wwt::CorpusOptions corpus_options;
@@ -30,34 +31,46 @@ int main(int argc, char** argv) {
   std::printf("%s in %.2f s\n",
               result.loaded ? "Loaded snapshot" : "Built",
               result.seconds);
-  wwt::Corpus corpus = std::move(result.corpus);
 
-  // One runner for the process: a thread pool plus one engine per
-  // worker over the shared read-only store and index.
-  wwt::RunnerOptions runner_options;
-  runner_options.num_threads =
+  // One service for the process: a thread pool over an immutable corpus
+  // snapshot (content-hashed when it came from a .wwtsnap artifact).
+  wwt::ServiceOptions service_options;
+  service_options.num_threads =
       argc > 2 ? std::atoi(argv[2]) : wwt::ThreadPool::DefaultNumThreads();
-  wwt::QueryRunner runner(&corpus.store, corpus.index.get(),
-                          runner_options);
-  std::printf("%zu tables ready, serving with %d thread(s).\n\n",
-              corpus.store.size(), runner.num_threads());
-
-  // The whole workload as one batch.
-  std::vector<std::vector<std::string>> queries;
-  for (const wwt::ResolvedQuery& rq : corpus.queries) {
-    std::vector<std::string> cols;
-    for (const wwt::QueryColumnSpec& col : rq.spec.columns) {
-      cols.push_back(col.keywords);
-    }
-    queries.push_back(std::move(cols));
+  auto service = wwt::WwtService::Create(service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "batch_serving: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
   }
-  wwt::BatchResult batch = runner.RunBatch(queries);
+  (*service)->SwapCorpus(wwt::CorpusHandle::Own(
+      std::move(result.corpus), result.info.content_hash, snapshot));
+  const wwt::Corpus& corpus = (*service)->corpus()->corpus();
+  std::printf("%zu tables ready, serving with %d thread(s).\n\n",
+              corpus.store.size(), (*service)->num_threads());
 
-  for (size_t i = 0; i < batch.executions.size(); ++i) {
-    const wwt::QueryExecution& exec = batch.executions[i];
-    std::printf("%-32.32s %4zu rows  %6.1f ms\n",
-                corpus.queries[i].spec.name.c_str(),
-                exec.answer.rows.size(), exec.timing.Total() * 1e3);
+  // The whole workload as one batch of tagged requests.
+  std::vector<wwt::QueryRequest> requests;
+  for (const wwt::ResolvedQuery& rq : corpus.queries) {
+    wwt::QueryRequest request;
+    for (const wwt::QueryColumnSpec& col : rq.spec.columns) {
+      request.columns.push_back(col.keywords);
+    }
+    request.tag = rq.spec.name;
+    requests.push_back(std::move(request));
+  }
+  wwt::BatchResponse batch = (*service)->RunBatch(std::move(requests));
+
+  for (const wwt::QueryResponse& r : batch.responses) {
+    if (!r.ok()) {
+      std::printf("%-32.32s ERROR %s\n", r.tag.c_str(),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%-32.32s %4zu rows  %6.1f ms  fp %016llx\n",
+                r.tag.c_str(), r.answer.rows.size(),
+                r.timing.Total() * 1e3,
+                static_cast<unsigned long long>(r.fingerprint));
   }
 
   const wwt::BatchStats& s = batch.stats;
@@ -70,5 +83,5 @@ int main(int argc, char** argv) {
   for (const auto& [stage, seconds] : s.total_stage_time.stages()) {
     std::printf("  %-16s %8.3f\n", stage.c_str(), seconds);
   }
-  return 0;
+  return batch.all_ok() ? 0 : 1;
 }

@@ -1,8 +1,9 @@
 // Copyright 2026 The WWT Authors
 //
-// Quickstart: build a small synthetic web-table corpus, run one column-
-// keyword query through the full WWT pipeline (two-phase probe, column
-// mapping, consolidation), and print the answer table.
+// Quickstart: build a small synthetic web-table corpus, stand up a
+// WwtService over it, run one column-keyword query through the full WWT
+// pipeline (two-phase probe, column mapping, consolidation), and print
+// the answer table.
 //
 // Usage: quickstart [scale]   (scale defaults to 0.5)
 
@@ -10,7 +11,7 @@
 #include <cstdlib>
 
 #include "corpus/corpus_generator.h"
-#include "wwt/engine.h"
+#include "wwt/service.h"
 
 int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
@@ -28,36 +29,49 @@ int main(int argc, char** argv) {
               corpus.harvest_stats.table_tags -
                   corpus.harvest_stats.data_tables);
 
-  // 2. Ask WWT for a three-column table, Fig. 1's running example.
-  wwt::WwtEngine engine(&corpus.store, corpus.index.get());
-  std::vector<std::string> query = {"name of explorers", "nationality",
-                                    "areas explored"};
-  std::printf("\nQuery: \"%s | %s | %s\"\n", query[0].c_str(),
-              query[1].c_str(), query[2].c_str());
+  // 2. Stand the service up over the corpus and ask for a three-column
+  //    table, Fig. 1's running example.
+  auto service = wwt::WwtService::Create();
+  if (!service.ok()) {
+    std::fprintf(stderr, "quickstart: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  (*service)->SwapCorpus(wwt::CorpusHandle::Own(std::move(corpus)));
 
-  wwt::QueryExecution exec = engine.Execute(query);
+  wwt::QueryRequest request = wwt::QueryRequest::Of(
+      {"name of explorers", "nationality", "areas explored"});
+  std::printf("\nQuery: \"%s | %s | %s\"\n", request.columns[0].c_str(),
+              request.columns[1].c_str(), request.columns[2].c_str());
+
+  wwt::QueryResponse response = (*service)->Run(std::move(request));
+  if (!response.ok()) {
+    std::fprintf(stderr, "quickstart: %s\n",
+                 response.status.ToString().c_str());
+    return 1;
+  }
 
   int relevant = 0;
-  for (const auto& tm : exec.mapping.tables) relevant += tm.relevant;
+  for (const auto& tm : response.mapping.tables) relevant += tm.relevant;
   std::printf("Candidates: %zu (probe 1: %d, new from probe 2: %d), "
               "relevant: %d\n",
-              exec.retrieval.tables.size(),
-              exec.retrieval.from_first_probe,
-              exec.retrieval.new_from_second_probe, relevant);
+              response.retrieval.tables.size(),
+              response.retrieval.from_first_probe,
+              response.retrieval.new_from_second_probe, relevant);
 
   // 3. Print the consolidated answer.
   std::printf("\n%-28s %-14s %-28s support\n", "Name", "Nationality",
               "Areas explored");
   int shown = 0;
-  for (const wwt::AnswerRow& row : exec.answer.rows) {
+  for (const wwt::AnswerRow& row : response.answer.rows) {
     std::printf("%-28s %-14s %-28s %d\n", row.cells[0].c_str(),
                 row.cells[1].c_str(), row.cells[2].c_str(), row.support);
     if (++shown >= 15) break;
   }
-  std::printf("(%zu rows total)\n", exec.answer.rows.size());
+  std::printf("(%zu rows total)\n", response.answer.rows.size());
 
   std::printf("\nStage timings (seconds):\n");
-  for (const auto& [stage, seconds] : exec.timing.stages()) {
+  for (const auto& [stage, seconds] : response.timing.stages()) {
     std::printf("  %-16s %.4f\n", stage.c_str(), seconds);
   }
   return 0;

@@ -1,10 +1,15 @@
 // Copyright 2026 The WWT Authors
 //
-// Interactive CLI: build (or load) a corpus once, then answer column-
-// keyword queries typed on stdin. Columns are separated by '|', exactly
-// like the paper's query notation:
+// Interactive CLI: build a corpus once, install it in a WwtService, then
+// answer column-keyword queries typed on stdin. Columns are separated by
+// '|', exactly like the paper's query notation:
 //
 //   > name of explorers | nationality | areas explored
+//
+// Empty column segments ("a || b") are dropped while splitting, like
+// the paper's notation implies; what still reaches the service
+// malformed (e.g. more than 16 columns) comes back as a clean
+// InvalidArgument response instead of misbehaving silently.
 //
 // Usage: wwt_search [scale] [seed]
 
@@ -14,7 +19,7 @@
 
 #include "corpus/corpus_generator.h"
 #include "util/string_util.h"
-#include "wwt/engine.h"
+#include "wwt/service.h"
 
 int main(int argc, char** argv) {
   wwt::CorpusOptions options;
@@ -25,10 +30,18 @@ int main(int argc, char** argv) {
               options.scale,
               static_cast<unsigned long long>(options.seed));
   wwt::Corpus corpus = wwt::GenerateCorpus(options);
-  wwt::WwtEngine engine(&corpus.store, corpus.index.get(), {});
+  const size_t num_tables = corpus.store.size();
+
+  auto service = wwt::WwtService::Create();
+  if (!service.ok()) {
+    std::fprintf(stderr, "wwt_search: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  (*service)->SwapCorpus(wwt::CorpusHandle::Own(std::move(corpus)));
   std::printf("%zu tables ready. Enter queries as 'col1 | col2 | ...' "
               "(empty line quits).\n\n",
-              corpus.store.size());
+              num_tables);
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
@@ -41,25 +54,31 @@ int main(int argc, char** argv) {
     }
     if (columns.empty()) continue;
 
-    wwt::QueryExecution exec = engine.Execute(columns);
+    wwt::QueryResponse response =
+        (*service)->Run(wwt::QueryRequest::Of(columns).WithTag(line));
+    if (!response.ok()) {
+      std::printf("[%s]\n\n", response.status.ToString().c_str());
+      continue;
+    }
     int relevant = 0;
-    for (const auto& tm : exec.mapping.tables) relevant += tm.relevant;
-    std::printf("[%zu candidates, %d relevant, %.0f ms]\n",
-                exec.retrieval.tables.size(), relevant,
-                exec.timing.Total() * 1e3);
+    for (const auto& tm : response.mapping.tables) relevant += tm.relevant;
+    std::printf("[%zu candidates, %d relevant, %.0f ms, fp %016llx]\n",
+                response.retrieval.tables.size(), relevant,
+                response.timing.Total() * 1e3,
+                static_cast<unsigned long long>(response.fingerprint));
 
     for (const std::string& col : columns) std::printf("%-24.24s", col.c_str());
     std::printf("%8s\n", "support");
     int shown = 0;
-    for (const wwt::AnswerRow& row : exec.answer.rows) {
+    for (const wwt::AnswerRow& row : response.answer.rows) {
       for (const std::string& cell : row.cells) {
         std::printf("%-24.24s", cell.c_str());
       }
       std::printf("%8d\n", row.support);
       if (++shown >= 12) break;
     }
-    if (exec.answer.rows.size() > 12) {
-      std::printf("... (%zu rows total)\n", exec.answer.rows.size());
+    if (response.answer.rows.size() > 12) {
+      std::printf("... (%zu rows total)\n", response.answer.rows.size());
     }
     std::printf("\n");
   }

@@ -24,31 +24,38 @@ EvalHarness::EvalHarness(const Corpus* corpus, EngineOptions engine_options,
       num_threads_(num_threads) {}
 
 std::vector<EvalCase> EvalHarness::BuildCases() {
-  std::vector<std::vector<std::string>> keywords;
-  keywords.reserve(corpus_->queries.size());
+  std::vector<QueryRequest> requests;
+  requests.reserve(corpus_->queries.size());
   for (const ResolvedQuery& rq : corpus_->queries) {
-    std::vector<std::string> cols;
+    QueryRequest request;
     for (const QueryColumnSpec& col : rq.spec.columns) {
-      cols.push_back(col.keywords);
+      request.columns.push_back(col.keywords);
     }
-    keywords.push_back(std::move(cols));
+    request.tag = rq.spec.name;
+    request.retrieval_only = true;
+    requests.push_back(std::move(request));
   }
 
-  RunnerOptions runner_options;
-  runner_options.engine = engine_options_;
-  runner_options.num_threads = num_threads_;
-  QueryRunner runner(&corpus_->store, corpus_->index.get(), runner_options);
-  std::vector<QueryExecution> retrieved = runner.RetrieveBatch(keywords);
+  ServiceOptions service_options;
+  service_options.engine = engine_options_;
+  service_options.num_threads = num_threads_;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(std::move(service_options));
+  WWT_CHECK(service.ok()) << service.status();
+  (*service)->SwapCorpus(CorpusHandle::Borrow(corpus_));
+  BatchResponse batch = (*service)->RunBatch(std::move(requests));
 
   std::vector<EvalCase> cases;
-  cases.reserve(retrieved.size());
-  for (size_t i = 0; i < retrieved.size(); ++i) {
+  cases.reserve(batch.responses.size());
+  for (size_t i = 0; i < batch.responses.size(); ++i) {
+    QueryResponse& response = batch.responses[i];
+    WWT_CHECK(response.ok()) << response.status;
     const ResolvedQuery& rq = corpus_->queries[i];
     EvalCase c;
     c.resolved = rq;
-    c.query = std::move(retrieved[i].query);
-    c.retrieval = std::move(retrieved[i].retrieval);
-    c.retrieval_timing = std::move(retrieved[i].timing);
+    c.query = std::move(response.query);
+    c.retrieval = std::move(response.retrieval);
+    c.retrieval_timing = std::move(response.timing);
     for (const CandidateTable& table : c.retrieval.tables) {
       c.truth.push_back(TruthLabels(rq, corpus_->TruthFor(table.table.id),
                                     table.num_cols));

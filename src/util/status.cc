@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kIOError:

@@ -21,6 +21,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kFailedPrecondition,
+  kDeadlineExceeded,
   kInternal,
   kIOError,
   kCorruption,
@@ -77,6 +78,10 @@ class Status {
     return Status(StatusCode::kFailedPrecondition, Concat(args...));
   }
   template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Status(StatusCode::kDeadlineExceeded, Concat(args...));
+  }
+  template <typename... Args>
   static Status Internal(Args&&... args) {
     return Status(StatusCode::kInternal, Concat(args...));
   }
@@ -106,6 +111,12 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 

@@ -1,31 +1,14 @@
 #include "wwt/query_runner.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/logging.h"
 
 namespace wwt {
 
-LatencySummary Summarize(std::vector<double> seconds) {
-  LatencySummary s;
-  s.count = seconds.size();
-  if (seconds.empty()) return s;
-  std::sort(seconds.begin(), seconds.end());
-  double sum = 0;
-  for (double v : seconds) sum += v;
-  s.mean = sum / seconds.size();
-  // Nearest-rank: percentile p is the ceil(p/100 * n)-th smallest.
-  auto rank = [&](double p) {
-    size_t r = static_cast<size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(seconds.size())));
-    return seconds[std::min(seconds.size() - 1, std::max<size_t>(r, 1) - 1)];
-  };
-  s.p50 = rank(50);
-  s.p95 = rank(95);
-  s.p99 = rank(99);
-  s.max = seconds.back();
-  return s;
+Status ValidateRunnerOptions(const RunnerOptions& options) {
+  return ValidateServingOptions(options.engine, options.num_threads,
+                                "RunnerOptions");
 }
 
 QueryRunner::QueryRunner(const TableStore* store, const TableIndex* index,
@@ -35,6 +18,9 @@ QueryRunner::QueryRunner(const TableStore* store, const TableIndex* index,
       options_(std::move(options)),
       pool_(options_.num_threads > 0 ? options_.num_threads
                                      : ThreadPool::DefaultNumThreads()) {
+  // Internal class: invalid options are a programming error, not a
+  // request to refuse politely (that is WwtService::Create's job).
+  WWT_CHECK_OK(ValidateRunnerOptions(options_));
   engines_.reserve(pool_.num_threads() + 1);
   for (int i = 0; i < pool_.num_threads() + 1; ++i) {
     engines_.push_back(

@@ -1,11 +1,12 @@
 // Copyright 2026 The WWT Authors
 //
-// QueryRunner: the batch query-serving layer. Owns a ThreadPool and one
-// WwtEngine per worker over the shared read-only TableStore/TableIndex,
-// and answers whole batches of column-keyword queries concurrently with
-// aggregate throughput and latency accounting (QPS, p50/p95/p99 per
-// stage, merged StageTimer) — the foundation the scaling work (sharding,
-// caching, async I/O) builds on.
+// QueryRunner: the legacy batch execution layer, now an INTERNAL detail.
+// The public serving API is WwtService (wwt/service.h) — request/
+// response structs, async Submit, deadlines, hot-swappable corpus
+// snapshots. QueryRunner survives as the pre-service reference path:
+// the round-trip and equivalence tests compare WwtService batches
+// against it byte-for-byte. Do not include this header from tools,
+// examples, or benches; use wwt/service.h.
 //
 // Per-query results are deterministic and identical to serial
 // WwtEngine::Execute: the pipeline's only randomness (second-probe row
@@ -15,45 +16,15 @@
 #ifndef WWT_WWT_QUERY_RUNNER_H_
 #define WWT_WWT_QUERY_RUNNER_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "util/thread_pool.h"
+#include "wwt/api.h"
 #include "wwt/engine.h"
 
 namespace wwt {
-
-/// Latency distribution over a batch, in seconds.
-struct LatencySummary {
-  size_t count = 0;
-  double mean = 0;
-  double p50 = 0;
-  double p95 = 0;
-  double p99 = 0;
-  double max = 0;
-};
-
-/// Nearest-rank percentile summary of `seconds` (not required sorted).
-LatencySummary Summarize(std::vector<double> seconds);
-
-/// Aggregate accounting for one RunBatch call.
-struct BatchStats {
-  size_t num_queries = 0;
-  /// Worker shards actually used for the batch.
-  int concurrency = 0;
-  /// Wall clock of the whole batch, and queries per second derived of it.
-  double wall_seconds = 0;
-  double qps = 0;
-  /// End-to-end per-query latency (one sample per query).
-  LatencySummary latency;
-  /// Per pipeline stage (kStage1stIndex...kStageConsolidate) latency
-  /// across queries.
-  std::map<std::string, LatencySummary> stage_latency;
-  /// Every query's StageTimer merged (total seconds per stage).
-  StageTimer total_stage_time;
-};
 
 /// A served batch: executions in input order + the aggregate stats.
 struct BatchResult {
@@ -66,6 +37,12 @@ struct RunnerOptions {
   /// Worker threads (and engines); 0 = ThreadPool::DefaultNumThreads().
   int num_threads = 0;
 };
+
+/// Rejects out-of-range RunnerOptions (engine fields via
+/// ValidateEngineOptions, negative num_threads) with InvalidArgument.
+/// QueryRunner's constructor CHECK-fails on invalid options (it is
+/// internal); the public WwtService::Create returns the Status instead.
+Status ValidateRunnerOptions(const RunnerOptions& options);
 
 /// Thread-pool query server over a built corpus. `store` and `index`
 /// are borrowed, must outlive the runner, and must not be mutated while

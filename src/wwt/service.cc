@@ -1,0 +1,278 @@
+#include "wwt/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace wwt {
+
+namespace {
+
+/// Process-unique stand-in hash for corpora with no snapshot artifact:
+/// two different in-memory corpora must never share a fingerprint/cache
+/// key, even though neither has a real content hash. Not reproducible
+/// across processes — snapshot-backed handles are, via the artifact's
+/// checksum.
+uint64_t SyntheticContentHash() {
+  static std::atomic<uint64_t> counter{0};
+  return HashCombine(Fnv1a("wwt-unversioned-corpus"), ++counter);
+}
+
+/// A future that is already resolved (validation and precondition
+/// failures never touch the pool).
+std::future<QueryResponse> Ready(QueryResponse response) {
+  std::promise<QueryResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+bool DeadlinePassed(const QueryRequest& request) {
+  return request.has_deadline() &&
+         std::chrono::steady_clock::now() >= request.deadline;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- CorpusHandle
+
+std::shared_ptr<const CorpusHandle> CorpusHandle::Own(Corpus corpus,
+                                                      uint64_t content_hash,
+                                                      std::string source) {
+  auto handle = std::shared_ptr<CorpusHandle>(new CorpusHandle);
+  handle->owned_ = std::make_unique<Corpus>(std::move(corpus));
+  handle->corpus_ = handle->owned_.get();
+  handle->content_hash_ =
+      content_hash != 0 ? content_hash : SyntheticContentHash();
+  handle->source_ = std::move(source);
+  return handle;
+}
+
+std::shared_ptr<const CorpusHandle> CorpusHandle::Borrow(
+    const Corpus* corpus, uint64_t content_hash) {
+  auto handle = std::shared_ptr<CorpusHandle>(new CorpusHandle);
+  handle->corpus_ = corpus;
+  handle->content_hash_ =
+      content_hash != 0 ? content_hash : SyntheticContentHash();
+  return handle;
+}
+
+StatusOr<std::shared_ptr<const CorpusHandle>> CorpusHandle::Load(
+    const std::string& path, SnapshotInfo* info) {
+  SnapshotInfo local;
+  StatusOr<Corpus> corpus = LoadSnapshot(path, &local);
+  if (!corpus.ok()) return corpus.status();
+  if (info != nullptr) *info = local;
+  return Own(std::move(corpus).value(), local.content_hash, path);
+}
+
+// ------------------------------------------------------------- WwtService
+
+Status ValidateServiceOptions(const ServiceOptions& options) {
+  return ValidateServingOptions(options.engine, options.num_threads,
+                                "ServiceOptions");
+}
+
+WwtService::WwtService(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(options_.num_threads > 0 ? options_.num_threads
+                                     : ThreadPool::DefaultNumThreads()) {}
+
+WwtService::~WwtService() = default;
+
+StatusOr<std::unique_ptr<WwtService>> WwtService::Create(
+    ServiceOptions options) {
+  WWT_RETURN_NOT_OK(ValidateServiceOptions(options));
+  return std::unique_ptr<WwtService>(new WwtService(std::move(options)));
+}
+
+StatusOr<std::unique_ptr<WwtService>> WwtService::FromSnapshot(
+    const std::string& snapshot_path, ServiceOptions options,
+    SnapshotInfo* info) {
+  WWT_ASSIGN_OR_RETURN(std::unique_ptr<WwtService> service,
+                       Create(std::move(options)));
+  WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusHandle> corpus,
+                       CorpusHandle::Load(snapshot_path, info));
+  service->SwapCorpus(std::move(corpus));
+  return service;
+}
+
+void WwtService::SwapCorpus(std::shared_ptr<const CorpusHandle> corpus) {
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  corpus_ = std::move(corpus);
+  // The previous handle's refcount drops here; in-flight requests that
+  // captured it keep the old snapshot alive until they finish.
+}
+
+std::shared_ptr<const CorpusHandle> WwtService::corpus() const {
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  return corpus_;
+}
+
+std::future<QueryResponse> WwtService::Submit(QueryRequest request) {
+  return SubmitOn(corpus(), std::move(request));
+}
+
+std::future<QueryResponse> WwtService::SubmitOn(
+    std::shared_ptr<const CorpusHandle> corpus, QueryRequest request) {
+  // Error contract, in order: InvalidArgument, DeadlineExceeded,
+  // FailedPrecondition (see api.h). An expired request never touches
+  // serving state, so the deadline outranks the corpus check.
+  QueryResponse early;
+  early.tag = request.tag;
+  Status valid = ValidateQueryRequest(request);
+  if (!valid.ok()) {
+    early.status = std::move(valid);
+    return Ready(std::move(early));
+  }
+  if (DeadlinePassed(request)) {
+    // Same cache-key stamping as a queue expiry (when a corpus exists):
+    // where the deadline fired must not change how a response is keyed.
+    if (corpus != nullptr) StampCacheKey(&early, request, *corpus);
+    early.status =
+        Status::DeadlineExceeded("deadline already expired at submit");
+    return Ready(std::move(early));
+  }
+  if (corpus == nullptr) {
+    early.status = Status::FailedPrecondition(
+        "no corpus loaded; call SwapCorpus with a snapshot first");
+    return Ready(std::move(early));
+  }
+
+  WallTimer queued;
+  return pool_.Submit([this, corpus = std::move(corpus),
+                       request = std::move(request),
+                       queued]() mutable -> QueryResponse {
+    const double queue_seconds = queued.ElapsedSeconds();
+    QueryResponse response;
+    if (DeadlinePassed(request)) {
+      response.tag = request.tag;
+      response.queue_seconds = queue_seconds;
+      StampCacheKey(&response, request, *corpus);
+      response.status = Status::DeadlineExceeded(
+          "deadline expired after ", queue_seconds, " s in queue");
+    } else {
+      try {
+        response = ExecuteOn(*corpus, request, queue_seconds);
+      } catch (const std::exception& e) {
+        response = QueryResponse{};
+        response.tag = request.tag;
+        response.queue_seconds = queue_seconds;
+        StampCacheKey(&response, request, *corpus);
+        response.status =
+            Status::Internal("query execution threw: ", e.what());
+      }
+    }
+    // Release the snapshot before the future resolves: once a caller
+    // sees the response, the request provably no longer pins the
+    // (possibly swapped-out) corpus handle.
+    corpus.reset();
+    return response;
+  });
+}
+
+void WwtService::StampCacheKey(QueryResponse* response,
+                               const QueryRequest& request,
+                               const CorpusHandle& corpus) const {
+  response->corpus_hash = corpus.content_hash();
+  response->fingerprint = RequestFingerprint(
+      request,
+      request.options.has_value() ? *request.options : options_.engine,
+      corpus.content_hash());
+}
+
+QueryResponse WwtService::ExecuteOn(const CorpusHandle& corpus,
+                                    const QueryRequest& request,
+                                    double queue_seconds) const {
+  QueryResponse response;
+  response.tag = request.tag;
+  response.queue_seconds = queue_seconds;
+  const EngineOptions& effective =
+      request.options.has_value() ? *request.options : options_.engine;
+  StampCacheKey(&response, request, corpus);
+
+  // Engines are pointer-sized and stateless; constructing one per
+  // request binds it to the snapshot the request captured, which is what
+  // makes SwapCorpus race-free.
+  WallTimer execute_timer;
+  WwtEngine engine(&corpus.store(), &corpus.index(), effective);
+  if (request.retrieval_only) {
+    response.query = Query::Parse(request.columns, corpus.index());
+    response.retrieval = engine.Retrieve(response.query, &response.timing);
+  } else {
+    QueryExecution execution = engine.Execute(request.columns);
+    response.query = std::move(execution.query);
+    response.retrieval = std::move(execution.retrieval);
+    response.mapping = std::move(execution.mapping);
+    response.answer = std::move(execution.answer);
+    response.timing = std::move(execution.timing);
+  }
+  response.execute_seconds = execute_timer.ElapsedSeconds();
+  return response;
+}
+
+BatchResponse WwtService::RunBatch(std::vector<QueryRequest> requests,
+                                   int concurrency) {
+  const size_t n = requests.size();
+  int window = concurrency <= 0 || concurrency > pool_.num_threads()
+                   ? pool_.num_threads()
+                   : concurrency;
+  // Report the shard count actually used (never more than queries).
+  window = static_cast<int>(std::min<size_t>(window, n));
+
+  // One snapshot for the whole batch: a SwapCorpus racing the batch
+  // affects only later batches/submissions, never mixes corpora here.
+  std::shared_ptr<const CorpusHandle> snapshot = corpus();
+
+  BatchResponse out;
+  out.responses.resize(n);
+  std::vector<std::future<QueryResponse>> futures(n);
+  const size_t w = static_cast<size_t>(window);
+
+  WallTimer wall;
+  if (window >= pool_.num_threads()) {
+    // Full width: the pool itself is the concurrency cap.
+    for (size_t i = 0; i < n; ++i) {
+      futures[i] = SubmitOn(snapshot, std::move(requests[i]));
+    }
+    for (size_t i = 0; i < n; ++i) out.responses[i] = futures[i].get();
+  } else {
+    // Sliding window on top of Submit: collect the oldest before
+    // enqueueing the next, keeping at most `window` in flight. A slow
+    // head-of-line query can idle the tail of the window (the old
+    // ParallelFor claimed indices dynamically and could not); accepted
+    // because capping below the pool width is a testing knob — every
+    // production caller runs at full width, where the pool itself is
+    // the cap and this path is skipped.
+    for (size_t i = 0; i < n; ++i) {
+      if (i >= w) out.responses[i - w] = futures[i - w].get();
+      futures[i] = SubmitOn(snapshot, std::move(requests[i]));
+    }
+    for (size_t i = n > w ? n - w : 0; i < n; ++i) {
+      out.responses[i] = futures[i].get();
+    }
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  out.stats = BuildBatchStats(out.responses, window, wall_seconds);
+  return out;
+}
+
+BatchResponse WwtService::RunBatch(
+    const std::vector<std::vector<std::string>>& queries, int concurrency) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const std::vector<std::string>& columns : queries) {
+    requests.push_back(QueryRequest::Of(columns));
+  }
+  return RunBatch(std::move(requests), concurrency);
+}
+
+QueryResponse WwtService::Run(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+}  // namespace wwt

@@ -1,0 +1,170 @@
+// Copyright 2026 The WWT Authors
+//
+// WwtService: the serving facade. Owns a thread pool and the current
+// corpus as a shared immutable snapshot (CorpusHandle), answers
+// QueryRequests asynchronously — Submit() returns a std::future — and
+// supports hot-swapping the corpus (SwapCorpus) while batches are in
+// flight: every request captures the handle at submission, so in-flight
+// work finishes on the old snapshot and new submissions see the new one.
+// This is the paper's structured *search service* framing (§2.1 serves
+// queries against a frozen index that is rebuilt and swapped offline),
+// and the substrate for the ROADMAP's response cache and sharding.
+//
+//   auto service = WwtService::FromSnapshot("corpus.wwtsnap").value();
+//   auto future = service->Submit(
+//       QueryRequest::Of({"name of explorers", "nationality"})
+//           .WithTimeout(0.5));
+//   QueryResponse response = future.get();
+//   if (response.ok()) { /* response.answer, response.fingerprint */ }
+
+#ifndef WWT_WWT_SERVICE_H_
+#define WWT_WWT_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_generator.h"
+#include "index/snapshot.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+#include "wwt/api.h"
+
+namespace wwt {
+
+/// One immutable, shareable corpus snapshot: store + index + vocab/idf
+/// (inside Corpus), plus the content hash identifying the artifact it
+/// came from. Handles are passed around as shared_ptr<const CorpusHandle>
+/// so an atomic swap can retire a snapshot while in-flight requests
+/// still hold it.
+class CorpusHandle {
+ public:
+  /// Takes ownership of a built corpus. `content_hash` is the snapshot
+  /// artifact's hash (SnapshotInfo::content_hash); 0 = unversioned
+  /// in-memory build, which gets a process-unique synthetic hash so two
+  /// distinct corpora never share a fingerprint/cache key.
+  static std::shared_ptr<const CorpusHandle> Own(Corpus corpus,
+                                                 uint64_t content_hash = 0,
+                                                 std::string source = "");
+
+  /// Borrows a caller-owned corpus, which must outlive every service
+  /// (and every in-flight request) holding the handle.
+  static std::shared_ptr<const CorpusHandle> Borrow(const Corpus* corpus,
+                                                    uint64_t content_hash = 0);
+
+  /// Loads a .wwtsnap artifact into an owning handle; the snapshot's
+  /// content hash becomes the handle's. Clean Status on a missing or
+  /// corrupt file.
+  static StatusOr<std::shared_ptr<const CorpusHandle>> Load(
+      const std::string& path, SnapshotInfo* info = nullptr);
+
+  const TableStore& store() const { return corpus_->store; }
+  const TableIndex& index() const { return *corpus_->index; }
+  const Corpus& corpus() const { return *corpus_; }
+  uint64_t content_hash() const { return content_hash_; }
+  /// The .wwtsnap path the handle was loaded from ("" otherwise).
+  const std::string& source() const { return source_; }
+
+ private:
+  CorpusHandle() = default;
+
+  /// Set for Own/Load; Borrow leaves it empty and points corpus_ at the
+  /// caller's object.
+  std::unique_ptr<Corpus> owned_;
+  const Corpus* corpus_ = nullptr;
+  uint64_t content_hash_ = 0;
+  std::string source_;
+};
+
+struct ServiceOptions {
+  /// Engine defaults for requests without a per-request override.
+  EngineOptions engine;
+  /// Worker threads; 0 = ThreadPool::DefaultNumThreads().
+  int num_threads = 0;
+};
+
+/// Rejects out-of-range ServiceOptions (engine fields via
+/// ValidateEngineOptions, negative num_threads) with InvalidArgument.
+Status ValidateServiceOptions(const ServiceOptions& options);
+
+class WwtService {
+ public:
+  /// Validates `options` (InvalidArgument on any out-of-range field) and
+  /// builds a service with no corpus loaded — Submit returns
+  /// FailedPrecondition until SwapCorpus installs one.
+  static StatusOr<std::unique_ptr<WwtService>> Create(
+      ServiceOptions options = {});
+
+  /// Create + CorpusHandle::Load + SwapCorpus in one step.
+  static StatusOr<std::unique_ptr<WwtService>> FromSnapshot(
+      const std::string& snapshot_path, ServiceOptions options = {},
+      SnapshotInfo* info = nullptr);
+
+  ~WwtService();
+
+  /// Atomically installs `corpus` as the serving snapshot (nullptr
+  /// unloads). In-flight requests keep the handle they captured at
+  /// submission; subsequent submissions see `corpus`. Never blocks on
+  /// in-flight work.
+  void SwapCorpus(std::shared_ptr<const CorpusHandle> corpus);
+
+  /// The current serving snapshot (nullptr when none is loaded).
+  std::shared_ptr<const CorpusHandle> corpus() const;
+
+  /// The async primitive: validates, stamps the deadline, captures the
+  /// current corpus handle, and enqueues. The future always yields a
+  /// QueryResponse (never throws): InvalidArgument / DeadlineExceeded /
+  /// FailedPrecondition travel in QueryResponse::status.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Synchronous convenience: Submit + get.
+  QueryResponse Run(QueryRequest request);
+
+  /// Serves every request with at most `concurrency` (0 / out-of-range =
+  /// all pool threads) in flight, all on the corpus snapshot current at
+  /// the call — a SwapCorpus racing the batch never mixes corpora inside
+  /// it. Responses are in input order.
+  BatchResponse RunBatch(std::vector<QueryRequest> requests,
+                         int concurrency = 0);
+
+  /// Keyword-list convenience (the pre-service QueryRunner::RunBatch
+  /// signature).
+  BatchResponse RunBatch(const std::vector<std::vector<std::string>>& queries,
+                         int concurrency = 0);
+
+  int num_threads() const { return pool_.num_threads(); }
+  const EngineOptions& engine_options() const { return options_.engine; }
+
+ private:
+  explicit WwtService(ServiceOptions options);
+
+  /// Submit bound to an explicit snapshot (RunBatch pins one handle for
+  /// the whole batch).
+  std::future<QueryResponse> SubmitOn(
+      std::shared_ptr<const CorpusHandle> corpus, QueryRequest request);
+
+  /// Runs the pipeline on `corpus` (non-null) for an already-validated
+  /// request. Executed on a pool worker.
+  QueryResponse ExecuteOn(const CorpusHandle& corpus,
+                          const QueryRequest& request,
+                          double queue_seconds) const;
+
+  /// Fills fingerprint + corpus_hash — identically on every path a
+  /// validated request can take (served, expired anywhere, threw), so
+  /// cache keying never depends on where a failure occurred.
+  void StampCacheKey(QueryResponse* response, const QueryRequest& request,
+                     const CorpusHandle& corpus) const;
+
+  ServiceOptions options_;
+  mutable std::mutex corpus_mu_;
+  std::shared_ptr<const CorpusHandle> corpus_;
+  /// Last member: torn down first, so no worker outlives the fields the
+  /// in-flight closures reference.
+  ThreadPool pool_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_WWT_SERVICE_H_

@@ -1,0 +1,246 @@
+// Copyright 2026 The WWT Authors
+//
+// The serving API contract that needs no corpus: option validation
+// (every rejected field), request validation, the submit-time error
+// order (InvalidArgument -> DeadlineExceeded -> FailedPrecondition),
+// and fingerprint canonicalization/stability. Fast: runs in the CI
+// unit tier on every PR.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+// ---------------------------------------------------- option validation
+
+TEST(ValidateEngineOptionsTest, DefaultOptionsAreValid) {
+  EXPECT_TRUE(ValidateEngineOptions(EngineOptions{}).ok());
+}
+
+TEST(ValidateEngineOptionsTest, RejectsEachBadField) {
+  struct Case {
+    const char* field;
+    void (*mutate)(EngineOptions*);
+  };
+  const Case cases[] = {
+      {"probe1_k", [](EngineOptions* o) { o->probe1_k = -3; }},
+      {"probe2_k", [](EngineOptions* o) { o->probe2_k = 0; }},
+      {"score_floor_fraction",
+       [](EngineOptions* o) { o->score_floor_fraction = 1.5; }},
+      {"score_floor_fraction",
+       [](EngineOptions* o) { o->score_floor_fraction = -0.1; }},
+      {"sample_rows", [](EngineOptions* o) { o->sample_rows = -1; }},
+      {"confident_prob", [](EngineOptions* o) { o->confident_prob = 2.0; }},
+      {"max_candidates", [](EngineOptions* o) { o->max_candidates = 0; }},
+      {"mapper.confidence_threshold",
+       [](EngineOptions* o) { o->mapper.confidence_threshold = -0.5; }},
+      {"mapper.prob_temperature",
+       [](EngineOptions* o) { o->mapper.prob_temperature = 0.0; }},
+      {"consolidator.max_rows",
+       [](EngineOptions* o) { o->consolidator.max_rows = 0; }},
+      {"consolidator.min_relevance_prob",
+       [](EngineOptions* o) { o->consolidator.min_relevance_prob = 1.01; }},
+  };
+  for (const Case& c : cases) {
+    EngineOptions options;
+    c.mutate(&options);
+    Status status = ValidateEngineOptions(options);
+    EXPECT_TRUE(status.IsInvalidArgument()) << c.field;
+    // The message names the offending field.
+    EXPECT_NE(status.message().find(c.field), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(ValidateServiceOptionsTest, RejectsBadEngineAndThreads) {
+  ServiceOptions options;
+  options.engine.probe1_k = -1;
+  EXPECT_TRUE(ValidateServiceOptions(options).IsInvalidArgument());
+
+  options = ServiceOptions{};
+  options.num_threads = -2;
+  Status status = ValidateServiceOptions(options);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("num_threads"), std::string::npos);
+}
+
+TEST(WwtServiceTest, CreateRejectsInvalidOptions) {
+  ServiceOptions options;
+  options.engine.max_candidates = -5;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_FALSE(service.ok());
+  EXPECT_TRUE(service.status().IsInvalidArgument());
+}
+
+// --------------------------------------------------- request validation
+
+std::unique_ptr<WwtService> EmptyService(int threads = 1) {
+  ServiceOptions options;
+  options.num_threads = threads;
+  StatusOr<std::unique_ptr<WwtService>> service = WwtService::Create(options);
+  EXPECT_TRUE(service.ok());
+  return std::move(service).value();
+}
+
+TEST(WwtServiceTest, EmptyColumnListIsInvalidArgument) {
+  auto service = EmptyService();
+  QueryResponse r = service->Run(QueryRequest{});
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+  EXPECT_EQ(r.fingerprint, 0u);
+}
+
+TEST(WwtServiceTest, WhitespaceColumnIsInvalidArgument) {
+  auto service = EmptyService();
+  QueryResponse r =
+      service->Run(QueryRequest::Of({"country", "  \t "}).WithTag("bad"));
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+  EXPECT_EQ(r.tag, "bad");  // tag is echoed even on errors
+}
+
+TEST(WwtServiceTest, OverLongColumnListIsInvalidArgument) {
+  auto service = EmptyService();
+  std::vector<std::string> columns(kMaxQueryColumns + 1, "country");
+  QueryResponse r = service->Run(QueryRequest::Of(columns));
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+  // The boundary itself is accepted (fails later only on the missing
+  // corpus, proving validation passed).
+  columns.pop_back();
+  EXPECT_TRUE(service->Run(QueryRequest::Of(columns))
+                  .status.IsFailedPrecondition());
+}
+
+TEST(WwtServiceTest, BadPerRequestOverrideIsInvalidArgument) {
+  auto service = EmptyService();
+  EngineOptions bad;
+  bad.probe1_k = 0;
+  QueryResponse r =
+      service->Run(QueryRequest::Of({"country"}).WithOptions(bad));
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+  EXPECT_NE(r.status.message().find("probe1_k"), std::string::npos);
+}
+
+// ------------------------------------------- deadline + corpus presence
+
+TEST(WwtServiceTest, SubmitWithoutCorpusIsFailedPrecondition) {
+  auto service = EmptyService();
+  ASSERT_EQ(service->corpus(), nullptr);
+  QueryResponse r = service->Run(QueryRequest::Of({"country"}));
+  EXPECT_TRUE(r.status.IsFailedPrecondition());
+}
+
+TEST(WwtServiceTest, DeadlineExpiredAtSubmitIsDeadlineExceeded) {
+  auto service = EmptyService();
+  QueryRequest request = QueryRequest::Of({"country"});
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  // The deadline outranks the missing corpus: an expired request never
+  // touches serving state.
+  QueryResponse r = service->Run(std::move(request));
+  EXPECT_TRUE(r.status.IsDeadlineExceeded());
+}
+
+TEST(WwtServiceTest, ValidationOutranksDeadline) {
+  auto service = EmptyService();
+  QueryRequest request;  // no columns AND expired
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  EXPECT_TRUE(service->Run(std::move(request)).status.IsInvalidArgument());
+}
+
+TEST(QueryRequestTest, WithTimeoutSetsAForwardDeadline) {
+  QueryRequest request = QueryRequest::Of({"country"});
+  EXPECT_FALSE(request.has_deadline());
+  request.WithTimeout(60.0);
+  EXPECT_TRUE(request.has_deadline());
+  EXPECT_GT(request.deadline, std::chrono::steady_clock::now());
+}
+
+// ------------------------------------------------------- fingerprinting
+
+TEST(CanonicalQueryKeyTest, LowercasesAndCollapsesWhitespace) {
+  EXPECT_EQ(CanonicalQueryKey({"  Name  OF   Explorers ", "Nationality"}),
+            CanonicalQueryKey({"name of explorers", "nationality"}));
+  EXPECT_EQ(CanonicalQueryKey({"country"}), "7:country");
+  // Column boundaries survive canonicalization.
+  EXPECT_NE(CanonicalQueryKey({"a b", "c"}), CanonicalQueryKey({"a", "b c"}));
+  EXPECT_NE(CanonicalQueryKey({"a", "b"}), CanonicalQueryKey({"a b"}));
+  // Length-prefixed framing: column content cannot forge a column
+  // boundary, so a separator-injection query keeps a distinct key.
+  EXPECT_NE(CanonicalQueryKey({"a\x1f"
+                               "b"}),
+            CanonicalQueryKey({"a", "b"}));
+}
+
+TEST(RequestFingerprintTest, StableAndSensitive) {
+  const QueryRequest request = QueryRequest::Of({"country", "population"});
+  const EngineOptions options;
+  const uint64_t fp = RequestFingerprint(request, options, 0x1234);
+  // Stable: same request + same corpus hash + same options.
+  EXPECT_EQ(fp, RequestFingerprint(request, options, 0x1234));
+  // Tag and deadline do not change the answer, so not the fingerprint.
+  QueryRequest tagged = request;
+  tagged.WithTag("t").WithTimeout(10);
+  EXPECT_EQ(fp, RequestFingerprint(tagged, options, 0x1234));
+  // Canonically-equal keywords share a fingerprint.
+  EXPECT_EQ(fp, RequestFingerprint(
+                    QueryRequest::Of({" Country ", "POPULATION"}), options,
+                    0x1234));
+  // Different corpus content hash -> different fingerprint.
+  EXPECT_NE(fp, RequestFingerprint(request, options, 0x5678));
+  // Different result-affecting options -> different fingerprint.
+  EngineOptions other = options;
+  other.probe1_k += 10;
+  EXPECT_NE(fp, RequestFingerprint(request, other, 0x1234));
+  // Different columns -> different fingerprint.
+  EXPECT_NE(fp, RequestFingerprint(QueryRequest::Of({"country"}), options,
+                                   0x1234));
+  // retrieval_only changes the payload shape, so it is part of the key.
+  QueryRequest retrieval = request;
+  retrieval.retrieval_only = true;
+  EXPECT_NE(fp, RequestFingerprint(retrieval, options, 0x1234));
+}
+
+TEST(EngineOptionsFingerprintTest, CoversMapperAndConsolidator) {
+  const EngineOptions base;
+  EngineOptions o = base;
+  o.mapper.mode = InferenceMode::kIndependent;
+  EXPECT_NE(EngineOptionsFingerprint(base), EngineOptionsFingerprint(o));
+  o = base;
+  o.mapper.weights.w1 += 0.5;
+  EXPECT_NE(EngineOptionsFingerprint(base), EngineOptionsFingerprint(o));
+  o = base;
+  o.consolidator.min_relevance_prob = 0.9;
+  EXPECT_NE(EngineOptionsFingerprint(base), EngineOptionsFingerprint(o));
+}
+
+// ------------------------------------------------------ batch plumbing
+
+TEST(WwtServiceTest, RunBatchWithoutCorpusFailsEveryRequestCleanly) {
+  auto service = EmptyService(2);
+  BatchResponse batch =
+      service->RunBatch({{"country"}, {"population"}, {}});
+  ASSERT_EQ(batch.responses.size(), 3u);
+  EXPECT_TRUE(batch.responses[0].status.IsFailedPrecondition());
+  EXPECT_TRUE(batch.responses[1].status.IsFailedPrecondition());
+  EXPECT_TRUE(batch.responses[2].status.IsInvalidArgument());
+  EXPECT_FALSE(batch.all_ok());
+  EXPECT_EQ(batch.stats.num_queries, 3u);
+}
+
+TEST(WwtServiceTest, EmptyBatch) {
+  auto service = EmptyService();
+  BatchResponse batch = service->RunBatch(std::vector<QueryRequest>{});
+  EXPECT_TRUE(batch.responses.empty());
+  EXPECT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.stats.num_queries, 0u);
+}
+
+}  // namespace
+}  // namespace wwt

@@ -1,12 +1,13 @@
 // Copyright 2026 The WWT Authors
 //
-// QueryRunner: batch serving must be byte-identical to serial execution,
-// report sane aggregate stats, and the shared read paths (index, store,
-// candidate vectors) must hold up under concurrent probing.
+// QueryRunner — now an internal detail behind WwtService (the reference
+// path the service is compared against byte-for-byte): batch serving
+// must be byte-identical to serial execution, report sane aggregate
+// stats, and the shared read paths (index, store, candidate vectors)
+// must hold up under concurrent probing.
 
 #include <algorithm>
 #include <atomic>
-#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -42,28 +43,6 @@ class QueryRunnerTest : public ::testing::Test {
     }
     return queries;
   }
-
-  /// Serializes everything observable about one execution.
-  static std::string Fingerprint(const QueryExecution& exec) {
-    std::ostringstream out;
-    out << "retrieved:";
-    for (const CandidateTable& t : exec.retrieval.tables) {
-      out << ' ' << t.table.id;
-    }
-    out << "\nmapping:";
-    for (const TableMapping& tm : exec.mapping.tables) {
-      out << " [" << tm.id << ':' << tm.relevant;
-      for (int l : tm.labels) out << ',' << l;
-      out << ']';
-    }
-    out << "\nobjective: " << exec.mapping.objective << "\nanswer:\n";
-    for (const AnswerRow& row : exec.answer.rows) {
-      out << row.support << '|' << row.score;
-      for (const std::string& cell : row.cells) out << '|' << cell;
-      out << '\n';
-    }
-    return out.str();
-  }
 };
 
 TEST_F(QueryRunnerTest, BatchIdenticalToSerialExecution) {
@@ -75,7 +54,7 @@ TEST_F(QueryRunnerTest, BatchIdenticalToSerialExecution) {
   WwtEngine engine(&c.store, c.index.get(), {});
   std::vector<std::string> serial;
   for (const auto& q : queries) {
-    serial.push_back(Fingerprint(engine.Execute(q)));
+    serial.push_back(ResultDigest(engine.Execute(q)));
   }
 
   // Batch with 4 worker threads.
@@ -86,7 +65,7 @@ TEST_F(QueryRunnerTest, BatchIdenticalToSerialExecution) {
 
   ASSERT_EQ(batch.executions.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(Fingerprint(batch.executions[i]), serial[i])
+    EXPECT_EQ(ResultDigest(batch.executions[i]), serial[i])
         << "query #" << i << " diverged under concurrency";
   }
 }
@@ -102,8 +81,8 @@ TEST_F(QueryRunnerTest, RepeatedBatchesAreDeterministic) {
   BatchResult second = runner.RunBatch(queries);
   ASSERT_EQ(first.executions.size(), second.executions.size());
   for (size_t i = 0; i < first.executions.size(); ++i) {
-    EXPECT_EQ(Fingerprint(first.executions[i]),
-              Fingerprint(second.executions[i]));
+    EXPECT_EQ(ResultDigest(first.executions[i]),
+              ResultDigest(second.executions[i]));
   }
 }
 

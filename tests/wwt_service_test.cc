@@ -1,0 +1,270 @@
+// Copyright 2026 The WWT Authors
+//
+// WwtService over a real corpus: async Submit must be byte-identical to
+// serial WwtEngine::Execute, per-request option overrides must apply,
+// deadlines must expire cleanly in the queue, fingerprints must be
+// stable per (request, corpus) and move with the corpus hash, and —
+// the hot-swap contract — a SwapCorpus racing an in-flight RunBatch
+// must leave the batch byte-identical on the old snapshot while new
+// submissions see the new one. Labeled "slow" (corpus builds); CI runs
+// it on pushes to main, the sanitizer job makes the race test a
+// TSan/ASan-grade check.
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+class WwtServiceCorpusTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Corpus corpus_a;
+    Corpus corpus_b;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions a;
+      a.seed = 3;
+      a.scale = 0.25;
+      s->corpus_a = GenerateCorpus(a);
+      // A second, genuinely different corpus for the swap tests: other
+      // seed and scale, so answers differ.
+      CorpusOptions b;
+      b.seed = 11;
+      b.scale = 0.15;
+      s->corpus_b = GenerateCorpus(b);
+      return s;
+    }();
+    return *shared;
+  }
+
+  static constexpr uint64_t kHashA = 0xAAAA5555AAAA5555ULL;
+  static constexpr uint64_t kHashB = 0xBBBB6666BBBB6666ULL;
+
+  static std::vector<std::vector<std::string>> WorkloadQueries(
+      const Corpus& corpus) {
+    std::vector<std::vector<std::string>> queries;
+    for (const ResolvedQuery& rq : corpus.queries) {
+      std::vector<std::string> cols;
+      for (const QueryColumnSpec& col : rq.spec.columns) {
+        cols.push_back(col.keywords);
+      }
+      queries.push_back(std::move(cols));
+    }
+    return queries;
+  }
+
+  static std::unique_ptr<WwtService> ServiceOver(
+      const Corpus* corpus, uint64_t hash, int threads) {
+    ServiceOptions options;
+    options.num_threads = threads;
+    StatusOr<std::unique_ptr<WwtService>> service =
+        WwtService::Create(options);
+    EXPECT_TRUE(service.ok());
+    (*service)->SwapCorpus(CorpusHandle::Borrow(corpus, hash));
+    return std::move(service).value();
+  }
+};
+
+TEST_F(WwtServiceCorpusTest, AsyncSubmitIsByteIdenticalToSerialEngine) {
+  const Shared& s = GetShared();
+  const auto queries = WorkloadQueries(s.corpus_a);
+  ASSERT_FALSE(queries.empty());
+
+  WwtEngine engine(&s.corpus_a.store, s.corpus_a.index.get(), {});
+  std::vector<std::string> serial;
+  for (const auto& q : queries) {
+    serial.push_back(ResultDigest(engine.Execute(q)));
+  }
+
+  auto service = ServiceOver(&s.corpus_a, kHashA, 4);
+  // All futures in flight at once: the raw Submit path, not RunBatch.
+  std::vector<std::future<QueryResponse>> futures;
+  for (const auto& q : queries) {
+    futures.push_back(service->Submit(QueryRequest::Of(q)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status;
+    EXPECT_EQ(ResultDigest(r), serial[i]) << "query #" << i;
+    EXPECT_EQ(r.corpus_hash, kHashA);
+    EXPECT_NE(r.fingerprint, 0u);
+    EXPECT_GT(r.execute_seconds, 0.0);
+  }
+}
+
+TEST_F(WwtServiceCorpusTest, RunBatchKeepsBatchStats) {
+  const Shared& s = GetShared();
+  const auto queries = WorkloadQueries(s.corpus_a);
+  auto service = ServiceOver(&s.corpus_a, kHashA, 2);
+  BatchResponse batch = service->RunBatch(queries, 2);
+
+  ASSERT_EQ(batch.responses.size(), queries.size());
+  EXPECT_TRUE(batch.all_ok());
+  const BatchStats& st = batch.stats;
+  EXPECT_EQ(st.num_queries, queries.size());
+  EXPECT_EQ(st.concurrency, 2);
+  EXPECT_GT(st.wall_seconds, 0.0);
+  EXPECT_GT(st.qps, 0.0);
+  EXPECT_EQ(st.latency.count, queries.size());
+  EXPECT_LE(st.latency.p50, st.latency.p95);
+  EXPECT_LE(st.latency.p95, st.latency.p99);
+  EXPECT_LE(st.latency.p99, st.latency.max);
+  // Merged stage accounting equals the sum over per-query timers.
+  double merged = 0;
+  for (const auto& [stage, seconds] : st.total_stage_time.stages()) {
+    EXPECT_TRUE(st.stage_latency.count(stage)) << stage;
+    merged += seconds;
+  }
+  double summed = 0;
+  for (const QueryResponse& r : batch.responses) summed += r.timing.Total();
+  EXPECT_NEAR(merged, summed, 1e-9);
+  EXPECT_TRUE(st.stage_latency.count(kStage1stIndex));
+
+  // Concurrency clamp semantics match the old QueryRunner.
+  EXPECT_EQ(service->RunBatch({{"country", "population"}}, 99)
+                .stats.concurrency,
+            1);
+  std::vector<std::vector<std::string>> three(3, {"country"});
+  EXPECT_EQ(service->RunBatch(three, 99).stats.concurrency, 2);
+}
+
+TEST_F(WwtServiceCorpusTest, PerRequestOverrideAppliesAndChangesFingerprint) {
+  const Shared& s = GetShared();
+  auto service = ServiceOver(&s.corpus_a, kHashA, 2);
+  const std::vector<std::string> q = {"country", "population"};
+
+  QueryResponse base = service->Run(QueryRequest::Of(q));
+  ASSERT_TRUE(base.ok()) << base.status;
+
+  EngineOptions tight;
+  tight.probe1_k = 1;
+  tight.max_candidates = 1;
+  QueryResponse limited = service->Run(QueryRequest::Of(q).WithOptions(tight));
+  ASSERT_TRUE(limited.ok()) << limited.status;
+  EXPECT_LE(limited.retrieval.tables.size(), 1u);
+  EXPECT_LT(limited.retrieval.tables.size(), base.retrieval.tables.size());
+  // The effective options are part of the cache key.
+  EXPECT_NE(limited.fingerprint, base.fingerprint);
+
+  // Retrieval-only requests skip mapping/consolidation.
+  QueryRequest retrieval = QueryRequest::Of(q);
+  retrieval.retrieval_only = true;
+  QueryResponse r = service->Run(std::move(retrieval));
+  ASSERT_TRUE(r.ok()) << r.status;
+  EXPECT_EQ(r.retrieval.tables.size(), base.retrieval.tables.size());
+  EXPECT_TRUE(r.mapping.tables.empty());
+  EXPECT_TRUE(r.answer.rows.empty());
+  EXPECT_NE(r.fingerprint, base.fingerprint);
+}
+
+TEST_F(WwtServiceCorpusTest, DeadlineCanExpireInTheQueue) {
+  const Shared& s = GetShared();
+  // One worker: a slow head-of-line request makes the queued one expire.
+  auto service = ServiceOver(&s.corpus_a, kHashA, 1);
+  const auto queries = WorkloadQueries(s.corpus_a);
+  ASSERT_GE(queries.size(), 2u);
+
+  std::vector<std::future<QueryResponse>> futures;
+  // Enough head-of-line work to outlast a 1 ms deadline.
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service->Submit(QueryRequest::Of(queries[0])));
+  }
+  QueryResponse expired = service->Submit(QueryRequest::Of(queries[1])
+                                              .WithTag("late")
+                                              .WithTimeout(1e-3))
+                              .get();
+  EXPECT_TRUE(expired.status.IsDeadlineExceeded()) << expired.status;
+  EXPECT_EQ(expired.tag, "late");
+  EXPECT_GT(expired.queue_seconds, 0.0);
+  // The fingerprint is still computed: a cache layer can serve expired
+  // requests from cache next time.
+  EXPECT_NE(expired.fingerprint, 0u);
+  EXPECT_TRUE(expired.answer.rows.empty());
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST_F(WwtServiceCorpusTest, SwapCorpusRacingInFlightBatchIsByteIdentical) {
+  const Shared& s = GetShared();
+  const auto queries = WorkloadQueries(s.corpus_a);
+  ASSERT_FALSE(queries.empty());
+
+  // Serial reference on corpus A.
+  WwtEngine engine(&s.corpus_a.store, s.corpus_a.index.get(), {});
+  std::vector<std::string> serial_a;
+  for (const auto& q : queries) {
+    serial_a.push_back(ResultDigest(engine.Execute(q)));
+  }
+
+  auto service = ServiceOver(&s.corpus_a, kHashA, 2);
+  std::weak_ptr<const CorpusHandle> weak_a = service->corpus();
+  ASSERT_FALSE(weak_a.expired());
+
+  // Launch the batch, then swap to corpus B while it is in flight.
+  std::future<BatchResponse> batch_future =
+      std::async(std::launch::async,
+                 [&] { return service->RunBatch(queries, 2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service->SwapCorpus(CorpusHandle::Borrow(&s.corpus_b, kHashB));
+
+  BatchResponse batch = batch_future.get();
+  ASSERT_EQ(batch.responses.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch.responses[i].ok()) << batch.responses[i].status;
+    // The whole batch was served by the snapshot captured at its start:
+    // byte-identical to corpus A, stamped with A's hash.
+    EXPECT_EQ(ResultDigest(batch.responses[i]), serial_a[i])
+        << "query #" << i << " mixed corpora mid-batch";
+    EXPECT_EQ(batch.responses[i].corpus_hash, kHashA);
+  }
+
+  // The batch finished, the service dropped A at the swap: the old
+  // handle is provably released, nothing leaks per swap.
+  EXPECT_TRUE(weak_a.expired());
+
+  // New submissions see corpus B.
+  QueryResponse after = service->Run(QueryRequest::Of(queries[0]));
+  ASSERT_TRUE(after.ok()) << after.status;
+  EXPECT_EQ(after.corpus_hash, kHashB);
+  EXPECT_EQ(after.fingerprint,
+            RequestFingerprint(QueryRequest::Of(queries[0]),
+                               service->engine_options(), kHashB));
+}
+
+TEST_F(WwtServiceCorpusTest, FingerprintStableAcrossSubmissionsAndCorpora) {
+  const Shared& s = GetShared();
+  auto service = ServiceOver(&s.corpus_a, kHashA, 2);
+  const std::vector<std::string> q = {"country", "population"};
+
+  QueryResponse first = service->Run(QueryRequest::Of(q));
+  QueryResponse second = service->Run(QueryRequest::Of(q).WithTag("again"));
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Same request + same snapshot -> same fingerprint (tag irrelevant).
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  // Canonically-equal keywords -> same fingerprint.
+  QueryResponse spaced =
+      service->Run(QueryRequest::Of({" Country ", "POPULATION"}));
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced.fingerprint, first.fingerprint);
+
+  // Different corpus content hash -> different fingerprint.
+  service->SwapCorpus(CorpusHandle::Borrow(&s.corpus_a, kHashB));
+  QueryResponse other = service->Run(QueryRequest::Of(q));
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other.fingerprint, first.fingerprint);
+}
+
+}  // namespace
+}  // namespace wwt

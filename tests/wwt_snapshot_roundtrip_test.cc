@@ -9,7 +9,6 @@
 // corpus builds); CI runs it on pushes to main.
 
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +19,7 @@
 #include "util/logging.h"
 #include "util/timer.h"
 #include "wwt/query_runner.h"
+#include "wwt/service.h"
 
 namespace wwt {
 namespace {
@@ -29,24 +29,6 @@ CorpusOptions FullWorkloadOptions() {
   options.seed = 3;
   options.scale = 0.25;
   return options;
-}
-
-/// Every byte a served query produces: candidates, labels, answer rows.
-std::string Fingerprint(const QueryExecution& exec) {
-  std::ostringstream out;
-  for (const CandidateTable& t : exec.retrieval.tables) {
-    out << t.table.id << ' ';
-  }
-  for (const TableMapping& tm : exec.mapping.tables) {
-    out << tm.relevant;
-    for (int l : tm.labels) out << ',' << l;
-    out << ';';
-  }
-  for (const AnswerRow& row : exec.answer.rows) {
-    for (const std::string& cell : row.cells) out << cell << '|';
-    out << row.support << '\n';
-  }
-  return out.str();
 }
 
 class SnapshotRoundTripTest : public ::testing::Test {
@@ -108,8 +90,45 @@ TEST_F(SnapshotRoundTripTest, BatchAnswersAreByteIdentical) {
   ASSERT_EQ(fresh_batch.executions.size(), queries.size());
   ASSERT_EQ(loaded_batch.executions.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(Fingerprint(loaded_batch.executions[i]),
-              Fingerprint(fresh_batch.executions[i]))
+    EXPECT_EQ(ResultDigest(loaded_batch.executions[i]),
+              ResultDigest(fresh_batch.executions[i]))
+        << "query " << i << " (" << s.fresh.queries[i].spec.name << ")";
+  }
+}
+
+// The api_redesign acceptance gate: full-workload answers served by the
+// new WwtService facade must be byte-identical to the pre-refactor
+// QueryRunner path — over a loaded snapshot, against a freshly built
+// index, so snapshot fidelity and API equivalence are checked in one
+// shot.
+TEST_F(SnapshotRoundTripTest, WwtServiceMatchesQueryRunnerByteForByte) {
+  const Shared& s = GetShared();
+  const auto queries = WorkloadQueries(s.fresh);
+  ASSERT_FALSE(queries.empty());
+
+  // Pre-refactor path: QueryRunner over the freshly built corpus.
+  RunnerOptions runner_options;
+  runner_options.num_threads = 2;
+  QueryRunner runner(&s.fresh.store, s.fresh.index.get(), runner_options);
+  BatchResult runner_batch = runner.RunBatch(queries);
+
+  // New path: WwtService over the loaded snapshot.
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(service_options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&s.loaded));
+  BatchResponse service_batch = (*service)->RunBatch(queries);
+
+  ASSERT_EQ(runner_batch.executions.size(), queries.size());
+  ASSERT_EQ(service_batch.responses.size(), queries.size());
+  EXPECT_EQ(service_batch.stats.num_queries, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(service_batch.responses[i].ok())
+        << service_batch.responses[i].status;
+    EXPECT_EQ(ResultDigest(service_batch.responses[i]),
+              ResultDigest(runner_batch.executions[i]))
         << "query " << i << " (" << s.fresh.queries[i].spec.name << ")";
   }
 }

@@ -1,31 +1,54 @@
 // Copyright 2026 The WWT Authors
 //
-// wwt_serve: the online half of the indexer/server split. Cold-starts
-// from a `.wwtsnap` snapshot (memory-mapped when the platform allows)
-// instead of rebuilding the corpus, then serves column-keyword query
-// batches through the QueryRunner thread pool and reports aggregate
-// throughput and latency.
+// wwt_serve: the online half of the indexer/server split, now fronted by
+// WwtService. Cold-starts from a `.wwtsnap` snapshot (memory-mapped when
+// the platform allows), then serves column-keyword queries three ways:
+//
+//   * batch over the snapshot's stored workload (default, --batch-mult)
+//   * batch over a --queries file (one query per line, columns '|')
+//   * --stdin line protocol: one query per line on stdin, one response
+//     line on stdout per query, in input order, flushed as answered.
+//     Lines are submitted asynchronously as they arrive (a bounded
+//     pipeline over WwtService::Submit), so a fast producer builds a
+//     real queue — where --deadline-ms expires stragglers — while an
+//     interactive user still sees each answer as soon as it is ready.
+//
+// Output is human text or, with --format json, one JSON object per
+// query plus a summary object (machine-consumable; strings escaped).
+//
+// Error contract: every failure path — missing/corrupt snapshot,
+// unreadable or queryless --queries file, a rejected request — exits
+// non-zero with a one-line "wwt_serve: ..." diagnostic on stderr,
+// never a crash or silent empty output.
 //
 // Usage:
 //   wwt_serve --snapshot PATH [--threads N] [--batch-mult M]
-//             [--queries FILE] [--quiet]
+//             [--queries FILE | --stdin] [--format text|json]
+//             [--deadline-ms D] [--quiet]
 //
-// Queries come from --queries (one query per line, columns separated by
-// '|': "name of explorers | nationality"), or default to the workload
-// stored in the snapshot, replicated --batch-mult times.
+// --deadline-ms requires --stdin: only there is a request stamped when
+// it arrives, making the deadline genuinely per-query. Batch mode
+// builds every request up front, where one absolute deadline would
+// spuriously expire tail queries as the batch drains.
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "index/snapshot.h"
 #include "util/timer.h"
-#include "wwt/query_runner.h"
+#include "wwt/service.h"
 
 namespace {
 
@@ -43,21 +66,106 @@ std::vector<std::string> SplitColumns(const std::string& line) {
   return cols;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One response as a single JSON line (the --format json per-query
+/// record, also the --stdin json protocol).
+void PrintJsonResponse(const wwt::QueryResponse& r, int max_rows) {
+  std::printf("{\"tag\": \"%s\", \"status\": \"%s\"",
+              JsonEscape(r.tag).c_str(),
+              JsonEscape(r.status.ok() ? "OK" : r.status.ToString()).c_str());
+  if (r.ok()) {
+    std::printf(", \"fingerprint\": \"%016llx\", \"corpus_hash\": "
+                "\"%016llx\", \"rows\": %zu, \"candidates\": %zu, "
+                "\"latency_ms\": %.3f, \"queue_ms\": %.3f, \"answer\": [",
+                static_cast<unsigned long long>(r.fingerprint),
+                static_cast<unsigned long long>(r.corpus_hash),
+                r.answer.rows.size(), r.retrieval.tables.size(),
+                r.execute_seconds * 1e3, r.queue_seconds * 1e3);
+    const size_t shown =
+        std::min<size_t>(r.answer.rows.size(),
+                         max_rows < 0 ? r.answer.rows.size()
+                                      : static_cast<size_t>(max_rows));
+    for (size_t i = 0; i < shown; ++i) {
+      const wwt::AnswerRow& row = r.answer.rows[i];
+      std::printf("%s{\"cells\": [", i > 0 ? ", " : "");
+      for (size_t c = 0; c < row.cells.size(); ++c) {
+        std::printf("%s\"%s\"", c > 0 ? ", " : "",
+                    JsonEscape(row.cells[c]).c_str());
+      }
+      std::printf("], \"support\": %d}", row.support);
+    }
+    std::printf("]");
+  }
+  std::printf("}\n");
+}
+
+void PrintTextResponse(const wwt::QueryResponse& r) {
+  if (!r.ok()) {
+    std::printf("%-40.40s ERROR %s\n", r.tag.c_str(),
+                r.status.ToString().c_str());
+    return;
+  }
+  std::printf("%-40.40s %4zu rows  %7.1f ms\n", r.tag.c_str(),
+              r.answer.rows.size(), r.timing.Total() * 1e3);
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --snapshot PATH [--threads N] [--batch-mult M]\n"
-               "          [--queries FILE] [--quiet]\n",
+               "          [--queries FILE | --stdin] [--format text|json]\n"
+               "          [--deadline-ms D] [--quiet]\n",
                argv0);
   return 2;
+}
+
+/// The one-line failure exit every error path funnels through.
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "wwt_serve: %s\n", message.c_str());
+  return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string snapshot_path, queries_path;
+  std::string snapshot_path, queries_path, format = "text";
   int threads = 0;
   int batch_mult = 1;
+  double deadline_ms = 0;  // 0 = none
   bool quiet = false;
+  bool use_stdin = false;
+  bool batch_mult_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +188,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       batch_mult = std::max(1, std::atoi(v));
+      batch_mult_set = true;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      format = v;
+      if (format != "text" && format != "json") return Usage(argv[0]);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      deadline_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(deadline_ms > 0)) {
+        return Fail(std::string("--deadline-ms wants a positive number "
+                                "of milliseconds, got '") +
+                    v + "'");
+      }
+    } else if (arg == "--stdin") {
+      use_stdin = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -87,84 +213,204 @@ int main(int argc, char** argv) {
     }
   }
   if (snapshot_path.empty()) return Usage(argv[0]);
-
-  // Cold start: one file read instead of a corpus rebuild.
-  wwt::WallTimer load_timer;
-  wwt::SnapshotInfo info;
-  wwt::StatusOr<wwt::Corpus> corpus =
-      wwt::LoadSnapshot(snapshot_path, &info);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "wwt_serve: %s\n",
-                 corpus.status().ToString().c_str());
-    return 1;
+  if (use_stdin && !queries_path.empty()) return Usage(argv[0]);
+  if (use_stdin && batch_mult_set) {
+    return Fail("--batch-mult only applies to the stored-workload batch "
+                "mode, not --stdin");
   }
-  const double load_seconds = load_timer.ElapsedSeconds();
-  std::printf(
-      "loaded %llu tables, %llu terms from %s in %.3f s "
-      "(format v%u, hash %016llx)\n",
-      static_cast<unsigned long long>(info.num_tables),
-      static_cast<unsigned long long>(info.num_terms),
-      snapshot_path.c_str(), load_seconds, info.format_version,
-      static_cast<unsigned long long>(info.content_hash));
+  if (deadline_ms > 0 && !use_stdin) {
+    return Fail("--deadline-ms requires --stdin (batch requests are "
+                "built up front, so one absolute deadline would expire "
+                "tail queries spuriously)");
+  }
+  const bool json = format == "json";
 
-  // The batch.
-  std::vector<std::vector<std::string>> queries;
-  std::vector<std::string> names;
+  // Cold start: one file read instead of a corpus rebuild. Missing or
+  // corrupt artifacts surface as a clean one-line error.
+  wwt::WallTimer load_timer;
+  wwt::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  wwt::SnapshotInfo info;
+  wwt::StatusOr<std::unique_ptr<wwt::WwtService>> service =
+      wwt::WwtService::FromSnapshot(snapshot_path, service_options, &info);
+  if (!service.ok()) return Fail(service.status().ToString());
+  const double load_seconds = load_timer.ElapsedSeconds();
+  if (!json) {
+    // In --stdin mode stdout carries exactly one response line per
+    // query (the pipeline protocol), so the banner goes to stderr.
+    std::fprintf(
+        use_stdin ? stderr : stdout,
+        "loaded %llu tables, %llu terms from %s in %.3f s "
+        "(format v%u, hash %016llx)\n",
+        static_cast<unsigned long long>(info.num_tables),
+        static_cast<unsigned long long>(info.num_terms),
+        snapshot_path.c_str(), load_seconds, info.format_version,
+        static_cast<unsigned long long>(info.content_hash));
+  }
+
+  auto make_request = [&](std::vector<std::string> cols, std::string tag) {
+    wwt::QueryRequest request =
+        wwt::QueryRequest::Of(std::move(cols)).WithTag(std::move(tag));
+    if (deadline_ms > 0) request.WithTimeout(deadline_ms / 1e3);
+    return request;
+  };
+
+  // ---- Line-protocol streaming: the reader submits each stdin line as
+  // it arrives; the printer thread drains responses in input order and
+  // flushes one line each. The bounded pipeline is what makes
+  // --deadline-ms real: a producer faster than the pool builds an
+  // actual queue, and stragglers expire in it.
+  if (use_stdin) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::future<wwt::QueryResponse>> pending;
+    bool input_done = false;
+    // Printer-owned until join. Deadline expiries are configured load
+    // shedding (--deadline-ms), not service failure: counted apart so
+    // they don't flip the exit code.
+    size_t served = 0, failed = 0, expired = 0;
+    const size_t window =
+        static_cast<size_t>(std::max(4, 2 * (*service)->num_threads()));
+
+    std::thread printer([&] {
+      for (;;) {
+        std::future<wwt::QueryResponse> next;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return input_done || !pending.empty(); });
+          if (pending.empty()) return;  // input_done and drained
+          next = std::move(pending.front());
+          pending.pop_front();
+        }
+        cv.notify_all();  // reader may be waiting for window space
+        wwt::QueryResponse response = next.get();
+        if (response.ok()) {
+          ++served;
+        } else if (response.status.IsDeadlineExceeded()) {
+          ++expired;
+        } else {
+          ++failed;
+        }
+        if (json) {
+          PrintJsonResponse(response, /*max_rows=*/quiet ? 0 : 10);
+        } else if (quiet) {
+          std::printf(
+              "%s%s\n", response.ok() ? "ok " : "error ",
+              response.ok()
+                  ? std::to_string(response.answer.rows.size()).c_str()
+                  : response.status.ToString().c_str());
+        } else {
+          PrintTextResponse(response);
+        }
+        std::fflush(stdout);
+      }
+    });
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::vector<std::string> cols = SplitColumns(line);
+      if (cols.empty()) continue;
+      std::future<wwt::QueryResponse> future =
+          (*service)->Submit(make_request(std::move(cols), line));
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return pending.size() < window; });
+      pending.push_back(std::move(future));
+      lock.unlock();
+      cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      input_done = true;
+    }
+    cv.notify_all();
+    printer.join();
+
+    // The error contract holds in every format: any rejected request
+    // fails the run with a one-line stderr diagnostic. Deadline
+    // expiries alone keep exit 0 — they are the shedding the operator
+    // asked for, visible per-line and in the summary.
+    if (failed > 0) {
+      return Fail(std::to_string(failed) + " of " +
+                  std::to_string(served + failed + expired) +
+                  " queries failed");
+    }
+    std::fprintf(stderr, "served %zu queries, %zu expired\n", served,
+                 expired);
+    return 0;
+  }
+
+  // ---- Batch mode: --queries file, or the snapshot's stored workload.
+  std::vector<wwt::QueryRequest> requests;
   if (!queries_path.empty()) {
     std::ifstream in(queries_path);
-    if (!in) {
-      std::fprintf(stderr, "wwt_serve: cannot read '%s'\n",
-                   queries_path.c_str());
-      return 1;
-    }
+    if (!in) return Fail("cannot read queries file '" + queries_path + "'");
     std::string line;
     while (std::getline(in, line)) {
       std::vector<std::string> cols = SplitColumns(line);
       if (cols.empty()) continue;
-      names.push_back(line);
-      queries.push_back(std::move(cols));
+      requests.push_back(make_request(std::move(cols), line));
+    }
+    if (requests.empty()) {
+      return Fail("no queries parsed from '" + queries_path +
+                  "' (expected one query per line, columns '|')");
     }
   } else {
+    const wwt::Corpus& corpus = (*service)->corpus()->corpus();
     for (int m = 0; m < batch_mult; ++m) {
-      for (const wwt::ResolvedQuery& rq : corpus->queries) {
+      for (const wwt::ResolvedQuery& rq : corpus.queries) {
         std::vector<std::string> cols;
         for (const wwt::QueryColumnSpec& col : rq.spec.columns) {
           cols.push_back(col.keywords);
         }
-        names.push_back(rq.spec.name);
-        queries.push_back(std::move(cols));
+        requests.push_back(make_request(std::move(cols), rq.spec.name));
       }
     }
-  }
-  if (queries.empty()) {
-    std::fprintf(stderr, "wwt_serve: no queries to run\n");
-    return 1;
+    if (requests.empty()) return Fail("snapshot stores no workload queries");
   }
 
-  wwt::RunnerOptions runner_options;
-  runner_options.num_threads = threads;
-  wwt::QueryRunner runner(&corpus->store, corpus->index.get(),
-                          runner_options);
-  std::printf("serving %zu queries with %d thread(s)...\n", queries.size(),
-              runner.num_threads());
-  wwt::BatchResult batch = runner.RunBatch(queries);
+  if (!json) {
+    std::printf("serving %zu queries with %d thread(s)...\n",
+                requests.size(), (*service)->num_threads());
+  }
+  wwt::BatchResponse batch = (*service)->RunBatch(std::move(requests));
 
-  if (!quiet) {
-    for (size_t i = 0; i < batch.executions.size(); ++i) {
-      const wwt::QueryExecution& exec = batch.executions[i];
-      std::printf("%-40.40s %4zu rows  %7.1f ms\n", names[i].c_str(),
-                  exec.answer.rows.size(), exec.timing.Total() * 1e3);
+  size_t failed = 0;
+  for (const wwt::QueryResponse& r : batch.responses) failed += !r.ok();
+  if (json) {
+    for (const wwt::QueryResponse& r : batch.responses) {
+      PrintJsonResponse(r, /*max_rows=*/quiet ? 0 : 10);
+    }
+  } else if (!quiet) {
+    for (const wwt::QueryResponse& r : batch.responses) {
+      PrintTextResponse(r);
     }
   }
 
   const wwt::BatchStats& s = batch.stats;
-  std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d\n",
-              s.num_queries, s.wall_seconds, s.qps, s.concurrency);
-  std::printf("latency ms: mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f\n",
-              s.latency.mean * 1e3, s.latency.p50 * 1e3,
-              s.latency.p95 * 1e3, s.latency.p99 * 1e3);
-  std::printf("cold start: %.3f s load vs corpus rebuild (see "
-              "bench_throughput for the ratio)\n",
-              load_seconds);
+  if (json) {
+    std::printf(
+        "{\"summary\": {\"queries\": %zu, \"failed\": %zu, "
+        "\"wall_seconds\": %.4f, \"qps\": %.2f, \"concurrency\": %d, "
+        "\"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
+        "\"p99\": %.3f}, \"load_seconds\": %.4f, \"corpus_hash\": "
+        "\"%016llx\"}}\n",
+        s.num_queries, failed, s.wall_seconds, s.qps, s.concurrency,
+        s.latency.mean * 1e3, s.latency.p50 * 1e3, s.latency.p95 * 1e3,
+        s.latency.p99 * 1e3, load_seconds,
+        static_cast<unsigned long long>(info.content_hash));
+  } else {
+    std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d\n",
+                s.num_queries, s.wall_seconds, s.qps, s.concurrency);
+    std::printf("latency ms: mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f\n",
+                s.latency.mean * 1e3, s.latency.p50 * 1e3,
+                s.latency.p95 * 1e3, s.latency.p99 * 1e3);
+    std::printf("cold start: %.3f s load vs corpus rebuild (see "
+                "bench_throughput for the ratio)\n",
+                load_seconds);
+  }
+  if (failed > 0) {
+    return Fail(std::to_string(failed) + " of " +
+                std::to_string(s.num_queries) + " queries failed");
+  }
   return 0;
 }
