@@ -8,6 +8,13 @@
 // request/response service wrapper (validation, fingerprinting, futures)
 // vs direct engine execution — which must stay within noise.
 //
+// A second sweep measures the fingerprint-keyed response cache on a
+// repeated workload: the same unique queries twice through a cached
+// service — pass 1 cold (every query executes the pipeline, the miss
+// path), pass 2 warm (every query an LRU hit). Both passes are verified
+// byte-identical to the serial reference; miss/hit QPS and their ratio
+// land in BENCH_throughput.json (`response_cache`).
+//
 // When WWT_SNAPSHOT is set the corpus is build-or-loaded through the
 // snapshot file and the bench additionally measures the cold-start
 // ratio: snapshot load vs corpus rebuild + index build (the paper's
@@ -194,6 +201,54 @@ int main() {
                 point.p99_ms);
   }
 
+  // ---- Response-cache sweep: the same unique workload served twice by
+  // one cached service. Pass 1 is the miss path (every query runs the
+  // pipeline and is inserted), pass 2 the hit path (every query served
+  // from the LRU). The headline number is hit-path QPS over miss-path
+  // QPS on identical queries — what a repeated head-query workload
+  // gains from the cache.
+  const size_t unique_count = served.queries.size();
+  const std::vector<std::vector<std::string>> unique_queries(
+      queries.begin(), queries.begin() + unique_count);
+  ServiceOptions cached_options;
+  cached_options.num_threads = max_threads;
+  cached_options.cache.capacity_bytes = 256ull << 20;
+  StatusOr<std::unique_ptr<WwtService>> cached_service =
+      WwtService::Create(cached_options);
+  WWT_CHECK(cached_service.ok()) << cached_service.status();
+  (*cached_service)->SwapCorpus(handle);
+
+  BatchResponse cold = (*cached_service)->RunBatch(unique_queries);
+  BatchResponse warm = (*cached_service)->RunBatch(unique_queries);
+  bool cache_identical = true;
+  size_t warm_hits = 0;
+  for (size_t i = 0; i < unique_count; ++i) {
+    WWT_CHECK(cold.responses[i].ok()) << cold.responses[i].status;
+    WWT_CHECK(warm.responses[i].ok()) << warm.responses[i].status;
+    warm_hits += warm.responses[i].served_from_cache;
+    if (ResultDigest(cold.responses[i]) != serial_fp[i] ||
+        ResultDigest(warm.responses[i]) != serial_fp[i]) {
+      cache_identical = false;
+      std::fprintf(stderr,
+                   "[bench] CACHE MISMATCH vs serial at query %zu\n", i);
+    }
+  }
+  all_identical = all_identical && cache_identical;
+  if (warm_hits != unique_count) {
+    // Every warm query must be served from cache; anything else means
+    // the hit path was not actually measured.
+    std::fprintf(stderr, "[bench] warm pass: only %zu/%zu cache hits\n",
+                 warm_hits, unique_count);
+    all_identical = false;
+  }
+  const double miss_qps = cold.stats.qps;
+  const double hit_qps = warm.stats.qps;
+  const double hit_over_miss = miss_qps > 0 ? hit_qps / miss_qps : 0.0;
+  std::printf(
+      "\nresponse cache (repeated workload, %zu unique queries): miss "
+      "path %.1f QPS, hit path %.1f QPS — %.1fx\n",
+      unique_count, miss_qps, hit_qps, hit_over_miss);
+
   // Submit-path overhead: the 1-thread service sweep point vs the
   // direct-engine serial loop over the identical batch. The service adds
   // validation + fingerprinting + a future per query; it must stay
@@ -233,6 +288,13 @@ int main() {
                  "\"service_qps_1thread\": %.2f, \"overhead_fraction\": "
                  "%.4f},\n",
                  serial_qps, qps1, submit_overhead_fraction);
+    std::fprintf(json,
+                 "  \"response_cache\": {\"unique_queries\": %zu, "
+                 "\"miss_qps\": %.2f, \"hit_qps\": %.2f, "
+                 "\"hit_over_miss\": %.2f, \"warm_hits\": %zu, "
+                 "\"identical_to_serial\": %s},\n",
+                 unique_count, miss_qps, hit_qps, hit_over_miss,
+                 warm_hits, cache_identical ? "true" : "false");
     std::fprintf(json,
                  "  \"snapshot\": {\"used\": %s, \"loaded\": %s, "
                  "\"load_seconds\": %.6f, \"build_seconds\": %.6f, "

@@ -50,6 +50,7 @@ BatchStats BuildBatchStats(const std::vector<QueryResponse>& responses,
   for (const QueryResponse& r : responses) {
     if (!r.ok()) continue;
     ++served;
+    if (r.served_from_cache) ++stats.cache_hits;
     latency.push_back(r.execute_seconds);
     for (const auto& [stage, seconds] : r.timing.stages()) {
       stats.total_stage_time.Add(stage, seconds);
@@ -57,6 +58,8 @@ BatchStats BuildBatchStats(const std::vector<QueryResponse>& responses,
     }
   }
   stats.qps = wall_seconds > 0 ? served / wall_seconds : 0;
+  stats.cache_hit_rate =
+      served > 0 ? static_cast<double>(stats.cache_hits) / served : 0;
   stats.latency = Summarize(std::move(latency));
   for (auto& [stage, samples] : per_stage) {
     stats.stage_latency[stage] = Summarize(std::move(samples));
@@ -243,7 +246,7 @@ uint64_t RequestFingerprint(const QueryRequest& request,
   h = HashCombine(h, EngineOptionsFingerprint(effective_options));
   h = HashCombine(h, corpus_content_hash);
   h = HashCombine(h, request.retrieval_only ? 1 : 0);
-  return h;
+  return FinalizeFingerprint(h);
 }
 
 }  // namespace wwt

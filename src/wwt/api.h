@@ -100,8 +100,14 @@ struct QueryResponse {
   StageTimer timing;
   /// Seconds between Submit() and a worker picking the request up.
   double queue_seconds = 0;
-  /// Seconds of pipeline execution (the per-query latency sample).
+  /// Seconds of pipeline execution (the per-query latency sample). For a
+  /// cache hit this is the lookup + payload copy (near zero); for a
+  /// coalesced request, the wait for the leader's execution.
   double execute_seconds = 0;
+  /// True when the payload came from the response cache — an LRU hit or
+  /// a coalesced join onto another request's in-flight execution — and
+  /// not from this request's own pipeline run.
+  bool served_from_cache = false;
 
   bool ok() const { return status.ok(); }
 };
@@ -137,6 +143,10 @@ struct BatchStats {
   std::map<std::string, LatencySummary> stage_latency;
   /// Every query's StageTimer merged (total seconds per stage).
   StageTimer total_stage_time;
+  /// Successful responses served from the response cache (LRU hits +
+  /// coalesced joins), and that count over all served responses.
+  size_t cache_hits = 0;
+  double cache_hit_rate = 0;
 };
 
 /// A served batch: responses in input order + the aggregate stats.
@@ -190,10 +200,25 @@ std::string CanonicalQueryKey(const std::vector<std::string>& columns);
 /// floors, caps, mapper weights/mode, consolidator knobs).
 uint64_t EngineOptionsFingerprint(const EngineOptions& options);
 
+/// QueryResponse::fingerprint == 0 is the API's "request never got a
+/// cache key" sentinel (rejected at validation / no corpus). A valid
+/// request whose hash legitimately lands on 0 is remapped to this
+/// reserved non-zero value by FinalizeFingerprint, so a real cache key
+/// can never collide with the sentinel.
+inline constexpr uint64_t kZeroFingerprintRemap = 0x9e3779b97f4a7c15ULL;
+
+/// The final step of every fingerprint computation: maps the one
+/// colliding hash value (0) onto the reserved constant, identity for
+/// everything else.
+constexpr uint64_t FinalizeFingerprint(uint64_t h) {
+  return h == 0 ? kZeroFingerprintRemap : h;
+}
+
 /// The response-cache key: canonicalized columns + effective options +
-/// the serving corpus's content hash. Tag and deadline do not affect the
-/// answer and are excluded; retrieval_only is included (it changes the
-/// payload shape).
+/// the serving corpus's content hash, finalized so it is never 0 (the
+/// invalid-request sentinel). Tag and deadline do not affect the answer
+/// and are excluded; retrieval_only is included (it changes the payload
+/// shape).
 uint64_t RequestFingerprint(const QueryRequest& request,
                             const EngineOptions& effective_options,
                             uint64_t corpus_content_hash);

@@ -1,0 +1,189 @@
+// Copyright 2026 The WWT Authors
+//
+// ResponseCache: a sharded, byte-budgeted LRU cache of served
+// QueryResponses, keyed on the request fingerprint (canonicalized
+// columns + effective engine options + corpus content hash — see
+// wwt/api.h). Because the serving corpus's content hash is *inside* the
+// key, a SwapCorpus is an implicit whole-cache invalidation: entries
+// computed against the old snapshot can never satisfy a lookup again
+// (they age out under LRU pressure / TTL, or are reclaimed eagerly by
+// PurgeStale).
+//
+// Single-flight execution: Acquire() atomically returns either a fresh
+// cached payload, a Flight to join (another request with the same key is
+// mid-execution — wait for its result instead of recomputing), or leader
+// duty (the caller computes and must Resolve()). Resolve() inserts the
+// result and retires the flight under the same shard lock, so for any
+// key at most one pipeline execution is ever in progress and a
+// thundering herd of identical requests computes exactly once.
+//
+// Thread safety: every public method is safe from any thread. Sharding
+// (per-shard mutex) keeps unrelated keys contention-free; a key's
+// shard is a pure function of the key.
+
+#ifndef WWT_WWT_RESPONSE_CACHE_H_
+#define WWT_WWT_RESPONSE_CACHE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "wwt/api.h"
+
+namespace wwt {
+
+struct ResponseCacheOptions {
+  /// Total byte budget across all shards; 0 disables the cache (every
+  /// operation becomes a pass-through no-op).
+  size_t capacity_bytes = 0;
+  /// Number of independently-locked shards. Clamped down so each shard
+  /// has a non-zero byte budget.
+  int num_shards = 8;
+  /// Entries older than this are treated as absent (and reclaimed when
+  /// seen); 0 = entries never expire.
+  double ttl_seconds = 0;
+};
+
+/// Rejects out-of-range cache options (num_shards < 1, negative or
+/// non-finite ttl_seconds) with InvalidArgument naming the field.
+Status ValidateResponseCacheOptions(const ResponseCacheOptions& options);
+
+class ResponseCache {
+ public:
+  /// Cached values are immutable and shared: a hit hands back the same
+  /// payload object every waiter/copier reads, never a torn partial
+  /// write.
+  using Payload = std::shared_ptr<const QueryResponse>;
+  using Clock = std::chrono::steady_clock;
+  /// Injectable time source so TTL tests never sleep; default (empty) is
+  /// Clock::now.
+  using ClockFn = std::function<Clock::time_point()>;
+
+  /// Monotonic counters + current occupancy, aggregated across shards.
+  struct Stats {
+    uint64_t hits = 0;          // fresh entry returned by Acquire/Lookup
+    uint64_t misses = 0;        // no entry and no flight: caller leads
+    uint64_t inserts = 0;       // entries stored (refreshes included)
+    uint64_t evictions = 0;     // dropped under LRU byte pressure
+    uint64_t expirations = 0;   // dropped because the TTL passed
+    uint64_t coalesced = 0;     // requests that joined an in-flight leader
+    uint64_t stale_purged = 0;  // dropped by PurgeStale (wrong corpus)
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  /// One in-progress computation of a key. Followers block on `future`;
+  /// the leader fulfills it via Resolve (a null payload = the leader
+  /// failed, followers fall back to computing for themselves).
+  struct Flight {
+    std::promise<Payload> promise;
+    std::shared_future<Payload> future;
+  };
+
+  /// What Acquire hands back — exactly one of the three roles:
+  ///   cached != nullptr             fresh hit, use it;
+  ///   leader == true                compute, then Resolve(key, ...);
+  ///   flight != nullptr (follower)  Wait(flight) for the leader.
+  struct Ticket {
+    Payload cached;
+    bool leader = false;
+    std::shared_ptr<Flight> flight;
+  };
+
+  explicit ResponseCache(ResponseCacheOptions options, ClockFn clock = {});
+
+  /// Fresh entry for `key`, or nullptr. Promotes the entry to
+  /// most-recently-used; reclaims it instead when the TTL has passed.
+  Payload Lookup(uint64_t key);
+
+  /// Stores `value` (its cost is ApproxResponseBytes) and evicts from
+  /// the shard's LRU tail until the shard fits its budget again. An
+  /// entry larger than one shard's whole budget is refused — the cache
+  /// never exceeds capacity to admit anything. Re-inserting a live key
+  /// refreshes it.
+  void Insert(uint64_t key, Payload value);
+
+  /// The single-flight entry point; see Ticket. Atomic: between a leader
+  /// being appointed and its Resolve, every Acquire of the same key
+  /// joins that flight, and Resolve publishes the entry in the same
+  /// critical section that retires the flight — no window where a second
+  /// leader could be appointed while the first's result is usable.
+  Ticket Acquire(uint64_t key);
+
+  /// Leader's obligation after Acquire said leader: caches `value` (if
+  /// non-null) and wakes every follower with it. MUST be called exactly
+  /// once per led flight, on success and failure alike (pass nullptr on
+  /// failure), or followers block forever.
+  void Resolve(uint64_t key, Payload value);
+
+  /// Follower's wait for the leader's Resolve.
+  static Payload Wait(const std::shared_ptr<Flight>& flight) {
+    return flight->future.get();
+  }
+
+  /// Eagerly reclaims every entry not computed against
+  /// `live_corpus_hash` (plus any TTL-expired stragglers). Purely a
+  /// space optimization: such entries are already unreachable, because
+  /// the corpus hash is part of every key. Returns entries removed.
+  size_t PurgeStale(uint64_t live_corpus_hash);
+
+  /// Drops every entry (counters and in-flight computations survive).
+  void Clear();
+
+  Stats GetStats() const;
+
+  const ResponseCacheOptions& options() const { return options_; }
+  bool enabled() const { return per_shard_budget_ > 0; }
+  /// Shard routing, exposed for the shard-distribution tests.
+  int ShardForKey(uint64_t key) const;
+  size_t per_shard_budget() const { return per_shard_budget_; }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    Payload value;
+    size_t bytes = 0;
+    Clock::time_point inserted;
+  };
+
+  /// One independently-locked slice of the keyspace. `lru` front is the
+  /// most recently used entry.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_map<uint64_t, std::shared_ptr<Flight>> flights;
+    size_t bytes = 0;
+    uint64_t hits = 0, misses = 0, inserts = 0, evictions = 0,
+             expirations = 0, coalesced = 0, stale_purged = 0;
+  };
+
+  Clock::time_point Now() const;
+  bool ExpiredLocked(const Entry& entry, Clock::time_point now) const;
+  /// Lookup under `shard.mu`: promote-and-return, or reclaim-if-expired.
+  Payload LookupLocked(Shard& shard, uint64_t key, Clock::time_point now);
+  void InsertLocked(Shard& shard, uint64_t key, Payload value,
+                    Clock::time_point now);
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+
+  ResponseCacheOptions options_;
+  ClockFn clock_;
+  size_t per_shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Deterministic estimate of a response's resident footprint (strings,
+/// candidate tables, vectors, term sets) — the unit of the cache's byte
+/// budget.
+size_t ApproxResponseBytes(const QueryResponse& response);
+
+}  // namespace wwt
+
+#endif  // WWT_WWT_RESPONSE_CACHE_H_

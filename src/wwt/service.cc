@@ -72,12 +72,17 @@ StatusOr<std::shared_ptr<const CorpusHandle>> CorpusHandle::Load(
 // ------------------------------------------------------------- WwtService
 
 Status ValidateServiceOptions(const ServiceOptions& options) {
-  return ValidateServingOptions(options.engine, options.num_threads,
-                                "ServiceOptions");
+  WWT_RETURN_NOT_OK(ValidateServingOptions(options.engine,
+                                           options.num_threads,
+                                           "ServiceOptions"));
+  return ValidateResponseCacheOptions(options.cache);
 }
 
 WwtService::WwtService(ServiceOptions options)
     : options_(std::move(options)),
+      cache_(options_.cache.capacity_bytes > 0
+                 ? std::make_unique<ResponseCache>(options_.cache)
+                 : nullptr),
       pool_(options_.num_threads > 0 ? options_.num_threads
                                      : ThreadPool::DefaultNumThreads()) {}
 
@@ -156,7 +161,7 @@ std::future<QueryResponse> WwtService::SubmitOn(
           "deadline expired after ", queue_seconds, " s in queue");
     } else {
       try {
-        response = ExecuteOn(*corpus, request, queue_seconds);
+        response = ServeOn(*corpus, request, queue_seconds);
       } catch (const std::exception& e) {
         response = QueryResponse{};
         response.tag = request.tag;
@@ -184,15 +189,93 @@ void WwtService::StampCacheKey(QueryResponse* response,
       corpus.content_hash());
 }
 
+QueryResponse WwtService::ServeOn(const CorpusHandle& corpus,
+                                  const QueryRequest& request,
+                                  double queue_seconds) const {
+  // Retrieval-only responses are never cached (diagnostic payload for
+  // the eval harness, not an answer); with no cache every request just
+  // executes.
+  if (cache_ == nullptr || request.retrieval_only) {
+    return ExecuteOn(corpus, request, queue_seconds);
+  }
+  const EngineOptions& effective =
+      request.options.has_value() ? *request.options : options_.engine;
+  const uint64_t key =
+      RequestFingerprint(request, effective, corpus.content_hash());
+
+  WallTimer timer;  // covers lookup + copy (hit) or the leader wait
+  ResponseCache::Ticket ticket = cache_->Acquire(key);
+  if (ticket.cached != nullptr) {
+    return FromCachePayload(*ticket.cached, request, queue_seconds, timer);
+  }
+  if (!ticket.leader) {
+    // Coalesced: another request with this fingerprint is mid-pipeline;
+    // wait for its result instead of recomputing. The leader never
+    // waits on a flight itself, so this wait always terminates.
+    ResponseCache::Payload payload = ResponseCache::Wait(ticket.flight);
+    if (payload != nullptr) {
+      return FromCachePayload(*payload, request, queue_seconds, timer);
+    }
+    // The leader failed; compute for ourselves (uncached — if this
+    // fails too, the caller sees its own error, not the leader's).
+    return ExecuteOn(corpus, request, queue_seconds, key);
+  }
+
+  // Leader: compute once for the cache and every coalesced follower.
+  // Resolve must run on every exit path, or followers block forever.
+  QueryResponse response;
+  try {
+    response = ExecuteOn(corpus, request, queue_seconds, key);
+  } catch (...) {
+    cache_->Resolve(key, nullptr);
+    throw;  // Submit's worker wrapper turns this into Status::Internal
+  }
+  ResponseCache::Payload payload;
+  if (response.ok()) {
+    // The canonical payload is caller-agnostic: no tag, no queue time,
+    // and no stage timing (a hit does no stage work — copying the
+    // leader's StageTimer would feed phantom pipeline seconds into
+    // BatchStats stage aggregation). query/answer keep the leader's
+    // raw keyword text: every key-equal request is canonically equal
+    // to it, so a hit may echo a whitespace/case variant of its input.
+    QueryResponse canonical = response;
+    canonical.tag.clear();
+    canonical.queue_seconds = 0;
+    canonical.timing.Clear();
+    payload = std::make_shared<const QueryResponse>(std::move(canonical));
+  }
+  cache_->Resolve(key, std::move(payload));
+  return response;
+}
+
+QueryResponse WwtService::FromCachePayload(const QueryResponse& payload,
+                                           const QueryRequest& request,
+                                           double queue_seconds,
+                                           const WallTimer& timer) const {
+  QueryResponse response = payload;  // deep copy: the caller owns it
+  response.tag = request.tag;
+  response.queue_seconds = queue_seconds;
+  response.served_from_cache = true;
+  response.execute_seconds = timer.ElapsedSeconds();
+  return response;
+}
+
 QueryResponse WwtService::ExecuteOn(const CorpusHandle& corpus,
                                     const QueryRequest& request,
-                                    double queue_seconds) const {
+                                    double queue_seconds,
+                                    uint64_t known_fingerprint) const {
   QueryResponse response;
   response.tag = request.tag;
   response.queue_seconds = queue_seconds;
   const EngineOptions& effective =
       request.options.has_value() ? *request.options : options_.engine;
-  StampCacheKey(&response, request, corpus);
+  if (known_fingerprint != 0) {
+    response.corpus_hash = corpus.content_hash();
+    response.fingerprint = known_fingerprint;
+  } else {
+    StampCacheKey(&response, request, corpus);
+  }
+  if (options_.pipeline_hook) options_.pipeline_hook(response.fingerprint);
 
   // Engines are pointer-sized and stateless; constructing one per
   // request binds it to the snapshot the request captured, which is what
@@ -273,6 +356,18 @@ BatchResponse WwtService::RunBatch(
 
 QueryResponse WwtService::Run(QueryRequest request) {
   return Submit(std::move(request)).get();
+}
+
+ResponseCache::Stats WwtService::cache_stats() const {
+  return cache_ != nullptr ? cache_->GetStats() : ResponseCache::Stats{};
+}
+
+size_t WwtService::PurgeStaleCacheEntries() {
+  if (cache_ == nullptr) return 0;
+  std::shared_ptr<const CorpusHandle> current = corpus();
+  // With no corpus loaded nothing can be served, so no entry is live.
+  return cache_->PurgeStale(current != nullptr ? current->content_hash()
+                                               : 0);
 }
 
 }  // namespace wwt

@@ -20,6 +20,7 @@
 #ifndef WWT_WWT_SERVICE_H_
 #define WWT_WWT_SERVICE_H_
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -30,7 +31,9 @@
 #include "index/snapshot.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "wwt/api.h"
+#include "wwt/response_cache.h"
 
 namespace wwt {
 
@@ -83,10 +86,21 @@ struct ServiceOptions {
   EngineOptions engine;
   /// Worker threads; 0 = ThreadPool::DefaultNumThreads().
   int num_threads = 0;
+  /// Fingerprint-keyed response cache; cache.capacity_bytes == 0 (the
+  /// default) disables it. Because the corpus content hash is part of
+  /// every key, SwapCorpus implicitly invalidates the whole cache —
+  /// PurgeStaleCacheEntries reclaims the unreachable bytes eagerly.
+  ResponseCacheOptions cache;
+  /// Test instrumentation: when set, invoked (from worker threads) with
+  /// the request fingerprint every time the pipeline actually executes.
+  /// Cache hits and coalesced requests never fire it — the single-flight
+  /// tests count executions through this hook.
+  std::function<void(uint64_t fingerprint)> pipeline_hook;
 };
 
 /// Rejects out-of-range ServiceOptions (engine fields via
-/// ValidateEngineOptions, negative num_threads) with InvalidArgument.
+/// ValidateEngineOptions, negative num_threads, cache fields via
+/// ValidateResponseCacheOptions) with InvalidArgument.
 Status ValidateServiceOptions(const ServiceOptions& options);
 
 class WwtService {
@@ -137,6 +151,17 @@ class WwtService {
   int num_threads() const { return pool_.num_threads(); }
   const EngineOptions& engine_options() const { return options_.engine; }
 
+  /// True when ServiceOptions::cache enabled a response cache.
+  bool cache_enabled() const { return cache_ != nullptr; }
+  /// Cache counters + occupancy; all-zero when the cache is disabled.
+  ResponseCache::Stats cache_stats() const;
+  /// Eagerly reclaims cache entries not computed against the current
+  /// corpus (they are already unreachable — the content hash is in every
+  /// key — this frees their bytes instead of waiting for LRU pressure).
+  /// With no corpus loaded, every entry is stale. Returns entries
+  /// removed; 0 when the cache is disabled.
+  size_t PurgeStaleCacheEntries();
+
  private:
   explicit WwtService(ServiceOptions options);
 
@@ -145,11 +170,33 @@ class WwtService {
   std::future<QueryResponse> SubmitOn(
       std::shared_ptr<const CorpusHandle> corpus, QueryRequest request);
 
+  /// The cache-aware serving path, executed on a pool worker: LRU hit,
+  /// coalesced join onto an in-flight leader, or a led ExecuteOn whose
+  /// result is published to the cache and every follower. Falls through
+  /// to plain ExecuteOn when the cache is disabled or the request is
+  /// never-cacheable (retrieval_only).
+  QueryResponse ServeOn(const CorpusHandle& corpus,
+                        const QueryRequest& request,
+                        double queue_seconds) const;
+
   /// Runs the pipeline on `corpus` (non-null) for an already-validated
-  /// request. Executed on a pool worker.
+  /// request. Executed on a pool worker. `known_fingerprint` lets the
+  /// cache path reuse the key it already computed (0 — never a real
+  /// fingerprint, see FinalizeFingerprint — means compute it here).
   QueryResponse ExecuteOn(const CorpusHandle& corpus,
                           const QueryRequest& request,
-                          double queue_seconds) const;
+                          double queue_seconds,
+                          uint64_t known_fingerprint = 0) const;
+
+  /// Materializes a caller-facing response from a cached payload: deep
+  /// copy + this request's tag/queue accounting, stamped
+  /// served_from_cache. `timer` has run since the cache was consulted,
+  /// so its elapsed time (lookup + copy for a hit, leader wait for a
+  /// coalesced request) becomes execute_seconds.
+  QueryResponse FromCachePayload(const QueryResponse& payload,
+                                 const QueryRequest& request,
+                                 double queue_seconds,
+                                 const WallTimer& timer) const;
 
   /// Fills fingerprint + corpus_hash — identically on every path a
   /// validated request can take (served, expired anywhere, threw), so
@@ -160,6 +207,8 @@ class WwtService {
   ServiceOptions options_;
   mutable std::mutex corpus_mu_;
   std::shared_ptr<const CorpusHandle> corpus_;
+  /// Internally synchronized; null when options_.cache disables it.
+  std::unique_ptr<ResponseCache> cache_;
   /// Last member: torn down first, so no worker outlives the fields the
   /// in-flight closures reference.
   ThreadPool pool_;

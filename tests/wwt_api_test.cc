@@ -207,6 +207,27 @@ TEST(RequestFingerprintTest, StableAndSensitive) {
   EXPECT_NE(fp, RequestFingerprint(retrieval, options, 0x1234));
 }
 
+TEST(RequestFingerprintTest, ZeroHashRemapsToTheReservedKey) {
+  // fingerprint == 0 is the "invalid request" sentinel, but a valid
+  // request can legitimately hash to 0 — the finalizer pins that one
+  // value onto a reserved non-zero constant so a cache key can never
+  // collide with the sentinel.
+  static_assert(kZeroFingerprintRemap != 0,
+                "the remap target must not be the sentinel itself");
+  static_assert(FinalizeFingerprint(0) == kZeroFingerprintRemap,
+                "0 must remap to the reserved constant");
+  static_assert(FinalizeFingerprint(1) == 1,
+                "non-zero hashes pass through unchanged");
+  static_assert(FinalizeFingerprint(kZeroFingerprintRemap) ==
+                    kZeroFingerprintRemap,
+                "the reserved value maps to itself (two inputs share it "
+                "by design; neither is ever the sentinel)");
+  // Every real fingerprint goes through the finalizer.
+  EXPECT_NE(RequestFingerprint(QueryRequest::Of({"country"}),
+                               EngineOptions{}, 0),
+            0u);
+}
+
 TEST(EngineOptionsFingerprintTest, CoversMapperAndConsolidator) {
   const EngineOptions base;
   EngineOptions o = base;

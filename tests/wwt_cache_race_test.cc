@@ -1,0 +1,250 @@
+// Copyright 2026 The WWT Authors
+//
+// The response cache under fire: many threads hammering Submit on
+// overlapping fingerprints while SwapCorpus races. Proves (1)
+// single-flight coalescing — the pipeline executes exactly once per
+// distinct fingerprint (counted through ServiceOptions::pipeline_hook)
+// no matter how many concurrent requests carry it; (2) no torn or
+// stale-corpus response — every response under a corpus-swap storm is
+// byte-identical to the reference answer of the corpus whose hash it is
+// stamped with; (3) LRU eviction under a tiny byte budget never exceeds
+// capacity while every response stays correct. Labeled slow + cache:
+// pushes to main run it in both CI jobs, and the Debug+ASan/UBSan job
+// makes the races a sanitizer-grade check.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+constexpr uint64_t kHashA = 0xAAAA5555AAAA5555ULL;
+constexpr uint64_t kHashB = 0xBBBB6666BBBB6666ULL;
+
+class ResponseCacheRaceTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Corpus corpus_a;
+    Corpus corpus_b;
+    std::vector<std::vector<std::string>> queries;  // corpus A workload
+    std::vector<std::string> digest_a;
+    std::vector<std::string> digest_b;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions a;
+      a.seed = 3;
+      a.scale = 0.2;
+      s->corpus_a = GenerateCorpus(a);
+      CorpusOptions b;
+      b.seed = 11;
+      b.scale = 0.12;
+      s->corpus_b = GenerateCorpus(b);
+      for (const ResolvedQuery& rq : s->corpus_a.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      WwtEngine engine_a(&s->corpus_a.store, s->corpus_a.index.get(), {});
+      WwtEngine engine_b(&s->corpus_b.store, s->corpus_b.index.get(), {});
+      for (const auto& q : s->queries) {
+        s->digest_a.push_back(ResultDigest(engine_a.Execute(q)));
+        s->digest_b.push_back(ResultDigest(engine_b.Execute(q)));
+      }
+      return s;
+    }();
+    return *shared;
+  }
+};
+
+TEST_F(ResponseCacheRaceTest, ThunderingHerdCoalescesOntoOneExecution) {
+  const Shared& s = GetShared();
+  const size_t k = std::min<size_t>(4, s.queries.size());
+  ASSERT_GT(k, 0u);
+  constexpr size_t kRepeats = 48;
+
+  std::atomic<uint64_t> executions{0};
+  ServiceOptions options;
+  options.num_threads = 8;
+  options.cache.capacity_bytes = 256ull << 20;
+  options.pipeline_hook = [&executions](uint64_t) {
+    executions.fetch_add(1, std::memory_order_relaxed);
+  };
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_a, kHashA));
+
+  // kRepeats * k requests over k distinct fingerprints, all in flight
+  // at once (interleaved so every key has a thundering herd).
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(kRepeats * k);
+  for (size_t r = 0; r < kRepeats; ++r) {
+    for (size_t q = 0; q < k; ++q) {
+      futures.push_back((*service)->Submit(QueryRequest::Of(s.queries[q])));
+    }
+  }
+  size_t from_cache = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status;
+    from_cache += r.served_from_cache;
+    EXPECT_EQ(ResultDigest(r), s.digest_a[i % k]) << "request #" << i;
+    EXPECT_EQ(r.corpus_hash, kHashA);
+  }
+
+  // The structural guarantee, not a statistical one: Resolve publishes
+  // the entry and retires the flight in one critical section, so each
+  // key gets exactly one leader — ever. k executions for kRepeats*k
+  // requests; everyone else was an LRU hit or a coalesced follower.
+  EXPECT_EQ(executions.load(), k);
+  EXPECT_EQ(from_cache, kRepeats * k - k);
+  ResponseCache::Stats stats = (*service)->cache_stats();
+  EXPECT_EQ(stats.misses, k);
+  EXPECT_EQ(stats.hits + stats.coalesced, kRepeats * k - k);
+  EXPECT_EQ(stats.inserts, k);
+}
+
+TEST_F(ResponseCacheRaceTest, SwapCorpusStormNeverTearsOrServesStale) {
+  const Shared& s = GetShared();
+  const size_t k = std::min<size_t>(6, s.queries.size());
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.cache.capacity_bytes = 64ull << 20;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_a, kHashA));
+
+  // Hammer threads verify the one invariant that matters: whatever
+  // corpus hash a response is stamped with, its payload is
+  // byte-identical to that corpus's cold answer. A stale cache hit
+  // (post-swap answer from the pre-swap corpus) or a torn response
+  // fails this check.
+  std::atomic<bool> stop{false};
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  std::atomic<size_t> checked{0};
+  auto hammer = [&] {
+    for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      const size_t q = i % k;
+      QueryResponse r = (*service)->Run(QueryRequest::Of(s.queries[q]));
+      std::string failure;
+      if (!r.ok()) {
+        failure = "request failed: " + r.status.ToString();
+      } else if (r.corpus_hash == kHashA) {
+        if (ResultDigest(r) != s.digest_a[q]) {
+          failure = "response stamped A is not A's answer (query " +
+                    std::to_string(q) + ")";
+        }
+      } else if (r.corpus_hash == kHashB) {
+        if (ResultDigest(r) != s.digest_b[q]) {
+          failure = "response stamped B is not B's answer (query " +
+                    std::to_string(q) + ")";
+        }
+      } else {
+        failure = "response stamped with an unknown corpus hash";
+      }
+      if (!failure.empty()) {
+        std::lock_guard<std::mutex> lock(failures_mu);
+        failures.push_back(std::move(failure));
+      }
+      checked.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) hammers.emplace_back(hammer);
+
+  // The storm: swap A <-> B repeatedly while the hammers run.
+  for (int swap = 0; swap < 30; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (swap % 2 == 0) {
+      (*service)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_b, kHashB));
+    } else {
+      (*service)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_a, kHashA));
+    }
+    // Reclaiming mid-storm must also be safe (and is the documented
+    // post-swap hygiene step).
+    if (swap % 7 == 0) (*service)->PurgeStaleCacheEntries();
+  }
+  stop.store(true);
+  for (std::thread& t : hammers) t.join();
+
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " bad responses; first: " << failures[0];
+  EXPECT_GT(checked.load(), 0u);
+
+  // Settle on B: new submissions see only B, and a repeat is a hit that
+  // is still byte-identical to B.
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_b, kHashB));
+  QueryResponse settle = (*service)->Run(QueryRequest::Of(s.queries[0]));
+  ASSERT_TRUE(settle.ok());
+  EXPECT_EQ(settle.corpus_hash, kHashB);
+  EXPECT_EQ(ResultDigest(settle), s.digest_b[0]);
+}
+
+TEST_F(ResponseCacheRaceTest, TinyByteBudgetStaysWithinCapacityUnderLoad) {
+  const Shared& s = GetShared();
+  ASSERT_GE(s.queries.size(), 8u);
+
+  // Size the budget off a real response: room for ~4 typical entries
+  // against a workload of dozens, so eviction is constant.
+  ServiceOptions plain;
+  plain.num_threads = 1;
+  StatusOr<std::unique_ptr<WwtService>> probe = WwtService::Create(plain);
+  ASSERT_TRUE(probe.ok());
+  (*probe)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_a, kHashA));
+  QueryResponse sample = (*probe)->Run(QueryRequest::Of(s.queries[0]));
+  ASSERT_TRUE(sample.ok());
+  const size_t capacity = 4 * ApproxResponseBytes(sample);
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.cache.capacity_bytes = capacity;
+  options.cache.num_shards = 2;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&s.corpus_a, kHashA));
+
+  // Three concurrent rounds over the whole workload: far more bytes
+  // than the budget admits, from many threads at once.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(s.queries.size());
+    for (const auto& q : s.queries) {
+      futures.push_back((*service)->Submit(QueryRequest::Of(q)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      QueryResponse r = futures[i].get();
+      ASSERT_TRUE(r.ok()) << r.status;
+      EXPECT_EQ(ResultDigest(r), s.digest_a[i])
+          << "round " << round << " query #" << i;
+    }
+    ResponseCache::Stats stats = (*service)->cache_stats();
+    EXPECT_LE(stats.bytes, capacity)
+        << "round " << round << " exceeded the byte budget";
+  }
+  ResponseCache::Stats stats = (*service)->cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.inserts, stats.entries)
+      << "churn expected: far more inserts than resident entries";
+}
+
+}  // namespace
+}  // namespace wwt

@@ -25,11 +25,19 @@
 //   wwt_serve --snapshot PATH [--threads N] [--batch-mult M]
 //             [--queries FILE | --stdin] [--format text|json]
 //             [--deadline-ms D] [--quiet]
+//             [--cache-mb MB] [--cache-ttl-ms T | --no-cache]
 //
 // --deadline-ms requires --stdin: only there is a request stamped when
 // it arrives, making the deadline genuinely per-query. Batch mode
 // builds every request up front, where one absolute deadline would
 // spuriously expire tail queries as the batch drains.
+//
+// The fingerprint-keyed response cache is on by default (--cache-mb 64,
+// no TTL): repeated queries are answered from memory, concurrent
+// identical queries coalesce onto one execution, and a snapshot swap
+// can never serve a stale answer (the corpus hash is inside the cache
+// key). --no-cache disables it; the summary reports hit/miss/eviction
+// counters either way.
 
 #include <algorithm>
 #include <condition_variable>
@@ -108,11 +116,13 @@ void PrintJsonResponse(const wwt::QueryResponse& r, int max_rows) {
   if (r.ok()) {
     std::printf(", \"fingerprint\": \"%016llx\", \"corpus_hash\": "
                 "\"%016llx\", \"rows\": %zu, \"candidates\": %zu, "
-                "\"latency_ms\": %.3f, \"queue_ms\": %.3f, \"answer\": [",
+                "\"latency_ms\": %.3f, \"queue_ms\": %.3f, "
+                "\"cached\": %s, \"answer\": [",
                 static_cast<unsigned long long>(r.fingerprint),
                 static_cast<unsigned long long>(r.corpus_hash),
                 r.answer.rows.size(), r.retrieval.tables.size(),
-                r.execute_seconds * 1e3, r.queue_seconds * 1e3);
+                r.execute_seconds * 1e3, r.queue_seconds * 1e3,
+                r.served_from_cache ? "true" : "false");
     const size_t shown =
         std::min<size_t>(r.answer.rows.size(),
                          max_rows < 0 ? r.answer.rows.size()
@@ -145,7 +155,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --snapshot PATH [--threads N] [--batch-mult M]\n"
                "          [--queries FILE | --stdin] [--format text|json]\n"
-               "          [--deadline-ms D] [--quiet]\n",
+               "          [--deadline-ms D] [--quiet]\n"
+               "          [--cache-mb MB] [--cache-ttl-ms T | --no-cache]\n",
                argv0);
   return 2;
 }
@@ -163,6 +174,10 @@ int main(int argc, char** argv) {
   int threads = 0;
   int batch_mult = 1;
   double deadline_ms = 0;  // 0 = none
+  double cache_mb = 64;    // response cache budget; see --no-cache
+  double cache_ttl_ms = 0;  // 0 = entries never expire
+  bool no_cache = false;
+  bool cache_flag_set = false;
   bool quiet = false;
   bool use_stdin = false;
   bool batch_mult_set = false;
@@ -204,6 +219,34 @@ int main(int argc, char** argv) {
                                 "of milliseconds, got '") +
                     v + "'");
       }
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      cache_mb = std::strtod(v, &end);
+      // The upper bound keeps cache_mb * 1 MiB inside size_t: an
+      // out-of-range double-to-integer conversion is UB, which could
+      // silently disable the cache the caller asked to enlarge.
+      if (end == v || *end != '\0' || !(cache_mb > 0) ||
+          !(cache_mb <= 1e12)) {
+        return Fail(std::string("--cache-mb wants a number of megabytes "
+                                "in (0, 1e12], got '") +
+                    v + "'");
+      }
+      cache_flag_set = true;
+    } else if (arg == "--cache-ttl-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      cache_ttl_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(cache_ttl_ms > 0)) {
+        return Fail(std::string("--cache-ttl-ms wants a positive number "
+                                "of milliseconds, got '") +
+                    v + "'");
+      }
+      cache_flag_set = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg == "--stdin") {
       use_stdin = true;
     } else if (arg == "--quiet") {
@@ -223,6 +266,9 @@ int main(int argc, char** argv) {
                 "built up front, so one absolute deadline would expire "
                 "tail queries spuriously)");
   }
+  if (no_cache && cache_flag_set) {
+    return Fail("--no-cache conflicts with --cache-mb/--cache-ttl-ms");
+  }
   const bool json = format == "json";
 
   // Cold start: one file read instead of a corpus rebuild. Missing or
@@ -230,6 +276,11 @@ int main(int argc, char** argv) {
   wwt::WallTimer load_timer;
   wwt::ServiceOptions service_options;
   service_options.num_threads = threads;
+  if (!no_cache) {
+    service_options.cache.capacity_bytes =
+        static_cast<size_t>(cache_mb * 1024 * 1024);
+    service_options.cache.ttl_seconds = cache_ttl_ms / 1e3;
+  }
   wwt::SnapshotInfo info;
   wwt::StatusOr<std::unique_ptr<wwt::WwtService>> service =
       wwt::WwtService::FromSnapshot(snapshot_path, service_options, &info);
@@ -268,7 +319,7 @@ int main(int argc, char** argv) {
     // Printer-owned until join. Deadline expiries are configured load
     // shedding (--deadline-ms), not service failure: counted apart so
     // they don't flip the exit code.
-    size_t served = 0, failed = 0, expired = 0;
+    size_t served = 0, failed = 0, expired = 0, cache_hits = 0;
     const size_t window =
         static_cast<size_t>(std::max(4, 2 * (*service)->num_threads()));
 
@@ -286,6 +337,7 @@ int main(int argc, char** argv) {
         wwt::QueryResponse response = next.get();
         if (response.ok()) {
           ++served;
+          cache_hits += response.served_from_cache;
         } else if (response.status.IsDeadlineExceeded()) {
           ++expired;
         } else {
@@ -334,8 +386,8 @@ int main(int argc, char** argv) {
                   std::to_string(served + failed + expired) +
                   " queries failed");
     }
-    std::fprintf(stderr, "served %zu queries, %zu expired\n", served,
-                 expired);
+    std::fprintf(stderr, "served %zu queries, %zu expired, %zu from cache\n",
+                 served, expired, cache_hits);
     return 0;
   }
 
@@ -387,23 +439,44 @@ int main(int argc, char** argv) {
   }
 
   const wwt::BatchStats& s = batch.stats;
+  const wwt::ResponseCache::Stats cs = (*service)->cache_stats();
   if (json) {
     std::printf(
         "{\"summary\": {\"queries\": %zu, \"failed\": %zu, "
         "\"wall_seconds\": %.4f, \"qps\": %.2f, \"concurrency\": %d, "
         "\"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
         "\"p99\": %.3f}, \"load_seconds\": %.4f, \"corpus_hash\": "
-        "\"%016llx\"}}\n",
+        "\"%016llx\", \"cache\": {\"enabled\": %s, "
+        "\"served_from_cache\": %zu, \"hit_rate\": %.4f, \"hits\": %llu, "
+        "\"misses\": %llu, \"coalesced\": %llu, \"inserts\": %llu, "
+        "\"evictions\": %llu, \"entries\": %zu, \"bytes\": %zu}}}\n",
         s.num_queries, failed, s.wall_seconds, s.qps, s.concurrency,
         s.latency.mean * 1e3, s.latency.p50 * 1e3, s.latency.p95 * 1e3,
         s.latency.p99 * 1e3, load_seconds,
-        static_cast<unsigned long long>(info.content_hash));
+        static_cast<unsigned long long>(info.content_hash),
+        (*service)->cache_enabled() ? "true" : "false", s.cache_hits,
+        s.cache_hit_rate, static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.coalesced),
+        static_cast<unsigned long long>(cs.inserts),
+        static_cast<unsigned long long>(cs.evictions), cs.entries,
+        cs.bytes);
   } else {
     std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d\n",
                 s.num_queries, s.wall_seconds, s.qps, s.concurrency);
     std::printf("latency ms: mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f\n",
                 s.latency.mean * 1e3, s.latency.p50 * 1e3,
                 s.latency.p95 * 1e3, s.latency.p99 * 1e3);
+    if ((*service)->cache_enabled()) {
+      std::printf("cache: %zu/%zu served from cache (%.0f%% hit rate; "
+                  "%llu hits, %llu coalesced, %llu evictions, %zu "
+                  "entries, %.1f MB)\n",
+                  s.cache_hits, s.num_queries, s.cache_hit_rate * 100,
+                  static_cast<unsigned long long>(cs.hits),
+                  static_cast<unsigned long long>(cs.coalesced),
+                  static_cast<unsigned long long>(cs.evictions),
+                  cs.entries, cs.bytes / (1024.0 * 1024.0));
+    }
     std::printf("cold start: %.3f s load vs corpus rebuild (see "
                 "bench_throughput for the ratio)\n",
                 load_seconds);
