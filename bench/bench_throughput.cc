@@ -15,6 +15,12 @@
 // byte-identical to the serial reference; miss/hit QPS and their ratio
 // land in BENCH_throughput.json (`response_cache`).
 //
+// A third sweep partitions the same corpus into N ∈ {1, 2, 4, 8}
+// shards behind one service (the wwt_indexer --shards serving shape):
+// every point is byte-verified against the serial reference — global
+// IDF makes the scatter-gathered merge order-independent — and QPS
+// relative to the unsharded engine lands in `shard_fanout`.
+//
 // When WWT_SNAPSHOT is set the corpus is build-or-loaded through the
 // snapshot file and the bench additionally measures the cold-start
 // ratio: snapshot load vs corpus rebuild + index build (the paper's
@@ -249,6 +255,63 @@ int main() {
       "path %.1f QPS, hit path %.1f QPS — %.1fx\n",
       unique_count, miss_qps, hit_qps, hit_over_miss);
 
+  // ---- Shard fan-out sweep: the same corpus partitioned N ways behind
+  // one service (the wwt_indexer --shards serving shape). Global IDF
+  // makes the scatter-gathered answers order-independent, so every
+  // point is byte-verified against the same serial reference; the
+  // interesting number is how much the fan-out machinery costs (or
+  // buys, on multicore) relative to the unsharded engine.
+  struct ShardPoint {
+    int shards = 0;
+    double qps = 0;
+    double vs_unsharded = 0;
+    bool identical = true;
+  };
+  std::vector<ShardPoint> shard_sweep;
+  {
+    double qps_n1 = 0;
+    for (int n : {1, 2, 4, 8}) {
+      std::vector<Corpus> parts = PartitionCorpus(served, n);
+      std::vector<std::shared_ptr<const CorpusHandle>> shards;
+      shards.reserve(parts.size());
+      for (Corpus& part : parts) {
+        shards.push_back(CorpusHandle::Own(std::move(part)));
+      }
+      ServiceOptions options;
+      options.num_threads = max_threads;
+      StatusOr<std::unique_ptr<WwtService>> service =
+          WwtService::Create(options);
+      WWT_CHECK(service.ok()) << service.status();
+      (*service)->SwapCorpus(CorpusSet::Of(std::move(shards)));
+
+      BatchResponse batch = (*service)->RunBatch(queries);
+      ShardPoint point;
+      point.shards = n;
+      point.qps = batch.stats.qps;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        WWT_CHECK(batch.responses[i].ok()) << batch.responses[i].status;
+        if (ResultDigest(batch.responses[i]) != serial_fp[i]) {
+          point.identical = false;
+          all_identical = false;
+          std::fprintf(stderr,
+                       "[bench] SHARD MISMATCH vs serial at query %zu "
+                       "(%d shards)\n",
+                       i, n);
+        }
+      }
+      if (n == 1) qps_n1 = point.qps;
+      point.vs_unsharded = qps_n1 > 0 ? point.qps / qps_n1 : 0.0;
+      shard_sweep.push_back(point);
+    }
+  }
+  std::printf("\nshard fan-out (at %d threads): ", max_threads);
+  for (size_t i = 0; i < shard_sweep.size(); ++i) {
+    std::printf("%sN=%d %.1f QPS (%.2fx)", i > 0 ? ", " : "",
+                shard_sweep[i].shards, shard_sweep[i].qps,
+                shard_sweep[i].vs_unsharded);
+  }
+  std::printf("\n");
+
   // Submit-path overhead: the 1-thread service sweep point vs the
   // direct-engine serial loop over the identical batch. The service adds
   // validation + fingerprinting + a future per query; it must stay
@@ -295,6 +358,18 @@ int main() {
                  "\"identical_to_serial\": %s},\n",
                  unique_count, miss_qps, hit_qps, hit_over_miss,
                  warm_hits, cache_identical ? "true" : "false");
+    std::fprintf(json, "  \"shard_fanout\": [\n");
+    for (size_t i = 0; i < shard_sweep.size(); ++i) {
+      const ShardPoint& p = shard_sweep[i];
+      std::fprintf(json,
+                   "    {\"shards\": %d, \"qps\": %.2f, "
+                   "\"vs_unsharded\": %.3f, \"identical_to_serial\": "
+                   "%s}%s\n",
+                   p.shards, p.qps, p.vs_unsharded,
+                   p.identical ? "true" : "false",
+                   i + 1 < shard_sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json,
                  "  \"snapshot\": {\"used\": %s, \"loaded\": %s, "
                  "\"load_seconds\": %.6f, \"build_seconds\": %.6f, "

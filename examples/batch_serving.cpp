@@ -45,13 +45,15 @@ int main(int argc, char** argv) {
   }
   (*service)->SwapCorpus(wwt::CorpusHandle::Own(
       std::move(result.corpus), result.info.content_hash, snapshot));
-  const wwt::Corpus& corpus = (*service)->corpus()->corpus();
-  std::printf("%zu tables ready, serving with %d thread(s).\n\n",
-              corpus.store.size(), (*service)->num_threads());
+  const std::shared_ptr<const wwt::CorpusSet> corpus =
+      (*service)->corpus();
+  std::printf("%llu tables ready, serving with %d thread(s).\n\n",
+              static_cast<unsigned long long>(corpus->num_tables()),
+              (*service)->num_threads());
 
   // The whole workload as one batch of tagged requests.
   std::vector<wwt::QueryRequest> requests;
-  for (const wwt::ResolvedQuery& rq : corpus.queries) {
+  for (const wwt::ResolvedQuery& rq : corpus->queries()) {
     wwt::QueryRequest request;
     for (const wwt::QueryColumnSpec& col : rq.spec.columns) {
       request.columns.push_back(col.keywords);

@@ -7,10 +7,10 @@ namespace wwt {
 namespace {
 
 std::vector<TermId> KnownTerms(const std::string& text,
-                               const TableIndex& index) {
+                               const CorpusStats& stats) {
   std::vector<TermId> out;
-  for (const std::string& tok : index.tokenizer().Tokenize(text)) {
-    auto id = index.vocab().Find(tok);
+  for (const std::string& tok : stats.tokenizer().Tokenize(text)) {
+    auto id = stats.vocab().Find(tok);
     if (id) out.push_back(*id);
   }
   return out;
@@ -19,17 +19,17 @@ std::vector<TermId> KnownTerms(const std::string& text,
 }  // namespace
 
 CandidateTable CandidateTable::Build(WebTable table,
-                                     const TableIndex& index,
+                                     const CorpusStats& stats,
                                      double frequent_cell_fraction) {
   CandidateTable cand;
   cand.num_cols = table.num_cols;
   cand.num_header_rows = table.num_header_rows();
 
   for (const std::string& title : table.title_rows) {
-    for (TermId t : KnownTerms(title, index)) cand.title_terms.insert(t);
+    for (TermId t : KnownTerms(title, stats)) cand.title_terms.insert(t);
   }
   for (const ContextSnippet& snip : table.context) {
-    for (TermId t : KnownTerms(snip.text, index)) {
+    for (TermId t : KnownTerms(snip.text, stats)) {
       cand.context_terms.insert(t);
     }
   }
@@ -40,9 +40,9 @@ CandidateTable CandidateTable::Build(WebTable table,
     col.header_terms.resize(table.num_header_rows());
     for (int r = 0; r < table.num_header_rows(); ++r) {
       col.header_terms[r] =
-          KnownTerms(table.header_rows[r][c], index);
+          KnownTerms(table.header_rows[r][c], stats);
       for (TermId t : col.header_terms[r]) {
-        col.header_vec.Add(t, index.idf().Idf(t));
+        col.header_vec.Add(t, stats.idf().Idf(t));
       }
     }
 
@@ -53,10 +53,10 @@ CandidateTable CandidateTable::Build(WebTable table,
       const std::string& cell = row[c];
       if (cell.empty()) continue;
       ++non_empty_cells;
-      std::vector<TermId> terms = KnownTerms(cell, index);
+      std::vector<TermId> terms = KnownTerms(cell, stats);
       std::unordered_set<TermId> distinct(terms.begin(), terms.end());
       for (TermId t : distinct) {
-        col.content_vec.Add(t, index.idf().Idf(t));
+        col.content_vec.Add(t, stats.idf().Idf(t));
         ++cells_with_term[t];
       }
     }

@@ -44,11 +44,13 @@ struct CandidateTable {
   /// column of t").
   std::unordered_set<TermId> frequent_terms_all;
 
-  /// Tokenizes and vectorizes `table` against the corpus statistics.
+  /// Tokenizes and vectorizes `table` against the corpus statistics (a
+  /// TableIndex, or a CorpusSet's global stats view — identical vectors
+  /// either way, because shard indexes carry the global vocabulary/IDF).
   /// `frequent_cell_fraction`: a token is "frequent content" when it
   /// appears in at least this fraction of the column's non-empty cells
   /// (and at least twice).
-  static CandidateTable Build(WebTable table, const TableIndex& index,
+  static CandidateTable Build(WebTable table, const CorpusStats& stats,
                               double frequent_cell_fraction = 0.3);
 };
 

@@ -67,8 +67,8 @@ const char* InferenceModeToString(InferenceMode mode) {
   return "?";
 }
 
-ColumnMapper::ColumnMapper(const TableIndex* index, MapperOptions options)
-    : index_(index), options_(std::move(options)) {}
+ColumnMapper::ColumnMapper(const CorpusStats* stats, MapperOptions options)
+    : index_(stats), options_(std::move(options)) {}
 
 ColumnMapper::TableInference ColumnMapper::SolveTableIndependent(
     const std::vector<std::vector<double>>& theta, int q,

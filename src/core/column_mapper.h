@@ -79,7 +79,9 @@ struct MapResult {
 /// thread.
 class ColumnMapper {
  public:
-  ColumnMapper(const TableIndex* index, MapperOptions options = {});
+  /// `stats` supplies the corpus-wide statistics the features consult —
+  /// a TableIndex, or a CorpusSet's stats view for sharded corpora.
+  ColumnMapper(const CorpusStats* stats, MapperOptions options = {});
 
   /// Labels every column of every candidate table.
   MapResult Map(const Query& query,
@@ -104,7 +106,7 @@ class ColumnMapper {
   std::vector<std::vector<double>> MaxMarginalProbs(
       const std::vector<std::vector<double>>& theta, int q) const;
 
-  const TableIndex* index_;
+  const CorpusStats* index_;
   MapperOptions options_;
 };
 

@@ -5,9 +5,9 @@
 
 namespace wwt {
 
-FeatureComputer::FeatureComputer(const TableIndex* index,
+FeatureComputer::FeatureComputer(const CorpusStats* stats,
                                  FeatureOptions options)
-    : index_(index), options_(options) {}
+    : index_(stats), options_(options) {}
 
 double FeatureComputer::OutSim(const QueryColumn& ql, size_t s_begin,
                                size_t s_end, const CandidateTable& t,

@@ -44,7 +44,9 @@ struct FeatureOptions {
 /// repeated cells cheap. Not thread-safe.
 class FeatureComputer {
  public:
-  FeatureComputer(const TableIndex* index, FeatureOptions options = {});
+  /// `stats` supplies corpus-wide IDF and the PMI^2 doc-set probes — a
+  /// TableIndex, or a CorpusSet's stats view for sharded corpora.
+  FeatureComputer(const CorpusStats* stats, FeatureOptions options = {});
 
   /// Eq. 1. Zero when the table has no header rows (no valid
   /// segmentation pins the query to a column).
@@ -71,7 +73,7 @@ class FeatureComputer {
   double OutSim(const QueryColumn& ql, size_t s_begin, size_t s_end,
                 const CandidateTable& t, int r, int c) const;
 
-  const TableIndex* index_;
+  const CorpusStats* index_;
   FeatureOptions options_;
 
   /// PMI caches: per query-column term-set probes and per cell probes.

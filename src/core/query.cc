@@ -3,17 +3,17 @@
 namespace wwt {
 
 Query Query::Parse(const std::vector<std::string>& col_keywords,
-                   const TableIndex& index) {
+                   const CorpusStats& stats) {
   Query query;
   for (const std::string& raw : col_keywords) {
     QueryColumn col;
     col.raw = raw;
-    for (const std::string& tok : index.tokenizer().Tokenize(raw)) {
+    for (const std::string& tok : stats.tokenizer().Tokenize(raw)) {
       if (Tokenizer::IsStopword(tok)) continue;
-      auto id = index.vocab().Find(tok);
+      auto id = stats.vocab().Find(tok);
       if (!id) continue;  // unseen in corpus: cannot match anything
       col.terms.push_back(*id);
-      double w = index.idf().Idf(*id);
+      double w = stats.idf().Idf(*id);
       col.term_weight.push_back(w);
       col.vec.Add(*id, w);
     }

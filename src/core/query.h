@@ -34,10 +34,11 @@ struct Query {
   /// min-match threshold m: 2 for q >= 2, else 1 (§3.4).
   int min_match() const { return q() >= 2 ? 2 : 1; }
 
-  /// Tokenizes each keyword set against `index`'s vocabulary. Tokens
-  /// absent from the corpus cannot match anything and are dropped.
+  /// Tokenizes each keyword set against the corpus vocabulary (a
+  /// TableIndex, or a CorpusSet's global stats view). Tokens absent from
+  /// the corpus cannot match anything and are dropped.
   static Query Parse(const std::vector<std::string>& col_keywords,
-                     const TableIndex& index);
+                     const CorpusStats& stats);
 };
 
 }  // namespace wwt

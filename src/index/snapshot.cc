@@ -1,6 +1,7 @@
 #include "index/snapshot.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -56,16 +57,22 @@ void EndSection(size_t body_start, serde::Writer* w) {
 
 class SnapshotCodec {
  public:
-  // ----- TableStore: the already-serialized records verbatim.
+  // ----- TableStore: first id + the already-serialized records verbatim.
   static void WriteStore(const TableStore& store, serde::Writer* w) {
+    w->WriteU64(store.first_id_);
     w->WriteU64(store.records_.size());
     for (const std::string& rec : store.records_) w->WriteString(rec);
   }
 
   static Status ReadStore(serde::Reader* r, TableStore* store) {
-    uint64_t count;
+    uint64_t first_id, count;
+    WWT_RETURN_NOT_OK(r->ReadU64(&first_id));
     WWT_RETURN_NOT_OK(r->ReadU64(&count));
     WWT_RETURN_NOT_OK(r->CheckCount(count, 8));
+    if (first_id > UINT32_MAX || count > UINT32_MAX - first_id) {
+      return Status::Corruption("store id range starting at ", first_id,
+                                " with ", count, " records exceeds TableId");
+    }
     std::vector<std::string> records;
     records.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
@@ -74,7 +81,46 @@ class SnapshotCodec {
       records.push_back(std::move(rec));
     }
     store->records_ = std::move(records);
+    store->first_id_ = static_cast<TableId>(first_id);
     return Status::OK();
+  }
+
+  // ----- Corpus partitioning (the `wwt_indexer --shards` primitive).
+  /// One shard corpus over the contiguous id range [begin, end): its
+  /// slice of the store records and ground truth, a per-shard index
+  /// rebuilt over exactly those tables but carrying the GLOBAL
+  /// vocabulary and IDF statistics (so per-shard retrieval scores are
+  /// bit-identical to the full index's), and the full resolved
+  /// workload. `kb` stays null — serving never consults it.
+  static Corpus BuildShard(const Corpus& full, TableId begin, TableId end) {
+    Corpus shard;
+    shard.store.records_.assign(
+        full.store.records_.begin() + (begin - full.store.first_id_),
+        full.store.records_.begin() + (end - full.store.first_id_));
+    shard.store.first_id_ = begin;
+
+    const TableIndex& full_index = *full.index;
+    shard.index = std::make_unique<TableIndex>(
+        full_index.options_, full_index.tokenizer_.options());
+    // Pre-seeding the global vocabulary makes every Add() intern to the
+    // same term ids as the full index; the local IDF counts accumulated
+    // by Add() are then replaced by the global statistics.
+    shard.index->vocab_ = full_index.vocab_;
+    for (TableId id = begin; id < end; ++id) {
+      StatusOr<WebTable> table = shard.store.Get(id);
+      WWT_CHECK(table.ok()) << "unreadable table " << id
+                            << " while sharding: "
+                            << table.status().ToString();
+      shard.index->Add(*table);
+    }
+    shard.index->idf_ = full_index.idf_;
+
+    for (const auto& [id, truth] : full.truth) {
+      if (id >= begin && id < end) shard.truth.emplace(id, truth);
+    }
+    shard.queries = full.queries;
+    shard.harvest_stats = full.harvest_stats;
+    return shard;
   }
 
   // ----- TableIndex: options, vocabulary, idf, postings, field stats.
@@ -642,6 +688,234 @@ BuildOrLoadResult BuildOrLoadCorpus(const CorpusOptions& options,
 std::string SnapshotPathFromEnv() {
   const char* path = std::getenv("WWT_SNAPSHOT");
   return path != nullptr ? std::string(path) : std::string();
+}
+
+// ------------------------------------------------------- sharded corpora
+
+namespace {
+
+/// `base.wwtset` -> `base`; anything else is returned unchanged.
+std::string StripSetSuffix(const std::string& path) {
+  constexpr char kSuffix[] = ".wwtset";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (path.size() > kSuffixLen &&
+      path.compare(path.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+    return path.substr(0, path.size() - kSuffixLen);
+  }
+  return path;
+}
+
+std::string ShardFileName(const std::string& manifest_path, int shard,
+                          int num_shards) {
+  const std::string base = StripSetSuffix(manifest_path);
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".shard-%d-of-%d.wwtsnap", shard,
+                num_shards);
+  return base + suffix;
+}
+
+/// Fixed manifest header: magic + version + flags + size + checksum —
+/// the same framing as snapshots.
+constexpr size_t kSetHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+}  // namespace
+
+uint64_t SetContentHash(const std::vector<uint64_t>& shard_hashes) {
+  // One shard serves byte-identically to the plain snapshot, so it must
+  // also fingerprint identically — the set hash IS the shard hash.
+  if (shard_hashes.size() == 1) return shard_hashes[0];
+  uint64_t h = Fnv1a("wwt-corpus-set-v1");
+  h = HashCombine(h, shard_hashes.size());
+  for (uint64_t shard_hash : shard_hashes) h = HashCombine(h, shard_hash);
+  return h;
+}
+
+std::vector<Corpus> PartitionCorpus(const Corpus& corpus, int num_shards) {
+  WWT_CHECK(corpus.index != nullptr) << "corpus has no index to partition";
+  const size_t n = corpus.store.size();
+  const size_t shards = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(std::max(num_shards, 1)), n));
+
+  std::vector<Corpus> out;
+  out.reserve(shards);
+  TableId begin = corpus.store.first_id();
+  for (size_t s = 0; s < shards; ++s) {
+    // Count-balanced contiguous ranges: the first n % shards shards take
+    // one extra table.
+    const size_t count = n / shards + (s < n % shards ? 1 : 0);
+    const TableId end = begin + static_cast<TableId>(count);
+    out.push_back(SnapshotCodec::BuildShard(corpus, begin, end));
+    begin = end;
+  }
+  return out;
+}
+
+Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
+                           const std::string& manifest_path, int num_shards,
+                           SetManifest* manifest) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got ",
+                                   num_shards);
+  }
+  if (corpus.index == nullptr) {
+    return Status::InvalidArgument("corpus has no index to snapshot");
+  }
+  std::vector<Corpus> shards = PartitionCorpus(corpus, num_shards);
+  const int n = static_cast<int>(shards.size());
+
+  SetManifest m;
+  m.format_version = kSetFormatVersion;
+  m.seed = options.seed;
+  m.scale = options.scale;
+  m.noise_pages = options.noise_pages;
+  m.workload_hash = WorkloadFingerprint(options);
+  m.num_tables = corpus.store.size();
+
+  std::vector<uint64_t> hashes;
+  hashes.reserve(shards.size());
+  for (int s = 0; s < n; ++s) {
+    const std::string shard_path = ShardFileName(manifest_path, s, n);
+    SnapshotInfo info;
+    WWT_RETURN_NOT_OK(SaveSnapshot(shards[s], options, shard_path, &info));
+    ShardManifestEntry entry;
+    // Relative to the manifest's directory, so the whole set moves as a
+    // unit.
+    entry.file = shard_path.substr(serde::DirName(manifest_path).size());
+    entry.content_hash = info.content_hash;
+    entry.first_table_id = shards[s].store.first_id();
+    entry.num_tables = shards[s].store.size();
+    hashes.push_back(info.content_hash);
+    m.shards.push_back(std::move(entry));
+  }
+  m.set_hash = SetContentHash(hashes);
+
+  serde::Writer payload;
+  payload.WriteU64(m.set_hash);
+  payload.WriteU64(m.seed);
+  payload.WriteDouble(m.scale);
+  payload.WriteI32(m.noise_pages);
+  payload.WriteU64(m.workload_hash);
+  payload.WriteU64(m.num_tables);
+  payload.WriteU32(static_cast<uint32_t>(m.shards.size()));
+  for (const ShardManifestEntry& entry : m.shards) {
+    payload.WriteString(entry.file);
+    payload.WriteU64(entry.content_hash);
+    payload.WriteU64(entry.first_table_id);
+    payload.WriteU64(entry.num_tables);
+  }
+
+  serde::Writer header;
+  header.WriteBytes(kSetMagic, sizeof(kSetMagic));
+  header.WriteU32(kSetFormatVersion);
+  header.WriteU32(0);  // flags, reserved
+  header.WriteU64(payload.size());
+  header.WriteU64(serde::Checksum(payload.buffer()));
+
+  WWT_RETURN_NOT_OK(serde::EnsureParentDir(manifest_path));
+  WWT_RETURN_NOT_OK(serde::WriteFileAtomic(
+      manifest_path, {header.buffer(), payload.buffer()}));
+  if (manifest != nullptr) *manifest = std::move(m);
+  return Status::OK();
+}
+
+StatusOr<SetManifest> LoadSetManifest(const std::string& path) {
+  WWT_ASSIGN_OR_RETURN(serde::InputFile file, serde::InputFile::Open(path));
+  const std::string_view data = file.data();
+  if (data.size() < kSetHeaderBytes) {
+    return Status::Corruption("'", path, "' is not a corpus-set manifest: ",
+                              data.size(), " bytes, header needs ",
+                              kSetHeaderBytes);
+  }
+  if (std::memcmp(data.data(), kSetMagic, sizeof(kSetMagic)) != 0) {
+    return Status::Corruption("'", path,
+                              "' is not a corpus-set manifest (bad magic)");
+  }
+  serde::Reader header(data.substr(sizeof(kSetMagic)));
+  uint32_t version, flags;
+  uint64_t payload_size, checksum;
+  WWT_RETURN_NOT_OK(header.ReadU32(&version));
+  WWT_RETURN_NOT_OK(header.ReadU32(&flags));
+  WWT_RETURN_NOT_OK(header.ReadU64(&payload_size));
+  WWT_RETURN_NOT_OK(header.ReadU64(&checksum));
+  if (version != kSetFormatVersion) {
+    return Status::InvalidArgument(
+        "corpus-set manifest version mismatch in '", path, "': file has ",
+        version, ", this build reads ", kSetFormatVersion,
+        " — rebuild the set with wwt_indexer --shards");
+  }
+  if (data.size() - kSetHeaderBytes != payload_size) {
+    return Status::Corruption("truncated manifest '", path,
+                              "': header says ", payload_size,
+                              " payload bytes, file has ",
+                              data.size() - kSetHeaderBytes);
+  }
+  const std::string_view payload = data.substr(kSetHeaderBytes);
+  if (serde::Checksum(payload) != checksum) {
+    return Status::Corruption("checksum mismatch in '", path,
+                              "': manifest payload is corrupt");
+  }
+
+  SetManifest m;
+  m.format_version = version;
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(r.ReadU64(&m.set_hash));
+  WWT_RETURN_NOT_OK(r.ReadU64(&m.seed));
+  WWT_RETURN_NOT_OK(r.ReadDouble(&m.scale));
+  WWT_RETURN_NOT_OK(r.ReadI32(&m.noise_pages));
+  WWT_RETURN_NOT_OK(r.ReadU64(&m.workload_hash));
+  WWT_RETURN_NOT_OK(r.ReadU64(&m.num_tables));
+  uint32_t count;
+  WWT_RETURN_NOT_OK(r.ReadU32(&count));
+  WWT_RETURN_NOT_OK(r.CheckCount(count, 32));
+  if (count == 0) {
+    return Status::Corruption("manifest '", path, "' lists no shards");
+  }
+  std::vector<uint64_t> hashes;
+  uint64_t next_id = 0, total = 0;
+  for (uint32_t s = 0; s < count; ++s) {
+    ShardManifestEntry entry;
+    WWT_RETURN_NOT_OK(r.ReadString(&entry.file));
+    WWT_RETURN_NOT_OK(r.ReadU64(&entry.content_hash));
+    WWT_RETURN_NOT_OK(r.ReadU64(&entry.first_table_id));
+    WWT_RETURN_NOT_OK(r.ReadU64(&entry.num_tables));
+    if (s == 0) {
+      next_id = entry.first_table_id;
+    } else if (entry.first_table_id < next_id) {
+      return Status::Corruption("manifest '", path, "' shard ", s,
+                                " overlaps or reorders the id ranges");
+    }
+    next_id = entry.first_table_id + entry.num_tables;
+    total += entry.num_tables;
+    hashes.push_back(entry.content_hash);
+    m.shards.push_back(std::move(entry));
+  }
+  if (total != m.num_tables) {
+    return Status::Corruption("manifest '", path, "' claims ",
+                              m.num_tables, " tables but its shards sum to ",
+                              total);
+  }
+  if (SetContentHash(hashes) != m.set_hash) {
+    return Status::Corruption("manifest '", path,
+                              "' set hash does not match its shard hashes");
+  }
+  return m;
+}
+
+std::string ResolveShardPath(const std::string& manifest_path,
+                             const std::string& file) {
+  if (!file.empty() && file.front() == '/') return file;
+  return serde::DirName(manifest_path) + file;
+}
+
+bool IsSetManifest(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          &std::fclose);
+  if (!f) return false;
+  char magic[sizeof(kSetMagic)];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+    return false;
+  }
+  return std::memcmp(magic, kSetMagic, sizeof(kSetMagic)) == 0;
 }
 
 }  // namespace wwt

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "corpus/corpus_generator.h"
 #include "util/status.h"
@@ -32,7 +33,10 @@ namespace wwt {
 
 /// Bump on ANY change to the header or a section layout. Loaders reject
 /// other versions; CI cache keys embed this constant.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// v2: STOR section carries the store's first table id, so one snapshot
+/// can hold a contiguous shard of a larger corpus (tables keep their
+/// global ids across sharding).
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// First 8 bytes of every snapshot file.
 inline constexpr char kSnapshotMagic[8] = {'W', 'W', 'T', 'S',
@@ -114,6 +118,93 @@ BuildOrLoadResult BuildOrLoadCorpus(const CorpusOptions& options,
 /// The WWT_SNAPSHOT environment knob: snapshot path benches/examples
 /// route through BuildOrLoadCorpus ("" when unset).
 std::string SnapshotPathFromEnv();
+
+// ---------------------------------------------------------------------------
+// Sharded corpora: a `.wwtset` manifest describing 1..N `.wwtsnap` shards.
+//
+// `wwt_indexer --shards N` partitions a built corpus into N contiguous,
+// count-balanced table-id ranges. Every shard snapshot carries the
+// GLOBAL vocabulary and IDF statistics computed before partitioning (so
+// per-shard retrieval scores are comparable and a merged candidate list
+// is byte-identical to the unsharded engine's), its own slice of the
+// store/postings/ground-truth, and the full resolved workload. The
+// manifest records shard file names (relative to its own directory),
+// per-shard content hashes and id ranges, and the set-level hash that
+// becomes the fingerprint/cache-key corpus component.
+
+/// Bump on ANY change to the manifest layout.
+inline constexpr uint32_t kSetFormatVersion = 1;
+
+/// First 8 bytes of every `.wwtset` manifest file.
+inline constexpr char kSetMagic[8] = {'W', 'W', 'T', 'S',
+                                      'E', 'T', '1', '\n'};
+
+/// One shard as recorded in a manifest.
+struct ShardManifestEntry {
+  /// Shard file name, relative to the manifest's directory.
+  std::string file;
+  /// The shard snapshot's content hash (SnapshotInfo::content_hash);
+  /// verified against the loaded file, so a rebuilt or swapped shard is
+  /// a clean Corruption error, never a silently mixed set.
+  uint64_t content_hash = 0;
+  /// The contiguous global table-id range [first_table_id,
+  /// first_table_id + num_tables) this shard holds.
+  uint64_t first_table_id = 0;
+  uint64_t num_tables = 0;
+};
+
+/// A parsed `.wwtset` manifest.
+struct SetManifest {
+  uint32_t format_version = 0;
+  /// SetContentHash over the shard hashes in order — the corpus
+  /// component of every fingerprint/cache key served from this set.
+  uint64_t set_hash = 0;
+  /// Generation parameters, mirrored from the shard METAs.
+  uint64_t seed = 0;
+  double scale = 1.0;
+  int32_t noise_pages = 0;
+  uint64_t workload_hash = 0;
+  /// Total tables across all shards.
+  uint64_t num_tables = 0;
+  std::vector<ShardManifestEntry> shards;
+};
+
+/// The set-level content hash: for one shard, the shard's own hash (so a
+/// 1-shard manifest fingerprints identically to serving the plain
+/// snapshot); otherwise an order-sensitive fold of the shard hashes.
+uint64_t SetContentHash(const std::vector<uint64_t>& shard_hashes);
+
+/// Splits `corpus` into `num_shards` (clamped to [1, #tables]) shard
+/// corpora over contiguous, count-balanced table-id ranges. Each shard
+/// keeps global table ids (TableStore::first_id), the global vocabulary
+/// and IDF statistics, its slice of the ground truth, and the full
+/// resolved workload. Deterministic: the same corpus always yields the
+/// same shards. Shard `kb` is left null (serving never consults it).
+std::vector<Corpus> PartitionCorpus(const Corpus& corpus, int num_shards);
+
+/// PartitionCorpus + one SaveSnapshot per shard + the manifest, written
+/// atomically next to the shards. `manifest_path` should end in
+/// `.wwtset`; shard files are derived from it
+/// (`base.shard-I-of-N.wwtsnap`). On success `manifest` (when non-null)
+/// is filled from the written state.
+Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
+                           const std::string& manifest_path, int num_shards,
+                           SetManifest* manifest = nullptr);
+
+/// Parses a `.wwtset` manifest (header + entries; shard files are not
+/// opened). Clean Status on missing/corrupt/version-mismatched input.
+StatusOr<SetManifest> LoadSetManifest(const std::string& path);
+
+/// Resolves a ShardManifestEntry::file against the manifest's directory
+/// (absolute entries pass through) — the one definition every manifest
+/// consumer resolves shard paths with.
+std::string ResolveShardPath(const std::string& manifest_path,
+                             const std::string& file);
+
+/// True when `path` exists and starts with the `.wwtset` magic — the
+/// cheap sniff tools use to route a path to the manifest or snapshot
+/// loader.
+bool IsSetManifest(const std::string& path);
 
 }  // namespace wwt
 

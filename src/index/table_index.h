@@ -43,11 +43,40 @@ struct ScoredDoc {
   double score = 0;
 };
 
+/// The corpus-wide read surface the mapping layers consult: tokenizer,
+/// vocabulary and IDF statistics plus the conjunctive doc-set probes of
+/// the PMI^2 feature (§3.2.3). TableIndex implements it over one index;
+/// CorpusSet::stats() implements it over a sharded corpus by unioning
+/// the per-shard doc sets under the shared global statistics — so the
+/// query parser, candidate builder and column mapper are shard-agnostic
+/// and score identically whether the corpus is one index or many.
+class CorpusStats {
+ public:
+  virtual ~CorpusStats() = default;
+
+  virtual const Tokenizer& tokenizer() const = 0;
+  virtual const Vocabulary& vocab() const = 0;
+  /// Corpus-wide IDF statistics (document = one table, all fields). For
+  /// a shard of a CorpusSet these are the GLOBAL statistics computed
+  /// before partitioning, not per-shard counts.
+  virtual const IdfDictionary& idf() const = 0;
+  virtual size_t num_docs() const = 0;
+
+  /// Sorted ids of docs whose header+context fields contain ALL of
+  /// `keywords` (after tokenization).
+  virtual std::vector<TableId> MatchAllInHeaderOrContext(
+      const std::vector<std::string>& keywords) const = 0;
+
+  /// Sorted ids of docs whose content field contains ALL of `keywords`.
+  virtual std::vector<TableId> MatchAllInContent(
+      const std::vector<std::string>& keywords) const = 0;
+};
+
 /// Append-only in-memory inverted index. Build once, then query from any
 /// number of threads: Search()/MatchAllIn*()/idf()/vocab() are pure
 /// reads with no hidden mutable state (audited for the batch query
 /// runner). Add() must not overlap queries.
-class TableIndex {
+class TableIndex : public CorpusStats {
  public:
   explicit TableIndex(IndexOptions options = {},
                       TokenizerOptions tokenizer_options = {});
@@ -65,18 +94,19 @@ class TableIndex {
   /// Sorted ids of docs whose header+context fields contain ALL of
   /// `keywords` (after tokenization).
   std::vector<TableId> MatchAllInHeaderOrContext(
-      const std::vector<std::string>& keywords) const;
+      const std::vector<std::string>& keywords) const override;
 
   /// Sorted ids of docs whose content field contains ALL of `keywords`.
   std::vector<TableId> MatchAllInContent(
-      const std::vector<std::string>& keywords) const;
+      const std::vector<std::string>& keywords) const override;
 
-  /// Corpus-wide IDF statistics (document = one table, all fields).
-  const IdfDictionary& idf() const { return idf_; }
-  const Vocabulary& vocab() const { return vocab_; }
-  const Tokenizer& tokenizer() const { return tokenizer_; }
+  /// Corpus-wide IDF statistics (document = one table, all fields). On a
+  /// CorpusSet shard these are the global pre-partition statistics.
+  const IdfDictionary& idf() const override { return idf_; }
+  const Vocabulary& vocab() const override { return vocab_; }
+  const Tokenizer& tokenizer() const override { return tokenizer_; }
 
-  size_t num_docs() const { return doc_count_; }
+  size_t num_docs() const override { return doc_count_; }
 
  private:
   /// Snapshot save/load (src/index/snapshot.cc) serializes the private

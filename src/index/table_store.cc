@@ -6,22 +6,23 @@
 namespace wwt {
 
 TableId TableStore::Put(WebTable table) {
-  const TableId id = static_cast<TableId>(records_.size());
+  const TableId id = end_id();
   table.id = id;
   records_.push_back(SerializeTable(table));
   return id;
 }
 
 StatusOr<WebTable> TableStore::Get(TableId id) const {
-  if (id >= records_.size()) {
-    return Status::NotFound("table id ", id, " out of range (size ",
-                            records_.size(), ")");
+  if (id < first_id_ || id >= end_id()) {
+    return Status::NotFound("table id ", id, " out of range [", first_id_,
+                            ", ", end_id(), ")");
   }
-  return DeserializeTable(records_[id]);
+  return DeserializeTable(records_[id - first_id_]);
 }
 
 size_t TableStore::RecordSize(TableId id) const {
-  return id < records_.size() ? records_[id].size() : 0;
+  return id >= first_id_ && id < end_id() ? records_[id - first_id_].size()
+                                          : 0;
 }
 
 Status TableStore::SaveToFile(const std::string& path) const {
@@ -70,6 +71,7 @@ Status TableStore::LoadFromFile(const std::string& path) {
     records.push_back(std::move(rec));
   }
   records_ = std::move(records);
+  first_id_ = 0;  // the file format predates shards: always a full corpus
   return Status::OK();
 }
 

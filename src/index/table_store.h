@@ -21,6 +21,11 @@ class SnapshotCodec;
 
 /// Append-only table storage keyed by dense TableId.
 ///
+/// A store covers the contiguous id range [first_id(), end_id()): a full
+/// corpus starts at 0, a CorpusSet shard at its partition offset, so
+/// tables keep their global ids across sharding (answer digests and
+/// cache keys never depend on which shard served them).
+///
 /// Thread safety: Get()/RecordSize() are pure reads with no hidden
 /// mutable state (audited for the batch query runner) — safe from any
 /// number of threads once building (Put/LoadFromFile) has finished.
@@ -31,13 +36,21 @@ class TableStore {
   /// stores it. Returns the assigned id.
   TableId Put(WebTable table);
 
-  /// Deserializes table `id`.
+  /// Deserializes table `id`. NotFound outside [first_id(), end_id()).
   StatusOr<WebTable> Get(TableId id) const;
 
   /// Bytes of the serialized record (for size accounting in benches).
   size_t RecordSize(TableId id) const;
 
   size_t size() const { return records_.size(); }
+
+  /// First id held by this store (0 for a full corpus, the partition
+  /// offset for a CorpusSet shard).
+  TableId first_id() const { return first_id_; }
+  /// One past the last id held by this store.
+  TableId end_id() const {
+    return first_id_ + static_cast<TableId>(records_.size());
+  }
 
   /// Writes all records to `path` (atomic length-prefixed records).
   Status SaveToFile(const std::string& path) const;
@@ -46,11 +59,12 @@ class TableStore {
   Status LoadFromFile(const std::string& path);
 
  private:
-  /// Snapshot save/load (src/index/snapshot.cc) moves records in and out
-  /// without re-serializing each table.
+  /// Snapshot save/load and corpus partitioning (src/index/snapshot.cc)
+  /// move records in and out without re-serializing each table.
   friend class SnapshotCodec;
 
   std::vector<std::string> records_;
+  TableId first_id_ = 0;
 };
 
 }  // namespace wwt

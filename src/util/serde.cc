@@ -141,6 +141,12 @@ Status WriteFileAtomic(const std::string& path,
   return Status::OK();
 }
 
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string()
+                                    : path.substr(0, slash + 1);
+}
+
 Status EnsureParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   if (slash == std::string::npos || slash == 0) return Status::OK();

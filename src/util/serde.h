@@ -141,6 +141,11 @@ inline Status WriteFileAtomic(const std::string& path,
   return WriteFileAtomic(path, {contents});
 }
 
+/// Directory prefix of `path` including the trailing '/', or "" when
+/// the path has no directory component — the one definition manifests
+/// and their relative shard paths resolve against everywhere.
+std::string DirName(const std::string& path);
+
 /// Creates every missing directory on the path to `path`'s parent
 /// (mkdir -p for the dirname).
 Status EnsureParentDir(const std::string& path);

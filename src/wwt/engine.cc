@@ -1,6 +1,7 @@
 #include "wwt/engine.h"
 
 #include <algorithm>
+#include <future>
 #include <unordered_set>
 
 #include "util/hash.h"
@@ -11,7 +12,96 @@ namespace wwt {
 
 WwtEngine::WwtEngine(const TableStore* store, const TableIndex* index,
                      EngineOptions options)
-    : store_(store), index_(index), options_(std::move(options)) {}
+    : WwtEngine({{store, index}}, index, std::move(options)) {}
+
+WwtEngine::WwtEngine(std::vector<CorpusShardRef> shards,
+                     const CorpusStats* stats, EngineOptions options,
+                     ThreadPool* probe_pool)
+    : shards_(std::move(shards)),
+      stats_(stats),
+      probe_pool_(probe_pool),
+      options_(std::move(options)) {
+  WWT_CHECK(!shards_.empty()) << "engine needs at least one shard";
+  WWT_CHECK(stats_ != nullptr) << "engine needs a corpus stats surface";
+  shard_ranges_.reserve(shards_.size());
+  for (const CorpusShardRef& shard : shards_) {
+    WWT_CHECK(shard.store != nullptr && shard.index != nullptr);
+    shard_ranges_.emplace_back(shard.store->first_id(),
+                               shard.store->end_id());
+  }
+}
+
+const TableStore* WwtEngine::StoreOf(TableId doc) const {
+  // Shard counts are small (the service caps fan-out well under the
+  // table count); a linear scan beats binary search at this size.
+  for (size_t s = 0; s < shard_ranges_.size(); ++s) {
+    if (doc >= shard_ranges_[s].first && doc < shard_ranges_[s].second) {
+      return shards_[s].store;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ScoredDoc> WwtEngine::Probe(
+    const std::vector<std::string>& keywords, int k) const {
+  if (shards_.size() == 1) return shards_[0].index->Search(keywords, k);
+
+  // Scatter: each shard's top-k under the global IDF. Any document in
+  // the global top-k is by definition in its own shard's top-k, so the
+  // union contains the global answer.
+  std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
+  if (probe_pool_ != nullptr) {
+    // Shard 0 runs on the calling thread: the probe makes progress even
+    // when every pool worker is busy, and the waits below always
+    // terminate because probe tasks never block on anything. The
+    // scatter itself sits inside the try so that even a throwing
+    // Submit leaves every already-scattered future drained before the
+    // rethrow — no task can outlive per_shard/keywords.
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards_.size() - 1);
+    std::exception_ptr first_error;
+    try {
+      for (size_t s = 1; s < shards_.size(); ++s) {
+        pending.push_back(probe_pool_->Submit(
+            [this, &per_shard, &keywords, k, s] {
+              per_shard[s] = shards_[s].index->Search(keywords, k);
+            }));
+      }
+      per_shard[0] = shards_[0].index->Search(keywords, k);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    for (std::future<void>& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      per_shard[s] = shards_[s].index->Search(keywords, k);
+    }
+  }
+
+  // Gather: merge under Search's exact total order (score desc, id asc;
+  // ids are unique across shards) and re-truncate to k.
+  size_t total = 0;
+  for (const auto& hits : per_shard) total += hits.size();
+  std::vector<ScoredDoc> merged;
+  merged.reserve(total);
+  for (auto& hits : per_shard) {
+    merged.insert(merged.end(), hits.begin(), hits.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (k >= 0 && static_cast<int>(merged.size()) > k) merged.resize(k);
+  return merged;
+}
 
 std::vector<CandidateTable> WwtEngine::ReadTables(
     const std::vector<ScoredDoc>& docs,
@@ -23,13 +113,19 @@ std::vector<CandidateTable> WwtEngine::ReadTables(
   std::vector<CandidateTable> out;
   for (const ScoredDoc& doc : docs) {
     if (skip.count(doc.doc)) continue;
-    StatusOr<WebTable> table = store_->Get(doc.doc);
+    const TableStore* store = StoreOf(doc.doc);
+    if (store == nullptr) {
+      WWT_LOG(Warning) << "skipping table " << doc.doc
+                       << ": no shard holds its id";
+      continue;
+    }
+    StatusOr<WebTable> table = store->Get(doc.doc);
     if (!table.ok()) {
       WWT_LOG(Warning) << "skipping unreadable table " << doc.doc << ": "
                        << table.status().ToString();
       continue;
     }
-    out.push_back(CandidateTable::Build(std::move(table).value(), *index_));
+    out.push_back(CandidateTable::Build(std::move(table).value(), *stats_));
   }
   return out;
 }
@@ -52,7 +148,7 @@ RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
   std::vector<ScoredDoc> hits1;
   {
     ScopedStageTimer st(timer, kStage1stIndex);
-    hits1 = index_->Search(query.all_keywords, options_.probe1_k);
+    hits1 = Probe(query.all_keywords, options_.probe1_k);
     apply_score_floor(&hits1, options_.score_floor_fraction);
   }
   {
@@ -67,7 +163,7 @@ RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
     ScopedStageTimer st(timer, kStageColumnMap);
     MapperOptions quick = options_.mapper;
     quick.mode = InferenceMode::kIndependent;  // cheap confidence pass
-    ColumnMapper mapper(index_, quick);
+    ColumnMapper mapper(stats_, quick);
     MapResult quick_map = mapper.Map(query, result.tables);
     for (size_t t = 0; t < quick_map.tables.size(); ++t) {
       const TableMapping& tm = quick_map.tables[t];
@@ -108,7 +204,7 @@ RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
     std::vector<ScoredDoc> hits2;
     {
       ScopedStageTimer st(timer, kStage2ndIndex);
-      hits2 = index_->Search(probe2_keywords, options_.probe2_k);
+      hits2 = Probe(probe2_keywords, options_.probe2_k);
       // The second probe exists to pull in content-overlapping tables;
       // a stricter floor keeps tables that merely share a few common
       // tokens with the sampled rows (years, small numbers) out.
@@ -135,12 +231,12 @@ RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
 QueryExecution WwtEngine::Execute(
     const std::vector<std::string>& column_keywords) {
   QueryExecution exec;
-  exec.query = Query::Parse(column_keywords, *index_);
+  exec.query = Query::Parse(column_keywords, *stats_);
   exec.retrieval = Retrieve(exec.query, &exec.timing);
 
   {
     ScopedStageTimer st(&exec.timing, kStageColumnMap);
-    ColumnMapper mapper(index_, options_.mapper);
+    ColumnMapper mapper(stats_, options_.mapper);
     exec.mapping = mapper.Map(exec.query, exec.retrieval.tables);
   }
   {

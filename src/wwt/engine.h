@@ -4,16 +4,29 @@
 // probe (§2.2.1), column mapping (§3-4), consolidation and ranking
 // (§2.2.3) — with per-stage wall-clock accounting for the Fig. 7
 // runtime-breakdown experiment.
+//
+// The engine serves one corpus or a sharded one through the same
+// pipeline skeleton: each index probe scatters over the shards (in
+// parallel on a probe pool when one is provided), the per-shard top-k
+// hits merge under the index's total order (score desc, id asc), and
+// mapping + consolidation run once on the merged candidate pool under
+// the corpus-wide statistics. Because every shard of a CorpusSet
+// carries the GLOBAL vocabulary/IDF, a document's score is bit-identical
+// wherever it lives, so the merged top-k equals the unsharded top-k and
+// sharded answers are byte-identical to the single-index engine — the
+// single-corpus constructor is literally the 1-shard case.
 
 #ifndef WWT_WWT_ENGINE_H_
 #define WWT_WWT_ENGINE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/baselines.h"
 #include "core/column_mapper.h"
 #include "index/table_store.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "wwt/consolidator.h"
 
@@ -61,12 +74,31 @@ struct QueryExecution {
   StageTimer timing;
 };
 
-/// The search engine over a built corpus (store + index are borrowed and
-/// must outlive the engine).
+/// One shard of a serving corpus: the store/index pair the per-shard
+/// probes run against. A single corpus is the 1-shard case.
+struct CorpusShardRef {
+  const TableStore* store = nullptr;
+  const TableIndex* index = nullptr;
+};
+
+/// The search engine over a built corpus — one shard or many (all
+/// borrowed; they must outlive the engine).
 class WwtEngine {
  public:
+  /// Single-corpus engine (the 1-shard case; `index` is also the stats
+  /// surface).
   WwtEngine(const TableStore* store, const TableIndex* index,
             EngineOptions options = {});
+
+  /// Scatter-gather engine over `shards` (non-empty, disjoint id
+  /// ranges). `stats` must expose the corpus-WIDE vocabulary/IDF (every
+  /// shard of a CorpusSet carries them; CorpusSet::stats() unions the
+  /// PMI^2 doc sets). When `probe_pool` is non-null and there is more
+  /// than one shard, per-shard probes run as parallel pool tasks —
+  /// shard 0's probe always runs on the calling thread, so progress
+  /// never depends on a free pool worker.
+  WwtEngine(std::vector<CorpusShardRef> shards, const CorpusStats* stats,
+            EngineOptions options = {}, ThreadPool* probe_pool = nullptr);
 
   /// Full pipeline for one query.
   QueryExecution Execute(const std::vector<std::string>& column_keywords);
@@ -76,15 +108,31 @@ class WwtEngine {
   RetrievalResult Retrieve(const Query& query, StageTimer* timer);
 
   const EngineOptions& options() const { return options_; }
+  size_t num_shards() const { return shards_.size(); }
+  /// The corpus-wide statistics surface queries parse and map against.
+  const CorpusStats& stats() const { return *stats_; }
 
  private:
+  /// One index probe, scattered over the shards and merged back to the
+  /// global top-k under (score desc, id asc) — byte-identical to a
+  /// single-index Search because global IDF makes per-document scores
+  /// shard-independent.
+  std::vector<ScoredDoc> Probe(const std::vector<std::string>& keywords,
+                               int k) const;
+
+  /// The shard holding `doc` (by id range), or nullptr.
+  const TableStore* StoreOf(TableId doc) const;
+
   /// Reads and preprocesses the given docs, skipping ids in `have`.
   std::vector<CandidateTable> ReadTables(
       const std::vector<ScoredDoc>& docs,
       const std::vector<CandidateTable>* have) const;
 
-  const TableStore* store_;
-  const TableIndex* index_;
+  std::vector<CorpusShardRef> shards_;
+  /// Per shard: its [first_id, end_id) range, for routing table reads.
+  std::vector<std::pair<TableId, TableId>> shard_ranges_;
+  const CorpusStats* stats_;
+  ThreadPool* probe_pool_ = nullptr;
   EngineOptions options_;
 };
 

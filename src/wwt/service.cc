@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace wwt {
@@ -55,6 +56,8 @@ std::shared_ptr<const CorpusHandle> CorpusHandle::Borrow(
     const Corpus* corpus, uint64_t content_hash) {
   auto handle = std::shared_ptr<CorpusHandle>(new CorpusHandle);
   handle->corpus_ = corpus;
+  // The same synthetic-hash remap as Own: a borrowed unversioned corpus
+  // must not collide with any other corpus on fingerprints/cache keys.
   handle->content_hash_ =
       content_hash != 0 ? content_hash : SyntheticContentHash();
   return handle;
@@ -69,12 +72,169 @@ StatusOr<std::shared_ptr<const CorpusHandle>> CorpusHandle::Load(
   return Own(std::move(corpus).value(), local.content_hash, path);
 }
 
+// -------------------------------------------------------------- CorpusSet
+
+/// The >1-shard CorpusStats implementation. Global statistics are read
+/// from shard 0 — every shard of a partitioned corpus carries an
+/// identical copy — and the conjunctive doc-set probes union over the
+/// shards. Ranges are disjoint and ascending (CorpusSet::Of sorts and
+/// checks), so per-shard sorted results concatenate into one sorted
+/// vector, exactly what the full index would have returned.
+class CorpusSet::ShardedStats : public CorpusStats {
+ public:
+  explicit ShardedStats(const CorpusSet* set) : set_(set) {}
+
+  const Tokenizer& tokenizer() const override {
+    return set_->shard(0).index().tokenizer();
+  }
+  const Vocabulary& vocab() const override {
+    return set_->shard(0).index().vocab();
+  }
+  const IdfDictionary& idf() const override {
+    return set_->shard(0).index().idf();
+  }
+  size_t num_docs() const override {
+    size_t total = 0;
+    for (size_t s = 0; s < set_->num_shards(); ++s) {
+      total += set_->shard(s).index().num_docs();
+    }
+    return total;
+  }
+
+  std::vector<TableId> MatchAllInHeaderOrContext(
+      const std::vector<std::string>& keywords) const override {
+    std::vector<TableId> out;
+    for (size_t s = 0; s < set_->num_shards(); ++s) {
+      std::vector<TableId> docs =
+          set_->shard(s).index().MatchAllInHeaderOrContext(keywords);
+      out.insert(out.end(), docs.begin(), docs.end());
+    }
+    return out;
+  }
+
+  std::vector<TableId> MatchAllInContent(
+      const std::vector<std::string>& keywords) const override {
+    std::vector<TableId> out;
+    for (size_t s = 0; s < set_->num_shards(); ++s) {
+      std::vector<TableId> docs =
+          set_->shard(s).index().MatchAllInContent(keywords);
+      out.insert(out.end(), docs.begin(), docs.end());
+    }
+    return out;
+  }
+
+ private:
+  const CorpusSet* set_;
+};
+
+CorpusSet::~CorpusSet() = default;
+
+std::shared_ptr<const CorpusSet> CorpusSet::FromHandle(
+    std::shared_ptr<const CorpusHandle> shard) {
+  WWT_CHECK(shard != nullptr) << "FromHandle needs a handle";
+  auto set = std::shared_ptr<CorpusSet>(new CorpusSet);
+  set->content_hash_ = shard->content_hash();
+  set->source_ = shard->source();
+  set->shard_refs_.push_back({&shard->store(), &shard->index()});
+  set->shards_.push_back(std::move(shard));
+  return set;
+}
+
+std::shared_ptr<const CorpusSet> CorpusSet::Of(
+    std::vector<std::shared_ptr<const CorpusHandle>> shards) {
+  return Build(std::move(shards));
+}
+
+std::shared_ptr<CorpusSet> CorpusSet::Build(
+    std::vector<std::shared_ptr<const CorpusHandle>> shards) {
+  WWT_CHECK(!shards.empty()) << "a CorpusSet needs at least one shard";
+  for (const auto& shard : shards) {
+    WWT_CHECK(shard != nullptr) << "CorpusSet shards must be non-null";
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const std::shared_ptr<const CorpusHandle>& a,
+               const std::shared_ptr<const CorpusHandle>& b) {
+              return a->store().first_id() < b->store().first_id();
+            });
+  for (size_t s = 1; s < shards.size(); ++s) {
+    WWT_CHECK(shards[s]->store().first_id() >=
+              shards[s - 1]->store().end_id())
+        << "CorpusSet shards must cover disjoint table-id ranges";
+  }
+
+  auto set = std::shared_ptr<CorpusSet>(new CorpusSet);
+  std::vector<uint64_t> hashes;
+  hashes.reserve(shards.size());
+  for (const auto& shard : shards) {
+    hashes.push_back(shard->content_hash());
+    set->shard_refs_.push_back({&shard->store(), &shard->index()});
+  }
+  set->content_hash_ = SetContentHash(hashes);
+  set->shards_ = std::move(shards);
+  if (set->shards_.size() > 1) {
+    set->sharded_stats_ = std::make_unique<const ShardedStats>(set.get());
+  }
+  return set;
+}
+
+StatusOr<std::shared_ptr<const CorpusSet>> CorpusSet::Load(
+    const std::string& manifest_path, SetManifest* manifest) {
+  WWT_ASSIGN_OR_RETURN(SetManifest m, LoadSetManifest(manifest_path));
+  std::vector<std::shared_ptr<const CorpusHandle>> shards;
+  shards.reserve(m.shards.size());
+  for (const ShardManifestEntry& entry : m.shards) {
+    const std::string path = ResolveShardPath(manifest_path, entry.file);
+    WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusHandle> shard,
+                         CorpusHandle::Load(path));
+    if (shard->content_hash() != entry.content_hash) {
+      return Status::Corruption(
+          "shard '", path, "' does not match the manifest (the file was ",
+          "rebuilt or replaced) — re-run wwt_indexer --shards");
+    }
+    if (shard->store().first_id() != entry.first_table_id ||
+        shard->store().size() != entry.num_tables) {
+      return Status::Corruption("shard '", path,
+                                "' id range disagrees with the manifest");
+    }
+    shards.push_back(std::move(shard));
+  }
+  // Build() recomputes the set hash from the shard hashes; the
+  // manifest's own consistency (set_hash vs entries) was verified by
+  // LoadSetManifest, and the per-shard hashes above tie the files to
+  // the entries — so the two always agree here.
+  std::shared_ptr<CorpusSet> set = Build(std::move(shards));
+  set->source_ = manifest_path;
+  if (manifest != nullptr) *manifest = std::move(m);
+  return std::shared_ptr<const CorpusSet>(std::move(set));
+}
+
+uint64_t CorpusSet::num_tables() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->store().size();
+  return total;
+}
+
+const CorpusStats& CorpusSet::stats() const {
+  return sharded_stats_ != nullptr
+             ? static_cast<const CorpusStats&>(*sharded_stats_)
+             : shards_[0]->index();
+}
+
+const std::vector<ResolvedQuery>& CorpusSet::queries() const {
+  return shards_[0]->corpus().queries;
+}
+
 // ------------------------------------------------------------- WwtService
 
 Status ValidateServiceOptions(const ServiceOptions& options) {
   WWT_RETURN_NOT_OK(ValidateServingOptions(options.engine,
                                            options.num_threads,
                                            "ServiceOptions"));
+  if (options.shard_threads < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::shard_threads must be >= 0, got ",
+        options.shard_threads);
+  }
   return ValidateResponseCacheOptions(options.cache);
 }
 
@@ -99,30 +259,68 @@ StatusOr<std::unique_ptr<WwtService>> WwtService::FromSnapshot(
     SnapshotInfo* info) {
   WWT_ASSIGN_OR_RETURN(std::unique_ptr<WwtService> service,
                        Create(std::move(options)));
+  if (IsSetManifest(snapshot_path)) {
+    SetManifest manifest;
+    WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusSet> set,
+                         CorpusSet::Load(snapshot_path, &manifest));
+    if (info != nullptr) {
+      *info = SnapshotInfo();
+      info->format_version = manifest.format_version;
+      info->content_hash = manifest.set_hash;
+      info->seed = manifest.seed;
+      info->scale = manifest.scale;
+      info->noise_pages = manifest.noise_pages;
+      info->workload_hash = manifest.workload_hash;
+      info->num_tables = manifest.num_tables;
+      info->num_queries = set->queries().size();
+      info->num_terms = set->stats().vocab().size();
+    }
+    service->SwapCorpus(std::move(set));
+    return service;
+  }
   WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusHandle> corpus,
                        CorpusHandle::Load(snapshot_path, info));
   service->SwapCorpus(std::move(corpus));
   return service;
 }
 
-void WwtService::SwapCorpus(std::shared_ptr<const CorpusHandle> corpus) {
+void WwtService::SwapCorpus(std::shared_ptr<const CorpusSet> corpus) {
   std::lock_guard<std::mutex> lock(corpus_mu_);
+  if (corpus != nullptr && corpus->num_shards() > 1 &&
+      shard_pool_ == nullptr) {
+    // First multi-shard set: start the fan-out pool. Created once and
+    // shared into every request that captures it, so a later swap back
+    // to one shard (or teardown) can never yank it from under a probe.
+    shard_pool_ = std::make_shared<ThreadPool>(
+        options_.shard_threads > 0 ? options_.shard_threads
+                                   : ThreadPool::DefaultNumThreads());
+  }
   corpus_ = std::move(corpus);
-  // The previous handle's refcount drops here; in-flight requests that
-  // captured it keep the old snapshot alive until they finish.
+  // The previous set's refcount drops here; in-flight requests that
+  // captured it keep the old shards alive until they finish.
 }
 
-std::shared_ptr<const CorpusHandle> WwtService::corpus() const {
+void WwtService::SwapCorpus(std::shared_ptr<const CorpusHandle> corpus) {
+  SwapCorpus(corpus != nullptr ? CorpusSet::FromHandle(std::move(corpus))
+                               : std::shared_ptr<const CorpusSet>());
+}
+
+std::shared_ptr<const CorpusSet> WwtService::corpus() const {
   std::lock_guard<std::mutex> lock(corpus_mu_);
   return corpus_;
 }
 
-std::future<QueryResponse> WwtService::Submit(QueryRequest request) {
-  return SubmitOn(corpus(), std::move(request));
+WwtService::Serving WwtService::CurrentServing() const {
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  return {corpus_, shard_pool_};
 }
 
-std::future<QueryResponse> WwtService::SubmitOn(
-    std::shared_ptr<const CorpusHandle> corpus, QueryRequest request) {
+std::future<QueryResponse> WwtService::Submit(QueryRequest request) {
+  return SubmitOn(CurrentServing(), std::move(request));
+}
+
+std::future<QueryResponse> WwtService::SubmitOn(Serving serving,
+                                                QueryRequest request) {
   // Error contract, in order: InvalidArgument, DeadlineExceeded,
   // FailedPrecondition (see api.h). An expired request never touches
   // serving state, so the deadline outranks the corpus check.
@@ -136,19 +334,21 @@ std::future<QueryResponse> WwtService::SubmitOn(
   if (DeadlinePassed(request)) {
     // Same cache-key stamping as a queue expiry (when a corpus exists):
     // where the deadline fired must not change how a response is keyed.
-    if (corpus != nullptr) StampCacheKey(&early, request, *corpus);
+    if (serving.corpus != nullptr) {
+      StampCacheKey(&early, request, *serving.corpus);
+    }
     early.status =
         Status::DeadlineExceeded("deadline already expired at submit");
     return Ready(std::move(early));
   }
-  if (corpus == nullptr) {
+  if (serving.corpus == nullptr) {
     early.status = Status::FailedPrecondition(
         "no corpus loaded; call SwapCorpus with a snapshot first");
     return Ready(std::move(early));
   }
 
   WallTimer queued;
-  return pool_.Submit([this, corpus = std::move(corpus),
+  return pool_.Submit([this, serving = std::move(serving),
                        request = std::move(request),
                        queued]() mutable -> QueryResponse {
     const double queue_seconds = queued.ElapsedSeconds();
@@ -156,32 +356,33 @@ std::future<QueryResponse> WwtService::SubmitOn(
     if (DeadlinePassed(request)) {
       response.tag = request.tag;
       response.queue_seconds = queue_seconds;
-      StampCacheKey(&response, request, *corpus);
+      StampCacheKey(&response, request, *serving.corpus);
       response.status = Status::DeadlineExceeded(
           "deadline expired after ", queue_seconds, " s in queue");
     } else {
       try {
-        response = ServeOn(*corpus, request, queue_seconds);
+        response = ServeOn(serving, request, queue_seconds);
       } catch (const std::exception& e) {
         response = QueryResponse{};
         response.tag = request.tag;
         response.queue_seconds = queue_seconds;
-        StampCacheKey(&response, request, *corpus);
+        StampCacheKey(&response, request, *serving.corpus);
         response.status =
             Status::Internal("query execution threw: ", e.what());
       }
     }
-    // Release the snapshot before the future resolves: once a caller
-    // sees the response, the request provably no longer pins the
-    // (possibly swapped-out) corpus handle.
-    corpus.reset();
+    // Release the set before the future resolves: once a caller sees
+    // the response, the request provably no longer pins the (possibly
+    // swapped-out) shards.
+    serving.corpus.reset();
+    serving.shard_pool.reset();
     return response;
   });
 }
 
 void WwtService::StampCacheKey(QueryResponse* response,
                                const QueryRequest& request,
-                               const CorpusHandle& corpus) const {
+                               const CorpusSet& corpus) const {
   response->corpus_hash = corpus.content_hash();
   response->fingerprint = RequestFingerprint(
       request,
@@ -189,14 +390,15 @@ void WwtService::StampCacheKey(QueryResponse* response,
       corpus.content_hash());
 }
 
-QueryResponse WwtService::ServeOn(const CorpusHandle& corpus,
+QueryResponse WwtService::ServeOn(const Serving& serving,
                                   const QueryRequest& request,
                                   double queue_seconds) const {
+  const CorpusSet& corpus = *serving.corpus;
   // Retrieval-only responses are never cached (diagnostic payload for
   // the eval harness, not an answer); with no cache every request just
   // executes.
   if (cache_ == nullptr || request.retrieval_only) {
-    return ExecuteOn(corpus, request, queue_seconds);
+    return ExecuteOn(serving, request, queue_seconds);
   }
   const EngineOptions& effective =
       request.options.has_value() ? *request.options : options_.engine;
@@ -218,14 +420,14 @@ QueryResponse WwtService::ServeOn(const CorpusHandle& corpus,
     }
     // The leader failed; compute for ourselves (uncached — if this
     // fails too, the caller sees its own error, not the leader's).
-    return ExecuteOn(corpus, request, queue_seconds, key);
+    return ExecuteOn(serving, request, queue_seconds, key);
   }
 
   // Leader: compute once for the cache and every coalesced follower.
   // Resolve must run on every exit path, or followers block forever.
   QueryResponse response;
   try {
-    response = ExecuteOn(corpus, request, queue_seconds, key);
+    response = ExecuteOn(serving, request, queue_seconds, key);
   } catch (...) {
     cache_->Resolve(key, nullptr);
     throw;  // Submit's worker wrapper turns this into Status::Internal
@@ -260,10 +462,11 @@ QueryResponse WwtService::FromCachePayload(const QueryResponse& payload,
   return response;
 }
 
-QueryResponse WwtService::ExecuteOn(const CorpusHandle& corpus,
+QueryResponse WwtService::ExecuteOn(const Serving& serving,
                                     const QueryRequest& request,
                                     double queue_seconds,
                                     uint64_t known_fingerprint) const {
+  const CorpusSet& corpus = *serving.corpus;
   QueryResponse response;
   response.tag = request.tag;
   response.queue_seconds = queue_seconds;
@@ -277,13 +480,15 @@ QueryResponse WwtService::ExecuteOn(const CorpusHandle& corpus,
   }
   if (options_.pipeline_hook) options_.pipeline_hook(response.fingerprint);
 
-  // Engines are pointer-sized and stateless; constructing one per
-  // request binds it to the snapshot the request captured, which is what
-  // makes SwapCorpus race-free.
+  // Engines are cheap to construct and stateless; building one per
+  // request binds it to the set the request captured, which is what
+  // makes SwapCorpus race-free. Per-shard probes fan out on the shard
+  // pool the same capture pinned.
   WallTimer execute_timer;
-  WwtEngine engine(&corpus.store(), &corpus.index(), effective);
+  WwtEngine engine(corpus.shard_refs(), &corpus.stats(), effective,
+                   serving.shard_pool.get());
   if (request.retrieval_only) {
-    response.query = Query::Parse(request.columns, corpus.index());
+    response.query = Query::Parse(request.columns, corpus.stats());
     response.retrieval = engine.Retrieve(response.query, &response.timing);
   } else {
     QueryExecution execution = engine.Execute(request.columns);
@@ -306,9 +511,9 @@ BatchResponse WwtService::RunBatch(std::vector<QueryRequest> requests,
   // Report the shard count actually used (never more than queries).
   window = static_cast<int>(std::min<size_t>(window, n));
 
-  // One snapshot for the whole batch: a SwapCorpus racing the batch
+  // One serving set for the whole batch: a SwapCorpus racing the batch
   // affects only later batches/submissions, never mixes corpora here.
-  std::shared_ptr<const CorpusHandle> snapshot = corpus();
+  Serving snapshot = CurrentServing();
 
   BatchResponse out;
   out.responses.resize(n);
@@ -358,13 +563,31 @@ QueryResponse WwtService::Run(QueryRequest request) {
   return Submit(std::move(request)).get();
 }
 
+ServiceStats WwtService::Stats() const {
+  ServiceStats stats;
+  Serving serving = CurrentServing();
+  if (serving.corpus != nullptr) {
+    stats.corpus_source = serving.corpus->source();
+    stats.corpus_hash = serving.corpus->content_hash();
+    stats.corpus_shards = serving.corpus->num_shards();
+    stats.corpus_tables = serving.corpus->num_tables();
+  }
+  stats.num_threads = pool_.num_threads();
+  stats.shard_threads = serving.shard_pool != nullptr
+                            ? serving.shard_pool->num_threads()
+                            : 0;
+  stats.cache_enabled = cache_ != nullptr;
+  stats.cache = cache_stats();
+  return stats;
+}
+
 ResponseCache::Stats WwtService::cache_stats() const {
   return cache_ != nullptr ? cache_->GetStats() : ResponseCache::Stats{};
 }
 
 size_t WwtService::PurgeStaleCacheEntries() {
   if (cache_ == nullptr) return 0;
-  std::shared_ptr<const CorpusHandle> current = corpus();
+  std::shared_ptr<const CorpusSet> current = corpus();
   // With no corpus loaded nothing can be served, so no entry is live.
   return cache_->PurgeStale(current != nullptr ? current->content_hash()
                                                : 0);

@@ -1,25 +1,34 @@
 // Copyright 2026 The WWT Authors
 //
 // WwtService: the serving facade. Owns a thread pool and the current
-// corpus as a shared immutable snapshot (CorpusHandle), answers
-// QueryRequests asynchronously — Submit() returns a std::future — and
-// supports hot-swapping the corpus (SwapCorpus) while batches are in
-// flight: every request captures the handle at submission, so in-flight
-// work finishes on the old snapshot and new submissions see the new one.
+// corpus as a shared immutable CorpusSet — 1..N shard snapshots served
+// as one atomically-swappable unit — answers QueryRequests
+// asynchronously (Submit() returns a std::future, internally
+// scatter-gathering the index probes over the shards), and supports
+// hot-swapping the whole set (SwapCorpus) while batches are in flight:
+// every request captures the set at submission, so in-flight work
+// finishes on the old snapshots and new submissions see the new ones.
 // This is the paper's structured *search service* framing (§2.1 serves
 // queries against a frozen index that is rebuilt and swapped offline),
-// and the substrate for the ROADMAP's response cache and sharding.
+// scaled the way the open-domain web-table serving line scales —
+// partition the table corpus, merge per-partition retrieval under
+// global statistics.
 //
-//   auto service = WwtService::FromSnapshot("corpus.wwtsnap").value();
+//   auto service = WwtService::FromSnapshot("corpus.wwtset").value();
 //   auto future = service->Submit(
 //       QueryRequest::Of({"name of explorers", "nationality"})
 //           .WithTimeout(0.5));
 //   QueryResponse response = future.get();
 //   if (response.ok()) { /* response.answer, response.fingerprint */ }
+//
+// FromSnapshot accepts either a plain `.wwtsnap` snapshot (served as a
+// 1-shard set, byte- and fingerprint-identical to the pre-sharding
+// service) or a `.wwtset` manifest written by `wwt_indexer --shards`.
 
 #ifndef WWT_WWT_SERVICE_H_
 #define WWT_WWT_SERVICE_H_
 
+#include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
@@ -37,6 +46,8 @@
 
 namespace wwt {
 
+class CorpusSet;
+
 /// One immutable, shareable corpus snapshot: store + index + vocab/idf
 /// (inside Corpus), plus the content hash identifying the artifact it
 /// came from. Handles are passed around as shared_ptr<const CorpusHandle>
@@ -53,7 +64,10 @@ class CorpusHandle {
                                                  std::string source = "");
 
   /// Borrows a caller-owned corpus, which must outlive every service
-  /// (and every in-flight request) holding the handle.
+  /// (and every in-flight request) holding the handle. Exactly like
+  /// Own, `content_hash` 0 means an unversioned corpus and is remapped
+  /// to a process-unique synthetic hash — two distinct borrowed corpora
+  /// can never collide on a fingerprint/cache key.
   static std::shared_ptr<const CorpusHandle> Borrow(const Corpus* corpus,
                                                     uint64_t content_hash = 0);
 
@@ -81,11 +95,97 @@ class CorpusHandle {
   std::string source_;
 };
 
+/// An immutable set of 1..N shard handles served as one corpus: the unit
+/// SwapCorpus installs and a request captures at submission. Shards
+/// cover disjoint (sorted ascending) table-id ranges; every shard's
+/// index carries the GLOBAL vocabulary/IDF computed before partitioning,
+/// which is what makes the scatter-gathered answers byte-identical to a
+/// single-index engine. content_hash() is the set-level hash — the
+/// corpus component of every fingerprint/cache key — and for a 1-shard
+/// set it equals the shard's own hash, so wrapping a plain snapshot
+/// changes nothing about fingerprints or cached entries.
+class CorpusSet {
+ public:
+  /// Wraps one handle as a 1-shard set (the plain-snapshot serving
+  /// path). Set hash == handle hash, set source == handle source.
+  static std::shared_ptr<const CorpusSet> FromHandle(
+      std::shared_ptr<const CorpusHandle> shard);
+
+  /// Builds a set over `shards` (non-empty, all non-null, disjoint store
+  /// id ranges — WWT_CHECKed; shards are sorted by first id). The set
+  /// hash is SetContentHash over the shard hashes in that order.
+  static std::shared_ptr<const CorpusSet> Of(
+      std::vector<std::shared_ptr<const CorpusHandle>> shards);
+
+  /// Loads every shard of a `.wwtset` manifest (paths resolved relative
+  /// to the manifest's directory). Each loaded shard's content hash must
+  /// match the manifest entry — a rebuilt or swapped shard file is a
+  /// clean Corruption error, never a silently mixed set. On success
+  /// `manifest` (when non-null) receives the parsed manifest.
+  static StatusOr<std::shared_ptr<const CorpusSet>> Load(
+      const std::string& manifest_path, SetManifest* manifest = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  const CorpusHandle& shard(size_t i) const { return *shards_[i]; }
+  const std::shared_ptr<const CorpusHandle>& shard_handle(size_t i) const {
+    return shards_[i];
+  }
+  /// The set-level content hash (for one shard, that shard's hash).
+  uint64_t content_hash() const { return content_hash_; }
+  /// The `.wwtset` path the set was loaded from, the wrapped handle's
+  /// source for FromHandle, "" for Of.
+  const std::string& source() const { return source_; }
+  /// Total tables across all shards.
+  uint64_t num_tables() const;
+
+  /// The corpus-wide statistics surface (global vocabulary/IDF; PMI^2
+  /// doc-set probes union over the shards). For a 1-shard set this is
+  /// the shard's TableIndex itself.
+  const CorpusStats& stats() const;
+  /// Borrowed store/index pairs in shard order — what a WwtEngine
+  /// serves from. Valid while the set lives.
+  const std::vector<CorpusShardRef>& shard_refs() const {
+    return shard_refs_;
+  }
+  /// The resolved workload frozen into the corpus (every shard carries
+  /// the full workload; shard 0's copy is returned).
+  const std::vector<ResolvedQuery>& queries() const;
+
+  ~CorpusSet();
+
+ private:
+  /// CorpusStats over >1 shards: global statistics from shard 0 (every
+  /// shard's copy is identical), conjunctive doc sets unioned across
+  /// shards — ranges are disjoint and ascending, so concatenation in
+  /// shard order is already sorted.
+  class ShardedStats;
+
+  CorpusSet() = default;
+
+  /// Shared core of Of/Load: validates, sorts and assembles the set.
+  static std::shared_ptr<CorpusSet> Build(
+      std::vector<std::shared_ptr<const CorpusHandle>> shards);
+
+  std::vector<std::shared_ptr<const CorpusHandle>> shards_;
+  std::vector<CorpusShardRef> shard_refs_;
+  uint64_t content_hash_ = 0;
+  std::string source_;
+  /// Null for a 1-shard set (stats() forwards to the shard's index).
+  std::unique_ptr<const ShardedStats> sharded_stats_;
+};
+
 struct ServiceOptions {
   /// Engine defaults for requests without a per-request override.
   EngineOptions engine;
   /// Worker threads; 0 = ThreadPool::DefaultNumThreads().
   int num_threads = 0;
+  /// Threads of the shard fan-out pool, which runs the per-shard index
+  /// probes of a multi-shard CorpusSet; 0 = DefaultNumThreads(). The
+  /// pool is created lazily on the first multi-shard SwapCorpus — a
+  /// service that only ever serves one shard never pays for it. It is a
+  /// pool of its own (not the request pool) so a request blocked on its
+  /// probes can never deadlock against other requests doing the same.
+  int shard_threads = 0;
   /// Fingerprint-keyed response cache; cache.capacity_bytes == 0 (the
   /// default) disables it. Because the corpus content hash is part of
   /// every key, SwapCorpus implicitly invalidates the whole cache —
@@ -99,9 +199,28 @@ struct ServiceOptions {
 };
 
 /// Rejects out-of-range ServiceOptions (engine fields via
-/// ValidateEngineOptions, negative num_threads, cache fields via
-/// ValidateResponseCacheOptions) with InvalidArgument.
+/// ValidateEngineOptions, negative num_threads/shard_threads, cache
+/// fields via ValidateResponseCacheOptions) with InvalidArgument.
 Status ValidateServiceOptions(const ServiceOptions& options);
+
+/// A live snapshot of what the service is serving with — the operator
+/// surface behind `wwt_serve`'s stats block.
+struct ServiceStats {
+  /// Source path of the serving set ("" for in-memory corpora), its
+  /// set-level hash, shard count and total tables; all zero/"" when no
+  /// corpus is loaded.
+  std::string corpus_source;
+  uint64_t corpus_hash = 0;
+  size_t corpus_shards = 0;
+  uint64_t corpus_tables = 0;
+  /// Request pool width, and the shard fan-out pool's (0 until a
+  /// multi-shard set first started it).
+  int num_threads = 0;
+  int shard_threads = 0;
+  bool cache_enabled = false;
+  /// All-zero when the cache is disabled.
+  ResponseCache::Stats cache;
+};
 
 class WwtService {
  public:
@@ -111,21 +230,33 @@ class WwtService {
   static StatusOr<std::unique_ptr<WwtService>> Create(
       ServiceOptions options = {});
 
-  /// Create + CorpusHandle::Load + SwapCorpus in one step.
+  /// Create + load + SwapCorpus in one step. `snapshot_path` may be a
+  /// plain `.wwtsnap` snapshot (served as a 1-shard set) or a `.wwtset`
+  /// manifest (sniffed by magic, not extension). For a manifest, `info`
+  /// is synthesized from it: content_hash = the set hash, num_tables =
+  /// the total, num_terms = the global vocabulary.
   static StatusOr<std::unique_ptr<WwtService>> FromSnapshot(
       const std::string& snapshot_path, ServiceOptions options = {},
       SnapshotInfo* info = nullptr);
 
   ~WwtService();
 
-  /// Atomically installs `corpus` as the serving snapshot (nullptr
-  /// unloads). In-flight requests keep the handle they captured at
-  /// submission; subsequent submissions see `corpus`. Never blocks on
-  /// in-flight work.
-  void SwapCorpus(std::shared_ptr<const CorpusHandle> corpus);
+  /// Atomically installs `corpus` as the serving set (nullptr unloads) —
+  /// all shards swap as one unit, there is never a mixed set. In-flight
+  /// requests keep the set they captured at submission; subsequent
+  /// submissions see `corpus`. Never blocks on in-flight work. The
+  /// response cache invalidates implicitly: the set hash is part of
+  /// every key (PurgeStaleCacheEntries reclaims the dead bytes eagerly).
+  void SwapCorpus(std::shared_ptr<const CorpusSet> corpus);
 
-  /// The current serving snapshot (nullptr when none is loaded).
-  std::shared_ptr<const CorpusHandle> corpus() const;
+  /// Single-snapshot convenience: wraps `corpus` as a 1-shard set.
+  void SwapCorpus(std::shared_ptr<const CorpusHandle> corpus);
+  void SwapCorpus(std::nullptr_t) {
+    SwapCorpus(std::shared_ptr<const CorpusSet>());
+  }
+
+  /// The current serving set (nullptr when none is loaded).
+  std::shared_ptr<const CorpusSet> corpus() const;
 
   /// The async primitive: validates, stamps the deadline, captures the
   /// current corpus handle, and enqueues. The future always yields a
@@ -151,6 +282,10 @@ class WwtService {
   int num_threads() const { return pool_.num_threads(); }
   const EngineOptions& engine_options() const { return options_.engine; }
 
+  /// One consistent picture of the serving state: corpus source/hash/
+  /// shard count, pool widths, cache counters.
+  ServiceStats Stats() const;
+
   /// True when ServiceOptions::cache enabled a response cache.
   bool cache_enabled() const { return cache_ != nullptr; }
   /// Cache counters + occupancy; all-zero when the cache is disabled.
@@ -165,25 +300,36 @@ class WwtService {
  private:
   explicit WwtService(ServiceOptions options);
 
-  /// Submit bound to an explicit snapshot (RunBatch pins one handle for
-  /// the whole batch).
-  std::future<QueryResponse> SubmitOn(
-      std::shared_ptr<const CorpusHandle> corpus, QueryRequest request);
+  /// What a request captures atomically at submission: the serving set
+  /// and the fan-out pool its probes run on (both shared, so a swap or
+  /// service teardown mid-request can never pull them out from under a
+  /// worker).
+  struct Serving {
+    std::shared_ptr<const CorpusSet> corpus;
+    std::shared_ptr<ThreadPool> shard_pool;
+  };
+  Serving CurrentServing() const;
+
+  /// Submit bound to an explicit serving set (RunBatch pins one for the
+  /// whole batch).
+  std::future<QueryResponse> SubmitOn(Serving serving,
+                                      QueryRequest request);
 
   /// The cache-aware serving path, executed on a pool worker: LRU hit,
   /// coalesced join onto an in-flight leader, or a led ExecuteOn whose
   /// result is published to the cache and every follower. Falls through
   /// to plain ExecuteOn when the cache is disabled or the request is
   /// never-cacheable (retrieval_only).
-  QueryResponse ServeOn(const CorpusHandle& corpus,
+  QueryResponse ServeOn(const Serving& serving,
                         const QueryRequest& request,
                         double queue_seconds) const;
 
-  /// Runs the pipeline on `corpus` (non-null) for an already-validated
-  /// request. Executed on a pool worker. `known_fingerprint` lets the
-  /// cache path reuse the key it already computed (0 — never a real
-  /// fingerprint, see FinalizeFingerprint — means compute it here).
-  QueryResponse ExecuteOn(const CorpusHandle& corpus,
+  /// Runs the pipeline on `serving.corpus` (non-null) for an
+  /// already-validated request, scatter-gathering over its shards.
+  /// Executed on a pool worker. `known_fingerprint` lets the cache path
+  /// reuse the key it already computed (0 — never a real fingerprint,
+  /// see FinalizeFingerprint — means compute it here).
+  QueryResponse ExecuteOn(const Serving& serving,
                           const QueryRequest& request,
                           double queue_seconds,
                           uint64_t known_fingerprint = 0) const;
@@ -202,11 +348,15 @@ class WwtService {
   /// validated request can take (served, expired anywhere, threw), so
   /// cache keying never depends on where a failure occurred.
   void StampCacheKey(QueryResponse* response, const QueryRequest& request,
-                     const CorpusHandle& corpus) const;
+                     const CorpusSet& corpus) const;
 
   ServiceOptions options_;
   mutable std::mutex corpus_mu_;
-  std::shared_ptr<const CorpusHandle> corpus_;
+  std::shared_ptr<const CorpusSet> corpus_;
+  /// The shard fan-out pool; created under corpus_mu_ by the first
+  /// multi-shard SwapCorpus, then never replaced. Requests capture it
+  /// together with the set, so it outlives every probe that uses it.
+  std::shared_ptr<ThreadPool> shard_pool_;
   /// Internally synchronized; null when options_.cache disables it.
   std::unique_ptr<ResponseCache> cache_;
   /// Last member: torn down first, so no worker outlives the fields the

@@ -68,6 +68,37 @@ TEST(ValidateServiceOptionsTest, RejectsBadEngineAndThreads) {
   Status status = ValidateServiceOptions(options);
   EXPECT_TRUE(status.IsInvalidArgument());
   EXPECT_NE(status.message().find("num_threads"), std::string::npos);
+
+  options = ServiceOptions{};
+  options.shard_threads = -1;
+  status = ValidateServiceOptions(options);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("shard_threads"), std::string::npos);
+}
+
+// Regression for the Borrow hash hole: a borrowed handle with hash 0
+// must get the same process-unique synthetic remap as Own, so two
+// distinct borrowed corpora (or two borrows of the same corpus) can
+// never collide on a fingerprint/cache key with each other or with the
+// 0 sentinel.
+TEST(CorpusHandleTest, BorrowRemapsZeroHashLikeOwn) {
+  Corpus corpus;  // empty is fine: only the hash plumbing is under test
+  auto borrowed_one = CorpusHandle::Borrow(&corpus);
+  auto borrowed_two = CorpusHandle::Borrow(&corpus);
+  EXPECT_NE(borrowed_one->content_hash(), 0u);
+  EXPECT_NE(borrowed_two->content_hash(), 0u);
+  EXPECT_NE(borrowed_one->content_hash(), borrowed_two->content_hash());
+
+  // An explicit hash is preserved verbatim, exactly like Own.
+  EXPECT_EQ(CorpusHandle::Borrow(&corpus, 0xBEEF)->content_hash(), 0xBEEFu);
+
+  // The synthetic hashes flow into distinct request fingerprints: the
+  // cache can never serve one borrowed corpus's answer for the other's.
+  const QueryRequest request = QueryRequest::Of({"country"});
+  EXPECT_NE(RequestFingerprint(request, EngineOptions{},
+                               borrowed_one->content_hash()),
+            RequestFingerprint(request, EngineOptions{},
+                               borrowed_two->content_hash()));
 }
 
 TEST(WwtServiceTest, CreateRejectsInvalidOptions) {

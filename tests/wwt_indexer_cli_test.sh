@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# CTest smoke for the wwt_indexer CLI (labels: unit). Drives the real
+# binary end to end: build a tiny corpus, revalidate it without --force,
+# --inspect both artifact kinds, rebuild with --force, write a sharded
+# set, and assert the error contract — an unwritable output path exits
+# non-zero with a one-line "wwt_indexer: ..." diagnostic, never a crash.
+set -u
+
+INDEXER="${1:?usage: wwt_indexer_cli_test.sh /path/to/wwt_indexer}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "wwt_indexer_cli_test: FAIL: $1"; exit 1; }
+
+# The smallest corpus the generator produces quickly; all invocations
+# share the parameters so revalidation is exercised for real.
+ARGS=(--scale 0.05 --seed 5 --noise-pages 10)
+
+# Build.
+"$INDEXER" --out "$TMP/tiny.wwtsnap" "${ARGS[@]}" >"$TMP/build.txt" \
+  || fail "initial build exited non-zero"
+grep -q "built snapshot" "$TMP/build.txt" || fail "no 'built snapshot' line"
+[ -s "$TMP/tiny.wwtsnap" ] || fail "no artifact written"
+
+# Re-run without --force: the existing artifact is kept (the CI cache
+# path).
+"$INDEXER" --out "$TMP/tiny.wwtsnap" "${ARGS[@]}" >"$TMP/revalidate.txt" \
+  || fail "revalidation exited non-zero"
+grep -q "validated existing" "$TMP/revalidate.txt" \
+  || fail "matching artifact was rebuilt instead of validated"
+
+# --inspect round-trips the header and META facts.
+"$INDEXER" --inspect "$TMP/tiny.wwtsnap" >"$TMP/inspect.txt" \
+  || fail "--inspect exited non-zero"
+grep -q "content hash" "$TMP/inspect.txt" || fail "inspect shows no hash"
+grep -q "tables" "$TMP/inspect.txt" || fail "inspect shows no table count"
+
+# --force rebuilds even though the artifact matches.
+"$INDEXER" --out "$TMP/tiny.wwtsnap" "${ARGS[@]}" --force \
+  >"$TMP/force.txt" || fail "--force exited non-zero"
+grep -q "built snapshot" "$TMP/force.txt" || fail "--force did not rebuild"
+
+# Sharded set: 3 shard files + a manifest, inspectable.
+"$INDEXER" --out "$TMP/tiny.wwtset" "${ARGS[@]}" --shards 3 \
+  >"$TMP/shards.txt" || fail "sharded build exited non-zero"
+grep -Eq "shards +3" "$TMP/shards.txt" || fail "sharded build not 3-way"
+for s in 0 1 2; do
+  [ -s "$TMP/tiny.shard-$s-of-3.wwtsnap" ] || fail "shard $s missing"
+done
+"$INDEXER" --inspect "$TMP/tiny.wwtset" >"$TMP/setinspect.txt" \
+  || fail "--inspect on manifest exited non-zero"
+grep -q "corpus set" "$TMP/setinspect.txt" || fail "manifest inspect wrong"
+
+# Unwritable output path (the parent "directory" is a regular file, so
+# this fails for root too): non-zero exit + a one-line diagnostic.
+: >"$TMP/blocker"
+if "$INDEXER" --out "$TMP/blocker/sub/x.wwtsnap" "${ARGS[@]}" \
+    >/dev/null 2>"$TMP/err.txt"; then
+  fail "unwritable output path did not fail"
+fi
+[ "$(grep -c '^wwt_indexer: ' "$TMP/err.txt")" -eq 1 ] \
+  || fail "expected exactly one 'wwt_indexer: ...' error line"
+if "$INDEXER" --out "$TMP/blocker/sub/x.wwtset" "${ARGS[@]}" --shards 2 \
+    >/dev/null 2>"$TMP/err2.txt"; then
+  fail "unwritable sharded output path did not fail"
+fi
+[ "$(grep -c '^wwt_indexer: ' "$TMP/err2.txt")" -eq 1 ] \
+  || fail "expected exactly one 'wwt_indexer: ...' error line (sharded)"
+
+echo "wwt_indexer_cli_test: PASS"

@@ -209,7 +209,7 @@ TEST_F(WwtServiceCorpusTest, SwapCorpusRacingInFlightBatchIsByteIdentical) {
   }
 
   auto service = ServiceOver(&s.corpus_a, kHashA, 2);
-  std::weak_ptr<const CorpusHandle> weak_a = service->corpus();
+  std::weak_ptr<const CorpusSet> weak_a = service->corpus();
   ASSERT_FALSE(weak_a.expired());
 
   // Launch the batch, then swap to corpus B while it is in flight.

@@ -1,0 +1,318 @@
+// Copyright 2026 The WWT Authors
+//
+// The sharded-corpus contract. PartitionCorpus must split a corpus into
+// contiguous, count-balanced shards that each carry the GLOBAL
+// vocabulary/IDF, and the scatter-gather engine behind WwtService must
+// serve every workload query byte-identically (ResultDigest) at
+// N ∈ {1, 2, 4} shards to the unsharded reference — global IDF makes
+// per-document scores shard-independent, so the merged top-k equals the
+// single-index top-k. The `.wwtset` manifest must round-trip through
+// SaveShardedSnapshot / CorpusSet::Load / WwtService::FromSnapshot with
+// clean errors on corruption, missing shard files, and shard/manifest
+// hash mismatches, and the response cache on a sharded corpus must stay
+// byte-equal to cold recomputation. Runs in the CI unit tier (labels:
+// unit, shard); the SwapCorpus race lives in wwt_shard_race_test.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "index/snapshot.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+class WwtShardTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Corpus corpus;
+    std::vector<std::vector<std::string>> queries;
+    std::vector<std::string> serial_digests;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions options;
+      options.seed = 7;
+      options.scale = 0.15;
+      s->corpus = GenerateCorpus(options);
+      for (const ResolvedQuery& rq : s->corpus.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      // The unsharded reference every sharded configuration must match.
+      WwtEngine engine(&s->corpus.store, s->corpus.index.get(), {});
+      for (const auto& q : s->queries) {
+        s->serial_digests.push_back(ResultDigest(engine.Execute(q)));
+      }
+      return s;
+    }();
+    return *shared;
+  }
+
+  /// Partitions the shared corpus and owns the pieces as a CorpusSet,
+  /// with deterministic per-shard hashes so set hashes are comparable.
+  static std::shared_ptr<const CorpusSet> SetOverShards(int num_shards) {
+    std::vector<Corpus> parts =
+        PartitionCorpus(GetShared().corpus, num_shards);
+    std::vector<std::shared_ptr<const CorpusHandle>> handles;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      handles.push_back(
+          CorpusHandle::Own(std::move(parts[s]), 0x1000 + s));
+    }
+    return CorpusSet::Of(std::move(handles));
+  }
+
+  static std::string TempPath(const std::string& name) {
+    const char* dir = std::getenv("TMPDIR");
+    return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+  }
+};
+
+TEST_F(WwtShardTest, PartitionIsBalancedContiguousAndGloballyStatted) {
+  const Shared& s = GetShared();
+  const size_t total = s.corpus.store.size();
+  std::vector<Corpus> parts = PartitionCorpus(s.corpus, 4);
+  ASSERT_EQ(parts.size(), 4u);
+
+  TableId next = 0;
+  for (const Corpus& part : parts) {
+    // Contiguous global ids, back to back.
+    EXPECT_EQ(part.store.first_id(), next);
+    next = part.store.end_id();
+    // Count-balanced to within one table.
+    EXPECT_LE(part.store.size(), total / 4 + 1);
+    EXPECT_GE(part.store.size(), total / 4);
+    // Every shard carries the GLOBAL statistics: same vocabulary, same
+    // IDF document count, while indexing only its own tables.
+    EXPECT_EQ(part.index->vocab().size(), s.corpus.index->vocab().size());
+    EXPECT_EQ(part.index->idf().num_docs(),
+              s.corpus.index->idf().num_docs());
+    EXPECT_EQ(part.index->num_docs(), part.store.size());
+    // Stored records are the originals, under their original ids.
+    StatusOr<WebTable> table = part.store.Get(part.store.first_id());
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(table->id, part.store.first_id());
+  }
+  EXPECT_EQ(next, static_cast<TableId>(total));
+
+  // Out-of-range ids are clean NotFound, not crashes.
+  EXPECT_TRUE(parts[1].store.Get(0).status().IsNotFound());
+}
+
+TEST_F(WwtShardTest, ShardedServiceIsByteIdenticalAtN124) {
+  const Shared& s = GetShared();
+  ASSERT_FALSE(s.queries.empty());
+  for (int n : {1, 2, 4}) {
+    std::shared_ptr<const CorpusSet> set = SetOverShards(n);
+    EXPECT_EQ(set->num_shards(), static_cast<size_t>(n));
+    EXPECT_EQ(set->num_tables(), s.corpus.store.size());
+
+    ServiceOptions options;
+    options.num_threads = 2;
+    StatusOr<std::unique_ptr<WwtService>> service =
+        WwtService::Create(options);
+    ASSERT_TRUE(service.ok());
+    (*service)->SwapCorpus(set);
+
+    BatchResponse batch = (*service)->RunBatch(s.queries);
+    ASSERT_EQ(batch.responses.size(), s.queries.size());
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      ASSERT_TRUE(batch.responses[i].ok()) << batch.responses[i].status;
+      EXPECT_EQ(ResultDigest(batch.responses[i]), s.serial_digests[i])
+          << "query #" << i << " diverged at " << n << " shards";
+      // Every response is keyed by the SET hash, not any one shard's.
+      EXPECT_EQ(batch.responses[i].corpus_hash, set->content_hash());
+    }
+
+    ServiceStats stats = (*service)->Stats();
+    EXPECT_EQ(stats.corpus_shards, static_cast<size_t>(n));
+    EXPECT_EQ(stats.corpus_tables, s.corpus.store.size());
+    EXPECT_EQ(stats.corpus_hash, set->content_hash());
+    // The fan-out pool only exists once a multi-shard set was served.
+    if (n == 1) {
+      EXPECT_EQ(stats.shard_threads, 0);
+    } else {
+      EXPECT_GT(stats.shard_threads, 0);
+    }
+  }
+}
+
+TEST_F(WwtShardTest, ShardedEngineWithoutPoolMatchesToo) {
+  // The serial scatter path (no probe pool) must merge identically.
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(3);
+  WwtEngine engine(set->shard_refs(), &set->stats(), {},
+                   /*probe_pool=*/nullptr);
+  ASSERT_EQ(engine.num_shards(), 3u);
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    EXPECT_EQ(ResultDigest(engine.Execute(s.queries[i])),
+              s.serial_digests[i])
+        << "query #" << i;
+  }
+}
+
+TEST_F(WwtShardTest, SetHashIsShardHashForOneShardAndFoldsForMore) {
+  std::shared_ptr<const CorpusSet> one = SetOverShards(1);
+  EXPECT_EQ(one->content_hash(), one->shard(0).content_hash());
+
+  std::shared_ptr<const CorpusSet> two = SetOverShards(2);
+  EXPECT_EQ(two->content_hash(),
+            SetContentHash({two->shard(0).content_hash(),
+                            two->shard(1).content_hash()}));
+  EXPECT_NE(two->content_hash(), one->content_hash());
+
+  // FromHandle preserves the handle's hash and source — wrapping a
+  // plain snapshot changes no fingerprint or cache key.
+  auto handle = CorpusHandle::Borrow(&GetShared().corpus, 0xFEED);
+  auto wrapped = CorpusSet::FromHandle(handle);
+  EXPECT_EQ(wrapped->content_hash(), 0xFEEDu);
+  EXPECT_EQ(wrapped->num_shards(), 1u);
+}
+
+TEST_F(WwtShardTest, ManifestRoundTripsAndServesByteIdentically) {
+  const Shared& s = GetShared();
+  CorpusOptions options;
+  options.seed = 7;
+  options.scale = 0.15;
+  const std::string manifest_path = TempPath("wwt_shard_test.wwtset");
+
+  SetManifest written;
+  ASSERT_TRUE(SaveShardedSnapshot(s.corpus, options, manifest_path, 4,
+                                  &written)
+                  .ok());
+  ASSERT_EQ(written.shards.size(), 4u);
+  EXPECT_EQ(written.num_tables, s.corpus.store.size());
+  EXPECT_TRUE(IsSetManifest(manifest_path));
+
+  StatusOr<SetManifest> reread = LoadSetManifest(manifest_path);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  EXPECT_EQ(reread->set_hash, written.set_hash);
+  EXPECT_EQ(reread->seed, options.seed);
+  EXPECT_EQ(reread->shards.size(), 4u);
+
+  SetManifest loaded_manifest;
+  StatusOr<std::shared_ptr<const CorpusSet>> set =
+      CorpusSet::Load(manifest_path, &loaded_manifest);
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ((*set)->content_hash(), written.set_hash);
+  EXPECT_EQ((*set)->num_shards(), 4u);
+  EXPECT_EQ((*set)->source(), manifest_path);
+
+  // FromSnapshot sniffs the manifest magic and serves the whole set;
+  // answers are byte-identical to the unsharded reference.
+  SnapshotInfo info;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::FromSnapshot(manifest_path, {}, &info);
+  ASSERT_TRUE(service.ok()) << service.status();
+  EXPECT_EQ(info.content_hash, written.set_hash);
+  EXPECT_EQ(info.num_tables, s.corpus.store.size());
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    QueryResponse r = (*service)->Run(QueryRequest::Of(s.queries[i]));
+    ASSERT_TRUE(r.ok()) << r.status;
+    EXPECT_EQ(ResultDigest(r), s.serial_digests[i]) << "query #" << i;
+    EXPECT_EQ(r.corpus_hash, written.set_hash);
+  }
+}
+
+TEST_F(WwtShardTest, ManifestErrorsAreCleanStatuses) {
+  const Shared& s = GetShared();
+  CorpusOptions options;
+  options.seed = 7;
+  options.scale = 0.15;
+  const std::string manifest_path = TempPath("wwt_shard_err.wwtset");
+  ASSERT_TRUE(
+      SaveShardedSnapshot(s.corpus, options, manifest_path, 2, nullptr)
+          .ok());
+
+  // A plain snapshot is not a manifest (and vice versa).
+  EXPECT_FALSE(IsSetManifest(TempPath("does-not-exist.wwtset")));
+  StatusOr<SetManifest> not_manifest =
+      LoadSetManifest(TempPath("wwt_shard_err.shard-0-of-2.wwtsnap"));
+  EXPECT_TRUE(not_manifest.status().IsCorruption());
+
+  // Truncated manifest: corruption, never a crash.
+  {
+    FILE* in = std::fopen(manifest_path.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    char buf[64];
+    const size_t got = std::fread(buf, 1, sizeof(buf), in);
+    std::fclose(in);
+    const std::string truncated_path = TempPath("wwt_shard_trunc.wwtset");
+    FILE* out = std::fopen(truncated_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(buf, 1, got, out);
+    std::fclose(out);
+    EXPECT_TRUE(LoadSetManifest(truncated_path).status().IsCorruption());
+  }
+
+  // Missing shard file: the set refuses to load.
+  {
+    const std::string orphan = TempPath("wwt_shard_orphan.wwtset");
+    ASSERT_TRUE(
+        SaveShardedSnapshot(s.corpus, options, orphan, 2, nullptr).ok());
+    std::remove(TempPath("wwt_shard_orphan.shard-1-of-2.wwtsnap").c_str());
+    StatusOr<std::shared_ptr<const CorpusSet>> set = CorpusSet::Load(orphan);
+    EXPECT_FALSE(set.ok());
+  }
+
+  // A shard rebuilt behind the manifest's back (different contents, same
+  // path): hash mismatch, clean Corruption.
+  {
+    const std::string swapped = TempPath("wwt_shard_swap.wwtset");
+    ASSERT_TRUE(
+        SaveShardedSnapshot(s.corpus, options, swapped, 2, nullptr).ok());
+    // Overwrite shard 0 with a 1-shard save of the same corpus: a valid
+    // snapshot, but not the one the manifest describes.
+    ASSERT_TRUE(SaveSnapshot(
+                    s.corpus, options,
+                    TempPath("wwt_shard_swap.shard-0-of-2.wwtsnap"), nullptr)
+                    .ok());
+    StatusOr<std::shared_ptr<const CorpusSet>> set =
+        CorpusSet::Load(swapped);
+    ASSERT_FALSE(set.ok());
+    EXPECT_TRUE(set.status().IsCorruption());
+  }
+}
+
+TEST_F(WwtShardTest, ResponseCacheOnShardedCorpusStaysByteEqual) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(4);
+
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.cache.capacity_bytes = 64ull << 20;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapCorpus(set);
+
+  BatchResponse cold = (*service)->RunBatch(s.queries);
+  BatchResponse warm = (*service)->RunBatch(s.queries);
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    ASSERT_TRUE(cold.responses[i].ok());
+    ASSERT_TRUE(warm.responses[i].ok());
+    EXPECT_FALSE(cold.responses[i].served_from_cache);
+    EXPECT_TRUE(warm.responses[i].served_from_cache) << "query #" << i;
+    EXPECT_EQ(ResultDigest(cold.responses[i]), s.serial_digests[i]);
+    EXPECT_EQ(ResultDigest(warm.responses[i]), s.serial_digests[i])
+        << "cache hit diverged from cold recomputation at query #" << i;
+  }
+
+  // Swapping to a differently-sharded set of the same corpus changes the
+  // set hash, so every old entry is unreachable and purgeable.
+  (*service)->SwapCorpus(SetOverShards(2));
+  EXPECT_GT((*service)->PurgeStaleCacheEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace wwt

@@ -2,19 +2,27 @@
 //
 // wwt_indexer: the offline half of the indexer/server split. Generates
 // the synthetic corpus, builds the TableStore + TableIndex, and writes
-// one versioned `.wwtsnap` snapshot — the frozen artifact wwt_serve and
-// the benches cold-start from (the paper builds its Lucene index over
-// 25M tables once and serves it frozen, §2.1).
+// either one versioned `.wwtsnap` snapshot or — with `--shards N` — N
+// deterministic shard snapshots plus a `.wwtset` manifest: contiguous,
+// count-balanced table-id ranges, every shard carrying the GLOBAL
+// vocabulary/IDF computed before partitioning, so wwt_serve's
+// scatter-gathered answers are byte-identical to the unsharded engine
+// (the paper builds its Lucene index over 25M tables once and serves it
+// frozen, §2.1; the web-table serving line scales that by partitioning
+// the corpus and merging per-partition retrieval).
 //
 // Usage:
 //   wwt_indexer --out PATH [--scale S] [--seed N] [--noise-pages N]
-//               [--force]
+//               [--shards N] [--force]
 //   wwt_indexer --inspect PATH
 //
-// Without --force an existing snapshot that already matches the
-// requested parameters is kept as-is (the CI cache path). Exit code 0 on
-// success.
+// Without --force an existing artifact (snapshot, or manifest + every
+// shard) that already matches the requested parameters is kept as-is
+// (the CI cache path). --inspect understands both `.wwtsnap` and
+// `.wwtset` files. Exit code 0 on success; every failure is one
+// "wwt_indexer: ..." line on stderr and a non-zero exit.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,13 +52,69 @@ void PrintInfo(const wwt::SnapshotInfo& info, const std::string& path) {
               static_cast<unsigned long long>(info.num_terms));
 }
 
+void PrintManifest(const wwt::SetManifest& m, const std::string& path) {
+  std::printf("corpus set      %s\n", path.c_str());
+  std::printf("format version  %u\n", m.format_version);
+  std::printf("set hash        %016llx\n",
+              static_cast<unsigned long long>(m.set_hash));
+  std::printf("seed            %llu\n",
+              static_cast<unsigned long long>(m.seed));
+  std::printf("scale           %.3f\n", m.scale);
+  std::printf("noise pages     %d\n", m.noise_pages);
+  std::printf("tables          %llu\n",
+              static_cast<unsigned long long>(m.num_tables));
+  std::printf("shards          %zu\n", m.shards.size());
+  for (size_t s = 0; s < m.shards.size(); ++s) {
+    const wwt::ShardManifestEntry& e = m.shards[s];
+    std::printf("  [%zu] %s  ids [%llu, %llu)  hash %016llx\n", s,
+                e.file.c_str(),
+                static_cast<unsigned long long>(e.first_table_id),
+                static_cast<unsigned long long>(e.first_table_id +
+                                                e.num_tables),
+                static_cast<unsigned long long>(e.content_hash));
+  }
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --out PATH [--scale S] [--seed N]\n"
-               "          [--noise-pages N] [--force]\n"
+               "          [--noise-pages N] [--shards N] [--force]\n"
                "       %s --inspect PATH\n",
                argv0, argv0);
   return 2;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "wwt_indexer: %s\n", message.c_str());
+  return 1;
+}
+
+/// True when `manifest` (loaded from `path`) matches the requested
+/// parameters AND every shard file it names still carries the recorded
+/// content hash — the sharded equivalent of BuildOrLoadCorpus's
+/// keep-if-fresh check.
+bool ShardedSetIsFresh(const wwt::SetManifest& manifest,
+                       const std::string& path,
+                       const wwt::CorpusOptions& options, int shards) {
+  // PartitionCorpus clamps the shard count to the table count, so a
+  // matching set may legitimately carry fewer shards than requested.
+  const uint64_t expected_shards =
+      std::min<uint64_t>(static_cast<uint64_t>(shards),
+                         std::max<uint64_t>(manifest.num_tables, 1));
+  if (manifest.seed != options.seed || manifest.scale != options.scale ||
+      manifest.noise_pages != options.noise_pages ||
+      manifest.workload_hash != wwt::WorkloadFingerprint(options) ||
+      manifest.shards.size() != expected_shards) {
+    return false;
+  }
+  for (const wwt::ShardManifestEntry& entry : manifest.shards) {
+    wwt::StatusOr<wwt::SnapshotInfo> info =
+        wwt::InspectSnapshot(wwt::ResolveShardPath(path, entry.file));
+    if (!info.ok() || info->content_hash != entry.content_hash) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -58,6 +122,8 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string out, inspect;
   wwt::CorpusOptions options;
+  int shards = 1;
+  bool shards_set = false;
   bool force = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +151,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.noise_pages = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      shards = std::atoi(v);
+      if (shards < 1) {
+        return Fail(std::string("--shards wants a positive count, got '") +
+                    v + "'");
+      }
+      shards_set = true;
     } else if (arg == "--force") {
       force = true;
     } else {
@@ -93,16 +168,46 @@ int main(int argc, char** argv) {
   }
 
   if (!inspect.empty()) {
-    wwt::StatusOr<wwt::SnapshotInfo> info = wwt::InspectSnapshot(inspect);
-    if (!info.ok()) {
-      std::fprintf(stderr, "wwt_indexer: %s\n",
-                   info.status().ToString().c_str());
-      return 1;
+    if (wwt::IsSetManifest(inspect)) {
+      wwt::StatusOr<wwt::SetManifest> manifest =
+          wwt::LoadSetManifest(inspect);
+      if (!manifest.ok()) return Fail(manifest.status().ToString());
+      PrintManifest(*manifest, inspect);
+      return 0;
     }
+    wwt::StatusOr<wwt::SnapshotInfo> info = wwt::InspectSnapshot(inspect);
+    if (!info.ok()) return Fail(info.status().ToString());
     PrintInfo(*info, inspect);
     return 0;
   }
   if (out.empty()) return Usage(argv[0]);
+
+  // ---- Sharded artifact: N shard snapshots + a .wwtset manifest. Any
+  // explicit --shards writes a manifest — including N=1, whose set hash
+  // equals the shard's snapshot hash, so scripting `--shards "$N"` is
+  // consistent at every N.
+  if (shards_set) {
+    wwt::WallTimer timer;
+    if (!force) {
+      wwt::StatusOr<wwt::SetManifest> existing =
+          wwt::LoadSetManifest(out);
+      if (existing.ok() &&
+          ShardedSetIsFresh(*existing, out, options, shards)) {
+        std::printf("validated existing sharded set in %.2f s\n",
+                    timer.ElapsedSeconds());
+        PrintManifest(*existing, out);
+        return 0;
+      }
+    }
+    wwt::Corpus corpus = wwt::GenerateCorpus(options);
+    wwt::SetManifest manifest;
+    wwt::Status saved =
+        wwt::SaveShardedSnapshot(corpus, options, out, shards, &manifest);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::printf("built sharded set in %.2f s\n", timer.ElapsedSeconds());
+    PrintManifest(manifest, out);
+    return 0;
+  }
 
   if (force) {
     // Ignore any existing file: generate and overwrite.

@@ -2,7 +2,10 @@
 //
 // wwt_serve: the online half of the indexer/server split, now fronted by
 // WwtService. Cold-starts from a `.wwtsnap` snapshot (memory-mapped when
-// the platform allows), then serves column-keyword queries three ways:
+// the platform allows) or a `.wwtset` sharded-corpus manifest written by
+// `wwt_indexer --shards` (every shard loaded and served as one
+// atomically-swappable set, probes scatter-gathered per shard), then
+// serves column-keyword queries three ways:
 //
 //   * batch over the snapshot's stored workload (default, --batch-mult)
 //   * batch over a --queries file (one query per line, columns '|')
@@ -286,14 +289,16 @@ int main(int argc, char** argv) {
       wwt::WwtService::FromSnapshot(snapshot_path, service_options, &info);
   if (!service.ok()) return Fail(service.status().ToString());
   const double load_seconds = load_timer.ElapsedSeconds();
+  const wwt::ServiceStats boot_stats = (*service)->Stats();
   if (!json) {
     // In --stdin mode stdout carries exactly one response line per
     // query (the pipeline protocol), so the banner goes to stderr.
     std::fprintf(
         use_stdin ? stderr : stdout,
-        "loaded %llu tables, %llu terms from %s in %.3f s "
-        "(format v%u, hash %016llx)\n",
+        "loaded %llu tables in %zu shard(s), %llu terms from %s in "
+        "%.3f s (format v%u, hash %016llx)\n",
         static_cast<unsigned long long>(info.num_tables),
+        boot_stats.corpus_shards,
         static_cast<unsigned long long>(info.num_terms),
         snapshot_path.c_str(), load_seconds, info.format_version,
         static_cast<unsigned long long>(info.content_hash));
@@ -407,9 +412,10 @@ int main(int argc, char** argv) {
                   "' (expected one query per line, columns '|')");
     }
   } else {
-    const wwt::Corpus& corpus = (*service)->corpus()->corpus();
+    const std::vector<wwt::ResolvedQuery>& workload =
+        (*service)->corpus()->queries();
     for (int m = 0; m < batch_mult; ++m) {
-      for (const wwt::ResolvedQuery& rq : corpus.queries) {
+      for (const wwt::ResolvedQuery& rq : workload) {
         std::vector<std::string> cols;
         for (const wwt::QueryColumnSpec& col : rq.spec.columns) {
           cols.push_back(col.keywords);
@@ -439,7 +445,8 @@ int main(int argc, char** argv) {
   }
 
   const wwt::BatchStats& s = batch.stats;
-  const wwt::ResponseCache::Stats cs = (*service)->cache_stats();
+  const wwt::ServiceStats ss = (*service)->Stats();
+  const wwt::ResponseCache::Stats& cs = ss.cache;
   if (json) {
     std::printf(
         "{\"summary\": {\"queries\": %zu, \"failed\": %zu, "
@@ -449,7 +456,10 @@ int main(int argc, char** argv) {
         "\"%016llx\", \"cache\": {\"enabled\": %s, "
         "\"served_from_cache\": %zu, \"hit_rate\": %.4f, \"hits\": %llu, "
         "\"misses\": %llu, \"coalesced\": %llu, \"inserts\": %llu, "
-        "\"evictions\": %llu, \"entries\": %zu, \"bytes\": %zu}}}\n",
+        "\"evictions\": %llu, \"entries\": %zu, \"bytes\": %zu}, "
+        "\"stats\": {\"source\": \"%s\", \"corpus_hash\": \"%016llx\", "
+        "\"shards\": %zu, \"tables\": %llu, \"threads\": %d, "
+        "\"shard_threads\": %d}}}\n",
         s.num_queries, failed, s.wall_seconds, s.qps, s.concurrency,
         s.latency.mean * 1e3, s.latency.p50 * 1e3, s.latency.p95 * 1e3,
         s.latency.p99 * 1e3, load_seconds,
@@ -460,7 +470,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cs.coalesced),
         static_cast<unsigned long long>(cs.inserts),
         static_cast<unsigned long long>(cs.evictions), cs.entries,
-        cs.bytes);
+        cs.bytes, JsonEscape(ss.corpus_source).c_str(),
+        static_cast<unsigned long long>(ss.corpus_hash),
+        ss.corpus_shards,
+        static_cast<unsigned long long>(ss.corpus_tables),
+        ss.num_threads, ss.shard_threads);
   } else {
     std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d\n",
                 s.num_queries, s.wall_seconds, s.qps, s.concurrency);
@@ -477,6 +491,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(cs.evictions),
                   cs.entries, cs.bytes / (1024.0 * 1024.0));
     }
+    std::printf("serving: %zu shard(s), %llu tables, %d worker "
+                "thread(s)%s\n",
+                ss.corpus_shards,
+                static_cast<unsigned long long>(ss.corpus_tables),
+                ss.num_threads,
+                ss.shard_threads > 0 ? " + shard fan-out pool" : "");
     std::printf("cold start: %.3f s load vs corpus rebuild (see "
                 "bench_throughput for the ratio)\n",
                 load_seconds);
