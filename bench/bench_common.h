@@ -48,6 +48,21 @@ inline int EnvInt(const char* name, int fallback) {
 /// for undistorted per-query stage timing).
 inline int EnvThreads() { return EnvInt("WWT_THREADS", 1); }
 
+/// WWT_SCORER — probe scorer of the experiment benches ("wand" default,
+/// "exhaustive" for the reference path). Results are identical either
+/// way; benches stamp the choice into their output so recorded
+/// trajectories identify which scorer produced them.
+inline ProbeScorer EnvScorer() {
+  const char* s = std::getenv("WWT_SCORER");
+  ProbeScorer scorer = ProbeScorer::kWand;
+  if (s != nullptr && *s != '\0' && !ParseProbeScorer(s, &scorer)) {
+    std::fprintf(stderr, "[bench] unknown WWT_SCORER '%s', using wand\n",
+                 s);
+    scorer = ProbeScorer::kWand;
+  }
+  return scorer;
+}
+
 /// Everything the experiment benches share.
 struct Experiment {
   Corpus corpus;
@@ -86,7 +101,9 @@ inline Experiment BuildExperiment(double scale = EnvScale(),
                  result.loaded ? "loaded" : "built", snapshot.c_str(),
                  result.seconds);
   }
-  e.harness = std::make_unique<EvalHarness>(&e.corpus);
+  EngineOptions engine_options;
+  engine_options.scorer = EnvScorer();
+  e.harness = std::make_unique<EvalHarness>(&e.corpus, engine_options);
   e.cases = e.harness->BuildCases();
   std::fprintf(stderr, "[bench] %zu tables, %zu queries\n",
                e.corpus.store.size(), e.cases.size());

@@ -52,7 +52,9 @@ int main() {
     }
   }
 
-  std::printf("=== §2.2.1: two-phase index probe statistics ===\n");
+  std::printf("=== §2.2.1: two-phase index probe statistics (%s scorer) "
+              "===\n",
+              ProbeScorerName(e.harness->engine_options().scorer));
   std::printf("Queries with candidates: %d; used second probe: %d "
               "(%.0f%%; paper 65%%)\n",
               with_candidates, used_second,
@@ -67,5 +69,34 @@ int main() {
                   ? 100.0 * second_stage_rel_share_sum /
                         second_stage_share_n
                   : 0.0);
+
+  // Machine-readable summary (WWT_BENCH_JSON), scorer-stamped so
+  // recorded trajectories identify which probe algorithm produced them.
+  if (FILE* json = OpenBenchJson()) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"probe_stats\",\n"
+        "  \"scale\": %.4f,\n"
+        "  \"seed\": %llu,\n"
+        "  \"scorer\": \"%s\",\n"
+        "  \"queries_with_candidates\": %d,\n"
+        "  \"used_second_probe\": %d,\n"
+        "  \"stage1_relevant_fraction\": %.4f,\n"
+        "  \"stage2_relevant_fraction\": %.4f,\n"
+        "  \"stage2_relevant_share\": %.4f\n"
+        "}\n",
+        EnvScale(), static_cast<unsigned long long>(EnvSeed()),
+        ProbeScorerName(e.harness->engine_options().scorer),
+        with_candidates, used_second,
+        static_cast<double>(stage1_rel) /
+            std::max<int64_t>(stage1_total, 1),
+        static_cast<double>(stage2_rel) /
+            std::max<int64_t>(stage2_total, 1),
+        second_stage_share_n > 0
+            ? second_stage_rel_share_sum / second_stage_share_n
+            : 0.0);
+    std::fclose(json);
+  }
   return 0;
 }

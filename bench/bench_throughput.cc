@@ -35,10 +35,12 @@
 //                            ratio (default 0: warm runs stay cheap; CI's
 //                            bench job sets it)
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/query.h"
 #include "index/snapshot.h"
 #include "util/logging.h"
 #include "wwt/service.h"
@@ -312,6 +314,155 @@ int main() {
   }
   std::printf("\n");
 
+  // ---- Probe-stage sweep (the ISSUE 6 tentpole's acceptance number):
+  // raw TableIndex::Search throughput, block-max WAND vs the exhaustive
+  // reference, at k ∈ {10, 50} on the unsharded corpus and on a 4-way
+  // partition (per-shard probes + the engine's (score desc, id asc)
+  // merge). Every (query, point) pair is verified identical — same doc
+  // ids AND bit-identical scores — before its timing counts.
+  struct ProbePoint {
+    int shards = 0;
+    int k = 0;
+    double wand_qps = 0;
+    double exhaustive_qps = 0;
+    double speedup = 0;
+    bool identical = true;
+  };
+  std::vector<ProbePoint> probe_sweep;
+  {
+    // The probe workload: each query's all-column keyword union, exactly
+    // what WwtEngine::Probe feeds Search() for the first probe.
+    std::vector<std::vector<std::string>> probe_keywords;
+    probe_keywords.reserve(served.queries.size());
+    for (const auto& cols : unique_queries) {
+      probe_keywords.push_back(
+          Query::Parse(cols, *served.index).all_keywords);
+    }
+    std::vector<Corpus> parts4 = PartitionCorpus(served, 4);
+
+    // One probe of every workload query against `indexes`, merged under
+    // the engine's total order when sharded.
+    auto probe_all = [&](const std::vector<const TableIndex*>& indexes,
+                         int k, ProbeScorer scorer,
+                         std::vector<std::vector<ScoredDoc>>* out) {
+      if (out != nullptr) out->clear();
+      for (const auto& kw : probe_keywords) {
+        std::vector<ScoredDoc> merged;
+        for (const TableIndex* index : indexes) {
+          std::vector<ScoredDoc> hits = index->Search(kw, k, scorer);
+          merged.insert(merged.end(), hits.begin(), hits.end());
+        }
+        if (indexes.size() > 1) {
+          std::sort(merged.begin(), merged.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+          if (static_cast<int>(merged.size()) > k) merged.resize(k);
+        }
+        if (out != nullptr) out->push_back(std::move(merged));
+      }
+    };
+
+    for (int n : {1, 4}) {
+      std::vector<const TableIndex*> indexes;
+      if (n == 1) {
+        indexes.push_back(served.index.get());
+      } else {
+        for (const Corpus& part : parts4) {
+          indexes.push_back(part.index.get());
+        }
+      }
+      for (int k : {10, 50}) {
+        ProbePoint point;
+        point.shards = n;
+        point.k = k;
+
+        // Equivalence first: WAND's whole claim is that pruning changes
+        // nothing. Compare doc ids and raw score bits per query.
+        std::vector<std::vector<ScoredDoc>> wand_hits, ex_hits;
+        probe_all(indexes, k, ProbeScorer::kWand, &wand_hits);
+        probe_all(indexes, k, ProbeScorer::kExhaustive, &ex_hits);
+        for (size_t q = 0; q < probe_keywords.size(); ++q) {
+          bool same = wand_hits[q].size() == ex_hits[q].size();
+          for (size_t i = 0; same && i < wand_hits[q].size(); ++i) {
+            same = wand_hits[q][i].doc == ex_hits[q][i].doc &&
+                   wand_hits[q][i].score == ex_hits[q][i].score;
+          }
+          if (!same) {
+            point.identical = false;
+            all_identical = false;
+            std::fprintf(stderr,
+                         "[bench] PROBE MISMATCH wand vs exhaustive at "
+                         "query %zu (shards=%d k=%d)\n",
+                         q, n, k);
+          }
+        }
+
+        // Timing: calibrate repetitions on the exhaustive side to a
+        // measurable wall slice, then run both scorers the same number
+        // of passes.
+        WallTimer calibrate;
+        probe_all(indexes, k, ProbeScorer::kExhaustive, nullptr);
+        const double one_pass = calibrate.ElapsedSeconds();
+        const int reps = std::max(
+            1, std::min(200, static_cast<int>(0.4 / std::max(one_pass,
+                                                             1e-6))));
+        WallTimer ex_timer;
+        for (int r = 0; r < reps; ++r) {
+          probe_all(indexes, k, ProbeScorer::kExhaustive, nullptr);
+        }
+        const double ex_seconds = ex_timer.ElapsedSeconds();
+        WallTimer wand_timer;
+        for (int r = 0; r < reps; ++r) {
+          probe_all(indexes, k, ProbeScorer::kWand, nullptr);
+        }
+        const double wand_seconds = wand_timer.ElapsedSeconds();
+        const double probes = static_cast<double>(reps) *
+                              probe_keywords.size();
+        point.exhaustive_qps = ex_seconds > 0 ? probes / ex_seconds : 0.0;
+        point.wand_qps = wand_seconds > 0 ? probes / wand_seconds : 0.0;
+        point.speedup = point.exhaustive_qps > 0
+                            ? point.wand_qps / point.exhaustive_qps
+                            : 0.0;
+        probe_sweep.push_back(point);
+      }
+    }
+  }
+  std::printf("\nprobe stage (wand vs exhaustive, %zu queries):\n",
+              unique_count);
+  std::printf("%8s%6s%14s%14s%10s%12s\n", "shards", "k", "wand QPS",
+              "exhaust QPS", "speedup", "identical");
+  for (const ProbePoint& p : probe_sweep) {
+    std::printf("%8d%6d%14.1f%14.1f%9.2fx%12s\n", p.shards, p.k,
+                p.wand_qps, p.exhaustive_qps, p.speedup,
+                p.identical ? "yes" : "NO (bug!)");
+  }
+
+  // End-to-end under the exhaustive scorer: the full pipeline must
+  // produce byte-identical answers to the (WAND-scored) serial
+  // reference, not just identical probe hits.
+  {
+    EngineOptions exhaustive_options;
+    exhaustive_options.scorer = ProbeScorer::kExhaustive;
+    WwtEngine exhaustive_engine(&served.store, served.index.get(),
+                                exhaustive_options);
+    bool digests_equal = true;
+    for (size_t i = 0; i < unique_count; ++i) {
+      if (ResultDigest(exhaustive_engine.Execute(queries[i])) !=
+          serial_fp[i]) {
+        digests_equal = false;
+        all_identical = false;
+        std::fprintf(stderr,
+                     "[bench] PIPELINE DIGEST MISMATCH exhaustive vs "
+                     "wand at query %zu\n",
+                     i);
+      }
+    }
+    std::printf("pipeline digests, exhaustive vs wand: %s\n",
+                digests_equal ? "IDENTICAL" : "MISMATCH (bug!)");
+  }
+
   // Submit-path overhead: the 1-thread service sweep point vs the
   // direct-engine serial loop over the identical batch. The service adds
   // validation + fingerprinting + a future per query; it must stay
@@ -340,11 +491,13 @@ int main() {
                  "  \"tables\": %zu,\n"
                  "  \"batch_queries\": %zu,\n"
                  "  \"hardware_threads\": %d,\n"
+                 "  \"scorer\": \"%s\",\n"
                  "  \"identical_to_serial\": %s,\n"
                  "  \"serial_qps\": %.2f,\n",
                  corpus_options.scale,
                  static_cast<unsigned long long>(corpus_options.seed),
                  served.store.size(), queries.size(), hw,
+                 ProbeScorerName(EngineOptions().scorer),
                  all_identical ? "true" : "false", serial_qps);
     std::fprintf(json,
                  "  \"submit_overhead\": {\"serial_qps\": %.2f, "
@@ -368,6 +521,18 @@ int main() {
                    p.shards, p.qps, p.vs_unsharded,
                    p.identical ? "true" : "false",
                    i + 1 < shard_sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"probe_sweep\": [\n");
+    for (size_t i = 0; i < probe_sweep.size(); ++i) {
+      const ProbePoint& p = probe_sweep[i];
+      std::fprintf(json,
+                   "    {\"shards\": %d, \"k\": %d, \"wand_qps\": %.2f, "
+                   "\"exhaustive_qps\": %.2f, \"speedup\": %.3f, "
+                   "\"identical\": %s}%s\n",
+                   p.shards, p.k, p.wand_qps, p.exhaustive_qps, p.speedup,
+                   p.identical ? "true" : "false",
+                   i + 1 < probe_sweep.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
     std::fprintf(json,

@@ -123,8 +123,10 @@ class SnapshotCodec {
     return shard;
   }
 
-  // ----- TableIndex: options, vocabulary, idf, postings, field stats.
-  static void WriteIndex(const TableIndex& index, serde::Writer* w) {
+  // ----- TableIndex: options, vocabulary, idf, postings, field stats,
+  // and (v3+) the merged block-max scoring layout.
+  static void WriteIndex(const TableIndex& index, uint32_t format_version,
+                         serde::Writer* w) {
     const IndexOptions& opt = index.options_;
     for (double boost : opt.boosts) w->WriteDouble(boost);
     w->WriteU8(opt.drop_query_stopwords ? 1 : 0);
@@ -161,9 +163,32 @@ class SnapshotCodec {
         }
       }
     }
+
+    if (format_version >= 3) {
+      // v3 tail: the merged scoring layout's primary arrays (block size
+      // + per-term doc/score CSR). Block boundaries, block maxima and
+      // term maxima are cheap one-pass derivations, so the loader
+      // recomputes them — a corrupt-but-checksummed max can then never
+      // desynchronize WAND pruning from the stored scores.
+      index.EnsureScoringLayout();
+      const TableIndex::ScoringLayout& layout = index.scoring_;
+      w->WriteU32(layout.block_size);
+      const uint64_t nterms =
+          layout.offsets.empty() ? 0 : layout.offsets.size() - 1;
+      w->WriteU64(nterms);
+      for (uint64_t t = 0; t < nterms; ++t) {
+        const uint64_t begin = layout.offsets[t];
+        const uint64_t end = layout.offsets[t + 1];
+        w->WriteU64(end - begin);
+        for (uint64_t i = begin; i < end; ++i) w->WriteU32(layout.docs[i]);
+        for (uint64_t i = begin; i < end; ++i) {
+          w->WriteDouble(layout.scores[i]);
+        }
+      }
+    }
   }
 
-  static Status ReadIndex(serde::Reader* r,
+  static Status ReadIndex(serde::Reader* r, uint32_t format_version,
                           std::unique_ptr<TableIndex>* out) {
     IndexOptions opt;
     for (double& boost : opt.boosts) WWT_RETURN_NOT_OK(r->ReadDouble(&boost));
@@ -252,6 +277,63 @@ class SnapshotCodec {
         }
       }
     }
+
+    if (format_version >= 3) {
+      uint64_t num_docs_bound = 0;
+      for (int f = 0; f < kNumFields; ++f) {
+        num_docs_bound =
+            std::max<uint64_t>(num_docs_bound, index->field_len_[f].size());
+      }
+      TableIndex::ScoringLayout layout;
+      uint32_t block_size;
+      WWT_RETURN_NOT_OK(r->ReadU32(&block_size));
+      if (block_size == 0) {
+        return Status::Corruption("scoring layout block size is 0");
+      }
+      layout.block_size = block_size;
+      uint64_t nterms;
+      WWT_RETURN_NOT_OK(r->ReadU64(&nterms));
+      if (nterms != index->vocab_.size()) {
+        return Status::Corruption("scoring layout covers ", nterms,
+                                  " terms, vocabulary has ",
+                                  index->vocab_.size());
+      }
+      layout.offsets.reserve(nterms + 1);
+      layout.offsets.push_back(0);
+      for (uint64_t t = 0; t < nterms; ++t) {
+        uint64_t count;
+        WWT_RETURN_NOT_OK(r->ReadU64(&count));
+        WWT_RETURN_NOT_OK(r->CheckCount(count, 12));
+        for (uint64_t i = 0; i < count; ++i) {
+          TableId doc;
+          WWT_RETURN_NOT_OK(r->ReadU32(&doc));
+          // SearchWand() trusts ascending order for its skips and the
+          // doc ids feed table reads downstream — reject inconsistent
+          // (if checksum-valid) files here rather than misbehave there.
+          if (doc >= num_docs_bound) {
+            return Status::Corruption("scoring layout doc id ", doc,
+                                      " out of range (", num_docs_bound,
+                                      " docs)");
+          }
+          if (i > 0 && doc <= layout.docs.back()) {
+            return Status::Corruption(
+                "scoring layout postings for term ", t,
+                " are not strictly ascending by doc id");
+          }
+          layout.docs.push_back(doc);
+        }
+        for (uint64_t i = 0; i < count; ++i) {
+          double score;
+          WWT_RETURN_NOT_OK(r->ReadDouble(&score));
+          layout.scores.push_back(score);
+        }
+        layout.offsets.push_back(layout.docs.size());
+      }
+      TableIndex::FinishScoringLayout(&layout);
+      index->scoring_ = std::move(layout);
+      index->scoring_ready_.store(true, std::memory_order_release);
+    }
+
     *out = std::move(index);
     return Status::OK();
   }
@@ -433,10 +515,12 @@ Status ParseHeader(std::string_view file, const std::string& path,
   WWT_RETURN_NOT_OK(header.ReadU32(&flags));
   WWT_RETURN_NOT_OK(header.ReadU64(&payload_size));
   WWT_RETURN_NOT_OK(header.ReadU64(&checksum));
-  if (version != kSnapshotFormatVersion) {
+  if (version < kMinSnapshotFormatVersion ||
+      version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(
         "snapshot format version mismatch in '", path, "': file has ",
-        version, ", this build reads ", kSnapshotFormatVersion,
+        version, ", this build reads ", kMinSnapshotFormatVersion, "..",
+        kSnapshotFormatVersion,
         " — rebuild the snapshot with tools/wwt_indexer");
   }
   if (file.size() - kHeaderBytes != payload_size) {
@@ -510,8 +594,23 @@ uint64_t WorkloadFingerprint(const CorpusOptions& options) {
 
 Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
                     const std::string& path, SnapshotInfo* info) {
+  return SaveSnapshotAtVersion(corpus, options, path,
+                               kSnapshotFormatVersion, info);
+}
+
+Status SaveSnapshotAtVersion(const Corpus& corpus,
+                             const CorpusOptions& options,
+                             const std::string& path,
+                             uint32_t format_version, SnapshotInfo* info) {
   if (corpus.index == nullptr) {
     return Status::InvalidArgument("corpus has no index to snapshot");
+  }
+  if (format_version < kMinSnapshotFormatVersion ||
+      format_version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "cannot write snapshot format version ", format_version,
+        ", this build writes ", kMinSnapshotFormatVersion, "..",
+        kSnapshotFormatVersion);
   }
   serde::Writer payload;
   {
@@ -526,7 +625,7 @@ Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
   }
   {
     size_t s = BeginSection(kSecIndex, &payload);
-    SnapshotCodec::WriteIndex(*corpus.index, &payload);
+    SnapshotCodec::WriteIndex(*corpus.index, format_version, &payload);
     EndSection(s, &payload);
   }
   {
@@ -548,7 +647,7 @@ Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
   const uint64_t checksum = serde::Checksum(payload.buffer());
   serde::Writer header;
   header.WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
-  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU32(format_version);
   header.WriteU32(0);  // flags, reserved
   header.WriteU64(payload.size());
   header.WriteU64(checksum);
@@ -557,7 +656,7 @@ Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
   WWT_RETURN_NOT_OK(
       serde::WriteFileAtomic(path, {header.buffer(), payload.buffer()}));
   if (info != nullptr) {
-    info->format_version = kSnapshotFormatVersion;
+    info->format_version = format_version;
     info->content_hash = checksum;
     info->file_bytes = header.size() + payload.size();
     info->seed = options.seed;
@@ -601,7 +700,8 @@ StatusOr<Corpus> LoadSnapshot(const std::string& path, SnapshotInfo* info) {
   }
   {
     serde::Reader r(sections.index);
-    WWT_RETURN_NOT_OK(SnapshotCodec::ReadIndex(&r, &corpus.index));
+    WWT_RETURN_NOT_OK(SnapshotCodec::ReadIndex(
+        &r, local_info.format_version, &corpus.index));
   }
   {
     serde::Reader r(sections.truth);

@@ -31,12 +31,21 @@
 
 namespace wwt {
 
-/// Bump on ANY change to the header or a section layout. Loaders reject
-/// other versions; CI cache keys embed this constant.
+/// Bump on ANY change to the header or a section layout. Loaders accept
+/// [kMinSnapshotFormatVersion, kSnapshotFormatVersion] and reject the
+/// rest; CI cache keys embed this constant.
 /// v2: STOR section carries the store's first table id, so one snapshot
 /// can hold a contiguous shard of a larger corpus (tables keep their
 /// global ids across sharding).
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// v3: INDX section appends the merged block-max scoring layout (per-term
+/// doc/score CSR arrays + block size) so serving skips the one-time
+/// layout build; v2 files still load and rebuild it lazily on the first
+/// Search().
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
+
+/// Oldest format this build still loads (v2 lacks only the precomputed
+/// scoring layout, which TableIndex rebuilds on demand).
+inline constexpr uint32_t kMinSnapshotFormatVersion = 2;
 
 /// First 8 bytes of every snapshot file.
 inline constexpr char kSnapshotMagic[8] = {'W', 'W', 'T', 'S',
@@ -69,6 +78,16 @@ struct SnapshotInfo {
 /// no read-back of the file.
 Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
                     const std::string& path, SnapshotInfo* info = nullptr);
+
+/// SaveSnapshot pinned to an older (still-loadable) format version —
+/// how the v2 backward-compatibility tests mint v2 files, and an escape
+/// hatch for serving fleets mid-upgrade. `format_version` must lie in
+/// [kMinSnapshotFormatVersion, kSnapshotFormatVersion].
+Status SaveSnapshotAtVersion(const Corpus& corpus,
+                             const CorpusOptions& options,
+                             const std::string& path,
+                             uint32_t format_version,
+                             SnapshotInfo* info = nullptr);
 
 /// Loads a snapshot written by SaveSnapshot. The file is memory-mapped
 /// when possible. Fails with a clean Status on missing file (IOError),

@@ -2,12 +2,62 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/logging.h"
 
 namespace wwt {
+namespace {
+
+/// Relative slack applied to WAND upper bounds before comparing against
+/// the heap threshold. Upper-bound sums and real document scores round
+/// differently, so a mathematically valid bound could fall a few ulps
+/// below an achievable score; inflating the bound by ~1e-9 relative
+/// makes wrongful pruning impossible while costing nothing measurable in
+/// skip power.
+inline double SafeUpper(double x) { return x + x * 1e-9; }
+
+/// The total order of search results: score desc, doc id asc.
+inline bool BetterHit(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+/// Heap comparator form of BetterHit (a struct inlines where a function
+/// pointer would not).
+struct BetterHitCmp {
+  bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
+    return BetterHit(a, b);
+  }
+};
+
+}  // namespace
+
+const char* ProbeScorerName(ProbeScorer scorer) {
+  switch (scorer) {
+    case ProbeScorer::kWand:
+      return "wand";
+    case ProbeScorer::kExhaustive:
+      return "exhaustive";
+  }
+  return "unknown";
+}
+
+bool ParseProbeScorer(const std::string& name, ProbeScorer* out) {
+  if (name == "wand") {
+    *out = ProbeScorer::kWand;
+    return true;
+  }
+  if (name == "exhaustive") {
+    *out = ProbeScorer::kExhaustive;
+    return true;
+  }
+  return false;
+}
 
 TableIndex::TableIndex(IndexOptions options,
                        TokenizerOptions tokenizer_options)
@@ -89,36 +139,317 @@ void TableIndex::Add(const WebTable& table) {
   }
   idf_.AddDocument(all_terms);
   ++doc_count_;
+  // The merged scoring layout depends on postings, lengths and IDF; any
+  // previously built layout is stale. Add() never overlaps queries (the
+  // class contract), so dropping it here is race-free.
+  if (scoring_ready_.load(std::memory_order_relaxed)) {
+    scoring_ = ScoringLayout();
+    scoring_ready_.store(false, std::memory_order_release);
+  }
+}
+
+void TableIndex::FinishScoringLayout(ScoringLayout* layout) {
+  const uint64_t bs = std::max<uint32_t>(1u, layout->block_size);
+  const size_t nterms =
+      layout->offsets.empty() ? 0 : layout->offsets.size() - 1;
+  layout->blocks.clear();
+  layout->block_offsets.clear();
+  layout->block_offsets.reserve(nterms + 1);
+  layout->block_offsets.push_back(0);
+  layout->term_max.assign(nterms, 0.0);
+  for (size_t t = 0; t < nterms; ++t) {
+    const uint64_t begin = layout->offsets[t];
+    const uint64_t end = layout->offsets[t + 1];
+    double tmax = 0.0;
+    for (uint64_t b = begin; b < end; b += bs) {
+      const uint64_t be = std::min(end, b + bs);
+      ScoringLayout::Block blk;
+      blk.last_doc = layout->docs[be - 1];
+      blk.max_score = 0.0;
+      for (uint64_t i = b; i < be; ++i) {
+        blk.max_score = std::max(blk.max_score, layout->scores[i]);
+      }
+      layout->blocks.push_back(blk);
+      tmax = std::max(tmax, blk.max_score);
+    }
+    layout->term_max[t] = tmax;
+    layout->block_offsets.push_back(layout->blocks.size());
+  }
+}
+
+void TableIndex::EnsureScoringLayout() const {
+  if (scoring_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(scoring_mu_);
+  if (scoring_ready_.load(std::memory_order_relaxed)) return;
+
+  ScoringLayout layout;
+  layout.block_size = std::max<uint32_t>(1u, options_.scoring_block_size);
+  const size_t nterms = vocab_.size();
+  layout.offsets.reserve(nterms + 1);
+  layout.offsets.push_back(0);
+  for (size_t t = 0; t < nterms; ++t) {
+    const double idf = idf_.Idf(static_cast<TermId>(t));
+    const double idf2 = idf * idf;
+    const std::vector<Posting>* lists[kNumFields];
+    size_t pos[kNumFields];
+    for (int f = 0; f < kNumFields; ++f) {
+      lists[f] = t < postings_[f].size() ? &postings_[f][t] : nullptr;
+      pos[f] = 0;
+    }
+    // Merge the (doc-sorted) per-field lists; a doc's combined score is
+    // its field contributions summed in field order, which both scorers
+    // then consume as one value — the source of their bit-equality.
+    for (;;) {
+      TableId next = 0;
+      bool any = false;
+      for (int f = 0; f < kNumFields; ++f) {
+        if (!lists[f] || pos[f] >= lists[f]->size()) continue;
+        const TableId d = (*lists[f])[pos[f]].doc;
+        if (!any || d < next) {
+          next = d;
+          any = true;
+        }
+      }
+      if (!any) break;
+      double s = 0.0;
+      for (int f = 0; f < kNumFields; ++f) {
+        if (!lists[f] || pos[f] >= lists[f]->size()) continue;
+        const Posting& p = (*lists[f])[pos[f]];
+        if (p.doc != next) continue;
+        const double len = field_len_[f][p.doc] + 1.0;
+        s += options_.boosts[f] * std::sqrt(p.tf) * idf2 / std::sqrt(len);
+        ++pos[f];
+      }
+      layout.docs.push_back(next);
+      layout.scores.push_back(s);
+    }
+    layout.offsets.push_back(layout.docs.size());
+  }
+  FinishScoringLayout(&layout);
+
+  scoring_ = std::move(layout);
+  scoring_ready_.store(true, std::memory_order_release);
 }
 
 std::vector<ScoredDoc> TableIndex::Search(
-    const std::vector<std::string>& keywords, int k) const {
+    const std::vector<std::string>& keywords, int k,
+    ProbeScorer scorer) const {
   std::vector<TermId> terms = QueryTerms(keywords);
   // Deduplicate query terms; repeated keywords should not double-count.
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  if (terms.empty() || k == 0) return {};
 
+  EnsureScoringLayout();
+  if (scorer == ProbeScorer::kWand && k > 0) return SearchWand(terms, k);
+  return SearchExhaustive(terms, k);
+}
+
+std::vector<ScoredDoc> TableIndex::SearchExhaustive(
+    const std::vector<TermId>& terms, int k) const {
+  const ScoringLayout& layout = scoring_;
   std::unordered_map<TableId, double> scores;
   for (TermId t : terms) {
-    const double idf = idf_.Idf(t);
-    for (int f = 0; f < kNumFields; ++f) {
-      if (t >= postings_[f].size()) continue;
-      for (const Posting& p : postings_[f][t]) {
-        const double len = field_len_[f][p.doc] + 1.0;
-        scores[p.doc] += options_.boosts[f] * std::sqrt(p.tf) * idf * idf /
-                         std::sqrt(len);
-      }
+    if (static_cast<size_t>(t) + 1 >= layout.offsets.size()) continue;
+    const uint64_t end = layout.offsets[t + 1];
+    for (uint64_t i = layout.offsets[t]; i < end; ++i) {
+      scores[layout.docs[i]] += layout.scores[i];
     }
   }
   std::vector<ScoredDoc> hits;
   hits.reserve(scores.size());
   for (const auto& [doc, score] : scores) hits.push_back({doc, score});
-  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a,
-                                         const ScoredDoc& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  });
+  std::sort(hits.begin(), hits.end(), BetterHit);
   if (k >= 0 && static_cast<int>(hits.size()) > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<ScoredDoc> TableIndex::SearchWand(
+    const std::vector<TermId>& terms, int k) const {
+  const ScoringLayout& layout = scoring_;
+  const uint64_t bs = std::max<uint32_t>(1u, layout.block_size);
+  // Sentinel doc of an exhausted cursor; real ids are store indices and
+  // never reach it. Sorts exhausted cursors to the back.
+  constexpr TableId kDone = std::numeric_limits<TableId>::max();
+
+  struct Cursor {
+    TableId doc;           // layout.docs[pos], cached; kDone at the end
+    TermId term;
+    uint64_t pos;          // current posting (absolute index)
+    uint64_t end;          // term's posting range end
+    uint64_t begin;        // term's posting range begin
+    uint64_t block;        // current block (absolute index)
+    uint64_t block_last;   // one past the current block's postings
+    uint64_t block_begin;  // term's first block
+    uint64_t block_end;    // term's block range end
+    double term_max;       // per-term upper bound
+  };
+  std::vector<Cursor> cur;
+  cur.reserve(terms.size());
+  for (TermId t : terms) {
+    if (static_cast<size_t>(t) + 1 >= layout.offsets.size()) continue;
+    const uint64_t begin = layout.offsets[t];
+    const uint64_t end = layout.offsets[t + 1];
+    if (begin == end) continue;
+    Cursor c;
+    c.doc = layout.docs[begin];
+    c.term = t;
+    c.pos = begin;
+    c.end = end;
+    c.begin = begin;
+    c.block = layout.block_offsets[t];
+    c.block_last = std::min(end, begin + bs);
+    c.block_begin = layout.block_offsets[t];
+    c.block_end = layout.block_offsets[t + 1];
+    c.term_max = layout.term_max[t];
+    cur.push_back(c);
+  }
+  if (cur.empty()) return {};
+
+  // Cursor order: current doc asc, ties by term id so that a pivot's
+  // aligned cursors are consumed in ascending term order, matching the
+  // exhaustive scorer's accumulation order bit for bit. Sorted once
+  // here; every advance afterwards repairs the order incrementally (see
+  // reinsert) — a from-scratch sort per iteration dominated the
+  // scorer's runtime.
+  auto before = [](const Cursor& a, const Cursor& b) {
+    if (a.doc != b.doc) return a.doc < b.doc;
+    return a.term < b.term;
+  };
+  std::sort(cur.begin(), cur.end(), before);
+
+  // Min-heap of the current top-k: top() is the WORST kept hit under the
+  // result order (score desc, id asc), i.e. the entry bar.
+  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, BetterHitCmp> heap;
+  const size_t want = static_cast<size_t>(k);
+
+  // Advance one posting, maintaining the doc and block caches.
+  auto advance_one = [&](Cursor* c) {
+    if (++c->pos >= c->end) {
+      c->doc = kDone;
+      return;
+    }
+    if (c->pos >= c->block_last) {
+      ++c->block;
+      c->block_last = std::min(c->end, c->block_last + bs);
+    }
+    c->doc = layout.docs[c->pos];
+  };
+
+  // NextGEQ: advance to the first posting with doc >= target, skipping
+  // whole blocks via their last_doc. Callers only pass target > current
+  // doc. `target` is 64-bit so last_doc + 1 cannot overflow.
+  auto advance_geq = [&](Cursor* c, uint64_t target) {
+    uint64_t blk = c->block;
+    while (blk < c->block_end &&
+           static_cast<uint64_t>(layout.blocks[blk].last_doc) < target) {
+      ++blk;
+    }
+    if (blk == c->block_end) {
+      c->pos = c->end;
+      c->doc = kDone;
+      return;
+    }
+    // The block's last_doc >= target, so lower_bound lands inside it.
+    const uint64_t block_first = c->begin + (blk - c->block_begin) * bs;
+    const TableId* base = layout.docs.data();
+    const TableId* first = base + std::max(c->pos, block_first);
+    const TableId* last = base + std::min(c->end, block_first + bs);
+    c->pos = static_cast<uint64_t>(
+        std::lower_bound(first, last, static_cast<TableId>(target)) - base);
+    c->block = blk;
+    c->block_last = std::min(c->end, block_first + bs);
+    c->doc = layout.docs[c->pos];
+  };
+
+  // Restore sorted order after the prefix [0, m) advanced: bubble each
+  // advanced cursor forward into the still-sorted tail, back to front so
+  // the region it moves through is already ordered. Advanced cursors
+  // rarely travel far, so this is near-O(m) in practice. Exhausted
+  // cursors carry the kDone sentinel, end up at the back, and are
+  // popped.
+  auto reinsert = [&](size_t m) {
+    for (size_t i = m; i-- > 0;) {
+      Cursor c = cur[i];
+      size_t j = i;
+      while (j + 1 < cur.size() && before(cur[j + 1], c)) {
+        cur[j] = cur[j + 1];
+        ++j;
+      }
+      cur[j] = c;
+    }
+    while (!cur.empty() && cur.back().doc == kDone) cur.pop_back();
+  };
+
+  while (!cur.empty()) {
+    const bool full = heap.size() == want;
+    const double threshold = full ? heap.top().score : 0.0;
+
+    // Pivot: first prefix whose summed term upper bounds could still
+    // enter the heap. Comparisons keep score == threshold alive — a tie
+    // with a smaller doc id still displaces the current worst.
+    double ub = 0.0;
+    size_t pivot = cur.size();
+    for (size_t i = 0; i < cur.size(); ++i) {
+      ub += cur[i].term_max;
+      if (!full || SafeUpper(ub) >= threshold) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == cur.size()) break;  // no doc anywhere can enter
+
+    const TableId pivot_doc = cur[pivot].doc;
+    if (cur[0].doc == pivot_doc) {
+      // All cursors up to (and possibly past) the pivot sit on
+      // pivot_doc. Refine with block maxima before paying full scoring.
+      size_t m = pivot + 1;
+      while (m < cur.size() && cur[m].doc == pivot_doc) ++m;
+      double block_ub = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        block_ub += layout.blocks[cur[i].block].max_score;
+      }
+      if (full && SafeUpper(block_ub) < threshold) {
+        // The current blocks cannot produce a qualifying doc: jump past
+        // the nearest block boundary (or to the next cursor's doc).
+        uint64_t target = UINT64_MAX;
+        for (size_t i = 0; i < m; ++i) {
+          target = std::min(
+              target,
+              static_cast<uint64_t>(layout.blocks[cur[i].block].last_doc) + 1);
+        }
+        if (m < cur.size()) {
+          target = std::min(target, static_cast<uint64_t>(cur[m].doc));
+        }
+        for (size_t i = 0; i < m; ++i) advance_geq(&cur[i], target);
+      } else {
+        // Full evaluation: one contribution per aligned cursor, summed
+        // in ascending term order (the cursor order's tie-break).
+        double s = 0.0;
+        for (size_t i = 0; i < m; ++i) s += layout.scores[cur[i].pos];
+        const ScoredDoc hit{pivot_doc, s};
+        if (!full) {
+          heap.push(hit);
+        } else if (BetterHit(hit, heap.top())) {
+          heap.pop();
+          heap.push(hit);
+        }
+        for (size_t i = 0; i < m; ++i) advance_one(&cur[i]);
+      }
+      reinsert(m);
+    } else {
+      // Cursors before the pivot are on smaller docs that cannot qualify
+      // alone; skip the first one forward to the pivot doc.
+      advance_geq(&cur[0], pivot_doc);
+      reinsert(1);
+    }
+  }
+
+  std::vector<ScoredDoc> hits(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    hits[i] = heap.top();
+    heap.pop();
+  }
   return hits;
 }
 

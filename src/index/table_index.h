@@ -6,6 +6,10 @@
 //
 // Two probe styles are exposed:
 //  * Search(): disjunctive boosted TF-IDF top-k — the §2.2.1 index probes.
+//    Served by either a block-max WAND scorer (default; skips postings
+//    that cannot enter the top-k) or the exhaustive reference scorer —
+//    both run over the same merged scoring layout and return bit-identical
+//    results (see docs/RETRIEVAL.md).
 //  * MatchAllIn*(): conjunctive doc-id sets — the building blocks of the
 //    PMI^2 corpus statistic (§3.2.3), where H(Q) is the set of tables
 //    matching Q in header-or-context and B(cell) the set matching the
@@ -14,6 +18,9 @@
 #ifndef WWT_INDEX_TABLE_INDEX_H_
 #define WWT_INDEX_TABLE_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,11 +37,29 @@ class SnapshotCodec;
 enum class Field : int { kHeader = 0, kContext = 1, kContent = 2 };
 inline constexpr int kNumFields = 3;
 
+/// Which top-k algorithm Search() runs. Both produce identical results
+/// (same docs, bit-identical scores, same (score desc, id asc) order);
+/// kWand skips work, kExhaustive is the plain reference loop kept for
+/// equivalence testing and perf comparison.
+enum class ProbeScorer : int {
+  kWand = 0,
+  kExhaustive = 1,
+};
+
+/// "wand" / "exhaustive" (for logs, bench stamps and CLI flags).
+const char* ProbeScorerName(ProbeScorer scorer);
+/// Inverse of ProbeScorerName; false if `name` matches neither.
+bool ParseProbeScorer(const std::string& name, ProbeScorer* out);
+
 struct IndexOptions {
   /// Per-field boosts, §2.1: header 2.0, context 1.5, content 1.0.
   double boosts[kNumFields] = {2.0, 1.5, 1.0};
   /// Drop stopwords from probe keywords ("mountains IN north america").
   bool drop_query_stopwords = true;
+  /// Postings per scoring block (block-max WAND skip granularity). Small
+  /// blocks skip more precisely but cost more block-max lookups; 64-128
+  /// is the classic sweet spot. Must be >= 1.
+  uint32_t scoring_block_size = 128;
 };
 
 /// A search hit.
@@ -74,8 +99,10 @@ class CorpusStats {
 
 /// Append-only in-memory inverted index. Build once, then query from any
 /// number of threads: Search()/MatchAllIn*()/idf()/vocab() are pure
-/// reads with no hidden mutable state (audited for the batch query
-/// runner). Add() must not overlap queries.
+/// reads with no hidden mutable state beyond the lazily built scoring
+/// layout, whose one-time construction is guarded by a mutex + released
+/// atomic (audited for the batch query runner). Add() must not overlap
+/// queries.
 class TableIndex : public CorpusStats {
  public:
   explicit TableIndex(IndexOptions options = {},
@@ -87,9 +114,12 @@ class TableIndex : public CorpusStats {
   void Add(const WebTable& table);
 
   /// Disjunctive boosted TF-IDF search; returns up to `k` docs by
-  /// descending score.
+  /// descending score (ties broken by ascending id). k < 0 returns all
+  /// matching docs (always via the exhaustive path — WAND's pruning
+  /// needs a finite heap).
   std::vector<ScoredDoc> Search(const std::vector<std::string>& keywords,
-                                int k) const;
+                                int k,
+                                ProbeScorer scorer = ProbeScorer::kWand) const;
 
   /// Sorted ids of docs whose header+context fields contain ALL of
   /// `keywords` (after tokenization).
@@ -108,14 +138,43 @@ class TableIndex : public CorpusStats {
 
   size_t num_docs() const override { return doc_count_; }
 
+  const IndexOptions& options() const { return options_; }
+
  private:
   /// Snapshot save/load (src/index/snapshot.cc) serializes the private
-  /// postings/field-stats state directly.
+  /// postings/field-stats/scoring-layout state directly.
   friend class SnapshotCodec;
 
   struct Posting {
     TableId doc;
     float tf;
+  };
+
+  /// Per-(term, doc) scoring data merged across the three fields, laid
+  /// out CSR-style for the probe hot loop: term t's postings live at
+  /// [offsets[t], offsets[t+1]) of the parallel docs/scores arrays, cut
+  /// into blocks of `block_size` whose per-block score maxima drive the
+  /// WAND skips. scores[i] is the doc's FULL contribution for the term
+  /// (boost * sqrt(tf) * idf^2 / sqrt(len+1), summed over the fields in
+  /// field order) — so a document's total score is a sum of one value
+  /// per query term, in ascending term order, for BOTH scorers.
+  struct ScoringLayout {
+    uint32_t block_size = 128;
+    /// Size vocab+1; offsets into docs/scores.
+    std::vector<uint64_t> offsets;
+    std::vector<TableId> docs;
+    std::vector<double> scores;
+    /// Size vocab+1; offsets into blocks. Term t's block j covers
+    /// postings [offsets[t] + j*block_size, min(offsets[t] + (j+1)*
+    /// block_size, offsets[t+1])).
+    std::vector<uint64_t> block_offsets;
+    struct Block {
+      TableId last_doc = 0;   // max doc id in the block
+      double max_score = 0;   // max contribution in the block
+    };
+    std::vector<Block> blocks;
+    /// Per-term max contribution (max over the term's blocks).
+    std::vector<double> term_max;
   };
 
   /// Tokenizes and interns, returning term ids (unknown terms are
@@ -129,6 +188,22 @@ class TableIndex : public CorpusStats {
   std::vector<TableId> DocsWithTerm(TermId term,
                                     std::initializer_list<Field> fields) const;
 
+  /// Builds the merged scoring layout on first use (thread-safe; Search
+  /// is const and concurrent). Snapshot load installs a prebuilt layout
+  /// instead; Add() invalidates it.
+  void EnsureScoringLayout() const;
+  /// Recomputes block boundaries, block maxima and term maxima from
+  /// scoring_.docs/scores/offsets + block_size (used by the builder and
+  /// by snapshot load, which deserializes only the primary arrays).
+  static void FinishScoringLayout(ScoringLayout* layout);
+
+  /// Top-k over the merged layout, every posting of every query term.
+  std::vector<ScoredDoc> SearchExhaustive(const std::vector<TermId>& terms,
+                                          int k) const;
+  /// Block-max WAND top-k over the merged layout.
+  std::vector<ScoredDoc> SearchWand(const std::vector<TermId>& terms,
+                                    int k) const;
+
   IndexOptions options_;
   Tokenizer tokenizer_;
   Vocabulary vocab_;
@@ -140,6 +215,14 @@ class TableIndex : public CorpusStats {
   std::vector<std::vector<std::vector<Posting>>> postings_;
   /// Field lengths (in tokens) per doc, for length normalization.
   std::vector<std::vector<uint32_t>> field_len_;
+
+  /// Lazily built from postings_/field_len_/idf_ (or installed by
+  /// snapshot load). scoring_ready_ is set with release order after the
+  /// layout is complete; readers check it with acquire order, so a true
+  /// read guarantees visibility of the layout without taking the mutex.
+  mutable ScoringLayout scoring_;
+  mutable std::atomic<bool> scoring_ready_{false};
+  mutable std::mutex scoring_mu_;
 };
 
 }  // namespace wwt

@@ -80,6 +80,10 @@ bool InUnitRange(double v) { return v >= 0.0 && v <= 1.0; }
 Status ValidateEngineOptions(const EngineOptions& o) {
   if (o.probe1_k < 1) return BadField("probe1_k", "must be >= 1");
   if (o.probe2_k < 1) return BadField("probe2_k", "must be >= 1");
+  if (o.scorer != ProbeScorer::kWand &&
+      o.scorer != ProbeScorer::kExhaustive) {
+    return BadField("scorer", "must be wand or exhaustive");
+  }
   if (!InUnitRange(o.score_floor_fraction)) {
     return BadField("score_floor_fraction", "must be in [0, 1]");
   }
@@ -181,6 +185,11 @@ uint64_t EngineOptionsFingerprint(const EngineOptions& o) {
   uint64_t h = Fnv1a("EngineOptions/v1");
   h = MixInt(h, static_cast<uint64_t>(o.probe1_k));
   h = MixInt(h, static_cast<uint64_t>(o.probe2_k));
+  // The scorer does not change results (the equivalence guarantee), but
+  // it is an execution knob a cache key must separate: a response served
+  // under one scorer must never masquerade as a measurement of the
+  // other.
+  h = MixInt(h, static_cast<uint64_t>(o.scorer));
   h = MixDouble(h, o.score_floor_fraction);
   h = MixInt(h, static_cast<uint64_t>(o.sample_rows));
   h = MixDouble(h, o.confident_prob);

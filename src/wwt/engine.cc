@@ -44,7 +44,9 @@ const TableStore* WwtEngine::StoreOf(TableId doc) const {
 
 std::vector<ScoredDoc> WwtEngine::Probe(
     const std::vector<std::string>& keywords, int k) const {
-  if (shards_.size() == 1) return shards_[0].index->Search(keywords, k);
+  if (shards_.size() == 1) {
+    return shards_[0].index->Search(keywords, k, options_.scorer);
+  }
 
   // Scatter: each shard's top-k under the global IDF. Any document in
   // the global top-k is by definition in its own shard's top-k, so the
@@ -64,10 +66,11 @@ std::vector<ScoredDoc> WwtEngine::Probe(
       for (size_t s = 1; s < shards_.size(); ++s) {
         pending.push_back(probe_pool_->Submit(
             [this, &per_shard, &keywords, k, s] {
-              per_shard[s] = shards_[s].index->Search(keywords, k);
+              per_shard[s] =
+                  shards_[s].index->Search(keywords, k, options_.scorer);
             }));
       }
-      per_shard[0] = shards_[0].index->Search(keywords, k);
+      per_shard[0] = shards_[0].index->Search(keywords, k, options_.scorer);
     } catch (...) {
       first_error = std::current_exception();
     }
@@ -81,7 +84,7 @@ std::vector<ScoredDoc> WwtEngine::Probe(
     if (first_error != nullptr) std::rethrow_exception(first_error);
   } else {
     for (size_t s = 0; s < shards_.size(); ++s) {
-      per_shard[s] = shards_[s].index->Search(keywords, k);
+      per_shard[s] = shards_[s].index->Search(keywords, k, options_.scorer);
     }
   }
 

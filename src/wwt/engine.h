@@ -44,6 +44,10 @@ struct EngineOptions {
   /// Top-k of the first / second index probe.
   int probe1_k = 60;
   int probe2_k = 60;
+  /// Top-k algorithm for the index probes. Both scorers return identical
+  /// results (see docs/RETRIEVAL.md); kExhaustive exists as the
+  /// reference for equivalence tests and perf comparisons.
+  ProbeScorer scorer = ProbeScorer::kWand;
   /// Hits scoring below this fraction of the top hit are dropped (keeps
   /// single-stopword-grade matches out of the candidate set).
   double score_floor_fraction = 0.05;

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# CTest smoke for the bench_compare CLI (labels: unit) — the CI
+# perf-regression gate. Exercises the full exit-code contract against
+# synthetic bench JSON: identical runs pass, a halved QPS fails, the
+# same regression passes under --warn-only, a false correctness flag
+# fails even under --warn-only, and missing/malformed inputs are usage
+# errors (exit 2), never crashes.
+set -u
+
+COMPARE="${1:?usage: bench_compare_cli_test.sh /path/to/bench_compare}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "bench_compare_cli_test: FAIL: $1"; exit 1; }
+
+# A miniature but structurally faithful bench_throughput JSON.
+write_json() {
+  local path="$1" serial_qps="$2" wand_qps="$3" identical="$4"
+  cat > "$path" <<EOF
+{
+  "bench": "throughput",
+  "identical_to_serial": ${identical},
+  "serial_qps": ${serial_qps},
+  "response_cache": {"hit_over_miss": 40.0, "identical_to_serial": true},
+  "shard_fanout": [
+    {"shards": 4, "vs_unsharded": 1.0, "identical_to_serial": true}
+  ],
+  "probe_sweep": [
+    {"shards": 1, "k": 10, "wand_qps": ${wand_qps},
+     "exhaustive_qps": 50000.0, "speedup": 2.0, "identical": true}
+  ]
+}
+EOF
+}
+
+write_json "$TMP/baseline.json" 100.0 100000.0 true
+
+# Identical run: gate passes.
+write_json "$TMP/same.json" 100.0 100000.0 true
+"$COMPARE" --baseline "$TMP/baseline.json" --current "$TMP/same.json" \
+  >"$TMP/same.txt" || fail "identical run did not pass"
+grep -q "gate passed" "$TMP/same.txt" || fail "no 'gate passed' line"
+
+# Throughput beyond tolerance (halved and then some): gate fails.
+write_json "$TMP/slow.json" 40.0 30000.0 true
+if "$COMPARE" --baseline "$TMP/baseline.json" --current "$TMP/slow.json" \
+    >"$TMP/slow.txt"; then
+  fail "regressed run passed"
+fi
+grep -q "REGRESSED" "$TMP/slow.txt" || fail "no REGRESSED line"
+
+# The same regression under --warn-only: tolerated, exit 0.
+"$COMPARE" --warn-only --baseline "$TMP/baseline.json" \
+  --current "$TMP/slow.json" >"$TMP/warn.txt" \
+  || fail "--warn-only did not tolerate a perf regression"
+grep -q "tolerated" "$TMP/warn.txt" || fail "no 'tolerated' line"
+
+# A false correctness flag fails even under --warn-only: wrong answers
+# are not a perf matter.
+write_json "$TMP/wrong.json" 100.0 100000.0 false
+if "$COMPARE" --warn-only --baseline "$TMP/baseline.json" \
+    --current "$TMP/wrong.json" >"$TMP/wrong.txt"; then
+  fail "--warn-only masked a correctness failure"
+fi
+grep -q "correctness flag is FALSE" "$TMP/wrong.txt" \
+  || fail "no correctness-failure line"
+
+# Missing file and malformed JSON: usage/parse errors, exit 2.
+"$COMPARE" --baseline "$TMP/nope.json" --current "$TMP/same.json" \
+  2>/dev/null
+[ $? -eq 2 ] || fail "missing baseline was not exit 2"
+printf '{"unterminated": ' > "$TMP/bad.json"
+"$COMPARE" --baseline "$TMP/bad.json" --current "$TMP/same.json" \
+  2>/dev/null
+[ $? -eq 2 ] || fail "malformed JSON was not exit 2"
+"$COMPARE" --baseline-only 2>/dev/null
+[ $? -eq 2 ] || fail "bad flags were not exit 2"
+
+echo "bench_compare_cli_test: PASS"

@@ -124,6 +124,86 @@ TEST_F(SnapshotTest, LoadRestoresRetrievalState) {
   std::remove(path.c_str());
 }
 
+TEST_F(SnapshotTest, V3RoundtripPreservesBothScorers) {
+  // The v3 INDX tail carries the merged scoring layout; a loaded index
+  // must reproduce the fresh index's results under BOTH scorers with
+  // bit-identical scores (EXPECT_EQ on doubles, not near-equality).
+  const std::string path = SavedSnapshot("v3_scorers");
+  StatusOr<Corpus> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Corpus& fresh = GetCorpus();
+  for (size_t q = 0; q < fresh.queries.size(); ++q) {
+    std::vector<std::string> probe = {
+        fresh.queries[q].spec.columns[0].keywords};
+    for (ProbeScorer scorer :
+         {ProbeScorer::kWand, ProbeScorer::kExhaustive}) {
+      auto fresh_hits = fresh.index->Search(probe, 10, scorer);
+      auto loaded_hits = loaded->index->Search(probe, 10, scorer);
+      ASSERT_EQ(fresh_hits.size(), loaded_hits.size())
+          << "query " << q << " scorer " << ProbeScorerName(scorer);
+      for (size_t i = 0; i < fresh_hits.size(); ++i) {
+        EXPECT_EQ(fresh_hits[i].doc, loaded_hits[i].doc);
+        EXPECT_EQ(fresh_hits[i].score, loaded_hits[i].score);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, SaveAtVersion2StillLoads) {
+  // Backward-compat: a v2 writer (no scoring-layout tail) produces a
+  // file today's reader accepts; the layout is rebuilt lazily and the
+  // results match a fresh index exactly.
+  const std::string path = TempPath("v2_compat");
+  SnapshotInfo saved;
+  WWT_CHECK_OK(SaveSnapshotAtVersion(GetCorpus(), SmallOptions(), path,
+                                     kMinSnapshotFormatVersion, &saved));
+  EXPECT_EQ(saved.format_version, kMinSnapshotFormatVersion);
+
+  StatusOr<SnapshotInfo> inspected = InspectSnapshot(path);
+  ASSERT_TRUE(inspected.ok()) << inspected.status();
+  EXPECT_EQ(inspected->format_version, kMinSnapshotFormatVersion);
+
+  SnapshotInfo info;
+  StatusOr<Corpus> loaded = LoadSnapshot(path, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(info.format_version, kMinSnapshotFormatVersion);
+
+  const Corpus& fresh = GetCorpus();
+  std::vector<std::string> probe = {
+      fresh.queries[0].spec.columns[0].keywords};
+  auto fresh_hits = fresh.index->Search(probe, 10);
+  auto loaded_hits = loaded->index->Search(probe, 10);
+  ASSERT_EQ(fresh_hits.size(), loaded_hits.size());
+  for (size_t i = 0; i < fresh_hits.size(); ++i) {
+    EXPECT_EQ(fresh_hits[i].doc, loaded_hits[i].doc);
+    EXPECT_EQ(fresh_hits[i].score, loaded_hits[i].score);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, SaveAtUnsupportedVersionIsRejected) {
+  const std::string path = TempPath("bad_version");
+  Status too_old = SaveSnapshotAtVersion(
+      GetCorpus(), SmallOptions(), path, kMinSnapshotFormatVersion - 1);
+  EXPECT_TRUE(too_old.IsInvalidArgument()) << too_old;
+  Status too_new = SaveSnapshotAtVersion(GetCorpus(), SmallOptions(), path,
+                                         kSnapshotFormatVersion + 1);
+  EXPECT_TRUE(too_new.IsInvalidArgument()) << too_new;
+}
+
+TEST_F(SnapshotTest, VersionBelowMinimumIsRejected) {
+  const std::string path = SavedSnapshot("old_version");
+  std::string contents = ReadFile(path);
+  contents[8] = static_cast<char>(kMinSnapshotFormatVersion - 1);  // u32 LSB
+  WriteFile(path, contents);
+  StatusOr<Corpus> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST_F(SnapshotTest, SaveIsDeterministic) {
   const std::string path_a = SavedSnapshot("det_a");
   const std::string path_b = SavedSnapshot("det_b");

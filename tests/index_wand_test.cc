@@ -1,0 +1,198 @@
+// Copyright 2026 The WWT Authors
+//
+// Property test of the WAND scorer's equivalence guarantee: over random
+// corpora and random keyword queries, the block-max WAND top-k must
+// equal the exhaustive top-k — ids AND bit-identical scores — for every
+// k, scoring block size, and shard count, including the degenerate
+// shapes (k >= corpus, k = 0, unbounded k, single-term, all-stopword
+// and unknown-term-only queries). Any divergence here means the pruned
+// scorer changed answers, which the whole serving stack assumes it
+// cannot.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "index/snapshot.h"
+#include "index/table_index.h"
+#include "util/random.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+// A word pool mixing content words, stopwords, and words that stay out
+// of the corpus (so queries can contain unknown terms).
+const char* const kWords[] = {
+    "mountain", "river",   "lake",     "city",    "country", "height",
+    "length",   "area",    "capital",  "explorer", "voyage",  "currency",
+    "euro",     "peso",    "planet",   "orbit",   "moon",    "crater",
+    "element",  "symbol",  "metal",    "gas",     "bird",    "wingspan",
+    "tree",     "forest",  "desert",   "island",  "strait",  "canal",
+    "bridge",   "tunnel",  "railway",  "airport", "harbor",  "summit",
+};
+const char* const kStopwords[] = {"the", "of", "in", "a", "and"};
+const char* const kUnknownWords[] = {"zzyzzx", "qwyjibo", "xylograph"};
+
+std::string RandomWord(Random* rng) {
+  // Zipf-ish reuse: low ranks dominate, so terms repeat across tables
+  // and posting lists get long enough for blocks to matter.
+  return kWords[rng->Zipf(sizeof(kWords) / sizeof(kWords[0]), 0.8)];
+}
+
+WebTable RandomTable(TableId id, Random* rng) {
+  WebTable t;
+  t.id = id;
+  const int cols = 1 + static_cast<int>(rng->Uniform(3));
+  const int rows = 1 + static_cast<int>(rng->Uniform(4));
+  t.num_cols = cols;
+  std::vector<std::string> header(cols);
+  for (int c = 0; c < cols; ++c) header[c] = RandomWord(rng);
+  t.header_rows.push_back(header);
+  if (rng->Bernoulli(0.6)) {
+    std::string context = RandomWord(rng);
+    if (rng->Bernoulli(0.5)) {
+      context += ' ';
+      context += kStopwords[rng->Uniform(5)];
+      context += ' ';
+      context += RandomWord(rng);
+    }
+    t.context.push_back({context, 1.0});
+  }
+  t.body.resize(rows);
+  for (int r = 0; r < rows; ++r) {
+    t.body[r].resize(cols);
+    for (int c = 0; c < cols; ++c) t.body[r][c] = RandomWord(rng);
+  }
+  return t;
+}
+
+std::vector<std::string> RandomQuery(Random* rng) {
+  std::vector<std::string> keywords;
+  const int n = 1 + static_cast<int>(rng->Uniform(4));
+  for (int i = 0; i < n; ++i) {
+    std::string kw = RandomWord(rng);
+    if (rng->Bernoulli(0.2)) {
+      kw += ' ';
+      kw += kStopwords[rng->Uniform(5)];
+    }
+    if (rng->Bernoulli(0.1)) {
+      kw += ' ';
+      kw += kUnknownWords[rng->Uniform(3)];
+    }
+    keywords.push_back(std::move(kw));
+  }
+  return keywords;
+}
+
+/// Asserts WAND == exhaustive on `index` for one query and k: same
+/// size, same ids, bit-identical scores (EXPECT_EQ on the doubles).
+void ExpectScorersAgree(const TableIndex& index,
+                        const std::vector<std::string>& keywords, int k) {
+  auto wand = index.Search(keywords, k, ProbeScorer::kWand);
+  auto exhaustive = index.Search(keywords, k, ProbeScorer::kExhaustive);
+  ASSERT_EQ(wand.size(), exhaustive.size())
+      << "k=" << k << " query[0]=" << keywords[0];
+  for (size_t i = 0; i < wand.size(); ++i) {
+    EXPECT_EQ(wand[i].doc, exhaustive[i].doc)
+        << "hit " << i << " k=" << k << " query[0]=" << keywords[0];
+    EXPECT_EQ(wand[i].score, exhaustive[i].score)
+        << "hit " << i << " k=" << k << " query[0]=" << keywords[0];
+  }
+}
+
+TEST(IndexWandPropertyTest, RandomCorporaAllKAllBlockSizes) {
+  Random table_rng(2026);
+  const int kNumTables = 160;
+  std::vector<WebTable> tables;
+  tables.reserve(kNumTables);
+  for (TableId id = 0; id < kNumTables; ++id) {
+    tables.push_back(RandomTable(id, &table_rng));
+  }
+
+  // Small blocks exercise block-boundary skipping hard (many blocks per
+  // posting list); 128 is the shipped default.
+  for (uint32_t block_size : {4u, 32u, 128u}) {
+    IndexOptions options;
+    options.scoring_block_size = block_size;
+    TableIndex index(options);
+    for (const WebTable& t : tables) index.Add(t);
+
+    Random query_rng(7 + block_size);
+    for (int q = 0; q < 40; ++q) {
+      const std::vector<std::string> keywords = RandomQuery(&query_rng);
+      // k spans: tiny, mid, beyond-corpus, and the unbounded / empty
+      // degenerate requests.
+      for (int k : {1, 3, 10, kNumTables + 50, -1}) {
+        ExpectScorersAgree(index, keywords, k);
+      }
+      EXPECT_TRUE(index.Search(keywords, 0, ProbeScorer::kWand).empty());
+    }
+  }
+}
+
+TEST(IndexWandPropertyTest, DegenerateQueries) {
+  Random rng(99);
+  TableIndex index;
+  for (TableId id = 0; id < 60; ++id) index.Add(RandomTable(id, &rng));
+
+  // Single-term queries, including the most and least frequent words.
+  for (const char* word : {"mountain", "river", "summit", "harbor"}) {
+    for (int k : {1, 5, 1000}) {
+      ExpectScorersAgree(index, {word}, k);
+    }
+  }
+  // All-stopword query: no scorable terms, both scorers return nothing.
+  EXPECT_TRUE(index.Search({"the of in"}, 10, ProbeScorer::kWand).empty());
+  EXPECT_TRUE(
+      index.Search({"the of in"}, 10, ProbeScorer::kExhaustive).empty());
+  // Unknown-term-only query: ditto.
+  EXPECT_TRUE(index.Search({"zzyzzx"}, 10, ProbeScorer::kWand).empty());
+  EXPECT_TRUE(
+      index.Search({"zzyzzx"}, 10, ProbeScorer::kExhaustive).empty());
+  // Mixed known + unknown must score exactly the known part.
+  ExpectScorersAgree(index, {"mountain zzyzzx"}, 10);
+}
+
+TEST(IndexWandPropertyTest, ShardedPipelineDigestsMatch) {
+  // Scorer equivalence must survive the full scatter-gather pipeline:
+  // a generated corpus partitioned across shards serves byte-identical
+  // ResultDigests under either scorer.
+  CorpusOptions options;
+  options.seed = 7;
+  options.scale = 0.15;
+  Corpus corpus = GenerateCorpus(options);
+
+  for (int num_shards : {1, 3}) {
+    std::vector<Corpus> parts = PartitionCorpus(corpus, num_shards);
+    std::vector<std::shared_ptr<const CorpusHandle>> handles;
+    for (int s = 0; s < num_shards; ++s) {
+      handles.push_back(CorpusHandle::Own(std::move(parts[s]), 0x2000 + s));
+    }
+    std::shared_ptr<const CorpusSet> set = CorpusSet::Of(std::move(handles));
+
+    EngineOptions wand_options;
+    wand_options.scorer = ProbeScorer::kWand;
+    EngineOptions exhaustive_options;
+    exhaustive_options.scorer = ProbeScorer::kExhaustive;
+    WwtEngine wand_engine(set->shard_refs(), &set->stats(), wand_options);
+    WwtEngine exhaustive_engine(set->shard_refs(), &set->stats(),
+                                exhaustive_options);
+
+    for (const ResolvedQuery& rq : corpus.queries) {
+      std::vector<std::string> cols;
+      for (const QueryColumnSpec& col : rq.spec.columns) {
+        cols.push_back(col.keywords);
+      }
+      EXPECT_EQ(ResultDigest(wand_engine.Execute(cols)),
+                ResultDigest(exhaustive_engine.Execute(cols)))
+          << rq.spec.name << " over " << num_shards << " shards";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wwt

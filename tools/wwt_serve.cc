@@ -29,6 +29,12 @@
 //             [--queries FILE | --stdin] [--format text|json]
 //             [--deadline-ms D] [--quiet]
 //             [--cache-mb MB] [--cache-ttl-ms T | --no-cache]
+//             [--k K] [--scorer wand|exhaustive]
+//
+// --k overrides the top-k of BOTH index probes; --scorer picks the
+// probe algorithm (block-max WAND by default, exhaustive as the
+// reference — answers are identical either way, see docs/RETRIEVAL.md).
+// Both land in the summary so recorded runs identify their scorer.
 //
 // --deadline-ms requires --stdin: only there is a request stamped when
 // it arrives, making the deadline genuinely per-query. Batch mode
@@ -58,6 +64,7 @@
 #include <vector>
 
 #include "index/snapshot.h"
+#include "index/table_index.h"
 #include "util/timer.h"
 #include "wwt/service.h"
 
@@ -159,7 +166,8 @@ int Usage(const char* argv0) {
                "usage: %s --snapshot PATH [--threads N] [--batch-mult M]\n"
                "          [--queries FILE | --stdin] [--format text|json]\n"
                "          [--deadline-ms D] [--quiet]\n"
-               "          [--cache-mb MB] [--cache-ttl-ms T | --no-cache]\n",
+               "          [--cache-mb MB] [--cache-ttl-ms T | --no-cache]\n"
+               "          [--k K] [--scorer wand|exhaustive]\n",
                argv0);
   return 2;
 }
@@ -176,6 +184,8 @@ int main(int argc, char** argv) {
   std::string snapshot_path, queries_path, format = "text";
   int threads = 0;
   int batch_mult = 1;
+  int probe_k = 0;  // 0 = engine default for both probes
+  wwt::ProbeScorer scorer = wwt::ProbeScorer::kWand;
   double deadline_ms = 0;  // 0 = none
   double cache_mb = 64;    // response cache budget; see --no-cache
   double cache_ttl_ms = 0;  // 0 = entries never expire
@@ -248,6 +258,22 @@ int main(int argc, char** argv) {
                     v + "'");
       }
       cache_flag_set = true;
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      probe_k = std::atoi(v);
+      if (probe_k < 1) {
+        return Fail(std::string("--k wants a positive top-k, got '") + v +
+                    "'");
+      }
+    } else if (arg == "--scorer") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (!wwt::ParseProbeScorer(v, &scorer)) {
+        return Fail(std::string("--scorer wants 'wand' or 'exhaustive', "
+                                "got '") +
+                    v + "'");
+      }
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--stdin") {
@@ -279,6 +305,11 @@ int main(int argc, char** argv) {
   wwt::WallTimer load_timer;
   wwt::ServiceOptions service_options;
   service_options.num_threads = threads;
+  service_options.engine.scorer = scorer;
+  if (probe_k > 0) {
+    service_options.engine.probe1_k = probe_k;
+    service_options.engine.probe2_k = probe_k;
+  }
   if (!no_cache) {
     service_options.cache.capacity_bytes =
         static_cast<size_t>(cache_mb * 1024 * 1024);
@@ -450,6 +481,7 @@ int main(int argc, char** argv) {
   if (json) {
     std::printf(
         "{\"summary\": {\"queries\": %zu, \"failed\": %zu, "
+        "\"scorer\": \"%s\", \"probe_k\": [%d, %d], "
         "\"wall_seconds\": %.4f, \"qps\": %.2f, \"concurrency\": %d, "
         "\"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
         "\"p99\": %.3f}, \"load_seconds\": %.4f, \"corpus_hash\": "
@@ -460,7 +492,11 @@ int main(int argc, char** argv) {
         "\"stats\": {\"source\": \"%s\", \"corpus_hash\": \"%016llx\", "
         "\"shards\": %zu, \"tables\": %llu, \"threads\": %d, "
         "\"shard_threads\": %d}}}\n",
-        s.num_queries, failed, s.wall_seconds, s.qps, s.concurrency,
+        s.num_queries, failed,
+        wwt::ProbeScorerName((*service)->engine_options().scorer),
+        (*service)->engine_options().probe1_k,
+        (*service)->engine_options().probe2_k, s.wall_seconds, s.qps,
+        s.concurrency,
         s.latency.mean * 1e3, s.latency.p50 * 1e3, s.latency.p95 * 1e3,
         s.latency.p99 * 1e3, load_seconds,
         static_cast<unsigned long long>(info.content_hash),
@@ -476,8 +512,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ss.corpus_tables),
         ss.num_threads, ss.shard_threads);
   } else {
-    std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d\n",
-                s.num_queries, s.wall_seconds, s.qps, s.concurrency);
+    std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d "
+                "(%s scorer, k=%d/%d)\n",
+                s.num_queries, s.wall_seconds, s.qps, s.concurrency,
+                wwt::ProbeScorerName((*service)->engine_options().scorer),
+                (*service)->engine_options().probe1_k,
+                (*service)->engine_options().probe2_k);
     std::printf("latency ms: mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f\n",
                 s.latency.mean * 1e3, s.latency.p50 * 1e3,
                 s.latency.p95 * 1e3, s.latency.p99 * 1e3);
