@@ -1,0 +1,212 @@
+// Copyright 2026 The WWT Authors
+//
+// Cold-start bench: the zero-copy claim, measured. Builds one corpus,
+// saves it as both a v3 (materialized-load) and a v4 (mmap-native)
+// snapshot, then times LoadSnapshot of each — the v4 load is an mmap +
+// O(nterms) structural validation, so it should beat the v3
+// decode-everything load by an order of magnitude at serving scales.
+// Both loads are verified to serve the stored workload byte-identically
+// before any number is reported; post-load RSS deltas show how much of
+// each corpus is resident vs paged.
+//
+// Knobs (on top of bench_common's WWT_SCALE / WWT_SEED /
+// WWT_BENCH_JSON):
+//   WWT_COLDSTART_REPS — load repetitions per version; the minimum is
+//                        reported (default 3)
+//
+// JSON summary (WWT_BENCH_JSON), gated by bench_compare:
+//   {"bench": "coldstart", "scale": ..., "seed": ..., "reps": ...,
+//    "generate_seconds": ..., "file_bytes_v3": ..., "file_bytes_v4": ...,
+//    "load_v3_seconds": ..., "load_v4_seconds": ..., "speedup": ...,
+//    "rss_v3_kb": ..., "rss_v4_kb": ..., "identical": true}
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "index/corpus_set.h"
+#include "index/snapshot.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "wwt/service.h"
+
+using namespace wwt;
+using namespace wwt::bench;
+
+namespace {
+
+// Resident set size in kB from /proc/self/status; 0 where the proc
+// interface is unavailable (the RSS numbers are reported, never gated).
+long ResidentKb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+uint64_t FileBytes(const std::string& path) {
+  StatusOr<serde::InputFile> file = serde::InputFile::Open(path);
+  return file.ok() ? file->size() : 0;
+}
+
+// Minimum LoadSnapshot wall time over `reps` runs; the last load (and
+// its SnapshotInfo) is kept so the caller can serve from it.
+double TimeLoads(const std::string& path, int reps,
+                 std::optional<Corpus>* out, SnapshotInfo* info) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    out->reset();
+    WallTimer timer;
+    StatusOr<Corpus> loaded = LoadSnapshot(path, info);
+    const double seconds = timer.ElapsedSeconds();
+    WWT_CHECK_OK(loaded.status());
+    out->emplace(std::move(*loaded));
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+std::vector<std::vector<std::string>> WorkloadQueries(const Corpus& corpus) {
+  std::vector<std::vector<std::string>> out;
+  for (const ResolvedQuery& rq : corpus.queries) {
+    std::vector<std::string> cols;
+    for (const QueryColumnSpec& col : rq.spec.columns) {
+      cols.push_back(col.keywords);
+    }
+    out.push_back(std::move(cols));
+  }
+  return out;
+}
+
+std::vector<std::string> ServeDigests(const Corpus& corpus,
+                                      uint64_t content_hash) {
+  StatusOr<std::unique_ptr<WwtService>> service = WwtService::Create();
+  WWT_CHECK_OK(service.status());
+  (*service)->SwapCorpus(CorpusHandle::Borrow(&corpus, content_hash));
+  std::vector<std::string> digests;
+  for (const auto& cols : WorkloadQueries(corpus)) {
+    QueryResponse response = (*service)->Run(QueryRequest::Of(cols));
+    WWT_CHECK_OK(response.status);
+    digests.push_back(ResultDigest(response));
+  }
+  return digests;
+}
+
+std::string TempSnapshotPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  return std::string(dir) + "/wwt_coldstart_" + name + ".wwtsnap";
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale();
+  const uint64_t seed = EnvSeed();
+  const int reps = EnvInt("WWT_COLDSTART_REPS", 3);
+
+  CorpusOptions options;
+  options.seed = seed;
+  options.scale = scale;
+
+  const std::string v3_path = TempSnapshotPath("v3");
+  const std::string v4_path = TempSnapshotPath("v4");
+
+  double generate_seconds = 0;
+  {
+    // Build once, save both versions, then drop the builder corpus so
+    // the loads below are measured against a quiet heap.
+    WallTimer timer;
+    Corpus corpus = GenerateCorpus(options);
+    generate_seconds = timer.ElapsedSeconds();
+    WWT_CHECK_OK(SaveSnapshotAtVersion(corpus, options, v3_path, 3));
+    WWT_CHECK_OK(SaveSnapshot(corpus, options, v4_path));
+  }
+  const uint64_t file_bytes_v3 = FileBytes(v3_path);
+  const uint64_t file_bytes_v4 = FileBytes(v4_path);
+  std::fprintf(stderr,
+               "[bench] corpus scale=%.2f seed=%llu built in %.2f s "
+               "(v3 %llu bytes, v4 %llu bytes)\n",
+               scale, static_cast<unsigned long long>(seed),
+               generate_seconds,
+               static_cast<unsigned long long>(file_bytes_v3),
+               static_cast<unsigned long long>(file_bytes_v4));
+
+  // v4 first so its RSS delta is read against the post-build floor; the
+  // v3 delta is then read on top of the (still-pinned) v4 mapping,
+  // which only pages in what serving touched.
+  std::optional<Corpus> v4_corpus;
+  SnapshotInfo v4_info;
+  const long rss_before_v4 = ResidentKb();
+  const double load_v4_seconds = TimeLoads(v4_path, reps, &v4_corpus, &v4_info);
+  const long rss_v4_kb = ResidentKb() - rss_before_v4;
+
+  std::optional<Corpus> v3_corpus;
+  SnapshotInfo v3_info;
+  const long rss_before_v3 = ResidentKb();
+  const double load_v3_seconds = TimeLoads(v3_path, reps, &v3_corpus, &v3_info);
+  const long rss_v3_kb = ResidentKb() - rss_before_v3;
+
+  const double speedup =
+      load_v4_seconds > 0 ? load_v3_seconds / load_v4_seconds : 0;
+  std::printf("cold start: v3 %.4f s, v4 %.4f s  (%.1fx, min of %d)\n",
+              load_v3_seconds, load_v4_seconds, speedup, reps);
+  std::printf("rss delta:  v3 %+ld kB, v4 %+ld kB\n", rss_v3_kb, rss_v4_kb);
+
+  // Correctness gate: both loads must answer the stored workload with
+  // byte-identical digests. No number above matters if this is false.
+  const std::vector<std::string> v3_digests =
+      ServeDigests(*v3_corpus, v3_info.content_hash);
+  const std::vector<std::string> v4_digests =
+      ServeDigests(*v4_corpus, v4_info.content_hash);
+  bool identical = v3_digests == v4_digests && !v3_digests.empty();
+  std::printf("answers:    %zu workload queries, %s\n", v3_digests.size(),
+              identical ? "byte-identical across versions" : "DIVERGED");
+
+  if (FILE* json = OpenBenchJson()) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"coldstart\",\n"
+                 "  \"scale\": %.4f,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"generate_seconds\": %.4f,\n"
+                 "  \"file_bytes_v3\": %llu,\n"
+                 "  \"file_bytes_v4\": %llu,\n"
+                 "  \"load_v3_seconds\": %.6f,\n"
+                 "  \"load_v4_seconds\": %.6f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"rss_v3_kb\": %ld,\n"
+                 "  \"rss_v4_kb\": %ld,\n"
+                 "  \"identical\": %s\n"
+                 "}\n",
+                 scale, static_cast<unsigned long long>(seed), reps,
+                 generate_seconds,
+                 static_cast<unsigned long long>(file_bytes_v3),
+                 static_cast<unsigned long long>(file_bytes_v4),
+                 load_v3_seconds, load_v4_seconds, speedup, rss_v3_kb,
+                 rss_v4_kb, identical ? "true" : "false");
+    std::fclose(json);
+  }
+
+  std::remove(v3_path.c_str());
+  std::remove(v4_path.c_str());
+  return identical ? 0 : 1;
+}

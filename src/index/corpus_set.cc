@@ -1,0 +1,288 @@
+#include "index/corpus_set.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace wwt {
+
+namespace {
+
+/// Process-unique stand-in hash for corpora with no snapshot artifact:
+/// two different in-memory corpora must never share a fingerprint/cache
+/// key, even though neither has a real content hash. Not reproducible
+/// across processes — snapshot-backed handles are, via the artifact's
+/// checksum.
+uint64_t SyntheticContentHash() {
+  static std::atomic<uint64_t> counter{0};
+  return HashCombine(Fnv1a("wwt-unversioned-corpus"), ++counter);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- CorpusHandle
+
+std::shared_ptr<const CorpusHandle> CorpusHandle::Own(Corpus corpus,
+                                                      uint64_t content_hash,
+                                                      std::string source) {
+  auto handle = std::shared_ptr<CorpusHandle>(new CorpusHandle);
+  handle->owned_ = std::make_unique<Corpus>(std::move(corpus));
+  handle->corpus_ = handle->owned_.get();
+  handle->content_hash_ =
+      content_hash != 0 ? content_hash : SyntheticContentHash();
+  handle->source_ = std::move(source);
+  return handle;
+}
+
+std::shared_ptr<const CorpusHandle> CorpusHandle::Borrow(
+    const Corpus* corpus, uint64_t content_hash) {
+  auto handle = std::shared_ptr<CorpusHandle>(new CorpusHandle);
+  handle->corpus_ = corpus;
+  // The same synthetic-hash remap as Own: a borrowed unversioned corpus
+  // must not collide with any other corpus on fingerprints/cache keys.
+  handle->content_hash_ =
+      content_hash != 0 ? content_hash : SyntheticContentHash();
+  return handle;
+}
+
+StatusOr<std::shared_ptr<const CorpusHandle>> CorpusHandle::Load(
+    const std::string& path, SnapshotInfo* info) {
+  WWT_ASSIGN_OR_RETURN(serde::InputFile file, serde::InputFile::Open(path));
+  return Load(std::move(file), path, info);
+}
+
+StatusOr<std::shared_ptr<const CorpusHandle>> CorpusHandle::Load(
+    serde::InputFile file, const std::string& path, SnapshotInfo* info) {
+  SnapshotInfo local;
+  StatusOr<Corpus> corpus = LoadSnapshot(std::move(file), path, &local);
+  if (!corpus.ok()) return corpus.status();
+  if (info != nullptr) *info = local;
+  auto handle = std::shared_ptr<CorpusHandle>(new CorpusHandle);
+  handle->owned_ = std::make_unique<Corpus>(std::move(corpus).value());
+  handle->corpus_ = handle->owned_.get();
+  handle->content_hash_ = local.content_hash != 0 ? local.content_hash
+                                                  : SyntheticContentHash();
+  handle->source_ = path;
+  handle->format_version_ = local.format_version;
+  return std::shared_ptr<const CorpusHandle>(std::move(handle));
+}
+
+uint64_t CorpusHandle::mapped_bytes() const {
+  return corpus_->mapping != nullptr ? corpus_->mapping->size() : 0;
+}
+
+uint64_t CorpusHandle::heap_bytes() const {
+  return corpus_->store.HeapBytes() + corpus_->index->HeapBytes();
+}
+
+// -------------------------------------------------------------- CorpusSet
+
+/// The >1-shard CorpusStats implementation. Global statistics are read
+/// from shard 0 — every shard of a partitioned corpus carries an
+/// identical copy — and the conjunctive doc-set probes union over the
+/// shards. Ranges are disjoint and ascending (CorpusSet::Of sorts and
+/// checks), so per-shard sorted results concatenate into one sorted
+/// vector, exactly what the full index would have returned.
+class CorpusSet::ShardedStats : public CorpusStats {
+ public:
+  explicit ShardedStats(const CorpusSet* set) : set_(set) {}
+
+  const Tokenizer& tokenizer() const override {
+    return set_->shard(0).index().tokenizer();
+  }
+  const Vocabulary& vocab() const override {
+    return set_->shard(0).index().vocab();
+  }
+  const IdfDictionary& idf() const override {
+    return set_->shard(0).index().idf();
+  }
+  size_t num_docs() const override {
+    size_t total = 0;
+    for (size_t s = 0; s < set_->num_shards(); ++s) {
+      total += set_->shard(s).index().num_docs();
+    }
+    return total;
+  }
+
+  std::vector<TableId> MatchAllInHeaderOrContext(
+      const std::vector<std::string>& keywords) const override {
+    std::vector<TableId> out;
+    for (size_t s = 0; s < set_->num_shards(); ++s) {
+      std::vector<TableId> docs =
+          set_->shard(s).index().MatchAllInHeaderOrContext(keywords);
+      out.insert(out.end(), docs.begin(), docs.end());
+    }
+    return out;
+  }
+
+  std::vector<TableId> MatchAllInContent(
+      const std::vector<std::string>& keywords) const override {
+    std::vector<TableId> out;
+    for (size_t s = 0; s < set_->num_shards(); ++s) {
+      std::vector<TableId> docs =
+          set_->shard(s).index().MatchAllInContent(keywords);
+      out.insert(out.end(), docs.begin(), docs.end());
+    }
+    return out;
+  }
+
+ private:
+  const CorpusSet* set_;
+};
+
+CorpusSet::~CorpusSet() = default;
+
+std::shared_ptr<const CorpusSet> CorpusSet::FromHandle(
+    std::shared_ptr<const CorpusHandle> shard) {
+  WWT_CHECK(shard != nullptr) << "FromHandle needs a handle";
+  auto set = std::shared_ptr<CorpusSet>(new CorpusSet);
+  set->content_hash_ = shard->content_hash();
+  set->source_ = shard->source();
+  set->shard_refs_.push_back({&shard->store(), &shard->index()});
+  set->shards_.push_back(std::move(shard));
+  return set;
+}
+
+std::shared_ptr<const CorpusSet> CorpusSet::Of(
+    std::vector<std::shared_ptr<const CorpusHandle>> shards) {
+  return Build(std::move(shards));
+}
+
+std::shared_ptr<CorpusSet> CorpusSet::Build(
+    std::vector<std::shared_ptr<const CorpusHandle>> shards) {
+  WWT_CHECK(!shards.empty()) << "a CorpusSet needs at least one shard";
+  for (const auto& shard : shards) {
+    WWT_CHECK(shard != nullptr) << "CorpusSet shards must be non-null";
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const std::shared_ptr<const CorpusHandle>& a,
+               const std::shared_ptr<const CorpusHandle>& b) {
+              return a->store().first_id() < b->store().first_id();
+            });
+  for (size_t s = 1; s < shards.size(); ++s) {
+    WWT_CHECK(shards[s]->store().first_id() >=
+              shards[s - 1]->store().end_id())
+        << "CorpusSet shards must cover disjoint table-id ranges";
+  }
+
+  auto set = std::shared_ptr<CorpusSet>(new CorpusSet);
+  std::vector<uint64_t> hashes;
+  hashes.reserve(shards.size());
+  for (const auto& shard : shards) {
+    hashes.push_back(shard->content_hash());
+    set->shard_refs_.push_back({&shard->store(), &shard->index()});
+  }
+  set->content_hash_ = SetContentHash(hashes);
+  set->shards_ = std::move(shards);
+  if (set->shards_.size() > 1) {
+    set->sharded_stats_ = std::make_unique<const ShardedStats>(set.get());
+  }
+  return set;
+}
+
+StatusOr<std::shared_ptr<const CorpusSet>> CorpusSet::Load(
+    const std::string& manifest_path, SetManifest* manifest) {
+  WWT_ASSIGN_OR_RETURN(SetManifest m, LoadSetManifest(manifest_path));
+  std::vector<std::shared_ptr<const CorpusHandle>> shards;
+  shards.reserve(m.shards.size());
+  for (const ShardManifestEntry& entry : m.shards) {
+    const std::string path = ResolveShardPath(manifest_path, entry.file);
+    WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusHandle> shard,
+                         CorpusHandle::Load(path));
+    if (shard->content_hash() != entry.content_hash) {
+      return Status::Corruption(
+          "shard '", path, "' does not match the manifest (the file was ",
+          "rebuilt or replaced) — re-run wwt_indexer --shards");
+    }
+    if (shard->store().first_id() != entry.first_table_id ||
+        shard->store().size() != entry.num_tables) {
+      return Status::Corruption("shard '", path,
+                                "' id range disagrees with the manifest");
+    }
+    shards.push_back(std::move(shard));
+  }
+  // Build() recomputes the set hash from the shard hashes; the
+  // manifest's own consistency (set_hash vs entries) was verified by
+  // LoadSetManifest, and the per-shard hashes above tie the files to
+  // the entries — so the two always agree here.
+  std::shared_ptr<CorpusSet> set = Build(std::move(shards));
+  set->source_ = manifest_path;
+  if (manifest != nullptr) *manifest = std::move(m);
+  return std::shared_ptr<const CorpusSet>(std::move(set));
+}
+
+uint64_t CorpusSet::num_tables() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->store().size();
+  return total;
+}
+
+uint32_t CorpusSet::format_version() const {
+  uint32_t version = 0;
+  for (const auto& shard : shards_) {
+    version = std::max(version, shard->format_version());
+  }
+  return version;
+}
+
+uint64_t CorpusSet::mapped_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->mapped_bytes();
+  return total;
+}
+
+uint64_t CorpusSet::heap_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->heap_bytes();
+  return total;
+}
+
+const CorpusStats& CorpusSet::stats() const {
+  return sharded_stats_ != nullptr
+             ? static_cast<const CorpusStats&>(*sharded_stats_)
+             : shards_[0]->index();
+}
+
+const std::vector<ResolvedQuery>& CorpusSet::queries() const {
+  return shards_[0]->corpus().queries;
+}
+
+// ------------------------------------------------------------- OpenCorpus
+
+StatusOr<OpenCorpusResult> OpenCorpus(const std::string& path) {
+  WWT_ASSIGN_OR_RETURN(serde::InputFile file, serde::InputFile::Open(path));
+  const std::string_view head = file.data();
+  if (head.size() >= sizeof(kSetMagic) &&
+      std::memcmp(head.data(), kSetMagic, sizeof(kSetMagic)) == 0) {
+    OpenCorpusResult result;
+    result.is_set = true;
+    SetManifest manifest;
+    WWT_ASSIGN_OR_RETURN(result.corpus,
+                         CorpusSet::Load(path, &manifest));
+    result.info.format_version = manifest.format_version;
+    result.info.content_hash = manifest.set_hash;
+    result.info.file_bytes = file.size();
+    result.info.seed = manifest.seed;
+    result.info.scale = manifest.scale;
+    result.info.noise_pages = manifest.noise_pages;
+    result.info.workload_hash = manifest.workload_hash;
+    result.info.num_tables = manifest.num_tables;
+    result.info.num_queries = result.corpus->queries().size();
+    result.info.num_terms = result.corpus->stats().vocab().size();
+    return result;
+  }
+  // Anything else is a snapshot (or garbage — LoadSnapshot's header
+  // checks own the error message); hand the open mapping through.
+  OpenCorpusResult result;
+  WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusHandle> handle,
+                       CorpusHandle::Load(std::move(file), path,
+                                          &result.info));
+  result.corpus = CorpusSet::FromHandle(std::move(handle));
+  return result;
+}
+
+}  // namespace wwt

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "corpus/corpus_generator.h"
+#include "util/serde.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -41,7 +42,16 @@ namespace wwt {
 /// doc/score CSR arrays + block size) so serving skips the one-time
 /// layout build; v2 files still load and rebuild it lazily on the first
 /// Search().
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+/// v4: zero-copy layout. STOR and INDX store 8-byte-aligned offset
+/// tables and raw arrays (store records, vocabulary, df table, docs-only
+/// varint postings, full scoring layout including block metadata) that
+/// the loader reads IN PLACE from the file mapping — no per-element
+/// decode, no heap materialization, no payload checksum pass (the
+/// header checksum is computed at save time and serves as the content
+/// hash; load validates structure in O(#terms)). A v4 corpus is
+/// immutable and pins its mapping via Corpus::mapping. v2/v3 files
+/// still load the materialized way.
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 
 /// Oldest format this build still loads (v2 lacks only the precomputed
 /// scoring layout, which TableIndex rebuilds on demand).
@@ -50,6 +60,14 @@ inline constexpr uint32_t kMinSnapshotFormatVersion = 2;
 /// First 8 bytes of every snapshot file.
 inline constexpr char kSnapshotMagic[8] = {'W', 'W', 'T', 'S',
                                            'N', 'A', 'P', '\n'};
+
+/// One payload section as seen by InspectSnapshot.
+struct SnapshotSection {
+  /// Four-character section tag ("META", "STOR", ...).
+  std::string tag;
+  /// Body bytes (excluding the tag + size framing).
+  uint64_t bytes = 0;
+};
 
 /// Header + META facts about a snapshot, cheap to read (InspectSnapshot
 /// parses only the fixed header and the META section).
@@ -70,6 +88,10 @@ struct SnapshotInfo {
   uint64_t num_tables = 0;
   uint64_t num_queries = 0;
   uint64_t num_terms = 0;
+
+  /// Per-section byte sizes in file order (filled by InspectSnapshot;
+  /// left empty by the load/save paths).
+  std::vector<SnapshotSection> sections;
 };
 
 /// Serializes `corpus` (built with `options`) to `path`, creating parent
@@ -94,6 +116,14 @@ Status SaveSnapshotAtVersion(const Corpus& corpus,
 /// bad magic / checksum / truncation (Corruption), or a format version
 /// mismatch (InvalidArgument) — never crashes on garbage input.
 StatusOr<Corpus> LoadSnapshot(const std::string& path,
+                              SnapshotInfo* info = nullptr);
+
+/// LoadSnapshot from an already-open file — the single-open path for
+/// callers that have sniffed or validated the file themselves (the
+/// OpenCorpus facade and CorpusHandle). `path` is used in error
+/// messages only. A v4 corpus takes ownership of the mapping
+/// (Corpus::mapping); v2/v3 corpora materialize and drop it.
+StatusOr<Corpus> LoadSnapshot(serde::InputFile file, const std::string& path,
                               SnapshotInfo* info = nullptr);
 
 /// Reads header + META without decoding the store/index sections (the

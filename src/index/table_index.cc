@@ -59,11 +59,78 @@ bool ParseProbeScorer(const std::string& name, ProbeScorer* out) {
   return false;
 }
 
+size_t HeapPostingsSource::HeapBytes() const {
+  size_t bytes = 0;
+  for (const auto& field : postings) {
+    bytes += field.capacity() * sizeof(field[0]);
+    for (const auto& plist : field) {
+      bytes += plist.capacity() * sizeof(Posting);
+    }
+  }
+  for (const auto& lens : field_len) {
+    bytes += lens.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+void MappedPostingsSource::AppendDocs(int field, TermId term,
+                                      std::vector<TableId>* out) const {
+  if (term >= num_terms) return;
+  const FieldView& fv = fields[field];
+  const char* p = fv.blob + fv.offsets[term];
+  const char* const end = fv.blob + fv.offsets[term + 1];
+  // Varint-delta stream: first doc absolute, then gaps. A garbled stream
+  // can only end the list early — every read stays within [p, end).
+  uint64_t prev = 0;
+  bool first = true;
+  while (p < end) {
+    uint64_t v = 0;
+    int shift = 0;
+    bool complete = false;
+    while (p < end && shift < 64) {
+      const uint8_t b = static_cast<uint8_t>(*p++);
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        complete = true;
+        break;
+      }
+      shift += 7;
+    }
+    if (!complete) break;
+    const uint64_t doc = first ? v : prev + v;
+    first = false;
+    prev = doc;
+    out->push_back(static_cast<TableId>(doc));
+  }
+}
+
 TableIndex::TableIndex(IndexOptions options,
                        TokenizerOptions tokenizer_options)
     : options_(options), tokenizer_(tokenizer_options) {
-  postings_.resize(kNumFields);
-  field_len_.resize(kNumFields);
+  auto heap = std::make_unique<HeapPostingsSource>();
+  heap_ = heap.get();
+  postings_ = std::move(heap);
+}
+
+size_t TableIndex::HeapBytes() const {
+  size_t bytes = postings_->HeapBytes();
+  bytes += scoring_.offsets.capacity() * sizeof(uint64_t);
+  bytes += scoring_.docs.capacity() * sizeof(TableId);
+  bytes += scoring_.scores.capacity() * sizeof(double);
+  bytes += scoring_.block_offsets.capacity() * sizeof(uint64_t);
+  bytes += scoring_.block_last.capacity() * sizeof(TableId);
+  bytes += scoring_.block_max.capacity() * sizeof(double);
+  bytes += scoring_.term_max.capacity() * sizeof(double);
+  if (!vocab_.mapped()) {
+    for (TermId t = 0; t < vocab_.size(); ++t) {
+      // Term bytes counted twice: once in the term vector, once as the
+      // hash-map key (plus untracked node overhead — this is an
+      // estimate, not an audit).
+      bytes += 2 * vocab_.Term(t).size() + sizeof(TermId);
+    }
+  }
+  if (!idf_.mapped()) bytes += vocab_.size() * sizeof(uint32_t);
+  return bytes;
 }
 
 std::vector<TermId> TableIndex::TermsOf(const std::string& text) {
@@ -90,6 +157,7 @@ std::vector<TermId> TableIndex::QueryTerms(
 }
 
 void TableIndex::Add(const WebTable& table) {
+  WWT_CHECK(heap_ != nullptr) << "mapped TableIndex is immutable";
   const TableId doc = table.id;
 
   std::string header_text;
@@ -121,7 +189,7 @@ void TableIndex::Add(const WebTable& table) {
 
     std::unordered_map<TermId, uint32_t> tf;
     for (TermId t : terms) ++tf[t];
-    auto& field_postings = postings_[f];
+    auto& field_postings = heap_->postings[f];
     if (vocab_.size() > field_postings.size()) {
       field_postings.resize(vocab_.size());
     }
@@ -133,7 +201,7 @@ void TableIndex::Add(const WebTable& table) {
           << "tables must be added in ascending id order";
       plist.push_back({doc, static_cast<float>(count)});
     }
-    auto& lens = field_len_[f];
+    auto& lens = heap_->field_len[f];
     if (doc >= lens.size()) lens.resize(doc + 1, 0);
     lens[doc] = static_cast<uint32_t>(terms.size());
   }
@@ -152,7 +220,8 @@ void TableIndex::FinishScoringLayout(ScoringLayout* layout) {
   const uint64_t bs = std::max<uint32_t>(1u, layout->block_size);
   const size_t nterms =
       layout->offsets.empty() ? 0 : layout->offsets.size() - 1;
-  layout->blocks.clear();
+  layout->block_last.clear();
+  layout->block_max.clear();
   layout->block_offsets.clear();
   layout->block_offsets.reserve(nterms + 1);
   layout->block_offsets.push_back(0);
@@ -163,17 +232,16 @@ void TableIndex::FinishScoringLayout(ScoringLayout* layout) {
     double tmax = 0.0;
     for (uint64_t b = begin; b < end; b += bs) {
       const uint64_t be = std::min(end, b + bs);
-      ScoringLayout::Block blk;
-      blk.last_doc = layout->docs[be - 1];
-      blk.max_score = 0.0;
+      double bmax = 0.0;
       for (uint64_t i = b; i < be; ++i) {
-        blk.max_score = std::max(blk.max_score, layout->scores[i]);
+        bmax = std::max(bmax, layout->scores[i]);
       }
-      layout->blocks.push_back(blk);
-      tmax = std::max(tmax, blk.max_score);
+      layout->block_last.push_back(layout->docs[be - 1]);
+      layout->block_max.push_back(bmax);
+      tmax = std::max(tmax, bmax);
     }
     layout->term_max[t] = tmax;
-    layout->block_offsets.push_back(layout->blocks.size());
+    layout->block_offsets.push_back(layout->block_last.size());
   }
 }
 
@@ -181,6 +249,8 @@ void TableIndex::EnsureScoringLayout() const {
   if (scoring_ready_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(scoring_mu_);
   if (scoring_ready_.load(std::memory_order_relaxed)) return;
+  WWT_CHECK(heap_ != nullptr)
+      << "mapped TableIndex must install its scoring view at load";
 
   ScoringLayout layout;
   layout.block_size = std::max<uint32_t>(1u, options_.scoring_block_size);
@@ -193,7 +263,8 @@ void TableIndex::EnsureScoringLayout() const {
     const std::vector<Posting>* lists[kNumFields];
     size_t pos[kNumFields];
     for (int f = 0; f < kNumFields; ++f) {
-      lists[f] = t < postings_[f].size() ? &postings_[f][t] : nullptr;
+      lists[f] =
+          t < heap_->postings[f].size() ? &heap_->postings[f][t] : nullptr;
       pos[f] = 0;
     }
     // Merge the (doc-sorted) per-field lists; a doc's combined score is
@@ -216,7 +287,7 @@ void TableIndex::EnsureScoringLayout() const {
         if (!lists[f] || pos[f] >= lists[f]->size()) continue;
         const Posting& p = (*lists[f])[pos[f]];
         if (p.doc != next) continue;
-        const double len = field_len_[f][p.doc] + 1.0;
+        const double len = heap_->field_len[f][p.doc] + 1.0;
         s += options_.boosts[f] * std::sqrt(p.tf) * idf2 / std::sqrt(len);
         ++pos[f];
       }
@@ -231,6 +302,21 @@ void TableIndex::EnsureScoringLayout() const {
   scoring_ready_.store(true, std::memory_order_release);
 }
 
+ScoringView TableIndex::ViewOfScoring() const {
+  if (mapped_scoring_.offsets != nullptr) return mapped_scoring_;
+  ScoringView view;
+  view.block_size = std::max<uint32_t>(1u, scoring_.block_size);
+  view.num_terms = scoring_.offsets.empty() ? 0 : scoring_.offsets.size() - 1;
+  view.offsets = scoring_.offsets.data();
+  view.docs = scoring_.docs.data();
+  view.scores = scoring_.scores.data();
+  view.block_offsets = scoring_.block_offsets.data();
+  view.block_last = scoring_.block_last.data();
+  view.block_max = scoring_.block_max.data();
+  view.term_max = scoring_.term_max.data();
+  return view;
+}
+
 std::vector<ScoredDoc> TableIndex::Search(
     const std::vector<std::string>& keywords, int k,
     ProbeScorer scorer) const {
@@ -241,19 +327,21 @@ std::vector<ScoredDoc> TableIndex::Search(
   if (terms.empty() || k == 0) return {};
 
   EnsureScoringLayout();
-  if (scorer == ProbeScorer::kWand && k > 0) return SearchWand(terms, k);
-  return SearchExhaustive(terms, k);
+  const ScoringView view = ViewOfScoring();
+  if (scorer == ProbeScorer::kWand && k > 0) {
+    return SearchWand(view, terms, k);
+  }
+  return SearchExhaustive(view, terms, k);
 }
 
 std::vector<ScoredDoc> TableIndex::SearchExhaustive(
-    const std::vector<TermId>& terms, int k) const {
-  const ScoringLayout& layout = scoring_;
+    const ScoringView& view, const std::vector<TermId>& terms, int k) const {
   std::unordered_map<TableId, double> scores;
   for (TermId t : terms) {
-    if (static_cast<size_t>(t) + 1 >= layout.offsets.size()) continue;
-    const uint64_t end = layout.offsets[t + 1];
-    for (uint64_t i = layout.offsets[t]; i < end; ++i) {
-      scores[layout.docs[i]] += layout.scores[i];
+    if (static_cast<size_t>(t) >= view.num_terms) continue;
+    const uint64_t end = view.offsets[t + 1];
+    for (uint64_t i = view.offsets[t]; i < end; ++i) {
+      scores[view.docs[i]] += view.scores[i];
     }
   }
   std::vector<ScoredDoc> hits;
@@ -265,15 +353,14 @@ std::vector<ScoredDoc> TableIndex::SearchExhaustive(
 }
 
 std::vector<ScoredDoc> TableIndex::SearchWand(
-    const std::vector<TermId>& terms, int k) const {
-  const ScoringLayout& layout = scoring_;
-  const uint64_t bs = std::max<uint32_t>(1u, layout.block_size);
+    const ScoringView& view, const std::vector<TermId>& terms, int k) const {
+  const uint64_t bs = std::max<uint32_t>(1u, view.block_size);
   // Sentinel doc of an exhausted cursor; real ids are store indices and
   // never reach it. Sorts exhausted cursors to the back.
   constexpr TableId kDone = std::numeric_limits<TableId>::max();
 
   struct Cursor {
-    TableId doc;           // layout.docs[pos], cached; kDone at the end
+    TableId doc;           // view.docs[pos], cached; kDone at the end
     TermId term;
     uint64_t pos;          // current posting (absolute index)
     uint64_t end;          // term's posting range end
@@ -287,21 +374,21 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
   std::vector<Cursor> cur;
   cur.reserve(terms.size());
   for (TermId t : terms) {
-    if (static_cast<size_t>(t) + 1 >= layout.offsets.size()) continue;
-    const uint64_t begin = layout.offsets[t];
-    const uint64_t end = layout.offsets[t + 1];
+    if (static_cast<size_t>(t) >= view.num_terms) continue;
+    const uint64_t begin = view.offsets[t];
+    const uint64_t end = view.offsets[t + 1];
     if (begin == end) continue;
     Cursor c;
-    c.doc = layout.docs[begin];
+    c.doc = view.docs[begin];
     c.term = t;
     c.pos = begin;
     c.end = end;
     c.begin = begin;
-    c.block = layout.block_offsets[t];
+    c.block = view.block_offsets[t];
     c.block_last = std::min(end, begin + bs);
-    c.block_begin = layout.block_offsets[t];
-    c.block_end = layout.block_offsets[t + 1];
-    c.term_max = layout.term_max[t];
+    c.block_begin = view.block_offsets[t];
+    c.block_end = view.block_offsets[t + 1];
+    c.term_max = view.term_max[t];
     cur.push_back(c);
   }
   if (cur.empty()) return {};
@@ -333,7 +420,7 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
       ++c->block;
       c->block_last = std::min(c->end, c->block_last + bs);
     }
-    c->doc = layout.docs[c->pos];
+    c->doc = view.docs[c->pos];
   };
 
   // NextGEQ: advance to the first posting with doc >= target, skipping
@@ -342,7 +429,7 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
   auto advance_geq = [&](Cursor* c, uint64_t target) {
     uint64_t blk = c->block;
     while (blk < c->block_end &&
-           static_cast<uint64_t>(layout.blocks[blk].last_doc) < target) {
+           static_cast<uint64_t>(view.block_last[blk]) < target) {
       ++blk;
     }
     if (blk == c->block_end) {
@@ -352,14 +439,21 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
     }
     // The block's last_doc >= target, so lower_bound lands inside it.
     const uint64_t block_first = c->begin + (blk - c->block_begin) * bs;
-    const TableId* base = layout.docs.data();
+    const TableId* base = view.docs;
     const TableId* first = base + std::max(c->pos, block_first);
     const TableId* last = base + std::min(c->end, block_first + bs);
     c->pos = static_cast<uint64_t>(
         std::lower_bound(first, last, static_cast<TableId>(target)) - base);
     c->block = blk;
     c->block_last = std::min(c->end, block_first + bs);
-    c->doc = layout.docs[c->pos];
+    if (c->pos >= c->end) {
+      // Unreachable for a well-formed layout (the block's last_doc >=
+      // target), but unvalidated v4 doc values may be unsorted — stay
+      // memory-safe and treat the cursor as exhausted.
+      c->doc = kDone;
+      return;
+    }
+    c->doc = view.docs[c->pos];
   };
 
   // Restore sorted order after the prefix [0, m) advanced: bubble each
@@ -407,7 +501,7 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
       while (m < cur.size() && cur[m].doc == pivot_doc) ++m;
       double block_ub = 0.0;
       for (size_t i = 0; i < m; ++i) {
-        block_ub += layout.blocks[cur[i].block].max_score;
+        block_ub += view.block_max[cur[i].block];
       }
       if (full && SafeUpper(block_ub) < threshold) {
         // The current blocks cannot produce a qualifying doc: jump past
@@ -416,7 +510,7 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
         for (size_t i = 0; i < m; ++i) {
           target = std::min(
               target,
-              static_cast<uint64_t>(layout.blocks[cur[i].block].last_doc) + 1);
+              static_cast<uint64_t>(view.block_last[cur[i].block]) + 1);
         }
         if (m < cur.size()) {
           target = std::min(target, static_cast<uint64_t>(cur[m].doc));
@@ -426,7 +520,7 @@ std::vector<ScoredDoc> TableIndex::SearchWand(
         // Full evaluation: one contribution per aligned cursor, summed
         // in ascending term order (the cursor order's tie-break).
         double s = 0.0;
-        for (size_t i = 0; i < m; ++i) s += layout.scores[cur[i].pos];
+        for (size_t i = 0; i < m; ++i) s += view.scores[cur[i].pos];
         const ScoredDoc hit{pivot_doc, s};
         if (!full) {
           heap.push(hit);
@@ -457,9 +551,7 @@ std::vector<TableId> TableIndex::DocsWithTerm(
     TermId term, std::initializer_list<Field> fields) const {
   std::vector<TableId> out;
   for (Field field : fields) {
-    const auto& field_postings = postings_[static_cast<int>(field)];
-    if (term >= field_postings.size()) continue;
-    for (const Posting& p : field_postings[term]) out.push_back(p.doc);
+    postings_->AppendDocs(static_cast<int>(field), term, &out);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -14,12 +14,19 @@
 //    PMI^2 corpus statistic (§3.2.3), where H(Q) is the set of tables
 //    matching Q in header-or-context and B(cell) the set matching the
 //    cell words in content.
+//
+// Storage sits behind a PostingsSource: heap vectors while building (or
+// after loading a materialized v2/v3 snapshot), or varint-compressed
+// blobs read in place from a memory-mapped v4 snapshot. The scorers run
+// over a ScoringView of raw arrays that points at either the heap
+// layout or the mapping — the algorithms never know which.
 
 #ifndef WWT_INDEX_TABLE_INDEX_H_
 #define WWT_INDEX_TABLE_INDEX_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -68,6 +75,95 @@ struct ScoredDoc {
   double score = 0;
 };
 
+/// One (doc, tf) posting of the build-mode per-field lists.
+struct Posting {
+  TableId doc;
+  float tf;
+};
+
+/// Read surface over the per-field conjunctive postings (the MatchAll*
+/// building block). Implementations: HeapPostingsSource (build mode)
+/// and MappedPostingsSource (varint-delta blobs read in place from a
+/// v4 snapshot mapping).
+class PostingsSource {
+ public:
+  virtual ~PostingsSource() = default;
+
+  /// Terms with a (possibly empty) posting list in `field`.
+  virtual size_t NumTerms(int field) const = 0;
+  /// Appends the ascending doc ids whose `field` contains `term`.
+  virtual void AppendDocs(int field, TermId term,
+                          std::vector<TableId>* out) const = 0;
+  /// True when postings are served in place from a file mapping.
+  virtual bool mapped() const = 0;
+  /// Approximate heap bytes owned by this source.
+  virtual size_t HeapBytes() const = 0;
+};
+
+/// Build-mode source: owns the (doc, tf) lists plus per-doc field
+/// lengths — everything the scoring-layout builder consumes.
+class HeapPostingsSource final : public PostingsSource {
+ public:
+  HeapPostingsSource() : postings(kNumFields), field_len(kNumFields) {}
+
+  size_t NumTerms(int field) const override {
+    return postings[field].size();
+  }
+  void AppendDocs(int field, TermId term,
+                  std::vector<TableId>* out) const override {
+    if (term >= postings[field].size()) return;
+    for (const Posting& p : postings[field][term]) out->push_back(p.doc);
+  }
+  bool mapped() const override { return false; }
+  size_t HeapBytes() const override;
+
+  /// postings[field][term] -> postings sorted by doc id (insertion order
+  /// is ascending because ids are assigned ascending).
+  std::vector<std::vector<std::vector<Posting>>> postings;
+  /// Field lengths (in tokens) per doc, for length normalization.
+  std::vector<std::vector<uint32_t>> field_len;
+};
+
+/// Zero-copy source: per-field `u64 offsets[num_terms + 1]` tables over
+/// varint-delta doc-id blobs, pointing into a snapshot mapping whose
+/// lifetime the owning Corpus pins. Offsets are validated monotone and
+/// in-bounds at load; a garbled varint terminates its list early rather
+/// than reading out of bounds.
+class MappedPostingsSource final : public PostingsSource {
+ public:
+  struct FieldView {
+    const uint64_t* offsets = nullptr;  // [num_terms + 1]
+    const char* blob = nullptr;
+  };
+
+  size_t NumTerms(int) const override { return num_terms; }
+  void AppendDocs(int field, TermId term,
+                  std::vector<TableId>* out) const override;
+  bool mapped() const override { return true; }
+  size_t HeapBytes() const override { return 0; }
+
+  FieldView fields[kNumFields];
+  size_t num_terms = 0;
+};
+
+/// The raw-array form of the merged block-max scoring layout both
+/// scorers run over: term t's postings live at [offsets[t],
+/// offsets[t+1]) of the parallel docs/scores arrays, its blocks at
+/// [block_offsets[t], block_offsets[t+1]) of block_last/block_max.
+/// Points at heap vectors (build mode / v2-v3 load) or straight into a
+/// v4 snapshot mapping — identical scoring either way.
+struct ScoringView {
+  uint32_t block_size = 0;
+  size_t num_terms = 0;
+  const uint64_t* offsets = nullptr;       // [num_terms + 1]
+  const TableId* docs = nullptr;           // [offsets[num_terms]]
+  const double* scores = nullptr;          // [offsets[num_terms]]
+  const uint64_t* block_offsets = nullptr;  // [num_terms + 1]
+  const TableId* block_last = nullptr;     // max doc id per block
+  const double* block_max = nullptr;       // max contribution per block
+  const double* term_max = nullptr;        // [num_terms]
+};
+
 /// The corpus-wide read surface the mapping layers consult: tokenizer,
 /// vocabulary and IDF statistics plus the conjunctive doc-set probes of
 /// the PMI^2 feature (§3.2.3). TableIndex implements it over one index;
@@ -103,6 +199,11 @@ class CorpusStats {
 /// layout, whose one-time construction is guarded by a mutex + released
 /// atomic (audited for the batch query runner). Add() must not overlap
 /// queries.
+///
+/// A v4 snapshot load installs mapped sources instead (postings, vocab,
+/// IDF, scoring view all read in place from the mapping) — such an
+/// index is immutable: Add() CHECK-fails, the scoring layout is already
+/// "built".
 class TableIndex : public CorpusStats {
  public:
   explicit TableIndex(IndexOptions options = {},
@@ -140,39 +241,37 @@ class TableIndex : public CorpusStats {
 
   const IndexOptions& options() const { return options_; }
 
+  /// True when this index serves in place from a snapshot mapping.
+  bool mapped() const { return postings_->mapped(); }
+  /// Approximate heap bytes owned by the index (postings + scoring
+  /// layout + vocabulary + IDF). Mapped state counts 0.
+  size_t HeapBytes() const;
+
  private:
   /// Snapshot save/load (src/index/snapshot.cc) serializes the private
-  /// postings/field-stats/scoring-layout state directly.
+  /// postings/field-stats/scoring-layout state directly and installs
+  /// the mapped sources on a v4 load.
   friend class SnapshotCodec;
 
-  struct Posting {
-    TableId doc;
-    float tf;
-  };
-
   /// Per-(term, doc) scoring data merged across the three fields, laid
-  /// out CSR-style for the probe hot loop: term t's postings live at
-  /// [offsets[t], offsets[t+1]) of the parallel docs/scores arrays, cut
-  /// into blocks of `block_size` whose per-block score maxima drive the
-  /// WAND skips. scores[i] is the doc's FULL contribution for the term
-  /// (boost * sqrt(tf) * idf^2 / sqrt(len+1), summed over the fields in
-  /// field order) — so a document's total score is a sum of one value
-  /// per query term, in ascending term order, for BOTH scorers.
+  /// out CSR-style for the probe hot loop (see ScoringView). scores[i]
+  /// is the doc's FULL contribution for the term (boost * sqrt(tf) *
+  /// idf^2 / sqrt(len+1), summed over the fields in field order) — so a
+  /// document's total score is a sum of one value per query term, in
+  /// ascending term order, for BOTH scorers.
   struct ScoringLayout {
     uint32_t block_size = 128;
     /// Size vocab+1; offsets into docs/scores.
     std::vector<uint64_t> offsets;
     std::vector<TableId> docs;
     std::vector<double> scores;
-    /// Size vocab+1; offsets into blocks. Term t's block j covers
-    /// postings [offsets[t] + j*block_size, min(offsets[t] + (j+1)*
-    /// block_size, offsets[t+1])).
+    /// Size vocab+1; offsets into block_last/block_max. Term t's block j
+    /// covers postings [offsets[t] + j*block_size, min(offsets[t] +
+    /// (j+1)*block_size, offsets[t+1])).
     std::vector<uint64_t> block_offsets;
-    struct Block {
-      TableId last_doc = 0;   // max doc id in the block
-      double max_score = 0;   // max contribution in the block
-    };
-    std::vector<Block> blocks;
+    /// Parallel per-block arrays: max doc id and max contribution.
+    std::vector<TableId> block_last;
+    std::vector<double> block_max;
     /// Per-term max contribution (max over the term's blocks).
     std::vector<double> term_max;
   };
@@ -190,18 +289,26 @@ class TableIndex : public CorpusStats {
 
   /// Builds the merged scoring layout on first use (thread-safe; Search
   /// is const and concurrent). Snapshot load installs a prebuilt layout
-  /// instead; Add() invalidates it.
+  /// (v2/v3) or a mapped view (v4) instead; Add() invalidates it.
   void EnsureScoringLayout() const;
   /// Recomputes block boundaries, block maxima and term maxima from
   /// scoring_.docs/scores/offsets + block_size (used by the builder and
-  /// by snapshot load, which deserializes only the primary arrays).
+  /// by v2/v3 snapshot load, which deserializes only the primary
+  /// arrays).
   static void FinishScoringLayout(ScoringLayout* layout);
 
+  /// The raw-array view the scorers run over: the mapped view on a v4
+  /// index, otherwise a view of the heap layout. Call only after
+  /// EnsureScoringLayout().
+  ScoringView ViewOfScoring() const;
+
   /// Top-k over the merged layout, every posting of every query term.
-  std::vector<ScoredDoc> SearchExhaustive(const std::vector<TermId>& terms,
+  std::vector<ScoredDoc> SearchExhaustive(const ScoringView& view,
+                                          const std::vector<TermId>& terms,
                                           int k) const;
   /// Block-max WAND top-k over the merged layout.
-  std::vector<ScoredDoc> SearchWand(const std::vector<TermId>& terms,
+  std::vector<ScoredDoc> SearchWand(const ScoringView& view,
+                                    const std::vector<TermId>& terms,
                                     int k) const;
 
   IndexOptions options_;
@@ -210,19 +317,22 @@ class TableIndex : public CorpusStats {
   IdfDictionary idf_;
   size_t doc_count_ = 0;
 
-  /// postings_[field][term] -> postings sorted by doc id (insertion order
-  /// is ascending because ids are assigned ascending).
-  std::vector<std::vector<std::vector<Posting>>> postings_;
-  /// Field lengths (in tokens) per doc, for length normalization.
-  std::vector<std::vector<uint32_t>> field_len_;
+  /// The per-field postings read surface; heap_ is non-null iff it is
+  /// the build-mode HeapPostingsSource (moving the index preserves the
+  /// pointee's address, so the cached raw pointer stays valid).
+  std::unique_ptr<PostingsSource> postings_;
+  HeapPostingsSource* heap_ = nullptr;
 
-  /// Lazily built from postings_/field_len_/idf_ (or installed by
-  /// snapshot load). scoring_ready_ is set with release order after the
-  /// layout is complete; readers check it with acquire order, so a true
-  /// read guarantees visibility of the layout without taking the mutex.
+  /// Lazily built from the heap postings/lengths/idf_ (or installed by
+  /// v2/v3 snapshot load). scoring_ready_ is set with release order
+  /// after the layout is complete; readers check it with acquire order,
+  /// so a true read guarantees visibility of the layout without taking
+  /// the mutex. A v4 load bypasses it entirely: mapped_scoring_ points
+  /// into the mapping and scoring_ready_ is true from installation.
   mutable ScoringLayout scoring_;
   mutable std::atomic<bool> scoring_ready_{false};
   mutable std::mutex scoring_mu_;
+  ScoringView mapped_scoring_{};
 };
 
 }  // namespace wwt

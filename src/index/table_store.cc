@@ -8,7 +8,7 @@ namespace wwt {
 TableId TableStore::Put(WebTable table) {
   const TableId id = end_id();
   table.id = id;
-  records_.push_back(SerializeTable(table));
+  MutableRecords().push_back(SerializeTable(table));
   return id;
 }
 
@@ -17,23 +17,25 @@ StatusOr<WebTable> TableStore::Get(TableId id) const {
     return Status::NotFound("table id ", id, " out of range [", first_id_,
                             ", ", end_id(), ")");
   }
-  return DeserializeTable(records_[id - first_id_]);
+  return DeserializeTable(source_->record(id - first_id_));
 }
 
 size_t TableStore::RecordSize(TableId id) const {
-  return id >= first_id_ && id < end_id() ? records_[id - first_id_].size()
-                                          : 0;
+  return id >= first_id_ && id < end_id()
+             ? source_->record(id - first_id_).size()
+             : 0;
 }
 
 Status TableStore::SaveToFile(const std::string& path) const {
   std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "wb"),
                                           &std::fclose);
   if (!f) return Status::IOError("cannot open '", path, "' for writing");
-  uint64_t count = records_.size();
+  uint64_t count = source_->size();
   if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
     return Status::IOError("short write to '", path, "'");
   }
-  for (const std::string& rec : records_) {
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string_view rec = source_->record(i);
     uint64_t len = rec.size();
     if (std::fwrite(&len, sizeof(len), 1, f.get()) != 1 ||
         std::fwrite(rec.data(), 1, rec.size(), f.get()) != rec.size()) {
@@ -70,7 +72,12 @@ Status TableStore::LoadFromFile(const std::string& path) {
     }
     records.push_back(std::move(rec));
   }
-  records_ = std::move(records);
+  // LoadFromFile always lands in build mode (the legacy format has no
+  // offset table to map), replacing whatever source was installed.
+  auto vec = std::make_unique<VectorStoreSource>();
+  vec->records = std::move(records);
+  vec_ = vec.get();
+  source_ = std::move(vec);
   first_id_ = 0;  // the file format predates shards: always a full corpus
   return Status::OK();
 }

@@ -16,7 +16,7 @@ void AppendField(std::string* out, const std::string& value) {
 }
 
 /// Reads one "<len>:<bytes>\n" field starting at *pos.
-Status ReadField(const std::string& data, size_t* pos, std::string* out) {
+Status ReadField(std::string_view data, size_t* pos, std::string* out) {
   size_t colon = data.find(':', *pos);
   if (colon == std::string::npos) {
     return Status::Corruption("missing length prefix at offset ", *pos);
@@ -34,13 +34,13 @@ Status ReadField(const std::string& data, size_t* pos, std::string* out) {
   if (colon + 1 + len > data.size()) {
     return Status::Corruption("field overruns buffer at offset ", *pos);
   }
-  *out = data.substr(colon + 1, len);
+  out->assign(data.substr(colon + 1, len));
   *pos = colon + 1 + len;
   if (*pos < data.size() && data[*pos] == '\n') ++*pos;
   return Status::OK();
 }
 
-Status ReadInt(const std::string& data, size_t* pos, int64_t* out) {
+Status ReadInt(std::string_view data, size_t* pos, int64_t* out) {
   std::string field;
   WWT_RETURN_NOT_OK(ReadField(data, pos, &field));
   try {
@@ -107,7 +107,7 @@ std::string SerializeTable(const WebTable& table) {
   return out;
 }
 
-StatusOr<WebTable> DeserializeTable(const std::string& data) {
+StatusOr<WebTable> DeserializeTable(std::string_view data) {
   size_t pos = 0;
   std::string version;
   WWT_RETURN_NOT_OK(ReadField(data, &pos, &version));

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
@@ -67,8 +68,10 @@ struct WebTable {
 /// may contain any byte but '\n' is escaped.
 std::string SerializeTable(const WebTable& table);
 
-/// Parses a table serialized by SerializeTable.
-StatusOr<WebTable> DeserializeTable(const std::string& data);
+/// Parses a table serialized by SerializeTable. Takes a view so records
+/// served in place from a memory-mapped snapshot deserialize without an
+/// intermediate copy.
+StatusOr<WebTable> DeserializeTable(std::string_view data);
 
 }  // namespace wwt
 

@@ -4,9 +4,26 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/logging.h"
+
 namespace wwt {
 
+IdfDictionary& IdfDictionary::operator=(const IdfDictionary& other) {
+  if (this == &other) return *this;
+  num_docs_ = other.num_docs_;
+  m_df_ = nullptr;
+  m_df_size_ = 0;
+  if (other.mapped()) {
+    // Materialize the mapped df table so the copy owns its storage.
+    df_.assign(other.m_df_, other.m_df_ + other.m_df_size_);
+  } else {
+    df_ = other.df_;
+  }
+  return *this;
+}
+
 void IdfDictionary::AddDocument(const std::vector<TermId>& terms) {
+  WWT_CHECK(m_df_ == nullptr) << "mapped IdfDictionary is immutable";
   std::unordered_set<TermId> distinct(terms.begin(), terms.end());
   distinct.erase(kInvalidTerm);
   for (TermId t : distinct) {
@@ -17,6 +34,7 @@ void IdfDictionary::AddDocument(const std::vector<TermId>& terms) {
 }
 
 uint32_t IdfDictionary::DocFreq(TermId term) const {
+  if (m_df_ != nullptr) return term < m_df_size_ ? m_df_[term] : 0;
   return term < df_.size() ? df_[term] : 0;
 }
 

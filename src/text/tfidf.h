@@ -7,6 +7,7 @@
 #ifndef WWT_TEXT_TFIDF_H_
 #define WWT_TEXT_TFIDF_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,10 +38,21 @@ class UniformIdf : public IdfProvider {
 /// Document-frequency dictionary accumulated over a corpus.
 /// Idf(w) = ln(1 + N / (1 + df(w))) — the +1s keep rare/unknown terms
 /// finite and make the function monotone in N.
+///
+/// The df table either lives on the heap (build mode) or is a view into
+/// a memory-mapped v4 snapshot (immutable). Copying a mapped dictionary
+/// materializes the table, so a copy never dangles into a mapping it
+/// does not own (the sharding path copies global IDF into every shard).
 class IdfDictionary : public IdfProvider {
  public:
+  IdfDictionary() = default;
+  IdfDictionary(IdfDictionary&&) = default;
+  IdfDictionary& operator=(IdfDictionary&&) = default;
+  IdfDictionary(const IdfDictionary& other) { *this = other; }
+  IdfDictionary& operator=(const IdfDictionary& other);
+
   /// Records one document's distinct terms (duplicates are fine; they are
-  /// deduplicated internally).
+  /// deduplicated internally). Heap mode only.
   void AddDocument(const std::vector<TermId>& terms);
 
   /// Document frequency of a term.
@@ -48,6 +60,9 @@ class IdfDictionary : public IdfProvider {
 
   /// Number of documents added.
   uint32_t num_docs() const { return num_docs_; }
+
+  /// True when the df table is served in place from a snapshot mapping.
+  bool mapped() const { return m_df_ != nullptr; }
 
   double Idf(TermId term) const override;
 
@@ -58,6 +73,10 @@ class IdfDictionary : public IdfProvider {
 
   std::vector<uint32_t> df_;
   uint32_t num_docs_ = 0;
+
+  // Mapped mode (null/0 in heap mode).
+  const uint32_t* m_df_ = nullptr;
+  size_t m_df_size_ = 0;
 };
 
 /// Sparse vector over TermIds, kept sorted by term. Supports the TF-IDF

@@ -1,8 +1,34 @@
 #include "text/vocabulary.h"
 
+#include <algorithm>
+
+#include "util/logging.h"
+
 namespace wwt {
 
+Vocabulary& Vocabulary::operator=(const Vocabulary& other) {
+  if (this == &other) return *this;
+  ids_.clear();
+  terms_.clear();
+  m_offsets_ = nullptr;
+  m_sorted_ = nullptr;
+  m_blob_ = nullptr;
+  m_size_ = 0;
+  if (other.mapped()) {
+    // Materialize: re-intern every term in id order, so the copy owns
+    // its storage and the source mapping can be dropped independently.
+    terms_.reserve(other.size());
+    ids_.reserve(other.size());
+    for (TermId id = 0; id < other.size(); ++id) Intern(other.Term(id));
+  } else {
+    ids_ = other.ids_;
+    terms_ = other.terms_;
+  }
+  return *this;
+}
+
 TermId Vocabulary::Intern(std::string_view term) {
+  WWT_CHECK(m_offsets_ == nullptr) << "mapped Vocabulary is immutable";
   auto it = ids_.find(std::string(term));
   if (it != ids_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
@@ -12,6 +38,16 @@ TermId Vocabulary::Intern(std::string_view term) {
 }
 
 std::optional<TermId> Vocabulary::Find(std::string_view term) const {
+  if (m_offsets_ != nullptr) {
+    // Binary search the save-time lexicographic permutation.
+    const uint32_t* lo = m_sorted_;
+    const uint32_t* hi = m_sorted_ + m_size_;
+    const uint32_t* it = std::lower_bound(
+        lo, hi, term,
+        [this](uint32_t id, std::string_view t) { return Term(id) < t; });
+    if (it != hi && Term(*it) == term) return *it;
+    return std::nullopt;
+  }
   auto it = ids_.find(std::string(term));
   if (it == ids_.end()) return std::nullopt;
   return it->second;

@@ -2,6 +2,15 @@
 //
 // String interning: maps tokens to dense TermIds so the index, the TF-IDF
 // vectors, and the mapper all manipulate integers instead of strings.
+//
+// Two storage modes share the lookup API:
+//  * heap mode (the default): an append-only hash map + string vector,
+//    mutable via Intern();
+//  * mapped mode: an offset table + term blob + search permutation read
+//    in place from a memory-mapped v4 snapshot — immutable, zero heap.
+// Copying a mapped vocabulary materializes it back to heap mode (the
+// sharding path pre-seeds per-shard vocabularies by copy), so a copy
+// never dangles into a mapping it does not own.
 
 #ifndef WWT_TEXT_VOCABULARY_H_
 #define WWT_TEXT_VOCABULARY_H_
@@ -15,6 +24,8 @@
 
 namespace wwt {
 
+class SnapshotCodec;
+
 /// Dense identifier for an interned term.
 using TermId = uint32_t;
 
@@ -24,17 +35,38 @@ inline constexpr TermId kInvalidTerm = UINT32_MAX;
 /// Append-only term dictionary. Not thread-safe for writes.
 class Vocabulary {
  public:
-  /// Returns the id of `term`, interning it if new.
+  Vocabulary() = default;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+  /// Deep copy; a mapped source is materialized into heap storage.
+  Vocabulary(const Vocabulary& other) { *this = other; }
+  Vocabulary& operator=(const Vocabulary& other);
+
+  /// Returns the id of `term`, interning it if new. Heap mode only — a
+  /// mapped vocabulary is immutable.
   TermId Intern(std::string_view term);
 
   /// Returns the id of `term` if present.
   std::optional<TermId> Find(std::string_view term) const;
 
-  /// The term for an id; id must be valid.
-  const std::string& Term(TermId id) const { return terms_[id]; }
+  /// The term for an id; id must be valid. A view into either the heap
+  /// string or the snapshot mapping — stable for the vocabulary's (and,
+  /// mapped, the owning Corpus mapping's) lifetime.
+  std::string_view Term(TermId id) const {
+    if (m_offsets_ != nullptr) {
+      return std::string_view(m_blob_ + m_offsets_[id],
+                              m_offsets_[id + 1] - m_offsets_[id]);
+    }
+    return terms_[id];
+  }
 
   /// Number of distinct terms.
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    return m_offsets_ != nullptr ? m_size_ : terms_.size();
+  }
+
+  /// True when terms are served in place from a snapshot mapping.
+  bool mapped() const { return m_offsets_ != nullptr; }
 
   /// Interns every string in `tokens`.
   std::vector<TermId> InternAll(const std::vector<std::string>& tokens);
@@ -43,8 +75,20 @@ class Vocabulary {
   std::vector<TermId> FindAll(const std::vector<std::string>& tokens) const;
 
  private:
+  /// Snapshot load (src/index/snapshot.cc) installs the mapped view.
+  friend class SnapshotCodec;
+
+  // Heap mode.
   std::unordered_map<std::string, TermId> ids_;
   std::vector<std::string> terms_;
+
+  // Mapped mode (all null/0 in heap mode). `m_sorted_` is the
+  // permutation of term ids in lexicographic term order, computed at
+  // save time; Find() binary-searches it.
+  const uint64_t* m_offsets_ = nullptr;  // [m_size_ + 1]
+  const uint32_t* m_sorted_ = nullptr;   // [m_size_]
+  const char* m_blob_ = nullptr;
+  size_t m_size_ = 0;
 };
 
 }  // namespace wwt

@@ -83,6 +83,53 @@ Status Reader::ReadSpan(uint64_t size, std::string_view* out) {
   return Status::OK();
 }
 
+Status Reader::ReadRaw(uint64_t count, size_t elem_size,
+                       const char** out) {
+  if (elem_size == 0) elem_size = 1;
+  if (count > remaining() / elem_size) {
+    return Status::Corruption("truncated input: raw array of ", count,
+                              " x ", elem_size, " bytes at offset ",
+                              offset_, ", have ", remaining());
+  }
+  *out = data_.data() + offset_;
+  offset_ += static_cast<size_t>(count) * elem_size;
+  return Status::OK();
+}
+
+Status Reader::ReadVarint(uint64_t* out) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (offset_ >= data_.size()) {
+      return Status::Corruption("truncated varint at offset ", offset_);
+    }
+    const uint8_t b = static_cast<uint8_t>(data_[offset_++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint longer than 10 bytes at offset ",
+                            offset_);
+}
+
+Status Reader::AlignTo(size_t alignment, size_t base_offset) {
+  uint32_t pad;
+  WWT_RETURN_NOT_OK(ReadU32(&pad));
+  if (pad >= alignment) {
+    return Status::Corruption("alignment pad of ", pad,
+                              " bytes at offset ", offset_,
+                              " exceeds alignment ", alignment);
+  }
+  WWT_RETURN_NOT_OK(Skip(pad));
+  if ((base_offset + offset_) % alignment != 0) {
+    return Status::Corruption("misaligned section data at file offset ",
+                              base_offset + offset_, " (need ", alignment,
+                              "-byte alignment)");
+  }
+  return Status::OK();
+}
+
 Status Reader::Skip(uint64_t n) {
   if (n > remaining()) {
     return Status::Corruption("truncated input: cannot skip ", n,

@@ -57,6 +57,30 @@ class Writer {
     buf_.append(static_cast<const char*>(data), size);
   }
 
+  /// Unsigned LEB128 varint: 7 payload bits per byte, low group first,
+  /// high bit = continuation. At most 10 bytes for a u64.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+
+  /// Emits a self-describing `[u32 pad_len][pad_len zero bytes]` marker
+  /// sized so that `base_offset + size()` lands on a multiple of
+  /// `alignment` afterwards — the writer half of Reader::AlignTo.
+  /// `base_offset` is the absolute file offset this buffer will be
+  /// written at (kHeaderBytes for a snapshot payload), so the raw
+  /// arrays that follow are aligned in the *file*, and therefore in any
+  /// page-aligned mapping of it.
+  void AlignTo(size_t alignment, size_t base_offset) {
+    const size_t at = base_offset + size() + sizeof(uint32_t);
+    const size_t pad = (alignment - at % alignment) % alignment;
+    WriteU32(static_cast<uint32_t>(pad));
+    buf_.append(pad, '\0');
+  }
+
   /// Overwrites the 8 bytes at `offset` with the little-endian encoding
   /// of `v` — for length slots reserved with WriteU64(0) and patched
   /// once the enclosed bytes are written (avoids buffering every
@@ -106,6 +130,23 @@ class Reader {
 
   /// Borrows `size` raw bytes from the underlying span.
   Status ReadSpan(uint64_t size, std::string_view* out);
+
+  /// Borrows `count` raw elements of `elem_size` bytes each without
+  /// copying; fails cleanly on overflow or truncation. Callers
+  /// reinterpret the pointer as a fixed-width little-endian array read
+  /// in place from the mapping — valid only after an AlignTo() sized
+  /// for the element type.
+  Status ReadRaw(uint64_t count, size_t elem_size, const char** out);
+
+  /// Unsigned LEB128 varint (see Writer::WriteVarint).
+  Status ReadVarint(uint64_t* out);
+
+  /// Consumes the self-describing pad written by Writer::AlignTo and
+  /// verifies the cursor actually landed on a multiple of `alignment`
+  /// relative to `base_offset` (the absolute file offset of this
+  /// reader's first byte). A desynced or doctored pad is Corruption —
+  /// never a misaligned raw-array read.
+  Status AlignTo(size_t alignment, size_t base_offset);
 
   Status Skip(uint64_t n);
 

@@ -25,6 +25,7 @@
 
 #include "core/baselines.h"
 #include "core/column_mapper.h"
+#include "index/corpus_set.h"
 #include "index/table_store.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -76,13 +77,6 @@ struct QueryExecution {
   MapResult mapping;
   AnswerTable answer;
   StageTimer timing;
-};
-
-/// One shard of a serving corpus: the store/index pair the per-shard
-/// probes run against. A single corpus is the 1-shard case.
-struct CorpusShardRef {
-  const TableStore* store = nullptr;
-  const TableIndex* index = nullptr;
 };
 
 /// The search engine over a built corpus — one shard or many (all

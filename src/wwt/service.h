@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "corpus/corpus_generator.h"
+#include "index/corpus_set.h"
 #include "index/snapshot.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -45,134 +46,6 @@
 #include "wwt/response_cache.h"
 
 namespace wwt {
-
-class CorpusSet;
-
-/// One immutable, shareable corpus snapshot: store + index + vocab/idf
-/// (inside Corpus), plus the content hash identifying the artifact it
-/// came from. Handles are passed around as shared_ptr<const CorpusHandle>
-/// so an atomic swap can retire a snapshot while in-flight requests
-/// still hold it.
-class CorpusHandle {
- public:
-  /// Takes ownership of a built corpus. `content_hash` is the snapshot
-  /// artifact's hash (SnapshotInfo::content_hash); 0 = unversioned
-  /// in-memory build, which gets a process-unique synthetic hash so two
-  /// distinct corpora never share a fingerprint/cache key.
-  static std::shared_ptr<const CorpusHandle> Own(Corpus corpus,
-                                                 uint64_t content_hash = 0,
-                                                 std::string source = "");
-
-  /// Borrows a caller-owned corpus, which must outlive every service
-  /// (and every in-flight request) holding the handle. Exactly like
-  /// Own, `content_hash` 0 means an unversioned corpus and is remapped
-  /// to a process-unique synthetic hash — two distinct borrowed corpora
-  /// can never collide on a fingerprint/cache key.
-  static std::shared_ptr<const CorpusHandle> Borrow(const Corpus* corpus,
-                                                    uint64_t content_hash = 0);
-
-  /// Loads a .wwtsnap artifact into an owning handle; the snapshot's
-  /// content hash becomes the handle's. Clean Status on a missing or
-  /// corrupt file.
-  static StatusOr<std::shared_ptr<const CorpusHandle>> Load(
-      const std::string& path, SnapshotInfo* info = nullptr);
-
-  const TableStore& store() const { return corpus_->store; }
-  const TableIndex& index() const { return *corpus_->index; }
-  const Corpus& corpus() const { return *corpus_; }
-  uint64_t content_hash() const { return content_hash_; }
-  /// The .wwtsnap path the handle was loaded from ("" otherwise).
-  const std::string& source() const { return source_; }
-
- private:
-  CorpusHandle() = default;
-
-  /// Set for Own/Load; Borrow leaves it empty and points corpus_ at the
-  /// caller's object.
-  std::unique_ptr<Corpus> owned_;
-  const Corpus* corpus_ = nullptr;
-  uint64_t content_hash_ = 0;
-  std::string source_;
-};
-
-/// An immutable set of 1..N shard handles served as one corpus: the unit
-/// SwapCorpus installs and a request captures at submission. Shards
-/// cover disjoint (sorted ascending) table-id ranges; every shard's
-/// index carries the GLOBAL vocabulary/IDF computed before partitioning,
-/// which is what makes the scatter-gathered answers byte-identical to a
-/// single-index engine. content_hash() is the set-level hash — the
-/// corpus component of every fingerprint/cache key — and for a 1-shard
-/// set it equals the shard's own hash, so wrapping a plain snapshot
-/// changes nothing about fingerprints or cached entries.
-class CorpusSet {
- public:
-  /// Wraps one handle as a 1-shard set (the plain-snapshot serving
-  /// path). Set hash == handle hash, set source == handle source.
-  static std::shared_ptr<const CorpusSet> FromHandle(
-      std::shared_ptr<const CorpusHandle> shard);
-
-  /// Builds a set over `shards` (non-empty, all non-null, disjoint store
-  /// id ranges — WWT_CHECKed; shards are sorted by first id). The set
-  /// hash is SetContentHash over the shard hashes in that order.
-  static std::shared_ptr<const CorpusSet> Of(
-      std::vector<std::shared_ptr<const CorpusHandle>> shards);
-
-  /// Loads every shard of a `.wwtset` manifest (paths resolved relative
-  /// to the manifest's directory). Each loaded shard's content hash must
-  /// match the manifest entry — a rebuilt or swapped shard file is a
-  /// clean Corruption error, never a silently mixed set. On success
-  /// `manifest` (when non-null) receives the parsed manifest.
-  static StatusOr<std::shared_ptr<const CorpusSet>> Load(
-      const std::string& manifest_path, SetManifest* manifest = nullptr);
-
-  size_t num_shards() const { return shards_.size(); }
-  const CorpusHandle& shard(size_t i) const { return *shards_[i]; }
-  const std::shared_ptr<const CorpusHandle>& shard_handle(size_t i) const {
-    return shards_[i];
-  }
-  /// The set-level content hash (for one shard, that shard's hash).
-  uint64_t content_hash() const { return content_hash_; }
-  /// The `.wwtset` path the set was loaded from, the wrapped handle's
-  /// source for FromHandle, "" for Of.
-  const std::string& source() const { return source_; }
-  /// Total tables across all shards.
-  uint64_t num_tables() const;
-
-  /// The corpus-wide statistics surface (global vocabulary/IDF; PMI^2
-  /// doc-set probes union over the shards). For a 1-shard set this is
-  /// the shard's TableIndex itself.
-  const CorpusStats& stats() const;
-  /// Borrowed store/index pairs in shard order — what a WwtEngine
-  /// serves from. Valid while the set lives.
-  const std::vector<CorpusShardRef>& shard_refs() const {
-    return shard_refs_;
-  }
-  /// The resolved workload frozen into the corpus (every shard carries
-  /// the full workload; shard 0's copy is returned).
-  const std::vector<ResolvedQuery>& queries() const;
-
-  ~CorpusSet();
-
- private:
-  /// CorpusStats over >1 shards: global statistics from shard 0 (every
-  /// shard's copy is identical), conjunctive doc sets unioned across
-  /// shards — ranges are disjoint and ascending, so concatenation in
-  /// shard order is already sorted.
-  class ShardedStats;
-
-  CorpusSet() = default;
-
-  /// Shared core of Of/Load: validates, sorts and assembles the set.
-  static std::shared_ptr<CorpusSet> Build(
-      std::vector<std::shared_ptr<const CorpusHandle>> shards);
-
-  std::vector<std::shared_ptr<const CorpusHandle>> shards_;
-  std::vector<CorpusShardRef> shard_refs_;
-  uint64_t content_hash_ = 0;
-  std::string source_;
-  /// Null for a 1-shard set (stats() forwards to the shard's index).
-  std::unique_ptr<const ShardedStats> sharded_stats_;
-};
 
 struct ServiceOptions {
   /// Engine defaults for requests without a per-request override.
@@ -213,6 +86,14 @@ struct ServiceStats {
   uint64_t corpus_hash = 0;
   size_t corpus_shards = 0;
   uint64_t corpus_tables = 0;
+  /// Snapshot format version of the serving set (the max across shards;
+  /// 0 for in-memory corpora or when no corpus is loaded).
+  uint32_t corpus_format = 0;
+  /// The zero-copy split: bytes served straight from pinned file
+  /// mappings vs heap bytes of the store/index structures. A v4 set is
+  /// all mapped_bytes; a v2/v3 or in-memory one is all heap_bytes.
+  uint64_t mapped_bytes = 0;
+  uint64_t heap_bytes = 0;
   /// Request pool width, and the shard fan-out pool's (0 until a
   /// multi-shard set first started it).
   int num_threads = 0;

@@ -89,7 +89,10 @@ TEST_F(SnapshotTest, LoadRestoresRetrievalState) {
   EXPECT_EQ(loaded->index->vocab().size(), fresh.index->vocab().size());
   EXPECT_EQ(loaded->truth.size(), fresh.truth.size());
   ASSERT_EQ(loaded->queries.size(), fresh.queries.size());
-  ASSERT_NE(loaded->kb, nullptr);
+  // Like a partitioned shard, a loaded corpus leaves the knowledge base
+  // null: serving never consults it, and rebuilding it would dominate
+  // the zero-copy cold start.
+  EXPECT_EQ(loaded->kb, nullptr);
 
   // Stored records byte-identical.
   for (TableId id = 0; id < fresh.store.size(); ++id) {
@@ -255,7 +258,11 @@ TEST_F(SnapshotTest, TruncationAtAnyPrefixFailsCleanly) {
 }
 
 TEST_F(SnapshotTest, PayloadCorruptionFailsChecksum) {
-  const std::string path = SavedSnapshot("corrupt");
+  // Materialized formats (v2/v3) verify the payload checksum on load;
+  // pin the save to v3 — zero-copy v4 skips that pass by design and is
+  // covered by the structural-corruption tests below.
+  const std::string path = TempPath("corrupt_v3");
+  WWT_CHECK_OK(SaveSnapshotAtVersion(GetCorpus(), SmallOptions(), path, 3));
   std::string contents = ReadFile(path);
   contents[contents.size() / 2] ^= 0x5a;  // flip bits mid-payload
   WriteFile(path, contents);
@@ -263,6 +270,142 @@ TEST_F(SnapshotTest, PayloadCorruptionFailsChecksum) {
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
   EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+// --- v4 zero-copy specifics -----------------------------------------------
+
+/// Body offset of the first section tagged `tag4` ("STOR", "INDX", ...)
+/// by walking the section framing from the fixed 32-byte header.
+size_t SectionBodyOffset(const std::string& contents, const char* tag4) {
+  size_t pos = 32;
+  while (pos + 12 <= contents.size()) {
+    const uint64_t size = static_cast<uint8_t>(contents[pos + 4]) |
+                          static_cast<uint64_t>(
+                              static_cast<uint8_t>(contents[pos + 5]))
+                              << 8 |
+                          static_cast<uint64_t>(
+                              static_cast<uint8_t>(contents[pos + 6]))
+                              << 16 |
+                          static_cast<uint64_t>(
+                              static_cast<uint8_t>(contents[pos + 7]))
+                              << 24;
+    if (contents.compare(pos, 4, tag4, 4) == 0) return pos + 12;
+    pos += 12 + size;
+  }
+  ADD_FAILURE() << "section " << tag4 << " not found";
+  return std::string::npos;
+}
+
+TEST_F(SnapshotTest, V4LoadServesInPlace) {
+  // The tentpole contract: a default-version load materializes nothing —
+  // store, vocabulary, IDF and postings all read from the pinned file
+  // mapping.
+  const std::string path = SavedSnapshot("v4_inplace");
+  StatusOr<Corpus> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->store.mapped());
+  EXPECT_TRUE(loaded->index->mapped());
+  EXPECT_TRUE(loaded->index->vocab().mapped());
+  EXPECT_TRUE(loaded->index->idf().mapped());
+  ASSERT_NE(loaded->mapping, nullptr);
+  EXPECT_EQ(loaded->store.HeapBytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, CrossVersionLoadsScoreIdentically) {
+  // The same corpus saved at v2 (materialized, lazy scoring layout), v3
+  // (materialized, precomputed layout) and v4 (zero-copy) must serve
+  // bit-identical hits under both scorers.
+  std::vector<Corpus> loads;
+  std::vector<std::string> paths;
+  for (uint32_t version : {2u, 3u, 4u}) {
+    const std::string path =
+        TempPath("xver_" + std::to_string(version));
+    WWT_CHECK_OK(
+        SaveSnapshotAtVersion(GetCorpus(), SmallOptions(), path, version));
+    StatusOr<Corpus> loaded = LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << "v" << version << ": " << loaded.status();
+    loads.push_back(std::move(loaded).value());
+    paths.push_back(path);
+  }
+  const Corpus& fresh = GetCorpus();
+  for (size_t q = 0; q < fresh.queries.size(); ++q) {
+    std::vector<std::string> probe = {
+        fresh.queries[q].spec.columns[0].keywords};
+    for (ProbeScorer scorer :
+         {ProbeScorer::kWand, ProbeScorer::kExhaustive}) {
+      auto fresh_hits = fresh.index->Search(probe, 10, scorer);
+      for (size_t v = 0; v < loads.size(); ++v) {
+        auto hits = loads[v].index->Search(probe, 10, scorer);
+        ASSERT_EQ(hits.size(), fresh_hits.size())
+            << "query " << q << " load " << v;
+        for (size_t i = 0; i < hits.size(); ++i) {
+          EXPECT_EQ(hits[i].doc, fresh_hits[i].doc);
+          EXPECT_EQ(hits[i].score, fresh_hits[i].score);
+        }
+      }
+    }
+  }
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, V4ResaveIsByteIdenticalAndOldVersionsRejected) {
+  // A mapped corpus re-saved at v4 reproduces the file byte for byte
+  // (the writer reads through the same surfaces the load installed);
+  // re-saving at v2/v3 is a clean InvalidArgument — term frequencies
+  // and field lengths are not retained in the zero-copy layout.
+  const std::string path = SavedSnapshot("v4_resave");
+  StatusOr<Corpus> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  const std::string resave = TempPath("v4_resave_out");
+  WWT_CHECK_OK(SaveSnapshot(*loaded, SmallOptions(), resave));
+  EXPECT_EQ(ReadFile(resave), ReadFile(path));
+
+  Status old_save =
+      SaveSnapshotAtVersion(*loaded, SmallOptions(), resave, 3);
+  EXPECT_TRUE(old_save.IsInvalidArgument()) << old_save;
+  std::remove(path.c_str());
+  std::remove(resave.c_str());
+}
+
+TEST_F(SnapshotTest, V4AlignmentPadTamperFailsCleanly) {
+  // Blow up the INDX section's first alignment marker (directly after
+  // the fixed 37-byte options prefix + nterms/doc_count/idf_docs): an
+  // absurd pad length must be a Corruption, not a wild read.
+  const std::string path = SavedSnapshot("v4_pad");
+  std::string contents = ReadFile(path);
+  const size_t indx = SectionBodyOffset(contents, "INDX");
+  ASSERT_NE(indx, std::string::npos);
+  contents[indx + 37 + 20] = static_cast<char>(0xff);  // pad-length LSB
+  WriteFile(path, contents);
+  StatusOr<Corpus> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, V4OffsetTableTamperFailsCleanly) {
+  // Corrupt the STOR offset table (entry 1 -> 2^64-1): the monotonicity
+  // check must reject the file before any record is dereferenced.
+  const std::string path = SavedSnapshot("v4_offsets");
+  std::string contents = ReadFile(path);
+  const size_t stor = SectionBodyOffset(contents, "STOR");
+  ASSERT_NE(stor, std::string::npos);
+  // Body: u64 first_id, u64 count, [u32 pad_len][pad], u64 offsets[].
+  const size_t pad_len = static_cast<uint8_t>(contents[stor + 16]) |
+                         static_cast<uint8_t>(contents[stor + 17]) << 8;
+  const size_t offsets = stor + 16 + 4 + pad_len;
+  for (size_t i = 0; i < 8; ++i) {
+    contents[offsets + 8 + i] = static_cast<char>(0xff);  // offsets[1]
+  }
+  WriteFile(path, contents);
+  StatusOr<Corpus> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("monotone"), std::string::npos)
       << loaded.status();
   std::remove(path.c_str());
 }

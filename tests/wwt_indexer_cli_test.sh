@@ -34,6 +34,23 @@ grep -q "validated existing" "$TMP/revalidate.txt" \
 grep -q "content hash" "$TMP/inspect.txt" || fail "inspect shows no hash"
 grep -q "tables" "$TMP/inspect.txt" || fail "inspect shows no table count"
 
+# --inspect --format json: one machine-readable object with the version,
+# content hash and the per-section byte sizes.
+"$INDEXER" --inspect "$TMP/tiny.wwtsnap" --format json \
+  >"$TMP/inspect.json" || fail "--inspect --format json exited non-zero"
+grep -q '"format_version"' "$TMP/inspect.json" \
+  || fail "json inspect shows no format_version"
+grep -q '"content_hash"' "$TMP/inspect.json" \
+  || fail "json inspect shows no content_hash"
+grep -q '"sections"' "$TMP/inspect.json" \
+  || fail "json inspect shows no sections"
+grep -q '"tag": "INDX"' "$TMP/inspect.json" \
+  || fail "json inspect lists no INDX section"
+"$INDEXER" --inspect "$TMP/tiny.wwtsnap" --format bogus \
+  >/dev/null 2>"$TMP/fmt_err.txt" && fail "--format bogus did not fail"
+[ "$(grep -c '^wwt_indexer: ' "$TMP/fmt_err.txt")" -eq 1 ] \
+  || fail "expected one 'wwt_indexer: ...' line for --format bogus"
+
 # --force rebuilds even though the artifact matches.
 "$INDEXER" --out "$TMP/tiny.wwtsnap" "${ARGS[@]}" --force \
   >"$TMP/force.txt" || fail "--force exited non-zero"
@@ -49,6 +66,14 @@ done
 "$INDEXER" --inspect "$TMP/tiny.wwtset" >"$TMP/setinspect.txt" \
   || fail "--inspect on manifest exited non-zero"
 grep -q "corpus set" "$TMP/setinspect.txt" || fail "manifest inspect wrong"
+"$INDEXER" --inspect "$TMP/tiny.wwtset" --format json \
+  >"$TMP/setinspect.json" || fail "json manifest inspect exited non-zero"
+grep -q '"kind": "set"' "$TMP/setinspect.json" \
+  || fail "json manifest inspect has wrong kind"
+grep -q '"shards"' "$TMP/setinspect.json" \
+  || fail "json manifest inspect lists no shards"
+grep -q '"first_table_id"' "$TMP/setinspect.json" \
+  || fail "json manifest inspect lists no shard id ranges"
 
 # Unwritable output path (the parent "directory" is a regular file, so
 # this fails for root too): non-zero exit + a one-line diagnostic.

@@ -14,12 +14,14 @@
 // Usage:
 //   wwt_indexer --out PATH [--scale S] [--seed N] [--noise-pages N]
 //               [--shards N] [--force]
-//   wwt_indexer --inspect PATH
+//   wwt_indexer --inspect PATH [--format text|json]
 //
 // Without --force an existing artifact (snapshot, or manifest + every
 // shard) that already matches the requested parameters is kept as-is
 // (the CI cache path). --inspect understands both `.wwtsnap` and
-// `.wwtset` files. Exit code 0 on success; every failure is one
+// `.wwtset` files; `--format json` emits one machine-readable object
+// (version, content hash, per-section byte sizes, per-shard manifest
+// entries) for scripting. Exit code 0 on success; every failure is one
 // "wwt_indexer: ..." line on stderr and a non-zero exit.
 
 #include <algorithm>
@@ -75,11 +77,66 @@ void PrintManifest(const wwt::SetManifest& m, const std::string& path) {
   }
 }
 
+void PrintInfoJson(const wwt::SnapshotInfo& info, const std::string& path) {
+  std::printf("{\n");
+  std::printf("  \"kind\": \"snapshot\",\n");
+  std::printf("  \"path\": \"%s\",\n", path.c_str());
+  std::printf("  \"format_version\": %u,\n", info.format_version);
+  std::printf("  \"content_hash\": \"%016llx\",\n",
+              static_cast<unsigned long long>(info.content_hash));
+  std::printf("  \"file_bytes\": %llu,\n",
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(info.seed));
+  std::printf("  \"scale\": %.6g,\n", info.scale);
+  std::printf("  \"noise_pages\": %d,\n", info.noise_pages);
+  std::printf("  \"tables\": %llu,\n",
+              static_cast<unsigned long long>(info.num_tables));
+  std::printf("  \"queries\": %llu,\n",
+              static_cast<unsigned long long>(info.num_queries));
+  std::printf("  \"terms\": %llu,\n",
+              static_cast<unsigned long long>(info.num_terms));
+  std::printf("  \"sections\": [");
+  for (size_t s = 0; s < info.sections.size(); ++s) {
+    std::printf("%s\n    {\"tag\": \"%s\", \"bytes\": %llu}",
+                s == 0 ? "" : ",", info.sections[s].tag.c_str(),
+                static_cast<unsigned long long>(info.sections[s].bytes));
+  }
+  std::printf("\n  ]\n}\n");
+}
+
+void PrintManifestJson(const wwt::SetManifest& m, const std::string& path) {
+  std::printf("{\n");
+  std::printf("  \"kind\": \"set\",\n");
+  std::printf("  \"path\": \"%s\",\n", path.c_str());
+  std::printf("  \"format_version\": %u,\n", m.format_version);
+  std::printf("  \"content_hash\": \"%016llx\",\n",
+              static_cast<unsigned long long>(m.set_hash));
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(m.seed));
+  std::printf("  \"scale\": %.6g,\n", m.scale);
+  std::printf("  \"noise_pages\": %d,\n", m.noise_pages);
+  std::printf("  \"tables\": %llu,\n",
+              static_cast<unsigned long long>(m.num_tables));
+  std::printf("  \"shards\": [");
+  for (size_t s = 0; s < m.shards.size(); ++s) {
+    const wwt::ShardManifestEntry& e = m.shards[s];
+    std::printf(
+        "%s\n    {\"file\": \"%s\", \"content_hash\": \"%016llx\", "
+        "\"first_table_id\": %llu, \"num_tables\": %llu}",
+        s == 0 ? "" : ",", e.file.c_str(),
+        static_cast<unsigned long long>(e.content_hash),
+        static_cast<unsigned long long>(e.first_table_id),
+        static_cast<unsigned long long>(e.num_tables));
+  }
+  std::printf("\n  ]\n}\n");
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --out PATH [--scale S] [--seed N]\n"
                "          [--noise-pages N] [--shards N] [--force]\n"
-               "       %s --inspect PATH\n",
+               "       %s --inspect PATH [--format text|json]\n",
                argv0, argv0);
   return 2;
 }
@@ -121,6 +178,7 @@ bool ShardedSetIsFresh(const wwt::SetManifest& manifest,
 
 int main(int argc, char** argv) {
   std::string out, inspect;
+  std::string format = "text";
   wwt::CorpusOptions options;
   int shards = 1;
   bool shards_set = false;
@@ -147,6 +205,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      format = v;
+      if (format != "text" && format != "json") {
+        return Fail("--format wants 'text' or 'json', got '" + format + "'");
+      }
     } else if (arg == "--noise-pages") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -172,12 +237,20 @@ int main(int argc, char** argv) {
       wwt::StatusOr<wwt::SetManifest> manifest =
           wwt::LoadSetManifest(inspect);
       if (!manifest.ok()) return Fail(manifest.status().ToString());
-      PrintManifest(*manifest, inspect);
+      if (format == "json") {
+        PrintManifestJson(*manifest, inspect);
+      } else {
+        PrintManifest(*manifest, inspect);
+      }
       return 0;
     }
     wwt::StatusOr<wwt::SnapshotInfo> info = wwt::InspectSnapshot(inspect);
     if (!info.ok()) return Fail(info.status().ToString());
-    PrintInfo(*info, inspect);
+    if (format == "json") {
+      PrintInfoJson(*info, inspect);
+    } else {
+      PrintInfo(*info, inspect);
+    }
     return 0;
   }
   if (out.empty()) return Usage(argv[0]);

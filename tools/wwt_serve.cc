@@ -490,7 +490,8 @@ int main(int argc, char** argv) {
         "\"misses\": %llu, \"coalesced\": %llu, \"inserts\": %llu, "
         "\"evictions\": %llu, \"entries\": %zu, \"bytes\": %zu}, "
         "\"stats\": {\"source\": \"%s\", \"corpus_hash\": \"%016llx\", "
-        "\"shards\": %zu, \"tables\": %llu, \"threads\": %d, "
+        "\"shards\": %zu, \"tables\": %llu, \"format\": %u, "
+        "\"mapped_bytes\": %llu, \"heap_bytes\": %llu, \"threads\": %d, "
         "\"shard_threads\": %d}}}\n",
         s.num_queries, failed,
         wwt::ProbeScorerName((*service)->engine_options().scorer),
@@ -510,6 +511,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ss.corpus_hash),
         ss.corpus_shards,
         static_cast<unsigned long long>(ss.corpus_tables),
+        ss.corpus_format,
+        static_cast<unsigned long long>(ss.mapped_bytes),
+        static_cast<unsigned long long>(ss.heap_bytes),
         ss.num_threads, ss.shard_threads);
   } else {
     std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d "
@@ -537,6 +541,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ss.corpus_tables),
                 ss.num_threads,
                 ss.shard_threads > 0 ? " + shard fan-out pool" : "");
+    std::printf("memory: format v%u — %.1f MB mapped, %.1f MB heap%s\n",
+                ss.corpus_format,
+                ss.mapped_bytes / (1024.0 * 1024.0),
+                ss.heap_bytes / (1024.0 * 1024.0),
+                ss.mapped_bytes > 0 ? " (zero-copy serve)" : "");
     std::printf("cold start: %.3f s load vs corpus rebuild (see "
                 "bench_throughput for the ratio)\n",
                 load_seconds);
