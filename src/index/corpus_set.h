@@ -60,14 +60,14 @@ class CorpusHandle {
   /// Loads a .wwtsnap artifact into an owning handle; the snapshot's
   /// content hash becomes the handle's. Clean Status on a missing or
   /// corrupt file.
-  static StatusOr<std::shared_ptr<const CorpusHandle>> Load(
+  [[nodiscard]] static StatusOr<std::shared_ptr<const CorpusHandle>> Load(
       const std::string& path, SnapshotInfo* info = nullptr);
 
   /// Load from an already-open file — the single-open path: callers
   /// that sniffed the artifact themselves (OpenCorpus) hand the mapping
   /// over instead of paying a second open + header parse. `path` is
   /// recorded as the handle's source and used in error messages.
-  static StatusOr<std::shared_ptr<const CorpusHandle>> Load(
+  [[nodiscard]] static StatusOr<std::shared_ptr<const CorpusHandle>> Load(
       serde::InputFile file, const std::string& path,
       SnapshotInfo* info = nullptr);
 
@@ -100,7 +100,16 @@ class CorpusHandle {
 };
 
 /// An immutable set of 1..N shard handles served as one corpus: the unit
-/// SwapCorpus installs and a request captures at submission. Shards
+/// SwapCorpus installs and a request captures at submission.
+///
+/// Thread safety: a built CorpusSet is deeply immutable — every member
+/// is set once in Build/Load and only ever read afterwards — so it
+/// carries no mutex and no WWT_GUARDED_BY annotations: concurrent reads
+/// from any number of probe threads need no capability (the analysis
+/// layer's equivalent of "const and means it"). The only write anywhere
+/// near this class is the process-unique synthetic-hash counter in
+/// corpus_set.cc, a std::atomic. Lifetime (not access) is what swap
+/// safety is about, and that is the shared_ptr capture in WwtService. Shards
 /// cover disjoint (sorted ascending) table-id ranges; every shard's
 /// index carries the GLOBAL vocabulary/IDF computed before partitioning,
 /// which is what makes the scatter-gathered answers byte-identical to a
@@ -126,7 +135,7 @@ class CorpusSet {
   /// match the manifest entry — a rebuilt or swapped shard file is a
   /// clean Corruption error, never a silently mixed set. On success
   /// `manifest` (when non-null) receives the parsed manifest.
-  static StatusOr<std::shared_ptr<const CorpusSet>> Load(
+  [[nodiscard]] static StatusOr<std::shared_ptr<const CorpusSet>> Load(
       const std::string& manifest_path, SetManifest* manifest = nullptr);
 
   size_t num_shards() const { return shards_.size(); }
@@ -204,7 +213,7 @@ struct OpenCorpusResult {
 /// open + checksum; only the tiny manifest itself is re-read). Clean
 /// Status on a missing file (IOError), unrecognized or damaged bytes
 /// (Corruption), or a format version out of range (InvalidArgument).
-StatusOr<OpenCorpusResult> OpenCorpus(const std::string& path);
+[[nodiscard]] StatusOr<OpenCorpusResult> OpenCorpus(const std::string& path);
 
 }  // namespace wwt
 

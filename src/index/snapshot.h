@@ -98,14 +98,14 @@ struct SnapshotInfo {
 /// directories as needed. The write is atomic (tmp file + rename). On
 /// success `info` (when non-null) is filled from the in-memory state —
 /// no read-back of the file.
-Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
+[[nodiscard]] Status SaveSnapshot(const Corpus& corpus, const CorpusOptions& options,
                     const std::string& path, SnapshotInfo* info = nullptr);
 
 /// SaveSnapshot pinned to an older (still-loadable) format version —
 /// how the v2 backward-compatibility tests mint v2 files, and an escape
 /// hatch for serving fleets mid-upgrade. `format_version` must lie in
 /// [kMinSnapshotFormatVersion, kSnapshotFormatVersion].
-Status SaveSnapshotAtVersion(const Corpus& corpus,
+[[nodiscard]] Status SaveSnapshotAtVersion(const Corpus& corpus,
                              const CorpusOptions& options,
                              const std::string& path,
                              uint32_t format_version,
@@ -115,7 +115,7 @@ Status SaveSnapshotAtVersion(const Corpus& corpus,
 /// when possible. Fails with a clean Status on missing file (IOError),
 /// bad magic / checksum / truncation (Corruption), or a format version
 /// mismatch (InvalidArgument) — never crashes on garbage input.
-StatusOr<Corpus> LoadSnapshot(const std::string& path,
+[[nodiscard]] StatusOr<Corpus> LoadSnapshot(const std::string& path,
                               SnapshotInfo* info = nullptr);
 
 /// LoadSnapshot from an already-open file — the single-open path for
@@ -123,12 +123,12 @@ StatusOr<Corpus> LoadSnapshot(const std::string& path,
 /// OpenCorpus facade and CorpusHandle). `path` is used in error
 /// messages only. A v4 corpus takes ownership of the mapping
 /// (Corpus::mapping); v2/v3 corpora materialize and drop it.
-StatusOr<Corpus> LoadSnapshot(serde::InputFile file, const std::string& path,
+[[nodiscard]] StatusOr<Corpus> LoadSnapshot(serde::InputFile file, const std::string& path,
                               SnapshotInfo* info = nullptr);
 
 /// Reads header + META without decoding the store/index sections (the
 /// payload checksum is still verified, so the whole file is read once).
-StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
+[[nodiscard]] StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
 
 /// Fingerprint of a workload spec list (order-sensitive), stored in META
 /// so BuildOrLoad can tell a custom workload from the Table 1 default.
@@ -236,13 +236,13 @@ std::vector<Corpus> PartitionCorpus(const Corpus& corpus, int num_shards);
 /// `.wwtset`; shard files are derived from it
 /// (`base.shard-I-of-N.wwtsnap`). On success `manifest` (when non-null)
 /// is filled from the written state.
-Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
+[[nodiscard]] Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
                            const std::string& manifest_path, int num_shards,
                            SetManifest* manifest = nullptr);
 
 /// Parses a `.wwtset` manifest (header + entries; shard files are not
 /// opened). Clean Status on missing/corrupt/version-mismatched input.
-StatusOr<SetManifest> LoadSetManifest(const std::string& path);
+[[nodiscard]] StatusOr<SetManifest> LoadSetManifest(const std::string& path);
 
 /// Resolves a ShardManifestEntry::file against the manifest's directory
 /// (absolute entries pass through) — the one definition every manifest

@@ -247,7 +247,7 @@ void TableIndex::FinishScoringLayout(ScoringLayout* layout) {
 
 void TableIndex::EnsureScoringLayout() const {
   if (scoring_ready_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(scoring_mu_);
+  MutexLock lock(scoring_mu_);
   if (scoring_ready_.load(std::memory_order_relaxed)) return;
   WWT_CHECK(heap_ != nullptr)
       << "mapped TableIndex must install its scoring view at load";

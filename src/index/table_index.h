@@ -27,12 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "table/web_table.h"
 #include "text/tfidf.h"
+#include "util/thread_annotations.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
 
@@ -329,9 +329,16 @@ class TableIndex : public CorpusStats {
   /// so a true read guarantees visibility of the layout without taking
   /// the mutex. A v4 load bypasses it entirely: mapped_scoring_ points
   /// into the mapping and scoring_ready_ is true from installation.
+  ///
+  /// scoring_ is deliberately NOT WWT_GUARDED_BY(scoring_mu_): the hot
+  /// read path is lock-free by design (publication is the
+  /// release/acquire pair on scoring_ready_, which clang's lock-based
+  /// analysis cannot model). scoring_mu_ serializes only the one-time
+  /// *build* in EnsureScoringLayout; every read is gated on
+  /// scoring_ready_. Raced under the TSan tier instead.
   mutable ScoringLayout scoring_;
   mutable std::atomic<bool> scoring_ready_{false};
-  mutable std::mutex scoring_mu_;
+  mutable Mutex scoring_mu_;
   ScoringView mapped_scoring_{};
 };
 

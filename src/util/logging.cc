@@ -2,10 +2,20 @@
 
 #include <atomic>
 
+#include "util/thread_annotations.h"
+
 namespace wwt {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes sink emission so concurrent log lines never interleave
+/// mid-line. Function-local static: safe to log from static
+/// initializers and destructors of other TUs.
+Mutex& EmitMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,6 +44,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel()) {
+    MutexLock lock(EmitMutex());
     std::cerr << stream_.str() << "\n";
   }
 }
@@ -45,7 +56,13 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::cerr << stream_.str() << std::endl;
+  {
+    // Scoped so the process never aborts while holding the emit lock —
+    // another thread mid-log must not turn a CHECK failure into a hang
+    // of its own (abort() can run atexit-adjacent machinery).
+    MutexLock lock(EmitMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
   std::abort();
 }
 

@@ -175,10 +175,10 @@ uint64_t Checksum(std::string_view payload);
 /// tmp file is written, flushed, and renamed over `path`, so readers
 /// never observe a half-written file. Taking multiple spans lets a
 /// header + payload be written without gluing them into one buffer.
-Status WriteFileAtomic(const std::string& path,
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
                        std::initializer_list<std::string_view> parts);
-inline Status WriteFileAtomic(const std::string& path,
-                              std::string_view contents) {
+[[nodiscard]] inline Status WriteFileAtomic(const std::string& path,
+                                            std::string_view contents) {
   return WriteFileAtomic(path, {contents});
 }
 
@@ -189,7 +189,7 @@ std::string DirName(const std::string& path);
 
 /// Creates every missing directory on the path to `path`'s parent
 /// (mkdir -p for the dirname).
-Status EnsureParentDir(const std::string& path);
+[[nodiscard]] Status EnsureParentDir(const std::string& path);
 
 /// Read-only file contents, memory-mapped when the platform supports it
 /// (falling back to a plain read). Move-only; unmaps on destruction.

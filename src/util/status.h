@@ -44,7 +44,13 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Callers must check `ok()` before relying on side effects; the
 /// WWT_RETURN_NOT_OK macro propagates errors up the stack.
-class Status {
+///
+/// The class itself is [[nodiscard]]: a call that returns a Status and
+/// ignores it is a compile warning everywhere and a build break under
+/// WWT_WERROR (CI). Silently dropped errors were exactly how the early
+/// snapshot-corruption bugs hid; an intentional drop must say so with
+/// a `(void)` cast at the call site, which is greppable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

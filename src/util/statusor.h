@@ -17,8 +17,12 @@ namespace wwt {
 /// value is absent. Construction from a value yields ok(); construction from
 /// a non-OK Status yields an error. Accessing the value of an error
 /// StatusOr is a programming error (asserted in debug builds).
+///
+/// [[nodiscard]] like Status: ignoring a returned StatusOr discards
+/// both the value and the error — always a bug. See Status for the
+/// enforcement story ((void)-cast intentional drops).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. Must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,0 +1,175 @@
+// Copyright 2026 The WWT Authors
+//
+// Clang Thread Safety Analysis for the concurrent core, and the
+// annotatable mutex vocabulary the whole tree locks with.
+//
+// Every mutex-holding class (ThreadPool, ResponseCache, WwtService,
+// TableIndex's scoring lock, the logging sink) declares its lock as a
+// wwt::Mutex and its protected state with WWT_GUARDED_BY, so a clang
+// build (`-Wthread-safety`, promoted to an error by WWT_WERROR in CI)
+// proves the locking discipline at compile time: an access to guarded
+// state without the lock, a Wait() without its mutex, or a function
+// called without a WWT_REQUIRES'd capability is a build break, not a
+// latent race. On GCC (which has no thread safety analysis) every
+// macro expands to nothing and wwt::Mutex behaves exactly like the
+// std::mutex it wraps — pinned by tests/util_annotations_test.cc.
+//
+// Policy: WWT_NO_THREAD_SAFETY_ANALYSIS exists for the one legitimate
+// use (lock implementations themselves); it must never appear outside
+// this header. Lock-free publication (e.g. TableIndex's scoring layout,
+// released through an acquire/release atomic) is *documented* at the
+// field instead of annotated — Clang's analysis models locks, not
+// release sequences, and a false GUARDED_BY would force spurious locks
+// onto the hot read path.
+
+#ifndef WWT_UTIL_THREAD_ANNOTATIONS_H_
+#define WWT_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------- attributes
+//
+// The full attribute set of Clang's -Wthread-safety, no-ops elsewhere.
+// Names follow the modern "capability" spelling (a mutex is one kind of
+// capability); the macros are the only way the tree spells them.
+
+#if defined(__clang__)
+#define WWT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define WWT_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define WWT_CAPABILITY(x) WWT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define WWT_SCOPED_CAPABILITY WWT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The data member is protected by the given capability: reads require
+/// it held (shared or exclusive), writes require it exclusive.
+#define WWT_GUARDED_BY(x) WWT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Like WWT_GUARDED_BY for pointers: the *pointee* is protected.
+#define WWT_PT_GUARDED_BY(x) WWT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called with the capabilities already held
+/// (and does not release them).
+#define WWT_REQUIRES(...) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function may only be called with the capabilities NOT held
+/// (it acquires them itself; calling with them held would deadlock).
+#define WWT_EXCLUDES(...) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define WWT_ACQUIRE(...) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define WWT_RELEASE(...) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability; the first argument is
+/// the return value that means success.
+#define WWT_TRY_ACQUIRE(...) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define WWT_RETURN_CAPABILITY(x) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Asserts (at analysis time) that the capability is held.
+#define WWT_ASSERT_CAPABILITY(x) \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch for lock *implementations*. Never use outside this
+/// header — the CI tidy/annotation gate greps for it.
+#define WWT_NO_THREAD_SAFETY_ANALYSIS \
+  WWT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace wwt {
+
+// -------------------------------------------------------------- Mutex
+//
+// std::mutex is not an annotatable capability (libstdc++ carries no
+// thread-safety attributes), so the tree locks through this wrapper.
+// Zero overhead: every method is an inline forward to the wrapped
+// std::mutex.
+
+class WWT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WWT_ACQUIRE() { mu_.lock(); }
+  void Unlock() WWT_RELEASE() { mu_.unlock(); }
+  bool TryLock() WWT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// ---------------------------------------------------------- MutexLock
+//
+// The only sanctioned way to hold a wwt::Mutex: a scoped lock the
+// analysis understands (std::lock_guard over a wrapped mutex would be
+// invisible to it).
+
+class WWT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WWT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() WWT_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// ------------------------------------------------------------ CondVar
+//
+// Condition variable bound to wwt::Mutex. Wait() atomically releases
+// and reacquires the caller's already-held mutex, exactly like
+// std::condition_variable::wait — the WWT_REQUIRES(mu) annotation makes
+// "wait without the lock" a compile error under clang. Callers loop on
+// their own condition:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);     // ready_ is WWT_GUARDED_BY(mu_)
+//
+// (a predicate lambda would read guarded state from an un-annotated
+// closure, which the analysis rejects — the explicit while loop is the
+// annotated idiom).
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Releases `mu`, blocks until notified, reacquires `mu`. Spurious
+  /// wakeups happen; always re-check the condition in a loop.
+  void Wait(Mutex& mu) WWT_REQUIRES(mu) {
+    // Adopt the caller's held lock for the duration of the wait, then
+    // release ownership back without unlocking: the caller still holds
+    // the mutex on return, as the annotation promises.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wwt
+
+#endif  // WWT_UTIL_THREAD_ANNOTATIONS_H_

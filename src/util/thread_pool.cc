@@ -4,8 +4,6 @@
 #include <atomic>
 #include <climits>
 
-#include "util/logging.h"
-
 namespace wwt {
 
 namespace {
@@ -35,22 +33,23 @@ int ThreadPool::DefaultNumThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    WWT_CHECK(!stopping_) << "Submit() on a shut-down ThreadPool";
+    MutexLock lock(mu_);
+    if (stopping_) return false;  // lost the race: Submit fails the future
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -62,14 +61,15 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    // packaged_task routes any exception into the future; a bare
-    // std::function task that throws would terminate, as with std::thread.
+    // Submit's wrapper routes any exception into the task's future; a
+    // bare std::function task that throws would terminate, as with
+    // std::thread.
     task();
   }
 }

@@ -176,18 +176,18 @@ inline constexpr size_t kMaxQueryColumns = 16;
 /// Rejects out-of-range engine options (negative probe1_k, zero
 /// max_candidates, out-of-range score_floor_fraction, ...) with an
 /// InvalidArgument naming the field. OK options are safe to serve with.
-Status ValidateEngineOptions(const EngineOptions& options);
+[[nodiscard]] Status ValidateEngineOptions(const EngineOptions& options);
 
 /// Shared core of ValidateServiceOptions / ValidateRunnerOptions (both
 /// structs are {EngineOptions, num_threads}): engine fields via
 /// ValidateEngineOptions, num_threads >= 0. `struct_name` labels the
 /// error message.
-Status ValidateServingOptions(const EngineOptions& engine, int num_threads,
+[[nodiscard]] Status ValidateServingOptions(const EngineOptions& engine, int num_threads,
                               const char* struct_name);
 
 /// Rejects an empty column list, empty/whitespace-only columns, more
 /// than kMaxQueryColumns columns, and an out-of-range options override.
-Status ValidateQueryRequest(const QueryRequest& request);
+[[nodiscard]] Status ValidateQueryRequest(const QueryRequest& request);
 
 /// Canonical form of a column keyword list: per column, lowercased with
 /// whitespace runs collapsed, length-prefixed (so no column content can

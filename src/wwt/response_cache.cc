@@ -101,7 +101,7 @@ ResponseCache::Payload ResponseCache::Lookup(uint64_t key) {
   if (!enabled()) return nullptr;
   Shard& shard = *shards_[ShardForKey(key)];
   const Clock::time_point now = Now();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   Payload payload = LookupLocked(shard, key, now);
   payload != nullptr ? ++shard.hits : ++shard.misses;
   return payload;
@@ -111,7 +111,7 @@ void ResponseCache::Insert(uint64_t key, Payload value) {
   if (!enabled() || value == nullptr) return;
   Shard& shard = *shards_[ShardForKey(key)];
   const Clock::time_point now = Now();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   InsertLocked(shard, key, std::move(value), now);
 }
 
@@ -125,7 +125,7 @@ ResponseCache::Ticket ResponseCache::Acquire(uint64_t key) {
   }
   Shard& shard = *shards_[ShardForKey(key)];
   const Clock::time_point now = Now();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ticket.cached = LookupLocked(shard, key, now);
   if (ticket.cached != nullptr) {
     ++shard.hits;
@@ -151,7 +151,7 @@ void ResponseCache::Resolve(uint64_t key, Payload value) {
   const Clock::time_point now = Now();
   std::shared_ptr<Flight> flight;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.flights.find(key);
     if (it != shard.flights.end()) {
       flight = std::move(it->second);
@@ -172,7 +172,7 @@ size_t ResponseCache::PurgeStale(uint64_t live_corpus_hash) {
   const Clock::time_point now = Now();
   for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       auto next = std::next(it);
       if (it->value->corpus_hash != live_corpus_hash) {
@@ -193,7 +193,7 @@ size_t ResponseCache::PurgeStale(uint64_t live_corpus_hash) {
 void ResponseCache::Clear() {
   for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
@@ -204,7 +204,7 @@ ResponseCache::Stats ResponseCache::GetStats() const {
   Stats stats;
   for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.inserts += shard.inserts;

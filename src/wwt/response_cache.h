@@ -30,11 +30,11 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wwt/api.h"
 
 namespace wwt {
@@ -154,24 +154,35 @@ class ResponseCache {
   };
 
   /// One independently-locked slice of the keyspace. `lru` front is the
-  /// most recently used entry.
+  /// most recently used entry. Everything behind `mu` — the *Locked
+  /// helpers below carry WWT_REQUIRES(shard.mu), so a clang build
+  /// proves no entry, flight or counter is ever touched lock-free.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-    std::unordered_map<uint64_t, std::shared_ptr<Flight>> flights;
-    size_t bytes = 0;
-    uint64_t hits = 0, misses = 0, inserts = 0, evictions = 0,
-             expirations = 0, coalesced = 0, stale_purged = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru WWT_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        WWT_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::shared_ptr<Flight>> flights
+        WWT_GUARDED_BY(mu);
+    size_t bytes WWT_GUARDED_BY(mu) = 0;
+    uint64_t hits WWT_GUARDED_BY(mu) = 0;
+    uint64_t misses WWT_GUARDED_BY(mu) = 0;
+    uint64_t inserts WWT_GUARDED_BY(mu) = 0;
+    uint64_t evictions WWT_GUARDED_BY(mu) = 0;
+    uint64_t expirations WWT_GUARDED_BY(mu) = 0;
+    uint64_t coalesced WWT_GUARDED_BY(mu) = 0;
+    uint64_t stale_purged WWT_GUARDED_BY(mu) = 0;
   };
 
   Clock::time_point Now() const;
   bool ExpiredLocked(const Entry& entry, Clock::time_point now) const;
   /// Lookup under `shard.mu`: promote-and-return, or reclaim-if-expired.
-  Payload LookupLocked(Shard& shard, uint64_t key, Clock::time_point now);
+  Payload LookupLocked(Shard& shard, uint64_t key, Clock::time_point now)
+      WWT_REQUIRES(shard.mu);
   void InsertLocked(Shard& shard, uint64_t key, Payload value,
-                    Clock::time_point now);
-  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+                    Clock::time_point now) WWT_REQUIRES(shard.mu);
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it)
+      WWT_REQUIRES(shard.mu);
 
   ResponseCacheOptions options_;
   ClockFn clock_;

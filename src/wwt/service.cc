@@ -68,7 +68,7 @@ StatusOr<std::unique_ptr<WwtService>> WwtService::FromSnapshot(
 }
 
 void WwtService::SwapCorpus(std::shared_ptr<const CorpusSet> corpus) {
-  std::lock_guard<std::mutex> lock(corpus_mu_);
+  MutexLock lock(corpus_mu_);
   if (corpus != nullptr && corpus->num_shards() > 1 &&
       shard_pool_ == nullptr) {
     // First multi-shard set: start the fan-out pool. Created once and
@@ -89,12 +89,12 @@ void WwtService::SwapCorpus(std::shared_ptr<const CorpusHandle> corpus) {
 }
 
 std::shared_ptr<const CorpusSet> WwtService::corpus() const {
-  std::lock_guard<std::mutex> lock(corpus_mu_);
+  MutexLock lock(corpus_mu_);
   return corpus_;
 }
 
 WwtService::Serving WwtService::CurrentServing() const {
-  std::lock_guard<std::mutex> lock(corpus_mu_);
+  MutexLock lock(corpus_mu_);
   return {corpus_, shard_pool_};
 }
 

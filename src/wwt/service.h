@@ -32,7 +32,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +39,7 @@
 #include "index/corpus_set.h"
 #include "index/snapshot.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "wwt/api.h"
@@ -128,7 +128,8 @@ class WwtService {
   /// submissions see `corpus`. Never blocks on in-flight work. The
   /// response cache invalidates implicitly: the set hash is part of
   /// every key (PurgeStaleCacheEntries reclaims the dead bytes eagerly).
-  void SwapCorpus(std::shared_ptr<const CorpusSet> corpus);
+  void SwapCorpus(std::shared_ptr<const CorpusSet> corpus)
+      WWT_EXCLUDES(corpus_mu_);
 
   /// Single-snapshot convenience: wraps `corpus` as a 1-shard set.
   void SwapCorpus(std::shared_ptr<const CorpusHandle> corpus);
@@ -137,7 +138,7 @@ class WwtService {
   }
 
   /// The current serving set (nullptr when none is loaded).
-  std::shared_ptr<const CorpusSet> corpus() const;
+  std::shared_ptr<const CorpusSet> corpus() const WWT_EXCLUDES(corpus_mu_);
 
   /// The async primitive: validates, stamps the deadline, captures the
   /// current corpus handle, and enqueues. The future always yields a
@@ -189,7 +190,7 @@ class WwtService {
     std::shared_ptr<const CorpusSet> corpus;
     std::shared_ptr<ThreadPool> shard_pool;
   };
-  Serving CurrentServing() const;
+  Serving CurrentServing() const WWT_EXCLUDES(corpus_mu_);
 
   /// Submit bound to an explicit serving set (RunBatch pins one for the
   /// whole batch).
@@ -232,12 +233,16 @@ class WwtService {
                      const CorpusSet& corpus) const;
 
   ServiceOptions options_;
-  mutable std::mutex corpus_mu_;
-  std::shared_ptr<const CorpusSet> corpus_;
+  /// Guards the swap state — the only mutable serving state the
+  /// service owns. Everything a request touches after submission is the
+  /// immutable Serving capture, so corpus_mu_ is held only for the
+  /// pointer handoff, never across pipeline work.
+  mutable Mutex corpus_mu_;
+  std::shared_ptr<const CorpusSet> corpus_ WWT_GUARDED_BY(corpus_mu_);
   /// The shard fan-out pool; created under corpus_mu_ by the first
   /// multi-shard SwapCorpus, then never replaced. Requests capture it
   /// together with the set, so it outlives every probe that uses it.
-  std::shared_ptr<ThreadPool> shard_pool_;
+  std::shared_ptr<ThreadPool> shard_pool_ WWT_GUARDED_BY(corpus_mu_);
   /// Internally synchronized; null when options_.cache disables it.
   std::unique_ptr<ResponseCache> cache_;
   /// Last member: torn down first, so no worker outlives the fields the

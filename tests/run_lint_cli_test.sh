@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CTest smoke for the lint runner (labels: unit) — pins the exit-code
+# contract of tools/run_lint.sh the same way bench_compare_cli_test.sh
+# pins the perf gate's: usage errors are 2, a missing compile database
+# is 2, a missing clang-tidy is 3 (never a half-run), and when a
+# clang-tidy IS available the clean/findings paths report 0/1. The
+# tool-independent paths run everywhere; the live-tidy paths are
+# exercised only when the machine has clang-tidy (CI does).
+set -u
+
+LINT="${1:?usage: run_lint_cli_test.sh /path/to/run_lint.sh}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "run_lint_cli_test: FAIL: $1"; exit 1; }
+
+# Unknown flag: usage error, exit 2.
+"$LINT" --definitely-not-a-flag > /dev/null 2> "$TMP/usage.txt"
+[ $? -eq 2 ] || fail "unknown flag did not exit 2"
+grep -q "unknown flag" "$TMP/usage.txt" || fail "no unknown-flag message"
+
+# --build-dir with no value: usage error, exit 2.
+"$LINT" --build-dir > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--build-dir with no value did not exit 2"
+
+# --help: exit 0 with the usage line.
+"$LINT" --help > /dev/null 2> "$TMP/help.txt"
+[ $? -eq 0 ] || fail "--help did not exit 0"
+grep -q "usage:" "$TMP/help.txt" || fail "--help printed no usage"
+
+# Missing clang-tidy (CLANG_TIDY pinned to a nonexistent binary): a
+# clear diagnostic and exit 3 — checked before the compile database so
+# the message names the actual blocker.
+CLANG_TIDY="$TMP/no-such-clang-tidy" "$LINT" > /dev/null 2> "$TMP/no.txt"
+[ $? -eq 3 ] || fail "missing clang-tidy did not exit 3"
+grep -q "clang-tidy not found" "$TMP/no.txt" || fail "no not-found message"
+
+# Missing compile database: exit 2 naming the expected path. Use a fake
+# clang-tidy on PATH so this path is reachable on tidy-less machines.
+mkdir -p "$TMP/bin"
+printf '#!/bin/sh\nexit 0\n' > "$TMP/bin/clang-tidy"
+chmod +x "$TMP/bin/clang-tidy"
+CLANG_TIDY="$TMP/bin/clang-tidy" "$LINT" --build-dir "$TMP/empty-build" \
+  > /dev/null 2> "$TMP/db.txt"
+[ $? -eq 2 ] || fail "missing compile_commands.json did not exit 2"
+grep -q "compile database" "$TMP/db.txt" || fail "no compile-db message"
+
+# With a stub tidy that always passes and a stub database: clean run,
+# exit 0 — proves flag plumbing end to end without a real clang-tidy.
+mkdir -p "$TMP/build"
+echo "[]" > "$TMP/build/compile_commands.json"
+CLANG_TIDY="$TMP/bin/clang-tidy" "$LINT" --build-dir "$TMP/build" \
+  src/util/status.cc > "$TMP/clean.txt" 2>&1
+[ $? -eq 0 ] || fail "clean stub run did not exit 0"
+grep -q "clean" "$TMP/clean.txt" || fail "no clean summary line"
+
+# A stub tidy that always reports findings: exit 1.
+printf '#!/bin/sh\necho "warning: stub finding"\nexit 1\n' \
+  > "$TMP/bin/clang-tidy"
+chmod +x "$TMP/bin/clang-tidy"
+CLANG_TIDY="$TMP/bin/clang-tidy" "$LINT" --build-dir "$TMP/build" \
+  src/util/status.cc > /dev/null 2> "$TMP/findings.txt"
+[ $? -eq 1 ] || fail "findings stub run did not exit 1"
+grep -q "findings" "$TMP/findings.txt" || fail "no findings summary"
+
+echo "run_lint_cli_test: PASS"
+exit 0

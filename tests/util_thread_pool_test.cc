@@ -1,12 +1,15 @@
 // Copyright 2026 The WWT Authors
 //
 // ThreadPool: ordering, concurrency, exception propagation, shutdown
-// draining, and the ParallelFor helper.
+// draining, the Submit-racing-Shutdown contract (part of the TSan race
+// tier, `ctest -L race`), and the ParallelFor helper.
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -97,6 +100,83 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
     // Destructor implies Shutdown(): every queued task must still run.
   }
   EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRejectsWithRuntimeError) {
+  // The deterministic half of the Submit/Shutdown contract: once
+  // Shutdown() has returned, Submit must not enqueue (the workers are
+  // gone — the task would never run) and must not crash. The returned
+  // future carries std::runtime_error instead.
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+  pool.Shutdown();
+
+  std::future<int> rejected = pool.Submit([] { return 2; });
+  EXPECT_THROW(
+      {
+        try {
+          rejected.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("shut-down"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  // Shutdown is idempotent and later rejections behave the same.
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}).get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitRacingShutdownNeverLosesATask) {
+  // The racy half: submitters hammer Submit while another thread calls
+  // Shutdown at an arbitrary point. Every future must settle — either
+  // with its value (the task was accepted and Shutdown drained it) or
+  // with the rejection error. No crash, no hang, no future left forever
+  // pending. Run under TSan in the race tier (`ctest -L race`).
+  constexpr int kRounds = 25;
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksPerSubmitter = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    std::mutex futures_mu;
+    std::vector<std::future<int>> futures;
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&pool, &executed, &futures_mu, &futures] {
+        for (int i = 0; i < kTasksPerSubmitter; ++i) {
+          std::future<int> f = pool.Submit([&executed] {
+            executed.fetch_add(1);
+            return 1;
+          });
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back(std::move(f));
+        }
+      });
+    }
+    std::thread stopper([&pool] { pool.Shutdown(); });
+    for (auto& t : submitters) t.join();
+    stopper.join();
+
+    int accepted = 0;
+    int rejected = 0;
+    for (auto& f : futures) {
+      try {
+        accepted += f.get();
+      } catch (const std::runtime_error&) {
+        ++rejected;
+      }
+    }
+    // Accounting closes: every accepted task ran, every other submission
+    // was rejected, and nothing fell through the crack between
+    // Enqueue's stopping_ check and the worker drain.
+    EXPECT_EQ(accepted, executed.load());
+    EXPECT_EQ(accepted + rejected, kSubmitters * kTasksPerSubmitter);
+  }
 }
 
 TEST(ThreadPoolTest, CurrentWorkerIndexIdentifiesWorkers) {

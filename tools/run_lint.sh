@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# clang-tidy over the first-party sources, driven by the repo's
+# .clang-tidy and the compile database CMake exports unconditionally
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+#   tools/run_lint.sh [--fix] [--build-dir DIR] [paths...]
+#
+#   --fix          apply clang-tidy's suggested fixes in place (opt-in;
+#                  never the default — fixes touch the working tree)
+#   --build-dir    build tree holding compile_commands.json
+#                  (default: ./build)
+#   paths...       restrict linting to these files (default: every
+#                  first-party .cc/.cpp under src/ tools/ bench/
+#                  examples/ tests/ that the compile database knows)
+#
+# Exit codes (pinned by tests/run_lint_cli_test.sh):
+#   0  clean (or fixes applied)
+#   1  clang-tidy reported findings
+#   2  usage error / missing compile_commands.json
+#   3  clang-tidy not installed (CI installs it; local runs say so
+#      instead of half-running)
+set -u
+
+usage() {
+  echo "usage: tools/run_lint.sh [--fix] [--build-dir DIR] [paths...]" >&2
+}
+
+FIX=0
+BUILD_DIR=build
+PATHS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fix) FIX=1 ;;
+    --build-dir)
+      shift
+      [ $# -gt 0 ] || { usage; exit 2; }
+      BUILD_DIR="$1"
+      ;;
+    --help | -h)
+      usage
+      exit 0
+      ;;
+    --*)
+      echo "run_lint.sh: unknown flag: $1" >&2
+      usage
+      exit 2
+      ;;
+    *) PATHS+=("$1") ;;
+  esac
+  shift
+done
+
+cd "$(dirname "$0")/.." || exit 2
+
+# ${CLANG_TIDY:-clang-tidy} so CI (and the smoke test) can pin a binary.
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "run_lint.sh: clang-tidy not found (looked for '$TIDY');" \
+    "install it or set CLANG_TIDY" >&2
+  exit 3
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+  echo "run_lint.sh: no compile database at $DB;" \
+    "configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+if [ "${#PATHS[@]}" -eq 0 ]; then
+  # Every first-party translation unit the compile database knows —
+  # keeps third-party (bundled googletest) out without hand-listing.
+  mapfile -t PATHS < <(
+    find src tools bench examples tests \
+      \( -name '*.cc' -o -name '*.cpp' \) -print | sort
+  )
+fi
+
+FIX_ARGS=()
+if [ "$FIX" -eq 1 ]; then
+  FIX_ARGS=(--fix --fix-errors)
+fi
+
+# -quiet keeps the output to findings only; the exit code of clang-tidy
+# itself (nonzero iff findings/errors) is the script's verdict.
+FAILED=0
+for f in "${PATHS[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" -quiet "${FIX_ARGS[@]}" "$f"; then
+    FAILED=1
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_lint.sh: clang-tidy reported findings" >&2
+  exit 1
+fi
+echo "run_lint.sh: clean (${#PATHS[@]} files)"
+exit 0

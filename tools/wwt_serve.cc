@@ -49,7 +49,6 @@
 // counters either way.
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,7 +56,6 @@
 #include <fstream>
 #include <future>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -65,6 +63,7 @@
 
 #include "index/snapshot.h"
 #include "index/table_index.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 #include "wwt/service.h"
 
@@ -348,8 +347,8 @@ int main(int argc, char** argv) {
   // --deadline-ms real: a producer faster than the pool builds an
   // actual queue, and stragglers expire in it.
   if (use_stdin) {
-    std::mutex mu;
-    std::condition_variable cv;
+    wwt::Mutex mu;
+    wwt::CondVar cv;
     std::deque<std::future<wwt::QueryResponse>> pending;
     bool input_done = false;
     // Printer-owned until join. Deadline expiries are configured load
@@ -363,13 +362,13 @@ int main(int argc, char** argv) {
       for (;;) {
         std::future<wwt::QueryResponse> next;
         {
-          std::unique_lock<std::mutex> lock(mu);
-          cv.wait(lock, [&] { return input_done || !pending.empty(); });
+          wwt::MutexLock lock(mu);
+          while (!input_done && pending.empty()) cv.Wait(mu);
           if (pending.empty()) return;  // input_done and drained
           next = std::move(pending.front());
           pending.pop_front();
         }
-        cv.notify_all();  // reader may be waiting for window space
+        cv.NotifyAll();  // reader may be waiting for window space
         wwt::QueryResponse response = next.get();
         if (response.ok()) {
           ++served;
@@ -400,17 +399,18 @@ int main(int argc, char** argv) {
       if (cols.empty()) continue;
       std::future<wwt::QueryResponse> future =
           (*service)->Submit(make_request(std::move(cols), line));
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return pending.size() < window; });
-      pending.push_back(std::move(future));
-      lock.unlock();
-      cv.notify_all();
+      {
+        wwt::MutexLock lock(mu);
+        while (pending.size() >= window) cv.Wait(mu);
+        pending.push_back(std::move(future));
+      }
+      cv.NotifyAll();
     }
     {
-      std::lock_guard<std::mutex> lock(mu);
+      wwt::MutexLock lock(mu);
       input_done = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
     printer.join();
 
     // The error contract holds in every format: any rejected request
