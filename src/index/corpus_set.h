@@ -13,6 +13,7 @@
 #ifndef WWT_INDEX_CORPUS_SET_H_
 #define WWT_INDEX_CORPUS_SET_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,11 +27,34 @@
 
 namespace wwt {
 
+/// The remote-probe seam: one shard's index probe behind an interface,
+/// so the engine's scatter-gather can route a shard's Search to a
+/// worker process instead of the local TableIndex. Implementations must
+/// return hits in Search's exact total order (score desc, id asc) with
+/// bit-identical scores — the engine merges remote and local hits under
+/// one contract (docs/DISTRIBUTED.md). Thread-safe: the engine probes
+/// shards concurrently.
+class ShardProbe {
+ public:
+  virtual ~ShardProbe() = default;
+
+  /// The remote form of TableIndex::Search. `deadline` (max() = none)
+  /// bounds the whole call including retries/hedges; errors are clean
+  /// Statuses (DeadlineExceeded, IOError, Corruption, ...), never UB.
+  [[nodiscard]] virtual StatusOr<std::vector<ScoredDoc>> Search(
+      const std::vector<std::string>& keywords, int k, ProbeScorer scorer,
+      std::chrono::steady_clock::time_point deadline) const = 0;
+};
+
 /// One shard of a serving corpus: the store/index pair the per-shard
-/// probes run against. A single corpus is the 1-shard case.
+/// probes run against. A single corpus is the 1-shard case. When
+/// `probe` is set (borrowed, must outlive the engine), index probes for
+/// this shard go through it instead of `index` — table reads and the
+/// corpus statistics stay local either way.
 struct CorpusShardRef {
   const TableStore* store = nullptr;
   const TableIndex* index = nullptr;
+  const ShardProbe* probe = nullptr;
 };
 
 /// One immutable, shareable corpus snapshot: store + index + vocab/idf

@@ -1,0 +1,202 @@
+// Copyright 2026 The WWT Authors
+
+#include "net/wire.h"
+
+#include "util/serde.h"
+
+namespace wwt::net {
+namespace {
+
+/// Every decoder funnels through these two: the type byte must match and
+/// the body must consume the payload exactly (trailing bytes inside a
+/// well-framed message are as corrupt as a short body).
+Status ExpectType(serde::Reader* r, MessageType want) {
+  uint8_t type = 0;
+  WWT_RETURN_NOT_OK(r->ReadU8(&type));
+  if (type != static_cast<uint8_t>(want)) {
+    return Status::Corruption("unexpected message type ", type, " (want ",
+                              static_cast<uint8_t>(want), ")");
+  }
+  return Status::OK();
+}
+
+Status ExpectExhausted(const serde::Reader& r) {
+  if (!r.exhausted()) {
+    return Status::Corruption("trailing garbage: ", r.remaining(),
+                              " bytes past message end");
+  }
+  return Status::OK();
+}
+
+void WriteType(serde::Writer* w, MessageType type) {
+  w->WriteU8(static_cast<uint8_t>(type));
+}
+
+}  // namespace
+
+StatusOr<MessageType> PeekMessageType(std::string_view payload) {
+  serde::Reader r(payload);
+  uint8_t type = 0;
+  WWT_RETURN_NOT_OK(r.ReadU8(&type));
+  if (type < static_cast<uint8_t>(MessageType::kHello) ||
+      type > static_cast<uint8_t>(MessageType::kError)) {
+    return Status::Corruption("unknown message type ", type);
+  }
+  return static_cast<MessageType>(type);
+}
+
+std::string EncodeHelloRequest(const HelloRequest& msg) {
+  serde::Writer w;
+  WriteType(&w, MessageType::kHello);
+  w.WriteU32(msg.protocol_version);
+  return w.TakeBuffer();
+}
+
+Status DecodeHelloRequest(std::string_view payload, HelloRequest* out) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kHello));
+  WWT_RETURN_NOT_OK(r.ReadU32(&out->protocol_version));
+  return ExpectExhausted(r);
+}
+
+std::string EncodeHelloResponse(const HelloResponse& msg) {
+  serde::Writer w;
+  WriteType(&w, MessageType::kHelloOk);
+  w.WriteU32(msg.protocol_version);
+  w.WriteU64(msg.artifact_hash);
+  w.WriteU64(msg.shards.size());
+  for (const WireShardInfo& shard : msg.shards) {
+    w.WriteU64(shard.content_hash);
+    w.WriteU64(shard.first_table_id);
+    w.WriteU64(shard.num_tables);
+  }
+  return w.TakeBuffer();
+}
+
+Status DecodeHelloResponse(std::string_view payload, HelloResponse* out) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kHelloOk));
+  WWT_RETURN_NOT_OK(r.ReadU32(&out->protocol_version));
+  WWT_RETURN_NOT_OK(r.ReadU64(&out->artifact_hash));
+  uint64_t count = 0;
+  WWT_RETURN_NOT_OK(r.ReadU64(&count));
+  WWT_RETURN_NOT_OK(r.CheckCount(count, 3 * sizeof(uint64_t)));
+  out->shards.resize(count);
+  for (WireShardInfo& shard : out->shards) {
+    WWT_RETURN_NOT_OK(r.ReadU64(&shard.content_hash));
+    WWT_RETURN_NOT_OK(r.ReadU64(&shard.first_table_id));
+    WWT_RETURN_NOT_OK(r.ReadU64(&shard.num_tables));
+  }
+  return ExpectExhausted(r);
+}
+
+std::string EncodeProbeRequest(const ProbeRequest& msg) {
+  serde::Writer w;
+  WriteType(&w, MessageType::kProbe);
+  w.WriteU64(msg.shard_hash);
+  w.WriteI32(msg.k);
+  w.WriteU8(static_cast<uint8_t>(msg.scorer));
+  w.WriteU64(msg.budget_micros);
+  w.WriteU64(msg.keywords.size());
+  for (const std::string& keyword : msg.keywords) w.WriteString(keyword);
+  return w.TakeBuffer();
+}
+
+Status DecodeProbeRequest(std::string_view payload, ProbeRequest* out) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kProbe));
+  WWT_RETURN_NOT_OK(r.ReadU64(&out->shard_hash));
+  WWT_RETURN_NOT_OK(r.ReadI32(&out->k));
+  uint8_t scorer = 0;
+  WWT_RETURN_NOT_OK(r.ReadU8(&scorer));
+  if (scorer > static_cast<uint8_t>(ProbeScorer::kExhaustive)) {
+    return Status::Corruption("unknown probe scorer ", scorer);
+  }
+  out->scorer = static_cast<ProbeScorer>(scorer);
+  WWT_RETURN_NOT_OK(r.ReadU64(&out->budget_micros));
+  uint64_t count = 0;
+  WWT_RETURN_NOT_OK(r.ReadU64(&count));
+  WWT_RETURN_NOT_OK(r.CheckCount(count, sizeof(uint64_t)));
+  out->keywords.resize(count);
+  for (std::string& keyword : out->keywords) {
+    WWT_RETURN_NOT_OK(r.ReadString(&keyword));
+  }
+  return ExpectExhausted(r);
+}
+
+std::string EncodeProbeResponse(const ProbeResponse& msg) {
+  serde::Writer w;
+  WriteType(&w, MessageType::kProbeOk);
+  w.WriteU64(msg.hits.size());
+  for (const ScoredDoc& hit : msg.hits) {
+    w.WriteU32(hit.doc);
+    w.WriteDouble(hit.score);
+  }
+  return w.TakeBuffer();
+}
+
+Status DecodeProbeResponse(std::string_view payload, ProbeResponse* out) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kProbeOk));
+  uint64_t count = 0;
+  WWT_RETURN_NOT_OK(r.ReadU64(&count));
+  WWT_RETURN_NOT_OK(r.CheckCount(count, sizeof(uint32_t) + sizeof(uint64_t)));
+  out->hits.resize(count);
+  for (ScoredDoc& hit : out->hits) {
+    WWT_RETURN_NOT_OK(r.ReadU32(&hit.doc));
+    WWT_RETURN_NOT_OK(r.ReadDouble(&hit.score));
+  }
+  return ExpectExhausted(r);
+}
+
+std::string EncodePingRequest() {
+  serde::Writer w;
+  WriteType(&w, MessageType::kPing);
+  return w.TakeBuffer();
+}
+
+Status DecodePingRequest(std::string_view payload) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kPing));
+  return ExpectExhausted(r);
+}
+
+std::string EncodePingResponse(const PingResponse& msg) {
+  serde::Writer w;
+  WriteType(&w, MessageType::kPingOk);
+  w.WriteU64(msg.probes_served);
+  return w.TakeBuffer();
+}
+
+Status DecodePingResponse(std::string_view payload, PingResponse* out) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kPingOk));
+  WWT_RETURN_NOT_OK(r.ReadU64(&out->probes_served));
+  return ExpectExhausted(r);
+}
+
+std::string EncodeErrorResponse(const Status& status) {
+  serde::Writer w;
+  WriteType(&w, MessageType::kError);
+  w.WriteU8(static_cast<uint8_t>(status.code()));
+  w.WriteString(status.message());
+  return w.TakeBuffer();
+}
+
+Status DecodeErrorResponse(std::string_view payload, Status* out) {
+  serde::Reader r(payload);
+  WWT_RETURN_NOT_OK(ExpectType(&r, MessageType::kError));
+  uint8_t code = 0;
+  WWT_RETURN_NOT_OK(r.ReadU8(&code));
+  // Code 0 (OK) inside an *error* frame is as corrupt as an unknown one.
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kNotImplemented)) {
+    return Status::Corruption("unknown status code ", code, " in error frame");
+  }
+  std::string message;
+  WWT_RETURN_NOT_OK(r.ReadString(&message));
+  WWT_RETURN_NOT_OK(ExpectExhausted(r));
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+}  // namespace wwt::net

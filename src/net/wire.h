@@ -1,0 +1,110 @@
+// Copyright 2026 The WWT Authors
+//
+// The shard-RPC message schema carried inside frames (docs/DISTRIBUTED.md).
+// Every message is [u8 type][body] in the serde layout rules; scores
+// travel as IEEE-754 bit patterns (serde WriteDouble), which is what
+// keeps routed answers byte-identical to the in-process engine. Every
+// decoder is bounds-checked end to end and requires the payload to be
+// fully consumed — truncated bodies, garbage counts and trailing bytes
+// are all clean Status::Corruption, never a crash.
+
+#ifndef WWT_NET_WIRE_H_
+#define WWT_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/table_index.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wwt::net {
+
+/// Bumped on any incompatible schema change; Hello rejects mismatches.
+inline constexpr uint32_t kWireProtocolVersion = 1;
+
+enum class MessageType : uint8_t {
+  kHello = 1,    // client -> worker: version handshake
+  kHelloOk = 2,  // worker -> client: shard inventory
+  kProbe = 3,    // client -> worker: one per-shard top-k probe
+  kProbeOk = 4,  // worker -> client: scored hits
+  kPing = 5,     // client -> worker: health probe
+  kPingOk = 6,   // worker -> client: liveness + counters
+  kError = 7,    // worker -> client: Status for a failed request
+};
+
+struct HelloRequest {
+  uint32_t protocol_version = kWireProtocolVersion;
+};
+
+/// One shard a worker serves, as advertised in HelloResponse. The
+/// content hash is the address every probe routes by — a router verifies
+/// its expected shard hash against this inventory before serving.
+struct WireShardInfo {
+  uint64_t content_hash = 0;
+  uint64_t first_table_id = 0;
+  uint64_t num_tables = 0;
+};
+
+struct HelloResponse {
+  uint32_t protocol_version = kWireProtocolVersion;
+  /// Set-level hash of the artifact the worker loaded.
+  uint64_t artifact_hash = 0;
+  std::vector<WireShardInfo> shards;
+};
+
+/// One per-shard index probe — the remote form of TableIndex::Search.
+struct ProbeRequest {
+  /// Content hash of the shard to probe (NotFound if the worker does not
+  /// serve it — the wrong-hash chaos case).
+  uint64_t shard_hash = 0;
+  int32_t k = 0;
+  ProbeScorer scorer = ProbeScorer::kWand;
+  /// Remaining request budget in microseconds; 0 = no deadline.
+  /// Deadlines cross processes as relative budgets (absolute
+  /// steady_clock points are process-local).
+  uint64_t budget_micros = 0;
+  std::vector<std::string> keywords;
+};
+
+struct ProbeResponse {
+  std::vector<ScoredDoc> hits;
+};
+
+struct PingResponse {
+  uint64_t probes_served = 0;
+};
+
+/// The message type of a payload without decoding the body.
+[[nodiscard]] StatusOr<MessageType> PeekMessageType(std::string_view payload);
+
+std::string EncodeHelloRequest(const HelloRequest& msg);
+std::string EncodeHelloResponse(const HelloResponse& msg);
+std::string EncodeProbeRequest(const ProbeRequest& msg);
+std::string EncodeProbeResponse(const ProbeResponse& msg);
+std::string EncodePingRequest();
+std::string EncodePingResponse(const PingResponse& msg);
+/// Carries a non-OK Status back to the client (code + message).
+std::string EncodeErrorResponse(const Status& status);
+
+[[nodiscard]] Status DecodeHelloRequest(std::string_view payload,
+                                        HelloRequest* out);
+[[nodiscard]] Status DecodeHelloResponse(std::string_view payload,
+                                         HelloResponse* out);
+[[nodiscard]] Status DecodeProbeRequest(std::string_view payload,
+                                        ProbeRequest* out);
+[[nodiscard]] Status DecodeProbeResponse(std::string_view payload,
+                                         ProbeResponse* out);
+[[nodiscard]] Status DecodePingRequest(std::string_view payload);
+[[nodiscard]] Status DecodePingResponse(std::string_view payload,
+                                        PingResponse* out);
+/// Decodes a kError payload into the Status it carries (returned via
+/// `*out`; the return value reports decode problems only).
+[[nodiscard]] Status DecodeErrorResponse(std::string_view payload,
+                                         Status* out);
+
+}  // namespace wwt::net
+
+#endif  // WWT_NET_WIRE_H_

@@ -25,6 +25,7 @@
 #ifndef WWT_UTIL_THREAD_ANNOTATIONS_H_
 #define WWT_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -161,6 +162,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Timed Wait: releases `mu`, blocks until notified or `seconds`
+  /// elapse, reacquires `mu`. Returns false on timeout. Same idiom as
+  /// Wait — re-check the guarded condition in a loop either way.
+  bool WaitFor(Mutex& mu, double seconds) WWT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds)) ==
+        std::cv_status::no_timeout;
+    lock.release();
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -84,6 +84,10 @@ Status ValidateEngineOptions(const EngineOptions& o) {
       o.scorer != ProbeScorer::kExhaustive) {
     return BadField("scorer", "must be wand or exhaustive");
   }
+  if (o.shard_failure != ShardFailurePolicy::kFail &&
+      o.shard_failure != ShardFailurePolicy::kPartial) {
+    return BadField("shard_failure", "must be fail or partial");
+  }
   if (!InUnitRange(o.score_floor_fraction)) {
     return BadField("score_floor_fraction", "must be in [0, 1]");
   }
@@ -182,7 +186,7 @@ uint64_t MixInt(uint64_t h, uint64_t v) { return HashCombine(h, v); }
 }  // namespace
 
 uint64_t EngineOptionsFingerprint(const EngineOptions& o) {
-  uint64_t h = Fnv1a("EngineOptions/v1");
+  uint64_t h = Fnv1a("EngineOptions/v2");
   h = MixInt(h, static_cast<uint64_t>(o.probe1_k));
   h = MixInt(h, static_cast<uint64_t>(o.probe2_k));
   // The scorer does not change results (the equivalence guarantee), but
@@ -194,6 +198,9 @@ uint64_t EngineOptionsFingerprint(const EngineOptions& o) {
   h = MixInt(h, static_cast<uint64_t>(o.sample_rows));
   h = MixDouble(h, o.confident_prob);
   h = MixInt(h, static_cast<uint64_t>(o.max_candidates));
+  // Degradation policy changes what a shard failure turns into (error
+  // vs marked-partial answer), so it separates cache keys.
+  h = MixInt(h, static_cast<uint64_t>(o.shard_failure));
   // Mapper: weights, inference mode and the calibration knobs all change
   // labels and therefore answers.
   h = MixDouble(h, o.mapper.weights.w1);

@@ -108,6 +108,10 @@ struct QueryResponse {
   /// a coalesced join onto another request's in-flight execution — and
   /// not from this request's own pipeline run.
   bool served_from_cache = false;
+  /// True when a remote shard failed under ShardFailurePolicy::kPartial
+  /// and its hits were dropped: the answer is explicitly degraded
+  /// (retrieval.failed_shards says how much) and was not cached.
+  bool partial = false;
 
   bool ok() const { return status.ok(); }
 };

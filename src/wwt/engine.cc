@@ -42,21 +42,39 @@ const TableStore* WwtEngine::StoreOf(TableId doc) const {
   return nullptr;
 }
 
-std::vector<ScoredDoc> WwtEngine::Probe(
-    const std::vector<std::string>& keywords, int k) const {
-  if (shards_.size() == 1) {
-    return shards_[0].index->Search(keywords, k, options_.scorer);
+StatusOr<std::vector<ScoredDoc>> WwtEngine::ShardSearch(
+    size_t s, const std::vector<std::string>& keywords, int k) const {
+  if (shards_[s].probe != nullptr) {
+    return shards_[s].probe->Search(keywords, k, options_.scorer, deadline_);
   }
+  return shards_[s].index->Search(keywords, k, options_.scorer);
+}
 
+StatusOr<std::vector<ScoredDoc>> WwtEngine::Probe(
+    const std::vector<std::string>& keywords, int k,
+    RetrievalResult* result) const {
   // Scatter: each shard's top-k under the global IDF. Any document in
   // the global top-k is by definition in its own shard's top-k, so the
-  // union contains the global answer.
+  // union contains the global answer. A shard's probe may be remote
+  // (shards_[s].probe), so every per-shard call carries a Status.
   std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
-  if (probe_pool_ != nullptr) {
+  std::vector<Status> shard_status(shards_.size());
+  auto run_shard = [&](size_t s) {
+    StatusOr<std::vector<ScoredDoc>> hits = ShardSearch(s, keywords, k);
+    if (hits.ok()) {
+      per_shard[s] = std::move(hits).value();
+    } else {
+      shard_status[s] = hits.status();
+    }
+  };
+
+  if (shards_.size() == 1) {
+    run_shard(0);
+  } else if (probe_pool_ != nullptr) {
     // Shard 0 runs on the calling thread: the probe makes progress even
     // when every pool worker is busy, and the waits below always
-    // terminate because probe tasks never block on anything. The
-    // scatter itself sits inside the try so that even a throwing
+    // terminate because probe tasks never block past their own deadline.
+    // The scatter itself sits inside the try so that even a throwing
     // Submit leaves every already-scattered future drained before the
     // rethrow — no task can outlive per_shard/keywords.
     std::vector<std::future<void>> pending;
@@ -64,13 +82,11 @@ std::vector<ScoredDoc> WwtEngine::Probe(
     std::exception_ptr first_error;
     try {
       for (size_t s = 1; s < shards_.size(); ++s) {
-        pending.push_back(probe_pool_->Submit(
-            [this, &per_shard, &keywords, k, s] {
-              per_shard[s] =
-                  shards_[s].index->Search(keywords, k, options_.scorer);
-            }));
+        pending.push_back(probe_pool_->Submit([&run_shard, s] {
+          run_shard(s);
+        }));
       }
-      per_shard[0] = shards_[0].index->Search(keywords, k, options_.scorer);
+      run_shard(0);
     } catch (...) {
       first_error = std::current_exception();
     }
@@ -83,9 +99,36 @@ std::vector<ScoredDoc> WwtEngine::Probe(
     }
     if (first_error != nullptr) std::rethrow_exception(first_error);
   } else {
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      per_shard[s] = shards_[s].index->Search(keywords, k, options_.scorer);
+    for (size_t s = 0; s < shards_.size(); ++s) run_shard(s);
+  }
+
+  // Degradation: kFail surfaces the first failed shard; kPartial drops
+  // its hits and marks the result — unless NO shard answered, which is
+  // a hard error under either policy (serving an empty answer off a
+  // fully dead cluster is not "degraded", it is wrong).
+  size_t ok_shards = 0;
+  Status first_failure;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_status[s].ok()) {
+      ++ok_shards;
+      continue;
     }
+    if (first_failure.ok()) {
+      first_failure = Status(shard_status[s].code(),
+                             "shard " + std::to_string(s) +
+                                 " probe failed: " +
+                                 shard_status[s].message());
+    }
+  }
+  if (!first_failure.ok()) {
+    if (options_.shard_failure == ShardFailurePolicy::kFail ||
+        ok_shards == 0) {
+      return first_failure;
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!shard_status[s].ok()) ++result->failed_shards;
+    }
+    result->partial = true;
   }
 
   // Gather: merge under Search's exact total order (score desc, id asc;
@@ -97,12 +140,14 @@ std::vector<ScoredDoc> WwtEngine::Probe(
   for (auto& hits : per_shard) {
     merged.insert(merged.end(), hits.begin(), hits.end());
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (k >= 0 && static_cast<int>(merged.size()) > k) merged.resize(k);
+  if (shards_.size() > 1) {
+    std::sort(merged.begin(), merged.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    if (k >= 0 && static_cast<int>(merged.size()) > k) merged.resize(k);
+  }
   return merged;
 }
 
@@ -151,7 +196,13 @@ RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
   std::vector<ScoredDoc> hits1;
   {
     ScopedStageTimer st(timer, kStage1stIndex);
-    hits1 = Probe(query.all_keywords, options_.probe1_k);
+    StatusOr<std::vector<ScoredDoc>> probed =
+        Probe(query.all_keywords, options_.probe1_k, &result);
+    if (!probed.ok()) {
+      result.shard_status = probed.status();
+      return result;
+    }
+    hits1 = std::move(probed).value();
     apply_score_floor(&hits1, options_.score_floor_fraction);
   }
   {
@@ -207,7 +258,13 @@ RetrievalResult WwtEngine::Retrieve(const Query& query, StageTimer* timer) {
     std::vector<ScoredDoc> hits2;
     {
       ScopedStageTimer st(timer, kStage2ndIndex);
-      hits2 = Probe(probe2_keywords, options_.probe2_k);
+      StatusOr<std::vector<ScoredDoc>> probed =
+          Probe(probe2_keywords, options_.probe2_k, &result);
+      if (!probed.ok()) {
+        result.shard_status = probed.status();
+        return result;
+      }
+      hits2 = std::move(probed).value();
       // The second probe exists to pull in content-overlapping tables;
       // a stricter floor keeps tables that merely share a few common
       // tokens with the sampled rows (years, small numbers) out.
@@ -236,6 +293,10 @@ QueryExecution WwtEngine::Execute(
   QueryExecution exec;
   exec.query = Query::Parse(column_keywords, *stats_);
   exec.retrieval = Retrieve(exec.query, &exec.timing);
+  // A failed scatter-gather (shard down under the kFail policy) stops
+  // the pipeline: mapping a knowingly incomplete candidate set would
+  // produce a confidently wrong answer, not a degraded one.
+  if (!exec.retrieval.shard_status.ok()) return exec;
 
   {
     ScopedStageTimer st(&exec.timing, kStageColumnMap);

@@ -19,6 +19,7 @@
 #ifndef WWT_WWT_ENGINE_H_
 #define WWT_WWT_ENGINE_H_
 
+#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +42,20 @@ inline constexpr char kStage2ndRead[] = "2nd Table Read";
 inline constexpr char kStageColumnMap[] = "Column Map";
 inline constexpr char kStageConsolidate[] = "Consolidate";
 
+/// What the scatter-gather does when a shard probe fails (only remote
+/// probes can fail — a local TableIndex::Search cannot). Either way a
+/// failure where NO shard answered is a hard error: "partial" degrades
+/// gracefully, it does not invent empty answers out of a dead cluster.
+enum class ShardFailurePolicy : int {
+  /// The whole query fails with the shard's Status (the default: never
+  /// serve a silently incomplete answer).
+  kFail = 0,
+  /// Drop the dead shard's hits and serve the rest, with
+  /// RetrievalResult::partial set so the response is explicitly marked
+  /// (and never cached).
+  kPartial = 1,
+};
+
 struct EngineOptions {
   /// Top-k of the first / second index probe.
   int probe1_k = 60;
@@ -58,6 +73,10 @@ struct EngineOptions {
   double confident_prob = 0.8;
   /// Hard cap on the candidate set after both probes.
   int max_candidates = 150;
+  /// Degradation policy when a remote shard probe fails. Result-affecting
+  /// (a partial answer differs from a full one), so it is part of the
+  /// options fingerprint.
+  ShardFailurePolicy shard_failure = ShardFailurePolicy::kFail;
   MapperOptions mapper;
   ConsolidatorOptions consolidator;
 };
@@ -68,6 +87,16 @@ struct RetrievalResult {
   int from_first_probe = 0;
   int new_from_second_probe = 0;
   bool used_second_probe = false;
+  /// Scatter-gather outcome: non-OK when a shard probe failed and the
+  /// policy was kFail (or no shard answered at all) — the pipeline stops
+  /// after retrieval and the service surfaces this status.
+  Status shard_status;
+  /// Failed per-shard probe calls across both probes (kPartial only).
+  int failed_shards = 0;
+  /// True when hits from at least one failed shard were dropped — the
+  /// answer is explicitly degraded, is marked on the response and is
+  /// never cached.
+  bool partial = false;
 };
 
 /// Everything one query produces.
@@ -110,13 +139,30 @@ class WwtEngine {
   /// The corpus-wide statistics surface queries parse and map against.
   const CorpusStats& stats() const { return *stats_; }
 
+  /// Absolute deadline propagated to remote shard probes (max() = none;
+  /// remote clients convert it to a relative budget on the wire). Local
+  /// probes are not preempted — the PR-3 contract, where deadlines gate
+  /// admission and dequeue, extends to remote calls only because those
+  /// can actually be bounded.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+
  private:
   /// One index probe, scattered over the shards and merged back to the
   /// global top-k under (score desc, id asc) — byte-identical to a
   /// single-index Search because global IDF makes per-document scores
-  /// shard-independent.
-  std::vector<ScoredDoc> Probe(const std::vector<std::string>& keywords,
-                               int k) const;
+  /// shard-independent. Shard failures resolve per
+  /// options_.shard_failure, with partial accounting recorded on
+  /// `result`.
+  StatusOr<std::vector<ScoredDoc>> Probe(
+      const std::vector<std::string>& keywords, int k,
+      RetrievalResult* result) const;
+
+  /// One shard's probe: the remote ShardProbe when the ref carries one,
+  /// the local index otherwise (which cannot fail).
+  StatusOr<std::vector<ScoredDoc>> ShardSearch(
+      size_t s, const std::vector<std::string>& keywords, int k) const;
 
   /// The shard holding `doc` (by id range), or nullptr.
   const TableStore* StoreOf(TableId doc) const;
@@ -132,6 +178,8 @@ class WwtEngine {
   const CorpusStats* stats_;
   ThreadPool* probe_pool_ = nullptr;
   EngineOptions options_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
 };
 
 }  // namespace wwt

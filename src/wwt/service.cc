@@ -79,8 +79,39 @@ void WwtService::SwapCorpus(std::shared_ptr<const CorpusSet> corpus) {
                                    : ThreadPool::DefaultNumThreads());
   }
   corpus_ = std::move(corpus);
+  // Remote probes are bound to one corpus's shards: a swap detaches
+  // them (the router re-attaches after verifying the new set's hashes).
+  remote_probes_.reset();
   // The previous set's refcount drops here; in-flight requests that
   // captured it keep the old shards alive until they finish.
+}
+
+Status WwtService::AttachRemoteProbes(
+    std::vector<std::shared_ptr<const ShardProbe>> probes) {
+  MutexLock lock(corpus_mu_);
+  if (corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no corpus loaded to attach remote probes to");
+  }
+  if (probes.size() != corpus_->num_shards()) {
+    return Status::InvalidArgument("remote probe count ", probes.size(),
+                                   " != corpus shard count ",
+                                   corpus_->num_shards());
+  }
+  for (const std::shared_ptr<const ShardProbe>& probe : probes) {
+    if (probe == nullptr) {
+      return Status::InvalidArgument("null remote probe");
+    }
+  }
+  remote_probes_ = std::make_shared<
+      const std::vector<std::shared_ptr<const ShardProbe>>>(
+      std::move(probes));
+  return Status::OK();
+}
+
+void WwtService::DetachRemoteProbes() {
+  MutexLock lock(corpus_mu_);
+  remote_probes_.reset();
 }
 
 void WwtService::SwapCorpus(std::shared_ptr<const CorpusHandle> corpus) {
@@ -95,7 +126,7 @@ std::shared_ptr<const CorpusSet> WwtService::corpus() const {
 
 WwtService::Serving WwtService::CurrentServing() const {
   MutexLock lock(corpus_mu_);
-  return {corpus_, shard_pool_};
+  return {corpus_, shard_pool_, remote_probes_};
 }
 
 std::future<QueryResponse> WwtService::Submit(QueryRequest request) {
@@ -159,6 +190,7 @@ std::future<QueryResponse> WwtService::SubmitOn(Serving serving,
     // swapped-out) shards.
     serving.corpus.reset();
     serving.shard_pool.reset();
+    serving.remote.reset();
     return response;
   });
 }
@@ -216,7 +248,10 @@ QueryResponse WwtService::ServeOn(const Serving& serving,
     throw;  // Submit's worker wrapper turns this into Status::Internal
   }
   ResponseCache::Payload payload;
-  if (response.ok()) {
+  // Partial responses (degraded by a dead shard) are never cached: the
+  // failure is transient, and a cache hit must never replay a degraded
+  // answer after the cluster has recovered.
+  if (response.ok() && !response.partial) {
     // The canonical payload is caller-agnostic: no tag, no queue time,
     // and no stage timing (a hit does no stage work — copying the
     // leader's StageTimer would feed phantom pipeline seconds into
@@ -266,10 +301,20 @@ QueryResponse WwtService::ExecuteOn(const Serving& serving,
   // Engines are cheap to construct and stateless; building one per
   // request binds it to the set the request captured, which is what
   // makes SwapCorpus race-free. Per-shard probes fan out on the shard
-  // pool the same capture pinned.
+  // pool the same capture pinned — through the captured remote probes
+  // when a router attached them.
   WallTimer execute_timer;
-  WwtEngine engine(corpus.shard_refs(), &corpus.stats(), effective,
+  std::vector<CorpusShardRef> refs = corpus.shard_refs();
+  if (serving.remote != nullptr) {
+    for (size_t s = 0; s < refs.size(); ++s) {
+      refs[s].probe = (*serving.remote)[s].get();
+    }
+  }
+  WwtEngine engine(std::move(refs), &corpus.stats(), effective,
                    serving.shard_pool.get());
+  // Remote probes bound their RPCs by the request deadline (max() =
+  // none); local probes are not preempted (the PR-3 contract).
+  engine.set_deadline(request.deadline);
   if (request.retrieval_only) {
     response.query = Query::Parse(request.columns, corpus.stats());
     response.retrieval = engine.Retrieve(response.query, &response.timing);
@@ -280,6 +325,17 @@ QueryResponse WwtService::ExecuteOn(const Serving& serving,
     response.mapping = std::move(execution.mapping);
     response.answer = std::move(execution.answer);
     response.timing = std::move(execution.timing);
+  }
+  if (!response.retrieval.shard_status.ok()) {
+    // A failed scatter-gather (kFail policy or a fully dead cluster):
+    // the error contract says a non-OK response carries no payload.
+    response.status = response.retrieval.shard_status;
+    response.query = Query{};
+    response.retrieval = RetrievalResult{};
+    response.mapping = MapResult{};
+    response.answer = AnswerTable{};
+  } else {
+    response.partial = response.retrieval.partial;
   }
   response.execute_seconds = execute_timer.ElapsedSeconds();
   return response;
@@ -362,6 +418,8 @@ ServiceStats WwtService::Stats() const {
   stats.shard_threads = serving.shard_pool != nullptr
                             ? serving.shard_pool->num_threads()
                             : 0;
+  stats.remote_shards =
+      serving.remote != nullptr ? serving.remote->size() : 0;
   stats.cache_enabled = cache_ != nullptr;
   stats.cache = cache_stats();
   return stats;

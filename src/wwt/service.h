@@ -98,6 +98,8 @@ struct ServiceStats {
   /// multi-shard set first started it).
   int num_threads = 0;
   int shard_threads = 0;
+  /// Shards served through attached remote probes (0 = all in-process).
+  size_t remote_shards = 0;
   bool cache_enabled = false;
   /// All-zero when the cache is disabled.
   ResponseCache::Stats cache;
@@ -139,6 +141,21 @@ class WwtService {
 
   /// The current serving set (nullptr when none is loaded).
   std::shared_ptr<const CorpusSet> corpus() const WWT_EXCLUDES(corpus_mu_);
+
+  /// Routes per-shard index probes through `probes` — probes[i] serves
+  /// shard i of the CURRENT corpus (the scatter-gather router mode;
+  /// table reads and corpus statistics stay local). InvalidArgument on
+  /// a count mismatch or null entry, FailedPrecondition with no corpus.
+  /// Swap-consistent exactly like the corpus itself: requests capture
+  /// the probe set together with the shards at submission, and
+  /// SwapCorpus detaches it (a new set has new shards — re-attach after
+  /// swapping).
+  [[nodiscard]] Status AttachRemoteProbes(
+      std::vector<std::shared_ptr<const ShardProbe>> probes)
+      WWT_EXCLUDES(corpus_mu_);
+
+  /// Back to in-process probes (no-op when none are attached).
+  void DetachRemoteProbes() WWT_EXCLUDES(corpus_mu_);
 
   /// The async primitive: validates, stamps the deadline, captures the
   /// current corpus handle, and enqueues. The future always yields a
@@ -189,6 +206,10 @@ class WwtService {
   struct Serving {
     std::shared_ptr<const CorpusSet> corpus;
     std::shared_ptr<ThreadPool> shard_pool;
+    /// Per-shard remote probes (null = in-process). Captured with the
+    /// corpus so a detach/re-attach mid-request never mixes.
+    std::shared_ptr<const std::vector<std::shared_ptr<const ShardProbe>>>
+        remote;
   };
   Serving CurrentServing() const WWT_EXCLUDES(corpus_mu_);
 
@@ -243,6 +264,10 @@ class WwtService {
   /// multi-shard SwapCorpus, then never replaced. Requests capture it
   /// together with the set, so it outlives every probe that uses it.
   std::shared_ptr<ThreadPool> shard_pool_ WWT_GUARDED_BY(corpus_mu_);
+  /// Attached remote shard probes; null = in-process. Reset on every
+  /// SwapCorpus (probes are bound to one corpus's shards).
+  std::shared_ptr<const std::vector<std::shared_ptr<const ShardProbe>>>
+      remote_probes_ WWT_GUARDED_BY(corpus_mu_);
   /// Internally synchronized; null when options_.cache disables it.
   std::unique_ptr<ResponseCache> cache_;
   /// Last member: torn down first, so no worker outlives the fields the

@@ -1,0 +1,308 @@
+// Copyright 2026 The WWT Authors
+//
+// Fault injection for distributed serving — the chaos tier (label:
+// chaos, its own CTest label so `ctest -L chaos` runs exactly this
+// kind of test). A killed worker must resolve per the configured
+// ShardFailurePolicy — a clean query error under kFail, an explicitly
+// marked partial answer under kPartial — and never hang the service
+// past its deadline. A slow worker with a fast secondary replica must
+// lose to the hedge. A chaos-delayed worker holding a request past its
+// budget must answer DeadlineExceeded (deadline propagation). Partial
+// answers must never enter the response cache. Scale knobs stay small:
+// this tier runs in the PR matrix at WWT_SCALE=0.1 and nightly at full
+// scale via the CLI chaos test; the in-process cases here are
+// scale-independent.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "net/shard_client.h"
+#include "net/shard_server.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+class DistributedChaosTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Corpus corpus;
+    std::vector<std::vector<std::string>> queries;
+    std::vector<std::string> serial_digests;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions options;
+      options.seed = 7;
+      options.scale = 0.1;
+      s->corpus = GenerateCorpus(options);
+      for (const ResolvedQuery& rq : s->corpus.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      WwtEngine engine(&s->corpus.store, s->corpus.index.get(), {});
+      for (const auto& q : s->queries) {
+        s->serial_digests.push_back(ResultDigest(engine.Execute(q)));
+      }
+      return s;
+    }();
+    return *shared;
+  }
+
+  static std::shared_ptr<const CorpusSet> SetOverShards(int num_shards) {
+    std::vector<Corpus> parts =
+        PartitionCorpus(GetShared().corpus, num_shards);
+    std::vector<std::shared_ptr<const CorpusHandle>> handles;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      handles.push_back(
+          CorpusHandle::Own(std::move(parts[s]), 0x3000 + s));
+    }
+    return CorpusSet::Of(std::move(handles));
+  }
+
+  static std::vector<std::vector<std::string>> AllShardsAt(
+      const std::string& address, size_t num_shards) {
+    return std::vector<std::vector<std::string>>(
+        num_shards, std::vector<std::string>{address});
+  }
+};
+
+TEST_F(DistributedChaosTest, KilledWorkerFailsCleanlyUnderFailPolicy) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(server.ok());
+
+  net::RemoteProbeOptions remote_options;
+  remote_options.default_rpc_timeout_s = 2.0;
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+      net::RemoteProbeSet::Connect(
+          *set, AllShardsAt((*server)->address(), set->num_shards()),
+          remote_options);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  ServiceOptions options;
+  options.num_threads = 2;
+  // The default policy: never serve a silently incomplete answer.
+  ASSERT_EQ(options.engine.shard_failure, ShardFailurePolicy::kFail);
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapCorpus(set);
+  ASSERT_TRUE((*service)->AttachRemoteProbes((*remote)->Probes()).ok());
+
+  // Worker alive: the routed answer matches the reference.
+  QueryResponse before = (*service)->Run(QueryRequest::Of(s.queries[0]));
+  ASSERT_TRUE(before.ok()) << before.status;
+  EXPECT_EQ(ResultDigest(before), s.serial_digests[0]);
+
+  // Kill the worker (connections die, later dials are refused): the
+  // query fails with a clean Status well before the 5 s deadline.
+  (*server)->Stop();
+  const auto started = std::chrono::steady_clock::now();
+  QueryResponse after = (*service)->Run(
+      QueryRequest::Of(s.queries[0]).WithTimeout(5.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  ASSERT_FALSE(after.ok());
+  EXPECT_FALSE(after.partial);
+  EXPECT_LT(elapsed, 5.0) << "a dead worker must not eat the deadline";
+  // Unhealthy state and the failure land in the stats surface.
+  bool any_unhealthy = false;
+  for (const net::RemoteShardStats& shard : (*remote)->ShardStats()) {
+    if (!shard.healthy) {
+      any_unhealthy = true;
+      EXPECT_GT(shard.failures, 0u);
+      EXPECT_FALSE(shard.last_error.empty());
+    }
+  }
+  EXPECT_TRUE(any_unhealthy);
+  (*service)->DetachRemoteProbes();
+}
+
+TEST_F(DistributedChaosTest, KilledWorkerDegradesToPartialUnderPartialPolicy) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  // Two workers, one per shard — so killing one leaves a live shard.
+  StatusOr<std::unique_ptr<net::ShardServer>> worker0 =
+      net::ShardServer::Start(set);
+  StatusOr<std::unique_ptr<net::ShardServer>> worker1 =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(worker0.ok());
+  ASSERT_TRUE(worker1.ok());
+
+  net::RemoteProbeOptions remote_options;
+  remote_options.default_rpc_timeout_s = 2.0;
+  remote_options.connect_timeout_s = 1.0;
+  remote_options.tolerate_unreachable = true;
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+      net::RemoteProbeSet::Connect(
+          *set,
+          {{(*worker0)->address()}, {(*worker1)->address()}},
+          remote_options);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.engine.shard_failure = ShardFailurePolicy::kPartial;
+  options.cache.capacity_bytes = 16ull << 20;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapCorpus(set);
+  ASSERT_TRUE((*service)->AttachRemoteProbes((*remote)->Probes()).ok());
+
+  // Kill shard 1's worker; shard 0 keeps serving.
+  (*worker1)->Stop();
+  QueryResponse degraded = (*service)->Run(
+      QueryRequest::Of(s.queries[0]).WithTimeout(10.0));
+  ASSERT_TRUE(degraded.ok()) << degraded.status;
+  EXPECT_TRUE(degraded.partial);
+  EXPECT_TRUE(degraded.retrieval.partial);
+  EXPECT_GT(degraded.retrieval.failed_shards, 0);
+  EXPECT_FALSE(degraded.served_from_cache);
+
+  // A partial answer must never be served from the cache: the same
+  // query again recomputes (and is partial again while the worker is
+  // down).
+  QueryResponse again = (*service)->Run(
+      QueryRequest::Of(s.queries[0]).WithTimeout(10.0));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.partial);
+  EXPECT_FALSE(again.served_from_cache)
+      << "a degraded answer leaked into the cache";
+
+  // All shards dead is a hard error even under kPartial: partial
+  // degrades, it does not invent empty answers out of a dead cluster.
+  (*worker0)->Stop();
+  QueryResponse dead = (*service)->Run(
+      QueryRequest::Of(s.queries[0]).WithTimeout(10.0));
+  ASSERT_FALSE(dead.ok());
+  EXPECT_FALSE(dead.partial);
+  (*service)->DetachRemoteProbes();
+}
+
+TEST_F(DistributedChaosTest, HedgeBeatsASlowReplica) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(1);
+  // Primary answers every probe 2 s late; secondary is instant.
+  net::ShardServerOptions slow_options;
+  slow_options.chaos_probe_delay_s = 2.0;
+  StatusOr<std::unique_ptr<net::ShardServer>> slow =
+      net::ShardServer::Start(set, slow_options);
+  StatusOr<std::unique_ptr<net::ShardServer>> fast =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+
+  net::RemoteProbeOptions remote_options;
+  remote_options.hedge_after_s = 0.05;
+  remote_options.default_rpc_timeout_s = 10.0;
+  net::RemoteShardClient client(
+      set->shard(0).content_hash(),
+      {(*slow)->address(), (*fast)->address()}, remote_options);
+
+  const auto started = std::chrono::steady_clock::now();
+  StatusOr<std::vector<ScoredDoc>> hits = client.Search(
+      s.queries[0], 25, ProbeScorer::kWand, net::NoDeadline());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  // The hedge to the fast replica won long before the slow primary's
+  // 2 s stall — and its hits are the real answer.
+  EXPECT_LT(elapsed, 1.5);
+  const std::vector<ScoredDoc> local =
+      set->shard(0).index().Search(s.queries[0], 25, ProbeScorer::kWand);
+  ASSERT_EQ(hits->size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ((*hits)[i].doc, local[i].doc);
+  }
+  const net::RemoteShardStats stats = client.Stats();
+  EXPECT_GE(stats.hedges, 1u);
+  EXPECT_TRUE(stats.healthy);
+}
+
+TEST_F(DistributedChaosTest, BudgetPropagatesToAChaosDelayedWorker) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(1);
+  net::ShardServerOptions chaos_options;
+  chaos_options.chaos_probe_delay_s = 0.5;
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set, chaos_options);
+  ASSERT_TRUE(server.ok());
+
+  net::RemoteProbeOptions remote_options;
+  remote_options.default_rpc_timeout_s = 10.0;
+  net::RemoteShardClient client(set->shard(0).content_hash(),
+                                {(*server)->address()}, remote_options);
+
+  // Budget (100 ms) < chaos delay (500 ms): the WORKER answers
+  // DeadlineExceeded after re-checking the propagated budget — the
+  // router-side deadline (10 s) never fires.
+  StatusOr<std::vector<ScoredDoc>> hits =
+      client.Search(s.queries[0], 25, ProbeScorer::kWand,
+                    net::DeadlineAfter(0.1));
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsDeadlineExceeded()) << hits.status();
+
+  // With budget > delay, the same worker serves fine.
+  StatusOr<std::vector<ScoredDoc>> served =
+      client.Search(s.queries[0], 25, ProbeScorer::kWand,
+                    net::DeadlineAfter(8.0));
+  ASSERT_TRUE(served.ok()) << served.status();
+}
+
+TEST_F(DistributedChaosTest, ServiceDeadlineBoundsARoutedQuery) {
+  // End to end through the service: a request whose deadline is shorter
+  // than the worker's stall comes back DeadlineExceeded (propagated
+  // budget), not a hang.
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  net::ShardServerOptions chaos_options;
+  chaos_options.chaos_probe_delay_s = 1.0;
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set, chaos_options);
+  ASSERT_TRUE(server.ok());
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+      net::RemoteProbeSet::Connect(
+          *set, AllShardsAt((*server)->address(), set->num_shards()));
+  ASSERT_TRUE(remote.ok());
+
+  ServiceOptions options;
+  options.num_threads = 2;
+  StatusOr<std::unique_ptr<WwtService>> service =
+      WwtService::Create(options);
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapCorpus(set);
+  ASSERT_TRUE((*service)->AttachRemoteProbes((*remote)->Probes()).ok());
+
+  const auto started = std::chrono::steady_clock::now();
+  QueryResponse r = (*service)->Run(
+      QueryRequest::Of(s.queries[0]).WithTimeout(0.2));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status;
+  EXPECT_LT(elapsed, 4.0);
+  (*service)->DetachRemoteProbes();
+}
+
+}  // namespace
+}  // namespace wwt

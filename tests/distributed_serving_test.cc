@@ -1,0 +1,271 @@
+// Copyright 2026 The WWT Authors
+//
+// The distributed-serving contract end to end, in-process: a WwtService
+// with RemoteProbeSet probes attached must answer every workload query
+// byte-identically (ResultDigest) at N ∈ {1, 2, 4} shards to the
+// unsharded single-index reference, exactly like the local
+// scatter-gather in wwt_shard_test — the shards carry global IDF, the
+// wire carries IEEE-754 bit patterns, and the router merges per-shard
+// top-k under the same (score desc, id asc) order. Also pins the
+// attach/detach lifecycle: AttachRemoteProbes rejects count mismatches
+// and null probes, a corpus swap detaches, and ServiceStats reports the
+// remote shard count. Fault injection (killed and slow workers) lives
+// in distributed_chaos_test. Labels: unit, shard.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "net/shard_client.h"
+#include "net/shard_server.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace {
+
+class DistributedServingTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Corpus corpus;
+    std::vector<std::vector<std::string>> queries;
+    std::vector<std::string> serial_digests;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions options;
+      options.seed = 7;
+      options.scale = 0.15;
+      s->corpus = GenerateCorpus(options);
+      for (const ResolvedQuery& rq : s->corpus.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      WwtEngine engine(&s->corpus.store, s->corpus.index.get(), {});
+      for (const auto& q : s->queries) {
+        s->serial_digests.push_back(ResultDigest(engine.Execute(q)));
+      }
+      return s;
+    }();
+    return *shared;
+  }
+
+  static std::shared_ptr<const CorpusSet> SetOverShards(int num_shards) {
+    std::vector<Corpus> parts =
+        PartitionCorpus(GetShared().corpus, num_shards);
+    std::vector<std::shared_ptr<const CorpusHandle>> handles;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      handles.push_back(
+          CorpusHandle::Own(std::move(parts[s]), 0x2000 + s));
+    }
+    return CorpusSet::Of(std::move(handles));
+  }
+
+  /// Every shard routed to the one worker at `address`.
+  static std::vector<std::vector<std::string>> AllShardsAt(
+      const std::string& address, size_t num_shards) {
+    return std::vector<std::vector<std::string>>(
+        num_shards, std::vector<std::string>{address});
+  }
+};
+
+TEST_F(DistributedServingTest, RoutedServiceIsByteIdenticalAtN124) {
+  const Shared& s = GetShared();
+  ASSERT_FALSE(s.queries.empty());
+  for (int n : {1, 2, 4}) {
+    std::shared_ptr<const CorpusSet> set = SetOverShards(n);
+    // One worker process-equivalent serving all n shards; the router
+    // still scatters per shard, routed by content hash.
+    StatusOr<std::unique_ptr<net::ShardServer>> server =
+        net::ShardServer::Start(set);
+    ASSERT_TRUE(server.ok()) << server.status();
+
+    StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+        net::RemoteProbeSet::Connect(
+            *set, AllShardsAt((*server)->address(), set->num_shards()));
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ((*remote)->num_shards(), static_cast<size_t>(n));
+
+    ServiceOptions options;
+    options.num_threads = 2;
+    StatusOr<std::unique_ptr<WwtService>> service =
+        WwtService::Create(options);
+    ASSERT_TRUE(service.ok());
+    (*service)->SwapCorpus(set);
+    ASSERT_TRUE(
+        (*service)->AttachRemoteProbes((*remote)->Probes()).ok());
+
+    ServiceStats stats = (*service)->Stats();
+    EXPECT_EQ(stats.remote_shards, static_cast<size_t>(n));
+
+    BatchResponse batch = (*service)->RunBatch(s.queries);
+    ASSERT_EQ(batch.responses.size(), s.queries.size());
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      ASSERT_TRUE(batch.responses[i].ok()) << batch.responses[i].status;
+      EXPECT_EQ(ResultDigest(batch.responses[i]), s.serial_digests[i])
+          << "query #" << i << " diverged through the router at " << n
+          << " shard(s)";
+      EXPECT_FALSE(batch.responses[i].partial);
+    }
+
+    // The probes really went over the wire: at least the first index
+    // probe per (query, shard) hit the worker (the second probe is
+    // conditional), and every shard client stayed healthy.
+    const net::ShardServer::Stats server_stats = (*server)->GetStats();
+    EXPECT_GE(server_stats.probes, s.queries.size() * n);
+    for (const net::RemoteShardStats& shard : (*remote)->ShardStats()) {
+      EXPECT_GT(shard.probes, 0u);
+      EXPECT_TRUE(shard.healthy);
+      EXPECT_EQ(shard.failures, 0u);
+    }
+
+    // Detach the service from the probes before they are destroyed.
+    (*service)->DetachRemoteProbes();
+  }
+}
+
+TEST_F(DistributedServingTest, DetachedServiceServesInProcessAgain) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(server.ok());
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+      net::RemoteProbeSet::Connect(
+          *set, AllShardsAt((*server)->address(), set->num_shards()));
+  ASSERT_TRUE(remote.ok());
+
+  StatusOr<std::unique_ptr<WwtService>> service = WwtService::Create({});
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapCorpus(set);
+  ASSERT_TRUE((*service)->AttachRemoteProbes((*remote)->Probes()).ok());
+  QueryResponse routed = (*service)->Run(QueryRequest::Of(s.queries[0]));
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(ResultDigest(routed), s.serial_digests[0]);
+  const uint64_t probes_before = (*server)->GetStats().probes;
+  EXPECT_GT(probes_before, 0u);
+
+  // After detach: same bytes, no new traffic to the worker.
+  (*service)->DetachRemoteProbes();
+  EXPECT_EQ((*service)->Stats().remote_shards, 0u);
+  QueryResponse local = (*service)->Run(QueryRequest::Of(s.queries[0]));
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(ResultDigest(local), s.serial_digests[0]);
+  EXPECT_EQ((*server)->GetStats().probes, probes_before);
+}
+
+TEST_F(DistributedServingTest, AttachValidatesItsArguments) {
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(server.ok());
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+      net::RemoteProbeSet::Connect(
+          *set, AllShardsAt((*server)->address(), set->num_shards()));
+  ASSERT_TRUE(remote.ok());
+  std::vector<std::shared_ptr<const ShardProbe>> probes =
+      (*remote)->Probes();
+
+  // No corpus loaded yet: nothing for the probes to serve.
+  StatusOr<std::unique_ptr<WwtService>> service = WwtService::Create({});
+  ASSERT_TRUE(service.ok());
+  EXPECT_TRUE((*service)
+                  ->AttachRemoteProbes(probes)
+                  .IsFailedPrecondition());
+
+  (*service)->SwapCorpus(set);
+  // Probe count must match the shard count of the CURRENT corpus.
+  std::vector<std::shared_ptr<const ShardProbe>> short_probes(
+      probes.begin(), probes.begin() + 1);
+  EXPECT_TRUE((*service)
+                  ->AttachRemoteProbes(short_probes)
+                  .IsInvalidArgument());
+  // Null probes are rejected outright.
+  std::vector<std::shared_ptr<const ShardProbe>> with_null = probes;
+  with_null[1] = nullptr;
+  EXPECT_TRUE(
+      (*service)->AttachRemoteProbes(with_null).IsInvalidArgument());
+
+  ASSERT_TRUE((*service)->AttachRemoteProbes(probes).ok());
+  EXPECT_EQ((*service)->Stats().remote_shards, 2u);
+  (*service)->DetachRemoteProbes();
+}
+
+TEST_F(DistributedServingTest, SwapCorpusDetachesTheProbes) {
+  const Shared& s = GetShared();
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(server.ok());
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> remote =
+      net::RemoteProbeSet::Connect(
+          *set, AllShardsAt((*server)->address(), set->num_shards()));
+  ASSERT_TRUE(remote.ok());
+
+  StatusOr<std::unique_ptr<WwtService>> service = WwtService::Create({});
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapCorpus(set);
+  ASSERT_TRUE((*service)->AttachRemoteProbes((*remote)->Probes()).ok());
+  EXPECT_EQ((*service)->Stats().remote_shards, 2u);
+
+  // A new set has new shards: stale probes must not survive the swap.
+  (*service)->SwapCorpus(SetOverShards(4));
+  EXPECT_EQ((*service)->Stats().remote_shards, 0u);
+  QueryResponse r = (*service)->Run(QueryRequest::Of(s.queries[0]));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ResultDigest(r), s.serial_digests[0]);
+}
+
+TEST_F(DistributedServingTest, ConnectValidatesTheWiring) {
+  std::shared_ptr<const CorpusSet> set = SetOverShards(2);
+  StatusOr<std::unique_ptr<net::ShardServer>> server =
+      net::ShardServer::Start(set);
+  ASSERT_TRUE(server.ok());
+
+  // Group count must equal the shard count.
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> wrong_count =
+      net::RemoteProbeSet::Connect(
+          *set, AllShardsAt((*server)->address(), 3));
+  ASSERT_FALSE(wrong_count.ok());
+  EXPECT_TRUE(wrong_count.status().IsInvalidArgument());
+
+  // Every shard needs at least one endpoint.
+  std::vector<std::vector<std::string>> empty_group = {
+      {(*server)->address()}, {}};
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> missing =
+      net::RemoteProbeSet::Connect(*set, empty_group);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsInvalidArgument());
+
+  // A worker serving a DIFFERENT corpus is misconfiguration: Connect
+  // fails the handshake even under tolerate_unreachable (that option
+  // rides out outages, not wrong wiring).
+  std::shared_ptr<const CorpusSet> other = [&] {
+    std::vector<Corpus> parts = PartitionCorpus(GetShared().corpus, 2);
+    std::vector<std::shared_ptr<const CorpusHandle>> handles;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      handles.push_back(
+          CorpusHandle::Own(std::move(parts[s]), 0x9000 + s));
+    }
+    return CorpusSet::Of(std::move(handles));
+  }();
+  net::RemoteProbeOptions tolerant;
+  tolerant.tolerate_unreachable = true;
+  StatusOr<std::unique_ptr<net::RemoteProbeSet>> mismatched =
+      net::RemoteProbeSet::Connect(
+          *other, AllShardsAt((*server)->address(), other->num_shards()),
+          tolerant);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_TRUE(mismatched.status().IsFailedPrecondition())
+      << mismatched.status();
+}
+
+}  // namespace
+}  // namespace wwt

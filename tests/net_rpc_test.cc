@@ -1,0 +1,419 @@
+// Copyright 2026 The WWT Authors
+//
+// The socket-level shard-RPC contract over real loopback connections:
+// Listener/Connect/WriteFrame/ReadFrame round trips (TCP and
+// unix-domain), read-deadline expiry as clean DeadlineExceeded, the
+// distinguished clean-close status, and the ShardServer/
+// RemoteShardClient pair end to end — a remote Search must return the
+// local TableIndex::Search hits bit-for-bit, a probe for a hash the
+// worker does not serve is clean NotFound, and garbage frames thrown at
+// a live server never crash it or poison later connections. Runs in the
+// CI unit (sanitizer) tier; the multi-worker byte-identity and fault
+// cases live in distributed_serving_test / distributed_chaos_test.
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "index/corpus_set.h"
+#include "net/frame.h"
+#include "net/shard_client.h"
+#include "net/shard_server.h"
+#include "net/wire.h"
+
+namespace wwt::net {
+namespace {
+
+class NetRpcTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    std::shared_ptr<const CorpusSet> corpus;
+    std::vector<std::vector<std::string>> queries;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions options;
+      options.seed = 11;
+      options.scale = 0.05;
+      Corpus corpus = GenerateCorpus(options);
+      for (const ResolvedQuery& rq : corpus.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      s->corpus = CorpusSet::FromHandle(
+          CorpusHandle::Own(std::move(corpus), 0xC0FFEE));
+      return s;
+    }();
+    return *shared;
+  }
+
+  static std::string TempPath(const std::string& name) {
+    const char* dir = std::getenv("TMPDIR");
+    return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+  }
+};
+
+TEST_F(NetRpcTest, FramesRoundTripOverTcpLoopback) {
+  StatusOr<Listener> listener = Listener::Listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  std::thread echo([&] {
+    StatusOr<Socket> conn = listener->Accept();
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    std::string payload;
+    while (ReadFrame(*conn, &payload, NoDeadline()).ok()) {
+      ASSERT_TRUE(WriteFrame(*conn, payload, DeadlineAfter(5)).ok());
+    }
+  });
+
+  StatusOr<Socket> client =
+      Connect(listener->address(), DeadlineAfter(5));
+  ASSERT_TRUE(client.ok()) << client.status();
+  const std::string payloads[] = {"", "x", std::string(100000, 'q')};
+  for (const std::string& sent : payloads) {
+    ASSERT_TRUE(WriteFrame(*client, sent, DeadlineAfter(5)).ok());
+    std::string got;
+    ASSERT_TRUE(ReadFrame(*client, &got, DeadlineAfter(5)).ok());
+    EXPECT_EQ(got, sent);
+  }
+  client->Close();
+  echo.join();
+}
+
+TEST_F(NetRpcTest, ReadDeadlineExpiryIsDeadlineExceeded) {
+  StatusOr<Listener> listener = Listener::Listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.ok());
+  std::thread quiet([&] {
+    // Accept, then say nothing until the client gives up.
+    StatusOr<Socket> conn = listener->Accept();
+    std::string payload;
+    if (conn.ok()) (void)ReadFrame(*conn, &payload, NoDeadline());
+  });
+
+  StatusOr<Socket> client =
+      Connect(listener->address(), DeadlineAfter(5));
+  ASSERT_TRUE(client.ok());
+  std::string payload;
+  const Status read = ReadFrame(*client, &payload, DeadlineAfter(0.05));
+  EXPECT_TRUE(read.IsDeadlineExceeded()) << read.ToString();
+  client->Close();
+  quiet.join();
+}
+
+TEST_F(NetRpcTest, PeerCloseAtFrameBoundaryIsCleanClose) {
+  StatusOr<Listener> listener = Listener::Listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.ok());
+  std::thread closer([&] {
+    StatusOr<Socket> conn = listener->Accept();
+    // Send one complete frame, then close at the boundary.
+    if (conn.ok()) {
+      ASSERT_TRUE(WriteFrame(*conn, "bye", DeadlineAfter(5)).ok());
+    }
+  });
+
+  StatusOr<Socket> client =
+      Connect(listener->address(), DeadlineAfter(5));
+  ASSERT_TRUE(client.ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(*client, &payload, DeadlineAfter(5)).ok());
+  EXPECT_EQ(payload, "bye");
+  const Status eof = ReadFrame(*client, &payload, DeadlineAfter(5));
+  EXPECT_TRUE(IsCleanClose(eof)) << eof.ToString();
+  // Clean close is distinguished — not Corruption, not a timeout.
+  EXPECT_FALSE(eof.IsCorruption());
+  closer.join();
+}
+
+TEST_F(NetRpcTest, ConnectErrorsAreCleanStatuses) {
+  // Nobody listens on a fresh kernel-assigned port we immediately drop.
+  std::string dead_address;
+  {
+    StatusOr<Listener> listener = Listener::Listen("127.0.0.1:0");
+    ASSERT_TRUE(listener.ok());
+    dead_address = listener->address();
+  }
+  StatusOr<Socket> refused = Connect(dead_address, DeadlineAfter(2));
+  EXPECT_FALSE(refused.ok());
+  StatusOr<Socket> garbage_address =
+      Connect("not an address at all", DeadlineAfter(1));
+  EXPECT_FALSE(garbage_address.ok());
+}
+
+TEST_F(NetRpcTest, ShardServerAnswersHelloProbeAndPing) {
+  const Shared& s = GetShared();
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  StatusOr<Socket> conn =
+      Connect((*server)->address(), DeadlineAfter(5));
+  ASSERT_TRUE(conn.ok()) << conn.status();
+
+  // Hello: protocol version + the shard inventory with the set's hash.
+  ASSERT_TRUE(WriteFrame(*conn, EncodeHelloRequest(HelloRequest{}),
+                         DeadlineAfter(5))
+                  .ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+  HelloResponse hello;
+  ASSERT_TRUE(DecodeHelloResponse(payload, &hello).ok());
+  EXPECT_EQ(hello.protocol_version, kWireProtocolVersion);
+  EXPECT_EQ(hello.artifact_hash, s.corpus->content_hash());
+  ASSERT_EQ(hello.shards.size(), 1u);
+  EXPECT_EQ(hello.shards[0].content_hash,
+            s.corpus->shard(0).content_hash());
+  EXPECT_EQ(hello.shards[0].num_tables, s.corpus->num_tables());
+
+  // Probe: the worker's hits are the local index's Search, bit for bit.
+  ASSERT_FALSE(s.queries.empty());
+  const std::vector<std::string>& keywords = s.queries[0];
+  ProbeRequest probe;
+  probe.shard_hash = s.corpus->shard(0).content_hash();
+  probe.k = 25;
+  probe.scorer = ProbeScorer::kWand;
+  probe.keywords = keywords;
+  ASSERT_TRUE(
+      WriteFrame(*conn, EncodeProbeRequest(probe), DeadlineAfter(5)).ok());
+  ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+  ProbeResponse hits;
+  ASSERT_TRUE(DecodeProbeResponse(payload, &hits).ok());
+  const std::vector<ScoredDoc> local =
+      s.corpus->shard(0).index().Search(keywords, 25, ProbeScorer::kWand);
+  ASSERT_EQ(hits.hits.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(hits.hits[i].doc, local[i].doc);
+    uint64_t remote_bits = 0, local_bits = 0;
+    std::memcpy(&remote_bits, &hits.hits[i].score, sizeof(remote_bits));
+    std::memcpy(&local_bits, &local[i].score, sizeof(local_bits));
+    EXPECT_EQ(remote_bits, local_bits) << "hit #" << i;
+  }
+
+  // Ping reports the probes served so far.
+  ASSERT_TRUE(
+      WriteFrame(*conn, EncodePingRequest(), DeadlineAfter(5)).ok());
+  ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+  PingResponse pong;
+  ASSERT_TRUE(DecodePingResponse(payload, &pong).ok());
+  EXPECT_EQ(pong.probes_served, 1u);
+
+  conn->Close();
+  (*server)->Stop();
+  const ShardServer::Stats stats = (*server)->GetStats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.probes, 1u);
+}
+
+TEST_F(NetRpcTest, UnknownShardHashIsCleanNotFound) {
+  const Shared& s = GetShared();
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus);
+  ASSERT_TRUE(server.ok());
+  StatusOr<Socket> conn =
+      Connect((*server)->address(), DeadlineAfter(5));
+  ASSERT_TRUE(conn.ok());
+
+  ProbeRequest probe;
+  probe.shard_hash = 0xDEAD;  // not in the inventory
+  probe.k = 5;
+  probe.keywords = {"anything"};
+  ASSERT_TRUE(
+      WriteFrame(*conn, EncodeProbeRequest(probe), DeadlineAfter(5)).ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+  StatusOr<MessageType> type = PeekMessageType(payload);
+  ASSERT_TRUE(type.ok());
+  ASSERT_EQ(type.value(), MessageType::kError);
+  Status remote = Status::OK();
+  ASSERT_TRUE(DecodeErrorResponse(payload, &remote).ok());
+  EXPECT_TRUE(remote.IsNotFound()) << remote.ToString();
+
+  // The connection survives a per-request error: a Ping still works.
+  ASSERT_TRUE(
+      WriteFrame(*conn, EncodePingRequest(), DeadlineAfter(5)).ok());
+  ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+  PingResponse pong;
+  EXPECT_TRUE(DecodePingResponse(payload, &pong).ok());
+}
+
+TEST_F(NetRpcTest, GarbageFramesNeverCrashTheServer) {
+  const Shared& s = GetShared();
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus);
+  ASSERT_TRUE(server.ok());
+
+  // Raw garbage bytes (bad magic): the server drops the connection
+  // cleanly.
+  {
+    StatusOr<Socket> conn =
+        Connect((*server)->address(), DeadlineAfter(5));
+    ASSERT_TRUE(conn.ok());
+    const char noise[] = "this is not a frame at all, not even close";
+    ASSERT_GT(::send(conn->fd(), noise, sizeof(noise), MSG_NOSIGNAL), 0);
+    std::string payload;
+    const Status read = ReadFrame(*conn, &payload, DeadlineAfter(5));
+    EXPECT_FALSE(read.ok());  // closed or reset, never a reply
+  }
+
+  // A well-framed payload with an unknown message type: clean error
+  // frame, connection stays usable.
+  {
+    StatusOr<Socket> conn =
+        Connect((*server)->address(), DeadlineAfter(5));
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(
+        WriteFrame(*conn, std::string(1, '\x6E'), DeadlineAfter(5)).ok());
+    std::string payload;
+    ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+    Status remote = Status::OK();
+    ASSERT_TRUE(DecodeErrorResponse(payload, &remote).ok());
+    EXPECT_FALSE(remote.ok());
+  }
+
+  // A truncated probe body inside a valid frame: clean error frame.
+  {
+    StatusOr<Socket> conn =
+        Connect((*server)->address(), DeadlineAfter(5));
+    ASSERT_TRUE(conn.ok());
+    ProbeRequest probe;
+    probe.shard_hash = s.corpus->shard(0).content_hash();
+    probe.k = 5;
+    probe.keywords = {"keyword"};
+    std::string body = EncodeProbeRequest(probe);
+    body.resize(body.size() / 2);
+    ASSERT_TRUE(WriteFrame(*conn, body, DeadlineAfter(5)).ok());
+    std::string payload;
+    ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+    Status remote = Status::OK();
+    ASSERT_TRUE(DecodeErrorResponse(payload, &remote).ok());
+    EXPECT_FALSE(remote.ok());
+  }
+
+  // After all that abuse, a fresh connection still gets real answers.
+  RemoteShardClient client(s.corpus->shard(0).content_hash(),
+                           {(*server)->address()}, {});
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_GT((*server)->GetStats().errors, 0u);
+}
+
+TEST_F(NetRpcTest, RemoteShardClientMatchesLocalSearchBitForBit) {
+  const Shared& s = GetShared();
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus);
+  ASSERT_TRUE(server.ok());
+
+  RemoteShardClient client(s.corpus->shard(0).content_hash(),
+                           {(*server)->address()}, {});
+  ASSERT_TRUE(client.VerifyHello().ok());
+  const TableIndex& index = s.corpus->shard(0).index();
+  for (const std::vector<std::string>& keywords : s.queries) {
+    for (ProbeScorer scorer :
+         {ProbeScorer::kWand, ProbeScorer::kExhaustive}) {
+      StatusOr<std::vector<ScoredDoc>> remote =
+          client.Search(keywords, 25, scorer, NoDeadline());
+      ASSERT_TRUE(remote.ok()) << remote.status();
+      const std::vector<ScoredDoc> local = index.Search(keywords, 25, scorer);
+      ASSERT_EQ(remote->size(), local.size());
+      for (size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ((*remote)[i].doc, local[i].doc);
+        uint64_t remote_bits = 0, local_bits = 0;
+        std::memcpy(&remote_bits, &(*remote)[i].score,
+                    sizeof(remote_bits));
+        std::memcpy(&local_bits, &local[i].score, sizeof(local_bits));
+        EXPECT_EQ(remote_bits, local_bits);
+      }
+    }
+  }
+  const RemoteShardStats stats = client.Stats();
+  EXPECT_EQ(stats.probes, s.queries.size() * 2);
+  EXPECT_TRUE(stats.healthy);
+  // Connection pooling: the whole loop reused one dialed connection.
+  EXPECT_EQ(stats.reconnects, 1u);
+}
+
+TEST_F(NetRpcTest, WrongExpectedHashFailsTheHandshake) {
+  const Shared& s = GetShared();
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus);
+  ASSERT_TRUE(server.ok());
+
+  RemoteShardClient client(/*expected_shard_hash=*/0xBAD,
+                           {(*server)->address()}, {});
+  const Status verified = client.VerifyHello();
+  EXPECT_TRUE(verified.IsFailedPrecondition()) << verified.ToString();
+  // And a probe routed by the wrong hash is the worker's clean NotFound.
+  StatusOr<std::vector<ScoredDoc>> hits =
+      client.Search({"anything"}, 5, ProbeScorer::kWand, NoDeadline());
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsNotFound()) << hits.status();
+}
+
+TEST_F(NetRpcTest, UnixDomainEndpointServesProbes) {
+  const Shared& s = GetShared();
+  ShardServerOptions options;
+  options.listen = "unix:" + TempPath("net_rpc_test.sock");
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  EXPECT_EQ((*server)->address(), options.listen);
+
+  RemoteShardClient client(s.corpus->shard(0).content_hash(),
+                           {(*server)->address()}, {});
+  ASSERT_TRUE(client.VerifyHello().ok());
+  StatusOr<std::vector<ScoredDoc>> hits =
+      client.Search(s.queries[0], 10, ProbeScorer::kWand, NoDeadline());
+  ASSERT_TRUE(hits.ok()) << hits.status();
+}
+
+TEST_F(NetRpcTest, WorkerEnforcesTheRelativeBudget) {
+  // A worker stalled past the request's relative budget must answer
+  // DeadlineExceeded instead of scanning: the chaos delay (50 ms) runs
+  // after the arrival stamp, and the 10 ms budget is re-checked after it.
+  const Shared& s = GetShared();
+  ShardServerOptions options;
+  options.chaos_probe_delay_s = 0.05;
+  StatusOr<std::unique_ptr<ShardServer>> server =
+      ShardServer::Start(s.corpus, options);
+  ASSERT_TRUE(server.ok());
+
+  StatusOr<Socket> conn =
+      Connect((*server)->address(), DeadlineAfter(5));
+  ASSERT_TRUE(conn.ok());
+  ProbeRequest probe;
+  probe.shard_hash = s.corpus->shard(0).content_hash();
+  probe.k = 10;
+  probe.keywords = s.queries[0];
+  probe.budget_micros = 10000;
+  ASSERT_TRUE(
+      WriteFrame(*conn, EncodeProbeRequest(probe), DeadlineAfter(5)).ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(*conn, &payload, DeadlineAfter(5)).ok());
+  Status remote = Status::OK();
+  ASSERT_TRUE(DecodeErrorResponse(payload, &remote).ok());
+  EXPECT_TRUE(remote.IsDeadlineExceeded()) << remote.ToString();
+
+  // A deadline already in the past never hangs the client either.
+  RemoteShardClient client(s.corpus->shard(0).content_hash(),
+                           {(*server)->address()}, {});
+  StatusOr<std::vector<ScoredDoc>> hits =
+      client.Search(s.queries[0], 10, ProbeScorer::kWand,
+                    std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(10));
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsDeadlineExceeded()) << hits.status();
+}
+
+}  // namespace
+}  // namespace wwt::net

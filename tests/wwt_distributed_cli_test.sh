@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# CTest smoke for distributed shard serving at the process level
+# (labels: chaos): wwt_indexer --shards 4 -> four wwt_shardd worker
+# processes -> a wwt_serve router, asserting
+#   * the routed batch answers byte-identically (per-query "digest"
+#     values) to the same batch served in-process — the CI
+#     router-vs-in-process identity smoke;
+#   * a kill -9'd worker resolves per --on-dead-shard: 'fail' exits
+#     non-zero with a clean one-line diagnostic, 'partial' exits 0 with
+#     every affected response explicitly marked "partial": true;
+#   * SIGTERM stops a worker gracefully (exit 0, stats on stderr).
+# WWT_SCALE sets the corpus scale (default 0.1: the PR-matrix size;
+# nightly runs the same script at full scale).
+set -u
+
+INDEXER="${1:?usage: wwt_distributed_cli_test.sh INDEXER SHARDD SERVE}"
+SHARDD="${2:?usage: wwt_distributed_cli_test.sh INDEXER SHARDD SERVE}"
+SERVE="${3:?usage: wwt_distributed_cli_test.sh INDEXER SHARDD SERVE}"
+SCALE="${WWT_SCALE:-0.1}"
+TMP="$(mktemp -d)"
+WORKER_PIDS=()
+cleanup() {
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+fail() { echo "wwt_distributed_cli_test: FAIL: $1"; exit 1; }
+
+# ---- Build a 4-shard corpus set.
+"$INDEXER" --out "$TMP/corpus.wwtset" --scale "$SCALE" --seed 7 \
+  --shards 4 >/dev/null || fail "sharded indexer build failed"
+for s in 0 1 2 3; do
+  [ -s "$TMP/corpus.shard-$s-of-4.wwtsnap" ] || fail "shard $s missing"
+done
+
+# ---- Start one worker per shard on kernel-assigned ports, parsing the
+# machine-readable "listening on ADDR" line each announces on stdout.
+WORKER_ADDRS=()
+for s in 0 1 2 3; do
+  "$SHARDD" --snapshot "$TMP/corpus.shard-$s-of-4.wwtsnap" \
+    --listen 127.0.0.1:0 >"$TMP/worker$s.out" 2>"$TMP/worker$s.err" &
+  WORKER_PIDS+=($!)
+done
+for s in 0 1 2 3; do
+  for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$TMP/worker$s.out" && break
+    kill -0 "${WORKER_PIDS[$s]}" 2>/dev/null \
+      || fail "worker $s died before listening: $(cat "$TMP/worker$s.err")"
+    sleep 0.1
+  done
+  addr="$(sed -n 's/^listening on //p' "$TMP/worker$s.out" | head -1)"
+  [ -n "$addr" ] || fail "worker $s never announced its endpoint"
+  WORKER_ADDRS+=("$addr")
+done
+
+# ---- Byte identity: routed digests == in-process digests, query by
+# query (sorted: both runs serve the same stored workload).
+"$SERVE" --snapshot "$TMP/corpus.wwtset" --format json --quiet \
+  >"$TMP/local.json" 2>/dev/null || fail "in-process batch failed"
+"$SERVE" --snapshot "$TMP/corpus.wwtset" --format json --quiet \
+  --worker "${WORKER_ADDRS[0]}" --worker "${WORKER_ADDRS[1]}" \
+  --worker "${WORKER_ADDRS[2]}" --worker "${WORKER_ADDRS[3]}" \
+  >"$TMP/routed.json" 2>/dev/null || fail "routed batch failed"
+
+digests() { grep -o '"digest": "[0-9a-f]*"' "$1" | sort; }
+digests "$TMP/local.json" >"$TMP/local.digests"
+digests "$TMP/routed.json" >"$TMP/routed.digests"
+[ -s "$TMP/local.digests" ] || fail "in-process run produced no digests"
+cmp -s "$TMP/local.digests" "$TMP/routed.digests" \
+  || fail "routed digests diverge from in-process serving"
+# Routed responses are full answers, never silently degraded, and the
+# run reports per-worker stats.
+grep -q '"partial": true' "$TMP/routed.json" \
+  && fail "routed batch marked responses partial with all workers up"
+grep -q '"workers": \[' "$TMP/routed.json" \
+  || fail "routed batch printed no worker stats"
+
+# ---- Chaos: kill -9 worker 0 (disowned first: its death is the test,
+# not a job-control event worth a shell notice).
+disown "${WORKER_PIDS[0]}" 2>/dev/null
+kill -9 "${WORKER_PIDS[0]}" 2>/dev/null
+sleep 0.2
+
+# fail policy (the default): clean non-zero exit, one-line diagnostic.
+if "$SERVE" --snapshot "$TMP/corpus.wwtset" --format json --quiet \
+    --worker "${WORKER_ADDRS[0]}" --worker "${WORKER_ADDRS[1]}" \
+    --worker "${WORKER_ADDRS[2]}" --worker "${WORKER_ADDRS[3]}" \
+    >/dev/null 2>"$TMP/dead_fail.err"; then
+  fail "dead worker under fail policy exited zero"
+fi
+[ "$(grep -c '^wwt_serve: ' "$TMP/dead_fail.err")" -eq 1 ] \
+  || fail "expected one 'wwt_serve: ...' line for the dead worker"
+
+# partial policy: exit 0, affected responses explicitly marked.
+"$SERVE" --snapshot "$TMP/corpus.wwtset" --format json --quiet \
+  --on-dead-shard partial \
+  --worker "${WORKER_ADDRS[0]}" --worker "${WORKER_ADDRS[1]}" \
+  --worker "${WORKER_ADDRS[2]}" --worker "${WORKER_ADDRS[3]}" \
+  >"$TMP/partial.json" 2>/dev/null \
+  || fail "dead worker under partial policy did not degrade gracefully"
+grep -q '"partial": true' "$TMP/partial.json" \
+  || fail "partial policy served no explicitly-marked partial response"
+grep -q '"healthy": false' "$TMP/partial.json" \
+  || fail "worker stats do not show the dead worker unhealthy"
+
+# ---- Graceful stop: SIGTERM, exit 0, stats banner.
+for s in 1 2 3; do
+  kill -TERM "${WORKER_PIDS[$s]}" 2>/dev/null
+done
+for s in 1 2 3; do
+  wait "${WORKER_PIDS[$s]}"
+  code=$?
+  [ "$code" -eq 0 ] || fail "worker $s exited $code on SIGTERM"
+  grep -q 'stopped on signal 15' "$TMP/worker$s.err" \
+    || fail "worker $s printed no graceful-stop banner"
+done
+WORKER_PIDS=()
+
+echo "wwt_distributed_cli_test: PASS"

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# CTest smoke for the wwt_serve request contract (labels: unit), pinning
+# the three CLI bugfix contracts from the outside:
+#   1. --deadline-ms outside --stdin (batch and --queries alike) is a
+#      clean one-line error, not a silently mis-deadlined batch.
+#   2. The stdin-mode "served N queries, ..." stderr summary prints
+#      before EVERY exit — the success path AND the failure path, where
+#      it must precede the failure diagnostic.
+#   3. Empty columns are rejected, never collapsed: "a||b" and "a|b|"
+#      fail validation in BOTH input modes ("a||b" must not silently
+#      become the different query "a|b"), while whitespace-only lines
+#      are skipped as non-queries.
+set -u
+
+INDEXER="${1:?usage: wwt_serve_cli_test.sh /path/to/wwt_indexer /path/to/wwt_serve}"
+SERVE="${2:?usage: wwt_serve_cli_test.sh /path/to/wwt_indexer /path/to/wwt_serve}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "wwt_serve_cli_test: FAIL: $1"; exit 1; }
+
+# One tiny snapshot shared by every case.
+"$INDEXER" --out "$TMP/tiny.wwtsnap" --scale 0.05 --seed 5 \
+  --noise-pages 10 >/dev/null || fail "indexer build failed"
+
+# Any well-formed two-column query serves fine regardless of hit count
+# (an empty answer is still exit 0); the paper's running example will do.
+QUERY='name of explorers | nationality'
+
+# ---- 1. --deadline-ms requires --stdin: default batch mode...
+if "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --deadline-ms 100 \
+    >/dev/null 2>"$TMP/dl_batch.err"; then
+  fail "--deadline-ms in default batch mode did not fail"
+fi
+[ "$(grep -c '^wwt_serve: ' "$TMP/dl_batch.err")" -eq 1 ] \
+  || fail "expected one 'wwt_serve: ...' line for batch --deadline-ms"
+grep -q 'requires --stdin' "$TMP/dl_batch.err" \
+  || fail "batch --deadline-ms error does not say why"
+
+# ...and --queries mode.
+printf '%s\n' "$QUERY" >"$TMP/ok.queries"
+if "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --queries "$TMP/ok.queries" \
+    --deadline-ms 100 >/dev/null 2>"$TMP/dl_q.err"; then
+  fail "--deadline-ms with --queries did not fail"
+fi
+[ "$(grep -c '^wwt_serve: ' "$TMP/dl_q.err")" -eq 1 ] \
+  || fail "expected one 'wwt_serve: ...' line for --queries --deadline-ms"
+
+# With --stdin the same flag is accepted.
+printf '%s\n' "$QUERY" \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --stdin --deadline-ms 5000 \
+      --quiet >/dev/null 2>"$TMP/dl_ok.err" \
+  || fail "--stdin --deadline-ms exited non-zero on a valid query"
+grep -q '^served 1 queries' "$TMP/dl_ok.err" \
+  || fail "--stdin --deadline-ms printed no summary"
+
+# ---- 2. The stdin summary prints on both exit paths.
+# Success path: exit 0, summary present.
+printf '%s\n' "$QUERY" \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --stdin --quiet \
+      >"$TMP/ok.out" 2>"$TMP/ok.err" \
+  || fail "stdin success path exited non-zero"
+grep -q '^served 1 queries, 0 expired, 0 from cache$' "$TMP/ok.err" \
+  || fail "no summary line on the success path"
+grep -q '^ok ' "$TMP/ok.out" || fail "no per-line response on stdout"
+
+# Failure path (a malformed query): exit non-zero, but the summary must
+# STILL print, before the failure diagnostic.
+printf '%s\na||b\n' "$QUERY" \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --stdin --quiet \
+      >"$TMP/bad.out" 2>"$TMP/bad.err" \
+  && fail "stdin run with a rejected query exited zero"
+grep -q '^served 1 queries' "$TMP/bad.err" \
+  || fail "failure exit dropped the summary line"
+grep -q '^wwt_serve: 1 of 2 queries failed' "$TMP/bad.err" \
+  || fail "no failure diagnostic after the summary"
+SUMMARY_LINE=$(grep -n '^served ' "$TMP/bad.err" | cut -d: -f1 | head -1)
+FAIL_LINE=$(grep -n '^wwt_serve: ' "$TMP/bad.err" | cut -d: -f1 | head -1)
+[ "$SUMMARY_LINE" -lt "$FAIL_LINE" ] \
+  || fail "summary printed after the failure line, not before"
+
+# ---- 3. Empty columns are rejected in both modes, not collapsed.
+for bad in 'a||b' 'a|b|' '| a | b'; do
+  printf '%s\n' "$bad" \
+    | "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --stdin --quiet \
+        >"$TMP/col.out" 2>/dev/null \
+    && fail "stdin accepted malformed query '$bad'"
+  grep -q 'empty or whitespace-only' "$TMP/col.out" \
+    || fail "stdin rejection of '$bad' has the wrong reason"
+
+  printf '%s\n' "$bad" >"$TMP/bad.queries"
+  if "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --queries "$TMP/bad.queries" \
+      >"$TMP/colq.out" 2>/dev/null; then
+    fail "--queries accepted malformed query '$bad'"
+  fi
+  grep -q 'empty or whitespace-only' "$TMP/colq.out" \
+    || fail "--queries rejection of '$bad' has the wrong reason"
+done
+
+# Whitespace-only lines are no query at all: skipped, not rejected.
+printf '   \n\t\n%s\n' "$QUERY" \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --stdin --quiet \
+      >/dev/null 2>"$TMP/ws.err" \
+  || fail "whitespace-only lines failed the run"
+grep -q '^served 1 queries' "$TMP/ws.err" \
+  || fail "whitespace-only lines were counted as queries"
+
+# Spaces around separators still parse as the same trimmed columns:
+# 'a | b' and 'a|b' must share one cache fingerprint (second run hits).
+printf 'a | b\na|b\n' \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtsnap" --stdin --quiet \
+      >/dev/null 2>"$TMP/trim.err" \
+  || fail "trimmed-equivalent queries failed"
+grep -q '^served 2 queries, 0 expired, 1 from cache$' "$TMP/trim.err" \
+  || fail "'a | b' and 'a|b' did not share a fingerprint"
+
+echo "wwt_serve_cli_test: PASS"

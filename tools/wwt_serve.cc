@@ -30,6 +30,19 @@
 //             [--deadline-ms D] [--quiet]
 //             [--cache-mb MB] [--cache-ttl-ms T | --no-cache]
 //             [--k K] [--scorer wand|exhaustive]
+//             [--worker ADDR[,ADDR...]]... [--hedge-ms H]
+//             [--rpc-timeout-ms T] [--on-dead-shard fail|partial]
+//
+// Router mode (docs/DISTRIBUTED.md): one --worker per shard, in shard
+// order, each a comma-separated replica list of wwt_shardd endpoints.
+// The snapshot still loads locally (stats + table reads + the answer
+// pipeline); only the per-shard top-k probes scatter to the workers,
+// and the merged answers are byte-identical to in-process serving
+// (compare the per-query "digest" fields). --hedge-ms launches the
+// probe on the next replica when one goes quiet; --rpc-timeout-ms caps
+// one probe RPC; --on-dead-shard picks between failing the query and
+// serving an explicitly marked partial answer when a shard has no
+// live worker.
 //
 // --k overrides the top-k of BOTH index probes; --scorer picks the
 // probe algorithm (block-max WAND by default, exhaustive as the
@@ -63,24 +76,55 @@
 
 #include "index/snapshot.h"
 #include "index/table_index.h"
+#include "net/shard_client.h"
+#include "util/hash.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
 #include "wwt/service.h"
 
 namespace {
 
-/// "a | b | c" -> {"a", "b", "c"}, trimmed; empty columns dropped.
+/// "a | b | c" -> {"a", "b", "c"}, trimmed. A line that is entirely
+/// whitespace is no query at all and yields an empty vector (callers
+/// skip it); a line WITH separators keeps every column — including
+/// empty ones ("a||b", "a|b|") — so ValidateQueryRequest rejects the
+/// malformed query instead of silently collapsing it into a different
+/// one. Both input modes (--stdin and --queries) share this contract.
 std::vector<std::string> SplitColumns(const std::string& line) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return {};
   std::vector<std::string> cols;
-  std::string col;
-  std::istringstream in(line);
-  while (std::getline(in, col, '|')) {
-    const size_t begin = col.find_first_not_of(" \t");
-    if (begin == std::string::npos) continue;
-    const size_t end = col.find_last_not_of(" \t");
-    cols.push_back(col.substr(begin, end - begin + 1));
+  size_t start = 0;
+  for (;;) {
+    const size_t bar = line.find('|', start);
+    const std::string col =
+        bar == std::string::npos ? line.substr(start)
+                                 : line.substr(start, bar - start);
+    const size_t begin = col.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      cols.emplace_back();
+    } else {
+      const size_t end = col.find_last_not_of(" \t\r");
+      cols.push_back(col.substr(begin, end - begin + 1));
+    }
+    if (bar == std::string::npos) break;
+    start = bar + 1;
   }
   return cols;
+}
+
+/// "ADDR,ADDR,..." -> the replica list for one shard's --worker flag.
+std::vector<std::string> SplitReplicas(const std::string& spec) {
+  std::vector<std::string> replicas;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = spec.find(',', start);
+    replicas.push_back(comma == std::string::npos
+                           ? spec.substr(start)
+                           : spec.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return replicas;
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -123,12 +167,19 @@ void PrintJsonResponse(const wwt::QueryResponse& r, int max_rows) {
               JsonEscape(r.tag).c_str(),
               JsonEscape(r.status.ok() ? "OK" : r.status.ToString()).c_str());
   if (r.ok()) {
+    // The digest hash is the byte-identity handle: two runs (e.g. the
+    // in-process engine vs the scatter-gather router) answered
+    // identically iff these values match query for query.
     std::printf(", \"fingerprint\": \"%016llx\", \"corpus_hash\": "
-                "\"%016llx\", \"rows\": %zu, \"candidates\": %zu, "
+                "\"%016llx\", \"digest\": \"%016llx\", \"partial\": %s, "
+                "\"rows\": %zu, \"candidates\": %zu, "
                 "\"latency_ms\": %.3f, \"queue_ms\": %.3f, "
                 "\"cached\": %s, \"answer\": [",
                 static_cast<unsigned long long>(r.fingerprint),
                 static_cast<unsigned long long>(r.corpus_hash),
+                static_cast<unsigned long long>(
+                    wwt::Fnv1a(wwt::ResultDigest(r))),
+                r.partial ? "true" : "false",
                 r.answer.rows.size(), r.retrieval.tables.size(),
                 r.execute_seconds * 1e3, r.queue_seconds * 1e3,
                 r.served_from_cache ? "true" : "false");
@@ -156,8 +207,9 @@ void PrintTextResponse(const wwt::QueryResponse& r) {
                 r.status.ToString().c_str());
     return;
   }
-  std::printf("%-40.40s %4zu rows  %7.1f ms\n", r.tag.c_str(),
-              r.answer.rows.size(), r.timing.Total() * 1e3);
+  std::printf("%-40.40s %4zu rows  %7.1f ms%s\n", r.tag.c_str(),
+              r.answer.rows.size(), r.timing.Total() * 1e3,
+              r.partial ? "  (partial: shard(s) down)" : "");
 }
 
 int Usage(const char* argv0) {
@@ -166,7 +218,10 @@ int Usage(const char* argv0) {
                "          [--queries FILE | --stdin] [--format text|json]\n"
                "          [--deadline-ms D] [--quiet]\n"
                "          [--cache-mb MB] [--cache-ttl-ms T | --no-cache]\n"
-               "          [--k K] [--scorer wand|exhaustive]\n",
+               "          [--k K] [--scorer wand|exhaustive]\n"
+               "          [--worker ADDR[,ADDR...]]... [--hedge-ms H]\n"
+               "          [--rpc-timeout-ms T] [--on-dead-shard "
+               "fail|partial]\n",
                argv0);
   return 2;
 }
@@ -193,6 +248,13 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool use_stdin = false;
   bool batch_mult_set = false;
+  // Router mode: one --worker per shard, commas separate replicas.
+  std::vector<std::vector<std::string>> worker_groups;
+  double hedge_ms = 0;         // 0 = no hedging
+  double rpc_timeout_ms = 5000;
+  bool rpc_timeout_set = false;
+  bool on_dead_shard_set = false;
+  wwt::ShardFailurePolicy on_dead_shard = wwt::ShardFailurePolicy::kFail;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -273,6 +335,51 @@ int main(int argc, char** argv) {
                                 "got '") +
                     v + "'");
       }
+    } else if (arg == "--worker") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::vector<std::string> replicas = SplitReplicas(v);
+      for (const std::string& replica : replicas) {
+        if (replica.empty()) {
+          return Fail(std::string("--worker wants ADDR[,ADDR...], got '") +
+                      v + "'");
+        }
+      }
+      worker_groups.push_back(std::move(replicas));
+    } else if (arg == "--hedge-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      hedge_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(hedge_ms > 0)) {
+        return Fail(std::string("--hedge-ms wants a positive number of "
+                                "milliseconds, got '") +
+                    v + "'");
+      }
+    } else if (arg == "--rpc-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      rpc_timeout_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(rpc_timeout_ms > 0)) {
+        return Fail(std::string("--rpc-timeout-ms wants a positive number "
+                                "of milliseconds, got '") +
+                    v + "'");
+      }
+      rpc_timeout_set = true;
+    } else if (arg == "--on-dead-shard") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "fail") == 0) {
+        on_dead_shard = wwt::ShardFailurePolicy::kFail;
+      } else if (std::strcmp(v, "partial") == 0) {
+        on_dead_shard = wwt::ShardFailurePolicy::kPartial;
+      } else {
+        return Fail(std::string("--on-dead-shard wants 'fail' or "
+                                "'partial', got '") +
+                    v + "'");
+      }
+      on_dead_shard_set = true;
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--stdin") {
@@ -297,6 +404,11 @@ int main(int argc, char** argv) {
   if (no_cache && cache_flag_set) {
     return Fail("--no-cache conflicts with --cache-mb/--cache-ttl-ms");
   }
+  if (worker_groups.empty() &&
+      (hedge_ms > 0 || rpc_timeout_set || on_dead_shard_set)) {
+    return Fail("--hedge-ms/--rpc-timeout-ms/--on-dead-shard configure "
+                "router mode and require at least one --worker");
+  }
   const bool json = format == "json";
 
   // Cold start: one file read instead of a corpus rebuild. Missing or
@@ -314,6 +426,7 @@ int main(int argc, char** argv) {
         static_cast<size_t>(cache_mb * 1024 * 1024);
     service_options.cache.ttl_seconds = cache_ttl_ms / 1e3;
   }
+  service_options.engine.shard_failure = on_dead_shard;
   wwt::SnapshotInfo info;
   wwt::StatusOr<std::unique_ptr<wwt::WwtService>> service =
       wwt::WwtService::FromSnapshot(snapshot_path, service_options, &info);
@@ -333,6 +446,81 @@ int main(int argc, char** argv) {
         snapshot_path.c_str(), load_seconds, info.format_version,
         static_cast<unsigned long long>(info.content_hash));
   }
+
+  // ---- Router mode: scatter every per-shard index probe to wwt_shardd
+  // workers instead of scanning locally. The corpus artifact still loads
+  // here (stats, table reads and the answer pipeline stay local — cheap
+  // under zero-copy v4); only the CPU-heavy top-k probes go remote, and
+  // the merged answers are byte-identical to in-process serving.
+  std::unique_ptr<wwt::net::RemoteProbeSet> remote_set;
+  if (!worker_groups.empty()) {
+    wwt::net::RemoteProbeOptions remote_options;
+    remote_options.default_rpc_timeout_s = rpc_timeout_ms / 1e3;
+    remote_options.hedge_after_s = hedge_ms / 1e3;
+    remote_options.tolerate_unreachable =
+        on_dead_shard == wwt::ShardFailurePolicy::kPartial;
+    wwt::StatusOr<std::unique_ptr<wwt::net::RemoteProbeSet>> connected =
+        wwt::net::RemoteProbeSet::Connect(*(*service)->corpus(),
+                                          worker_groups, remote_options);
+    if (!connected.ok()) return Fail(connected.status().ToString());
+    remote_set = std::move(connected).value();
+    const wwt::Status attached =
+        (*service)->AttachRemoteProbes(remote_set->Probes());
+    if (!attached.ok()) return Fail(attached.ToString());
+    if (!json) {
+      std::fprintf(use_stdin ? stderr : stdout,
+                   "routing %zu shard probe(s) to workers (%s on dead "
+                   "shard%s)\n",
+                   remote_set->num_shards(),
+                   on_dead_shard == wwt::ShardFailurePolicy::kPartial
+                       ? "partial"
+                       : "fail",
+                   hedge_ms > 0 ? ", hedged" : "");
+    }
+  }
+
+  // Per-shard router counters, as text lines (the --stdin diagnostics
+  // channel and the text summary) or one JSON "workers" line.
+  auto print_worker_text = [&](std::FILE* out) {
+    if (remote_set == nullptr) return;
+    for (const wwt::net::RemoteShardStats& w : remote_set->ShardStats()) {
+      std::fprintf(out,
+                   "worker shard %016llx @ %s: %llu probes, %llu failures, "
+                   "%llu hedges, %llu reconnects, %s%s%s\n",
+                   static_cast<unsigned long long>(w.shard_hash),
+                   w.endpoints.c_str(),
+                   static_cast<unsigned long long>(w.probes),
+                   static_cast<unsigned long long>(w.failures),
+                   static_cast<unsigned long long>(w.hedges),
+                   static_cast<unsigned long long>(w.reconnects),
+                   w.healthy ? "healthy" : "UNHEALTHY",
+                   w.last_error.empty() ? "" : " — last error: ",
+                   w.last_error.c_str());
+    }
+  };
+  auto print_worker_json = [&]() {
+    if (remote_set == nullptr) return;
+    std::printf("{\"workers\": [");
+    const std::vector<wwt::net::RemoteShardStats> stats =
+        remote_set->ShardStats();
+    for (size_t s = 0; s < stats.size(); ++s) {
+      const wwt::net::RemoteShardStats& w = stats[s];
+      std::printf("%s{\"shard\": \"%016llx\", \"endpoints\": \"%s\", "
+                  "\"probes\": %llu, \"failures\": %llu, \"hedges\": %llu, "
+                  "\"reconnects\": %llu, \"healthy\": %s, "
+                  "\"last_error\": \"%s\"}",
+                  s > 0 ? ", " : "",
+                  static_cast<unsigned long long>(w.shard_hash),
+                  JsonEscape(w.endpoints).c_str(),
+                  static_cast<unsigned long long>(w.probes),
+                  static_cast<unsigned long long>(w.failures),
+                  static_cast<unsigned long long>(w.hedges),
+                  static_cast<unsigned long long>(w.reconnects),
+                  w.healthy ? "true" : "false",
+                  JsonEscape(w.last_error).c_str());
+    }
+    std::printf("]}\n");
+  };
 
   auto make_request = [&](std::vector<std::string> cols, std::string tag) {
     wwt::QueryRequest request =
@@ -413,6 +601,12 @@ int main(int argc, char** argv) {
     cv.NotifyAll();
     printer.join();
 
+    // The summary is diagnostics, not a success banner: it prints
+    // before EVERY exit, so a failed run still reports what it served
+    // up to that point.
+    std::fprintf(stderr, "served %zu queries, %zu expired, %zu from cache\n",
+                 served, expired, cache_hits);
+    print_worker_text(stderr);
     // The error contract holds in every format: any rejected request
     // fails the run with a one-line stderr diagnostic. Deadline
     // expiries alone keep exit 0 — they are the shedding the operator
@@ -422,8 +616,6 @@ int main(int argc, char** argv) {
                   std::to_string(served + failed + expired) +
                   " queries failed");
     }
-    std::fprintf(stderr, "served %zu queries, %zu expired, %zu from cache\n",
-                 served, expired, cache_hits);
     return 0;
   }
 
@@ -549,6 +741,11 @@ int main(int argc, char** argv) {
     std::printf("cold start: %.3f s load vs corpus rebuild (see "
                 "bench_throughput for the ratio)\n",
                 load_seconds);
+  }
+  if (json) {
+    print_worker_json();
+  } else {
+    print_worker_text(stdout);
   }
   if (failed > 0) {
     return Fail(std::to_string(failed) + " of " +
