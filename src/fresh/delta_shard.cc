@@ -1,0 +1,738 @@
+// Copyright 2026 The WWT Authors
+
+#include "fresh/delta_shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace wwt {
+namespace fresh {
+
+namespace {
+
+/// Fixed journal header: magic + version + flags + base hash + base end.
+constexpr size_t kJournalHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+std::string EncodeJournalHeader(uint64_t base_hash, uint64_t base_end_id) {
+  serde::Writer w;
+  w.WriteBytes(kDeltaJournalMagic, sizeof(kDeltaJournalMagic));
+  w.WriteU32(kDeltaJournalFormatVersion);
+  w.WriteU32(0);  // flags, reserved
+  w.WriteU64(base_hash);
+  w.WriteU64(base_end_id);
+  return w.TakeBuffer();
+}
+
+/// `[u64 body size][body][u64 FNV-1a(body)]` — self-checksummed framing
+/// so a torn append is detected and dropped at replay.
+std::string EncodeRecord(const std::string& body) {
+  serde::Writer w;
+  w.WriteU64(body.size());
+  w.WriteBytes(body.data(), body.size());
+  w.WriteU64(serde::Checksum(body));
+  return w.TakeBuffer();
+}
+
+void EncodeOverride(const SummaryOverride& patch, serde::Writer* w) {
+  w->WriteU8(patch.title.has_value() ? 1 : 0);
+  if (patch.title.has_value()) w->WriteString(*patch.title);
+  w->WriteU32(static_cast<uint32_t>(patch.header_cells.size()));
+  for (const SummaryOverride::CellEdit& e : patch.header_cells) {
+    w->WriteU32(e.row);
+    w->WriteU32(e.col);
+    w->WriteString(e.text);
+  }
+  w->WriteU32(static_cast<uint32_t>(patch.body_cells.size()));
+  for (const SummaryOverride::CellEdit& e : patch.body_cells) {
+    w->WriteU32(e.row);
+    w->WriteU32(e.col);
+    w->WriteString(e.text);
+  }
+  w->WriteU8(patch.context.has_value() ? 1 : 0);
+  if (patch.context.has_value()) w->WriteString(*patch.context);
+}
+
+Status DecodeCellEdits(serde::Reader* r,
+                       std::vector<SummaryOverride::CellEdit>* out) {
+  uint32_t count;
+  WWT_RETURN_NOT_OK(r->ReadU32(&count));
+  WWT_RETURN_NOT_OK(r->CheckCount(count, 2 * sizeof(uint32_t)));
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WWT_RETURN_NOT_OK(r->ReadU32(&(*out)[i].row));
+    WWT_RETURN_NOT_OK(r->ReadU32(&(*out)[i].col));
+    WWT_RETURN_NOT_OK(r->ReadString(&(*out)[i].text));
+  }
+  return Status::OK();
+}
+
+Status DecodeOverride(serde::Reader* r, SummaryOverride* patch) {
+  uint8_t has;
+  WWT_RETURN_NOT_OK(r->ReadU8(&has));
+  if (has != 0) {
+    std::string title;
+    WWT_RETURN_NOT_OK(r->ReadString(&title));
+    patch->title = std::move(title);
+  }
+  WWT_RETURN_NOT_OK(DecodeCellEdits(r, &patch->header_cells));
+  WWT_RETURN_NOT_OK(DecodeCellEdits(r, &patch->body_cells));
+  WWT_RETURN_NOT_OK(r->ReadU8(&has));
+  if (has != 0) {
+    std::string context;
+    WWT_RETURN_NOT_OK(r->ReadString(&context));
+    patch->context = std::move(context);
+  }
+  return Status::OK();
+}
+
+/// A journal file split into header facts + intact record bodies. A
+/// torn tail (truncated frame or checksum mismatch at the end) sets
+/// `truncated` instead of failing — crash-mid-append is an expected
+/// state, not corruption.
+struct ParsedJournal {
+  uint32_t version = 0;
+  uint64_t base_hash = 0;
+  uint64_t base_end_id = 0;
+  uint64_t file_bytes = 0;
+  bool truncated = false;
+  std::vector<std::string> bodies;
+};
+
+StatusOr<ParsedJournal> ParseJournalFile(const std::string& path) {
+  WWT_ASSIGN_OR_RETURN(serde::InputFile file, serde::InputFile::Open(path));
+  const std::string_view data = file.data();
+  if (data.size() < kJournalHeaderBytes) {
+    return Status::Corruption("'", path, "' is not a delta journal: ",
+                              data.size(), " bytes, header needs ",
+                              kJournalHeaderBytes);
+  }
+  if (std::memcmp(data.data(), kDeltaJournalMagic,
+                  sizeof(kDeltaJournalMagic)) != 0) {
+    return Status::Corruption("'", path,
+                              "' is not a delta journal (bad magic)");
+  }
+  serde::Reader r(data.substr(sizeof(kDeltaJournalMagic)));
+  ParsedJournal out;
+  uint32_t flags;
+  WWT_RETURN_NOT_OK(r.ReadU32(&out.version));
+  WWT_RETURN_NOT_OK(r.ReadU32(&flags));
+  WWT_RETURN_NOT_OK(r.ReadU64(&out.base_hash));
+  WWT_RETURN_NOT_OK(r.ReadU64(&out.base_end_id));
+  if (out.version != kDeltaJournalFormatVersion) {
+    return Status::InvalidArgument("delta journal '", path, "' is format v",
+                                   out.version, "; this build reads v",
+                                   kDeltaJournalFormatVersion);
+  }
+  out.file_bytes = data.size();
+  while (!r.exhausted()) {
+    uint64_t len = 0;
+    if (r.remaining() < sizeof(uint64_t)) {
+      out.truncated = true;
+      break;
+    }
+    WWT_CHECK_OK(r.ReadU64(&len));
+    if (len > r.remaining() || r.remaining() - len < sizeof(uint64_t)) {
+      out.truncated = true;
+      break;
+    }
+    std::string_view body;
+    WWT_CHECK_OK(r.ReadSpan(len, &body));
+    uint64_t checksum = 0;
+    WWT_CHECK_OK(r.ReadU64(&checksum));
+    if (checksum != serde::Checksum(body)) {
+      out.truncated = true;
+      break;
+    }
+    out.bodies.emplace_back(body);
+  }
+  return out;
+}
+
+/// Decoded record facts shared by replay and inspect.
+struct DecodedRecord {
+  uint64_t seq = 0;
+  DeltaOpKind kind = DeltaOpKind::kAdd;
+  TableId id = 0;
+  WebTable table;
+  SummaryOverride patch;
+};
+
+Status DecodeRecordBody(std::string_view body, DecodedRecord* rec) {
+  serde::Reader r(body);
+  WWT_RETURN_NOT_OK(r.ReadU64(&rec->seq));
+  uint8_t kind;
+  WWT_RETURN_NOT_OK(r.ReadU8(&kind));
+  if (kind < static_cast<uint8_t>(DeltaOpKind::kAdd) ||
+      kind > static_cast<uint8_t>(DeltaOpKind::kTombstone)) {
+    return Status::Corruption("delta record ", rec->seq,
+                              " has unknown op kind ",
+                              static_cast<int>(kind));
+  }
+  rec->kind = static_cast<DeltaOpKind>(kind);
+  uint64_t id;
+  WWT_RETURN_NOT_OK(r.ReadU64(&id));
+  rec->id = static_cast<TableId>(id);
+  switch (rec->kind) {
+    case DeltaOpKind::kAdd:
+    case DeltaOpKind::kUpdate: {
+      std::string blob;
+      WWT_RETURN_NOT_OK(r.ReadString(&blob));
+      WWT_ASSIGN_OR_RETURN(rec->table, DeserializeTable(blob));
+      rec->table.id = rec->id;
+      break;
+    }
+    case DeltaOpKind::kOverride:
+      WWT_RETURN_NOT_OK(DecodeOverride(&r, &rec->patch));
+      break;
+    case DeltaOpKind::kTombstone:
+      break;
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("delta record ", rec->seq, " has ",
+                              r.remaining(), " trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Pads/truncates every row to num_cols (deriving num_cols from the
+/// widest row when 0) — the WebTable rectangularity invariant.
+Status NormalizeTable(WebTable* table) {
+  size_t cols = table->num_cols > 0
+                    ? static_cast<size_t>(table->num_cols)
+                    : 0;
+  if (cols == 0) {
+    for (const auto& row : table->header_rows) {
+      cols = std::max(cols, row.size());
+    }
+    for (const auto& row : table->body) cols = std::max(cols, row.size());
+  }
+  if (cols == 0) {
+    return Status::InvalidArgument("table has no columns");
+  }
+  table->num_cols = static_cast<int>(cols);
+  for (auto& row : table->header_rows) row.resize(cols);
+  for (auto& row : table->body) row.resize(cols);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ApplySummaryOverride(const SummaryOverride& patch, WebTable* table) {
+  if (patch.empty()) {
+    return Status::InvalidArgument("empty summary override for table ",
+                                   table->id);
+  }
+  WebTable patched = *table;
+  if (patch.title.has_value()) {
+    patched.title_rows.assign(1, *patch.title);
+  }
+  for (const SummaryOverride::CellEdit& e : patch.header_cells) {
+    if (e.row >= patched.header_rows.size() ||
+        e.col >= patched.header_rows[e.row].size()) {
+      return Status::InvalidArgument("header cell (", e.row, ",", e.col,
+                                     ") out of range for table ",
+                                     table->id);
+    }
+    patched.header_rows[e.row][e.col] = e.text;
+  }
+  for (const SummaryOverride::CellEdit& e : patch.body_cells) {
+    if (e.row >= patched.body.size() ||
+        e.col >= patched.body[e.row].size()) {
+      return Status::InvalidArgument("body cell (", e.row, ",", e.col,
+                                     ") out of range for table ",
+                                     table->id);
+    }
+    patched.body[e.row][e.col] = e.text;
+  }
+  if (patch.context.has_value()) {
+    patched.context.assign(1, ContextSnippet{*patch.context, 1.0});
+  }
+  *table = std::move(patched);
+  return Status::OK();
+}
+
+TableId BaseEndId(const CorpusSet& base) {
+  return base.shard(base.num_shards() - 1).store().end_id();
+}
+
+StatusOr<WebTable> ReadFrozenTable(const CorpusSet& base, TableId id) {
+  for (size_t s = 0; s < base.num_shards(); ++s) {
+    const TableStore& store = base.shard(s).store();
+    if (id >= store.first_id() && id < store.end_id()) {
+      return store.Get(id);
+    }
+  }
+  return Status::NotFound("table ", id, " is outside the frozen set");
+}
+
+StatusOr<WebTable> DeltaView::Read(TableId id) const {
+  auto it = tables_.find(id);
+  if (it == tables_.end()) {
+    return Status::NotFound("table ", id, " is not in the delta");
+  }
+  return it->second;
+}
+
+bool IsDeltaJournal(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(kDeltaJournalMagic)];
+  const size_t n = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return n == sizeof(magic) &&
+         std::memcmp(magic, kDeltaJournalMagic, sizeof(magic)) == 0;
+}
+
+StatusOr<DeltaJournalInfo> InspectDeltaJournal(const std::string& path) {
+  WWT_ASSIGN_OR_RETURN(ParsedJournal parsed, ParseJournalFile(path));
+  DeltaJournalInfo info;
+  info.format_version = parsed.version;
+  info.base_hash = parsed.base_hash;
+  info.base_end_id = parsed.base_end_id;
+  info.file_bytes = parsed.file_bytes;
+  info.truncated = parsed.truncated;
+  std::set<TableId> live;
+  std::set<TableId> tombstoned;
+  for (const std::string& body : parsed.bodies) {
+    DecodedRecord rec;
+    WWT_RETURN_NOT_OK(DecodeRecordBody(body, &rec));
+    info.generation = rec.seq;
+    ++info.num_records;
+    switch (rec.kind) {
+      case DeltaOpKind::kOverride:
+        ++info.num_overrides;
+        [[fallthrough]];
+      case DeltaOpKind::kAdd:
+      case DeltaOpKind::kUpdate:
+        live.insert(rec.id);
+        tombstoned.erase(rec.id);
+        break;
+      case DeltaOpKind::kTombstone:
+        live.erase(rec.id);
+        tombstoned.insert(rec.id);
+        break;
+    }
+  }
+  info.pending_tables = live.size();
+  info.num_tombstones = tombstoned.size();
+  return info;
+}
+
+StatusOr<std::unique_ptr<DeltaShard>> DeltaShard::Open(
+    std::shared_ptr<const CorpusSet> base, DeltaOptions options) {
+  WWT_CHECK(base != nullptr) << "DeltaShard needs a base set";
+  std::unique_ptr<DeltaShard> shard(new DeltaShard());
+  DeltaShard* d = shard.get();
+  MutexLock lock(d->mu_);
+  d->base_ = std::move(base);
+  d->journal_path_ = std::move(options.journal_path);
+  const TableId base_end = BaseEndId(*d->base_);
+  d->next_id_ = base_end;
+
+  if (!d->journal_path_.empty()) {
+    std::FILE* existing = std::fopen(d->journal_path_.c_str(), "rb");
+    if (existing != nullptr) {
+      std::fclose(existing);
+      WWT_ASSIGN_OR_RETURN(ParsedJournal parsed,
+                           ParseJournalFile(d->journal_path_));
+      if (parsed.base_hash != d->base_->content_hash()) {
+        return Status::InvalidArgument(
+            "delta journal '", d->journal_path_,
+            "' was written against corpus hash ", parsed.base_hash,
+            " but the base set's hash is ", d->base_->content_hash(),
+            " — merge or discard the journal before swapping the base");
+      }
+      if (parsed.base_end_id != base_end) {
+        return Status::InvalidArgument(
+            "delta journal '", d->journal_path_, "' expects ",
+            parsed.base_end_id, " frozen tables, base set has ", base_end);
+      }
+      uint64_t last_seq = 0;
+      for (const std::string& body : parsed.bodies) {
+        DecodedRecord rec;
+        WWT_RETURN_NOT_OK(DecodeRecordBody(body, &rec));
+        if (rec.seq <= last_seq) {
+          return Status::Corruption("delta journal '", d->journal_path_,
+                                    "' is out of order: seq ", rec.seq,
+                                    " after ", last_seq);
+        }
+        last_seq = rec.seq;
+        Entry entry;
+        entry.seq = rec.seq;
+        entry.kind = rec.kind;
+        entry.id = rec.id;
+        entry.table = std::move(rec.table);
+        entry.patch = std::move(rec.patch);
+        entry.encoded = body;
+        entry.time = std::chrono::steady_clock::now();
+        d->next_id_ = std::max(d->next_id_, entry.id + 1);
+        d->entries_.push_back(std::move(entry));
+      }
+      d->next_seq_ = last_seq + 1;
+      if (parsed.truncated) {
+        WWT_LOG(Warning) << "delta journal '" << d->journal_path_
+                         << "' has a torn tail after seq " << last_seq
+                         << " (crash mid-append?); dropping it";
+        WWT_RETURN_NOT_OK(d->RewriteJournalLocked());
+      }
+    } else {
+      WWT_RETURN_NOT_OK(serde::EnsureParentDir(d->journal_path_));
+      WWT_RETURN_NOT_OK(serde::WriteFileAtomic(
+          d->journal_path_,
+          EncodeJournalHeader(d->base_->content_hash(), base_end)));
+    }
+  }
+  d->RebuildViewLocked();
+  return shard;
+}
+
+std::shared_ptr<const DeltaView> DeltaShard::view() const {
+  MutexLock lock(mu_);
+  return view_;
+}
+
+double DeltaShard::pending_age_seconds() const {
+  MutexLock lock(mu_);
+  if (entries_.empty()) return 0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       entries_.front().time)
+      .count();
+}
+
+Status DeltaShard::ValidateLocked(const Entry& entry) const {
+  const DeltaView& view = *view_;
+  switch (entry.kind) {
+    case DeltaOpKind::kAdd:
+      WWT_CHECK(entry.id == next_id_) << "add must allocate the next id";
+      return Status::OK();
+    case DeltaOpKind::kUpdate:
+      if (entry.id >= next_id_) {
+        return Status::NotFound("cannot update table ", entry.id,
+                                ": only ", next_id_,
+                                " table ids are allocated");
+      }
+      return Status::OK();
+    case DeltaOpKind::kOverride: {
+      if (entry.id >= next_id_) {
+        return Status::NotFound("cannot override table ", entry.id,
+                                ": only ", next_id_,
+                                " table ids are allocated");
+      }
+      if (view.tombstoned().count(entry.id) != 0) {
+        return Status::FailedPrecondition("cannot override table ",
+                                          entry.id, ": it is tombstoned");
+      }
+      WebTable current;
+      if (view.Contains(entry.id)) {
+        WWT_ASSIGN_OR_RETURN(current, view.Read(entry.id));
+      } else if (entry.id < view.base_end_id()) {
+        WWT_ASSIGN_OR_RETURN(current, ReadFrozenTable(*base_, entry.id));
+      } else {
+        return Status::NotFound("cannot override table ", entry.id,
+                                ": it was tombstoned before ever merging");
+      }
+      return ApplySummaryOverride(entry.patch, &current);
+    }
+    case DeltaOpKind::kTombstone:
+      if (entry.id >= next_id_) {
+        return Status::NotFound("cannot tombstone table ", entry.id,
+                                ": only ", next_id_,
+                                " table ids are allocated");
+      }
+      if (view.tombstoned().count(entry.id) != 0) {
+        return Status::FailedPrecondition("table ", entry.id,
+                                          " is already tombstoned");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable delta op kind");
+}
+
+Status DeltaShard::AppendJournalLocked(const Entry& entry) {
+  if (journal_path_.empty()) return Status::OK();
+  std::ofstream out(journal_path_,
+                    std::ios::binary | std::ios::app | std::ios::out);
+  const std::string record = EncodeRecord(entry.encoded);
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("cannot append to delta journal '",
+                           journal_path_, "'");
+  }
+  return Status::OK();
+}
+
+Status DeltaShard::RewriteJournalLocked() {
+  if (journal_path_.empty()) return Status::OK();
+  std::string payload =
+      EncodeJournalHeader(base_->content_hash(), BaseEndId(*base_));
+  for (const Entry& entry : entries_) {
+    payload += EncodeRecord(entry.encoded);
+  }
+  WWT_RETURN_NOT_OK(serde::EnsureParentDir(journal_path_));
+  return serde::WriteFileAtomic(journal_path_, payload);
+}
+
+void DeltaShard::RebuildViewLocked() {
+  std::shared_ptr<DeltaView> view(new DeltaView());
+  view->base_ = base_;
+  view->base_end_id_ = BaseEndId(*base_);
+  TableId next = view->base_end_id_;
+
+  for (const Entry& entry : entries_) {
+    next = std::max(next, entry.id + 1);
+    switch (entry.kind) {
+      case DeltaOpKind::kAdd:
+      case DeltaOpKind::kUpdate:
+        view->tables_[entry.id] = entry.table;
+        view->tombstoned_.erase(entry.id);
+        break;
+      case DeltaOpKind::kOverride: {
+        WebTable current;
+        auto it = view->tables_.find(entry.id);
+        if (it != view->tables_.end()) {
+          current = it->second;
+        } else if (entry.id < view->base_end_id_ &&
+                   view->tombstoned_.count(entry.id) == 0) {
+          StatusOr<WebTable> frozen = ReadFrozenTable(*base_, entry.id);
+          if (!frozen.ok()) {
+            WWT_LOG(Warning) << "delta seq " << entry.seq
+                             << ": override of unreadable table "
+                             << entry.id << " skipped: "
+                             << frozen.status().ToString();
+            continue;
+          }
+          current = *std::move(frozen);
+        } else {
+          WWT_LOG(Warning) << "delta seq " << entry.seq
+                           << ": override of missing table " << entry.id
+                           << " skipped";
+          continue;
+        }
+        Status applied = ApplySummaryOverride(entry.patch, &current);
+        if (!applied.ok()) {
+          WWT_LOG(Warning) << "delta seq " << entry.seq << ": "
+                           << applied.ToString();
+          continue;
+        }
+        view->tables_[entry.id] = std::move(current);
+        ++view->num_overrides_;
+        break;
+      }
+      case DeltaOpKind::kTombstone:
+        view->tables_.erase(entry.id);
+        view->tombstoned_.insert(entry.id);
+        break;
+    }
+  }
+  view->next_table_id_ = next;
+  for (const auto& [id, table] : view->tables_) {
+    (void)table;
+    if (id < view->base_end_id_) view->hidden_.insert(id);
+  }
+  for (TableId id : view->tombstoned_) {
+    if (id < view->base_end_id_) view->hidden_.insert(id);
+  }
+
+  if (!view->tables_.empty()) {
+    // The exact seed-add-pin idiom of SnapshotCodec::BuildShard: term
+    // ids extend the base vocabulary in ascending-table-id first-use
+    // order, scores use the pinned base statistics — both identical to
+    // a from-scratch rebuild containing the same tables.
+    const TableIndex& base_index = base_->shard(0).index();
+    view->index_ = std::make_unique<TableIndex>(
+        base_index.options(), base_index.tokenizer().options());
+    view->index_->SeedVocabulary(base_->stats().vocab());
+    for (const auto& [id, table] : view->tables_) {
+      WWT_CHECK(table.id == id) << "delta table id mismatch";
+      view->index_->Add(table);
+    }
+    view->index_->InstallGlobalStats(base_->stats().idf());
+  }
+
+  if (!entries_.empty()) {
+    uint64_t h = Fnv1a("wwt-delta-view-v1");
+    for (const Entry& entry : entries_) {
+      h = HashCombine(h, entry.seq);
+      h = HashCombine(h, serde::Checksum(entry.encoded));
+    }
+    view->freshness_hash_ = h;
+    view->generation_ = entries_.back().seq;
+  }
+  view->num_entries_ = entries_.size();
+  view->stats_ = std::make_unique<FreshStats>(
+      &base_->stats(), view->index_.get(), &view->hidden_,
+      view->next_table_id_ - view->base_end_id_);
+  view_ = std::move(view);
+}
+
+Status DeltaShard::CommitLocked(Entry entry) {
+  WWT_RETURN_NOT_OK(ValidateLocked(entry));
+
+  serde::Writer body;
+  body.WriteU64(entry.seq);
+  body.WriteU8(static_cast<uint8_t>(entry.kind));
+  body.WriteU64(entry.id);
+  switch (entry.kind) {
+    case DeltaOpKind::kAdd:
+    case DeltaOpKind::kUpdate:
+      body.WriteString(SerializeTable(entry.table));
+      break;
+    case DeltaOpKind::kOverride:
+      EncodeOverride(entry.patch, &body);
+      break;
+    case DeltaOpKind::kTombstone:
+      break;
+  }
+  entry.encoded = body.TakeBuffer();
+  entry.time = std::chrono::steady_clock::now();
+
+  // Write-ahead: journal first, then mutate memory — an append failure
+  // leaves both sides exactly as they were.
+  WWT_RETURN_NOT_OK(AppendJournalLocked(entry));
+  next_seq_ = entry.seq + 1;
+  next_id_ = std::max(next_id_, entry.id + 1);
+  entries_.push_back(std::move(entry));
+  RebuildViewLocked();
+  return Status::OK();
+}
+
+StatusOr<TableId> DeltaShard::AddTable(WebTable table) {
+  WWT_RETURN_NOT_OK(NormalizeTable(&table));
+  MutexLock lock(mu_);
+  Entry entry;
+  entry.seq = next_seq_;
+  entry.kind = DeltaOpKind::kAdd;
+  entry.id = next_id_;
+  table.id = entry.id;
+  entry.table = std::move(table);
+  const TableId id = entry.id;
+  WWT_RETURN_NOT_OK(CommitLocked(std::move(entry)));
+  return id;
+}
+
+Status DeltaShard::UpdateTable(WebTable table) {
+  WWT_RETURN_NOT_OK(NormalizeTable(&table));
+  MutexLock lock(mu_);
+  Entry entry;
+  entry.seq = next_seq_;
+  entry.kind = DeltaOpKind::kUpdate;
+  entry.id = table.id;
+  entry.table = std::move(table);
+  return CommitLocked(std::move(entry));
+}
+
+Status DeltaShard::OverrideSummary(TableId id,
+                                   const SummaryOverride& patch) {
+  MutexLock lock(mu_);
+  Entry entry;
+  entry.seq = next_seq_;
+  entry.kind = DeltaOpKind::kOverride;
+  entry.id = id;
+  entry.patch = patch;
+  return CommitLocked(std::move(entry));
+}
+
+Status DeltaShard::TombstoneTable(TableId id) {
+  MutexLock lock(mu_);
+  Entry entry;
+  entry.seq = next_seq_;
+  entry.kind = DeltaOpKind::kTombstone;
+  entry.id = id;
+  return CommitLocked(std::move(entry));
+}
+
+Status DeltaShard::Rebase(std::shared_ptr<const CorpusSet> new_base,
+                          uint64_t merged_generation) {
+  WWT_CHECK(new_base != nullptr) << "cannot rebase onto a null set";
+  MutexLock lock(mu_);
+  base_ = std::move(new_base);
+  const TableId base_end = BaseEndId(*base_);
+
+  // Re-validate the surviving entries against the new base by replaying
+  // them: after a merge every survivor applies cleanly (the merged set
+  // ends exactly where the folded delta ended); after an unrelated
+  // operator swap, entries that no longer fit are dropped loudly.
+  std::vector<Entry> kept;
+  std::map<TableId, WebTable> live;
+  std::set<TableId> tombstoned;
+  TableId next = base_end;
+  size_t dropped = 0;
+  for (Entry& entry : entries_) {
+    if (entry.seq <= merged_generation) continue;
+    bool ok = true;
+    switch (entry.kind) {
+      case DeltaOpKind::kAdd:
+        ok = entry.id == next;
+        if (ok) {
+          live[entry.id] = entry.table;
+          tombstoned.erase(entry.id);
+          next = entry.id + 1;
+        }
+        break;
+      case DeltaOpKind::kUpdate:
+        ok = entry.id < next;
+        if (ok) {
+          live[entry.id] = entry.table;
+          tombstoned.erase(entry.id);
+        }
+        break;
+      case DeltaOpKind::kOverride: {
+        ok = entry.id < next && tombstoned.count(entry.id) == 0;
+        if (ok) {
+          WebTable current;
+          auto it = live.find(entry.id);
+          if (it != live.end()) {
+            current = it->second;
+          } else if (entry.id < base_end) {
+            StatusOr<WebTable> frozen = ReadFrozenTable(*base_, entry.id);
+            ok = frozen.ok();
+            if (ok) current = *std::move(frozen);
+          } else {
+            ok = false;
+          }
+          if (ok) ok = ApplySummaryOverride(entry.patch, &current).ok();
+          if (ok) live[entry.id] = std::move(current);
+        }
+        break;
+      }
+      case DeltaOpKind::kTombstone:
+        ok = entry.id < next && tombstoned.count(entry.id) == 0;
+        if (ok) {
+          live.erase(entry.id);
+          tombstoned.insert(entry.id);
+        }
+        break;
+    }
+    if (!ok) {
+      ++dropped;
+      WWT_LOG(Warning) << "delta seq " << entry.seq << " (op "
+                       << static_cast<int>(entry.kind) << ", table "
+                       << entry.id
+                       << ") no longer applies after rebase; dropped";
+      continue;
+    }
+    kept.push_back(std::move(entry));
+  }
+  if (dropped > 0) {
+    WWT_LOG(Warning) << "rebase dropped " << dropped
+                     << " delta entries that no longer apply";
+  }
+  entries_ = std::move(kept);
+  next_id_ = next;
+  // View first: even if the journal rewrite fails (IO), the published
+  // view is consistent with the new base — the stale on-disk journal is
+  // caught at the next Open by its base-hash check.
+  RebuildViewLocked();
+  return RewriteJournalLocked();
+}
+
+}  // namespace fresh
+}  // namespace wwt

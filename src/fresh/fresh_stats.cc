@@ -1,0 +1,48 @@
+// Copyright 2026 The WWT Authors
+
+#include "fresh/fresh_stats.h"
+
+#include <utility>
+
+namespace wwt {
+namespace fresh {
+
+std::vector<TableId> FreshStats::Merge(std::vector<TableId> frozen,
+                                       std::vector<TableId> delta) const {
+  std::vector<TableId> out;
+  out.reserve(frozen.size() + delta.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < frozen.size() || j < delta.size()) {
+    if (i < frozen.size() && hidden_->count(frozen[i]) != 0) {
+      ++i;
+      continue;
+    }
+    if (j >= delta.size() ||
+        (i < frozen.size() && frozen[i] < delta[j])) {
+      out.push_back(frozen[i++]);
+    } else {
+      out.push_back(delta[j++]);
+    }
+  }
+  return out;
+}
+
+std::vector<TableId> FreshStats::MatchAllInHeaderOrContext(
+    const std::vector<std::string>& keywords) const {
+  std::vector<TableId> delta =
+      delta_index_ != nullptr ? delta_index_->MatchAllInHeaderOrContext(keywords)
+                              : std::vector<TableId>();
+  return Merge(base_->MatchAllInHeaderOrContext(keywords), std::move(delta));
+}
+
+std::vector<TableId> FreshStats::MatchAllInContent(
+    const std::vector<std::string>& keywords) const {
+  std::vector<TableId> delta =
+      delta_index_ != nullptr ? delta_index_->MatchAllInContent(keywords)
+                              : std::vector<TableId>();
+  return Merge(base_->MatchAllInContent(keywords), std::move(delta));
+}
+
+}  // namespace fresh
+}  // namespace wwt

@@ -1,0 +1,83 @@
+// Copyright 2026 The WWT Authors
+//
+// CorpusStats over (frozen base + freshness delta): the statistics
+// surface a query parses and maps against when a DeltaView is live.
+// Global weights stay PINNED to the base build — the delta index is
+// seeded with the base vocabulary and carries the base IDF statistics
+// (TableIndex::SeedVocabulary / InstallGlobalStats) — so every score is
+// bit-identical to a from-scratch rebuild that pins the same statistics
+// (docs/FRESHNESS.md). Only the doc-set probes and the vocabulary are
+// live: MatchAll* unions the base result (minus hidden ids) with the
+// delta result, and vocab() is the delta's extended copy so keywords
+// that only exist in fresh tables still resolve to term ids.
+
+#ifndef WWT_FRESH_FRESH_STATS_H_
+#define WWT_FRESH_FRESH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "index/table_index.h"
+
+namespace wwt {
+namespace fresh {
+
+/// Immutable once built (a DeltaView member); every method is a pure
+/// read, safe from any number of threads. All pointers are borrowed and
+/// must outlive this object — the owning DeltaView guarantees it.
+class FreshStats : public CorpusStats {
+ public:
+  /// `delta_index` may be null (no live delta tables): vocab/idf fall
+  /// back to the base and MatchAll* only filters hidden ids. `hidden`
+  /// holds the frozen ids the delta supersedes or tombstones.
+  /// `extra_docs` is the number of table ids the delta has allocated
+  /// beyond the base (tombstoned-but-allocated ids included), so
+  /// num_docs() matches a merged rebuild's document count.
+  FreshStats(const CorpusStats* base, const TableIndex* delta_index,
+             const std::unordered_set<TableId>* hidden, size_t extra_docs)
+      : base_(base),
+        delta_index_(delta_index),
+        hidden_(hidden),
+        extra_docs_(extra_docs) {}
+
+  const Tokenizer& tokenizer() const override { return base_->tokenizer(); }
+
+  const Vocabulary& vocab() const override {
+    return delta_index_ != nullptr ? delta_index_->vocab() : base_->vocab();
+  }
+
+  const IdfDictionary& idf() const override {
+    // The delta's copy IS the base statistics (InstallGlobalStats);
+    // returning it keeps the view self-contained.
+    return delta_index_ != nullptr ? delta_index_->idf() : base_->idf();
+  }
+
+  size_t num_docs() const override {
+    return base_->num_docs() + extra_docs_;
+  }
+
+  std::vector<TableId> MatchAllInHeaderOrContext(
+      const std::vector<std::string>& keywords) const override;
+
+  std::vector<TableId> MatchAllInContent(
+      const std::vector<std::string>& keywords) const override;
+
+ private:
+  /// Sorted merge of the frozen doc set (hidden ids dropped) and the
+  /// delta doc set. Disjoint by construction: every delta id below the
+  /// base end is hidden on the frozen side.
+  std::vector<TableId> Merge(std::vector<TableId> frozen,
+                             std::vector<TableId> delta) const;
+
+  const CorpusStats* base_;
+  const TableIndex* delta_index_;
+  const std::unordered_set<TableId>* hidden_;
+  size_t extra_docs_;
+};
+
+}  // namespace fresh
+}  // namespace wwt
+
+#endif  // WWT_FRESH_FRESH_STATS_H_

@@ -57,6 +57,42 @@ struct CorpusShardRef {
   const ShardProbe* probe = nullptr;
 };
 
+/// The freshness seam: a mutable-corpus view layered over the frozen
+/// shards (implemented by fresh::DeltaView, see docs/FRESHNESS.md).
+/// When the engine is given an overlay it (1) probes `index()` alongside
+/// the frozen shards and merges under the usual (score desc, id asc)
+/// contract, (2) drops frozen hits the overlay `Hides()` — superseded or
+/// tombstoned table ids — after over-fetching `hidden_count()` extra
+/// frozen hits so the merged top-k is exact, and (3) reads tables the
+/// overlay `Contains()` from the overlay instead of the shard stores.
+/// Implementations are immutable snapshots: every method is a pure read,
+/// safe from any number of probe threads, and the overlay must outlive
+/// the engine (a serving captures it shared_ptr-style like the set).
+class CorpusOverlay {
+ public:
+  virtual ~CorpusOverlay() = default;
+
+  /// The overlay's own index over its live tables (null when empty).
+  /// Seeded/pinned against the base corpus so scores and term ids agree
+  /// with a from-scratch rebuild (TableIndex::SeedVocabulary /
+  /// InstallGlobalStats).
+  virtual const TableIndex* index() const = 0;
+
+  /// True when `id` is served by the overlay (added, updated or
+  /// patched): reads must come from Read(), not the shard stores.
+  virtual bool Contains(TableId id) const = 0;
+
+  /// The overlay's copy of a table it Contains().
+  [[nodiscard]] virtual StatusOr<WebTable> Read(TableId id) const = 0;
+
+  /// True when a frozen hit for `id` must be dropped: the id was
+  /// superseded (its live version is in the overlay) or tombstoned.
+  virtual bool Hides(TableId id) const = 0;
+
+  /// Number of ids Hides() is true for — the frozen over-fetch margin.
+  virtual size_t hidden_count() const = 0;
+};
+
 /// One immutable, shareable corpus snapshot: store + index + vocab/idf
 /// (inside Corpus), plus the content hash identifying the artifact it
 /// came from. Handles are passed around as shared_ptr<const CorpusHandle>

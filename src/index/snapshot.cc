@@ -159,11 +159,13 @@ class SnapshotCodec {
 
     const TableIndex& full_index = *full.index;
     shard.index = std::make_unique<TableIndex>(
-        full_index.options_, full_index.tokenizer_.options());
+        full_index.options(), full_index.tokenizer().options());
     // Pre-seeding the global vocabulary makes every Add() intern to the
     // same term ids as the full index; the local IDF counts accumulated
-    // by Add() are then replaced by the global statistics.
-    shard.index->vocab_ = full_index.vocab_;
+    // by Add() are then replaced by the global statistics. (The same
+    // seed-add-pin idiom builds the freshness delta index and the merged
+    // corpus — src/fresh/.)
+    shard.index->SeedVocabulary(full_index.vocab());
     for (TableId id = begin; id < end; ++id) {
       StatusOr<WebTable> table = shard.store.Get(id);
       WWT_CHECK(table.ok()) << "unreadable table " << id
@@ -171,7 +173,7 @@ class SnapshotCodec {
                             << table.status().ToString();
       shard.index->Add(*table);
     }
-    shard.index->idf_ = full_index.idf_;
+    shard.index->InstallGlobalStats(full_index.idf());
 
     for (const auto& [id, truth] : full.truth) {
       if (id >= begin && id < end) shard.truth.emplace(id, truth);
@@ -1145,11 +1147,18 @@ std::string StripSetSuffix(const std::string& path) {
 }
 
 std::string ShardFileName(const std::string& manifest_path, int shard,
-                          int num_shards) {
+                          int num_shards, uint64_t file_tag) {
   const std::string base = StripSetSuffix(manifest_path);
-  char suffix[64];
-  std::snprintf(suffix, sizeof(suffix), ".shard-%d-of-%d.wwtsnap", shard,
-                num_shards);
+  char suffix[96];
+  if (file_tag != 0) {
+    std::snprintf(suffix, sizeof(suffix),
+                  ".g%llu.shard-%d-of-%d.wwtsnap",
+                  static_cast<unsigned long long>(file_tag), shard,
+                  num_shards);
+  } else {
+    std::snprintf(suffix, sizeof(suffix), ".shard-%d-of-%d.wwtsnap", shard,
+                  num_shards);
+  }
   return base + suffix;
 }
 
@@ -1191,7 +1200,7 @@ std::vector<Corpus> PartitionCorpus(const Corpus& corpus, int num_shards) {
 
 Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
                            const std::string& manifest_path, int num_shards,
-                           SetManifest* manifest) {
+                           SetManifest* manifest, uint64_t file_tag) {
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1, got ",
                                    num_shards);
@@ -1213,7 +1222,8 @@ Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
   std::vector<uint64_t> hashes;
   hashes.reserve(shards.size());
   for (int s = 0; s < n; ++s) {
-    const std::string shard_path = ShardFileName(manifest_path, s, n);
+    const std::string shard_path = ShardFileName(manifest_path, s, n,
+                                                 file_tag);
     SnapshotInfo info;
     WWT_RETURN_NOT_OK(SaveSnapshot(shards[s], options, shard_path, &info));
     ShardManifestEntry entry;

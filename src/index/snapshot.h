@@ -236,9 +236,18 @@ std::vector<Corpus> PartitionCorpus(const Corpus& corpus, int num_shards);
 /// `.wwtset`; shard files are derived from it
 /// (`base.shard-I-of-N.wwtsnap`). On success `manifest` (when non-null)
 /// is filled from the written state.
+///
+/// `file_tag` (0 = none) is folded into the shard file names
+/// (`base.gTAG.shard-I-of-N.wwtsnap`) so a re-save over a live set never
+/// overwrites the shard files its current manifest points at: the
+/// atomic manifest rename is the commit point, and a crash mid-save
+/// leaves the old set fully intact instead of a manifest whose shard
+/// hashes no longer match. The background merge tags every save with
+/// its delta generation (docs/FRESHNESS.md).
 [[nodiscard]] Status SaveShardedSnapshot(const Corpus& corpus, const CorpusOptions& options,
                            const std::string& manifest_path, int num_shards,
-                           SetManifest* manifest = nullptr);
+                           SetManifest* manifest = nullptr,
+                           uint64_t file_tag = 0);
 
 /// Parses a `.wwtset` manifest (header + entries; shard files are not
 /// opened). Clean Status on missing/corrupt/version-mismatched input.

@@ -216,6 +216,23 @@ void TableIndex::Add(const WebTable& table) {
   }
 }
 
+void TableIndex::SeedVocabulary(const Vocabulary& vocab) {
+  WWT_CHECK(heap_ != nullptr) << "mapped TableIndex is immutable";
+  WWT_CHECK(doc_count_ == 0) << "SeedVocabulary must precede Add()";
+  vocab_ = vocab;
+}
+
+void TableIndex::InstallGlobalStats(const IdfDictionary& idf) {
+  WWT_CHECK(heap_ != nullptr) << "mapped TableIndex is immutable";
+  idf_ = idf;
+  // Scores depend on IDF; any previously built layout is stale. Same
+  // contract as Add(): never overlaps queries.
+  if (scoring_ready_.load(std::memory_order_relaxed)) {
+    scoring_ = ScoringLayout();
+    scoring_ready_.store(false, std::memory_order_release);
+  }
+}
+
 void TableIndex::FinishScoringLayout(ScoringLayout* layout) {
   const uint64_t bs = std::max<uint32_t>(1u, layout->block_size);
   const size_t nterms =

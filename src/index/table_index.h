@@ -214,6 +214,21 @@ class TableIndex : public CorpusStats {
   /// treats title as a header-adjacent part).
   void Add(const WebTable& table);
 
+  /// Pre-seeds the vocabulary with a copy of `vocab` (build mode, before
+  /// the first Add): tokens already known to the seeding corpus keep
+  /// their term ids, new tokens intern after them. Together with
+  /// InstallGlobalStats this is how a derived index (a shard of a set, a
+  /// freshness delta, a merged set) scores identically to its base —
+  /// see docs/SHARDING.md and docs/FRESHNESS.md.
+  void SeedVocabulary(const Vocabulary& vocab);
+
+  /// Replaces the accumulated IDF statistics with a copy of `idf` (build
+  /// mode, after the Add loop): pins the base corpus' global statistics
+  /// so per-term contributions match the base bit-for-bit. Terms beyond
+  /// the pinned df table (interned after seeding) score as document
+  /// frequency zero. Drops any built scoring layout.
+  void InstallGlobalStats(const IdfDictionary& idf);
+
   /// Disjunctive boosted TF-IDF search; returns up to `k` docs by
   /// descending score (ties broken by ascending id). k < 0 returns all
   /// matching docs (always via the exhaustive path — WAND's pruning

@@ -16,10 +16,11 @@ WwtEngine::WwtEngine(const TableStore* store, const TableIndex* index,
 
 WwtEngine::WwtEngine(std::vector<CorpusShardRef> shards,
                      const CorpusStats* stats, EngineOptions options,
-                     ThreadPool* probe_pool)
+                     ThreadPool* probe_pool, const CorpusOverlay* overlay)
     : shards_(std::move(shards)),
       stats_(stats),
       probe_pool_(probe_pool),
+      overlay_(overlay),
       options_(std::move(options)) {
   WWT_CHECK(!shards_.empty()) << "engine needs at least one shard";
   WWT_CHECK(stats_ != nullptr) << "engine needs a corpus stats surface";
@@ -57,10 +58,20 @@ StatusOr<std::vector<ScoredDoc>> WwtEngine::Probe(
   // the global top-k is by definition in its own shard's top-k, so the
   // union contains the global answer. A shard's probe may be remote
   // (shards_[s].probe), so every per-shard call carries a Status.
+  //
+  // With a freshness overlay the frozen probes over-fetch by the number
+  // of superseded/tombstoned ids: up to hidden_count() frozen hits are
+  // dropped below, and fetching k + hidden_count() guarantees the
+  // survivors still contain the frozen top-k.
+  const int frozen_k =
+      (k >= 0 && overlay_ != nullptr)
+          ? k + static_cast<int>(overlay_->hidden_count())
+          : k;
   std::vector<std::vector<ScoredDoc>> per_shard(shards_.size());
   std::vector<Status> shard_status(shards_.size());
   auto run_shard = [&](size_t s) {
-    StatusOr<std::vector<ScoredDoc>> hits = ShardSearch(s, keywords, k);
+    StatusOr<std::vector<ScoredDoc>> hits =
+        ShardSearch(s, keywords, frozen_k);
     if (hits.ok()) {
       per_shard[s] = std::move(hits).value();
     } else {
@@ -131,16 +142,34 @@ StatusOr<std::vector<ScoredDoc>> WwtEngine::Probe(
     result->partial = true;
   }
 
+  // The overlay's in-memory index is probed on the calling thread at
+  // plain k (no over-fetch: delta hits are never hidden). Its scores
+  // are exact peers of the frozen ones — same pinned vocabulary/IDF,
+  // same scorer — so the merge below needs no special casing.
+  std::vector<ScoredDoc> delta_hits;
+  if (overlay_ != nullptr && overlay_->index() != nullptr) {
+    delta_hits = overlay_->index()->Search(keywords, k, options_.scorer);
+  }
+
   // Gather: merge under Search's exact total order (score desc, id asc;
-  // ids are unique across shards) and re-truncate to k.
-  size_t total = 0;
+  // ids are unique across shards, and hidden frozen ids — the ones the
+  // overlay supersedes or tombstones — are dropped here) and
+  // re-truncate to k.
+  size_t total = delta_hits.size();
   for (const auto& hits : per_shard) total += hits.size();
   std::vector<ScoredDoc> merged;
   merged.reserve(total);
   for (auto& hits : per_shard) {
-    merged.insert(merged.end(), hits.begin(), hits.end());
+    if (overlay_ != nullptr) {
+      for (const ScoredDoc& hit : hits) {
+        if (!overlay_->Hides(hit.doc)) merged.push_back(hit);
+      }
+    } else {
+      merged.insert(merged.end(), hits.begin(), hits.end());
+    }
   }
-  if (shards_.size() > 1) {
+  merged.insert(merged.end(), delta_hits.begin(), delta_hits.end());
+  if (shards_.size() > 1 || overlay_ != nullptr) {
     std::sort(merged.begin(), merged.end(),
               [](const ScoredDoc& a, const ScoredDoc& b) {
                 if (a.score != b.score) return a.score > b.score;
@@ -161,6 +190,20 @@ std::vector<CandidateTable> WwtEngine::ReadTables(
   std::vector<CandidateTable> out;
   for (const ScoredDoc& doc : docs) {
     if (skip.count(doc.doc)) continue;
+    // Overlay tables (fresh, updated or patched) are read from the
+    // delta; a frozen id the overlay supersedes never reaches here (its
+    // hits are dropped in Probe).
+    if (overlay_ != nullptr && overlay_->Contains(doc.doc)) {
+      StatusOr<WebTable> table = overlay_->Read(doc.doc);
+      if (!table.ok()) {
+        WWT_LOG(Warning) << "skipping unreadable delta table " << doc.doc
+                         << ": " << table.status().ToString();
+        continue;
+      }
+      out.push_back(
+          CandidateTable::Build(std::move(table).value(), *stats_));
+      continue;
+    }
     const TableStore* store = StoreOf(doc.doc);
     if (store == nullptr) {
       WWT_LOG(Warning) << "skipping table " << doc.doc

@@ -124,8 +124,18 @@ class WwtEngine {
   /// than one shard, per-shard probes run as parallel pool tasks —
   /// shard 0's probe always runs on the calling thread, so progress
   /// never depends on a free pool worker.
+  ///
+  /// `overlay` (borrowed, may be null) layers a freshness delta over
+  /// the frozen shards (docs/FRESHNESS.md): its index is probed next to
+  /// them (on the calling thread — it is in-memory and tiny), frozen
+  /// hits it Hides() are dropped (each probe over-fetches by
+  /// hidden_count() so the merged top-k stays exact), and table reads
+  /// for ids it Contains() are served from it instead of the stores.
+  /// When non-null, `stats` must be the overlay's combined surface (so
+  /// fresh-only terms resolve and doc-set probes see delta tables).
   WwtEngine(std::vector<CorpusShardRef> shards, const CorpusStats* stats,
-            EngineOptions options = {}, ThreadPool* probe_pool = nullptr);
+            EngineOptions options = {}, ThreadPool* probe_pool = nullptr,
+            const CorpusOverlay* overlay = nullptr);
 
   /// Full pipeline for one query.
   QueryExecution Execute(const std::vector<std::string>& column_keywords);
@@ -177,6 +187,7 @@ class WwtEngine {
   std::vector<std::pair<TableId, TableId>> shard_ranges_;
   const CorpusStats* stats_;
   ThreadPool* probe_pool_ = nullptr;
+  const CorpusOverlay* overlay_ = nullptr;
   EngineOptions options_;
   std::chrono::steady_clock::time_point deadline_ =
       std::chrono::steady_clock::time_point::max();

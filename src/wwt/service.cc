@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "fresh/merge.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -67,8 +69,8 @@ StatusOr<std::unique_ptr<WwtService>> WwtService::FromSnapshot(
   return service;
 }
 
-void WwtService::SwapCorpus(std::shared_ptr<const CorpusSet> corpus) {
-  MutexLock lock(corpus_mu_);
+void WwtService::InstallCorpusLocked(
+    std::shared_ptr<const CorpusSet> corpus) {
   if (corpus != nullptr && corpus->num_shards() > 1 &&
       shard_pool_ == nullptr) {
     // First multi-shard set: start the fan-out pool. Created once and
@@ -84,6 +86,27 @@ void WwtService::SwapCorpus(std::shared_ptr<const CorpusSet> corpus) {
   remote_probes_.reset();
   // The previous set's refcount drops here; in-flight requests that
   // captured it keep the old shards alive until they finish.
+}
+
+void WwtService::SwapCorpus(std::shared_ptr<const CorpusSet> corpus) {
+  MutexLock lock(corpus_mu_);
+  InstallCorpusLocked(std::move(corpus));
+  if (delta_ == nullptr) return;
+  if (corpus_ == nullptr) {
+    // Unloading drops the delta with it — it is bound to a base.
+    WWT_LOG(Warning) << "SwapCorpus(nullptr) discards the freshness delta";
+    delta_.reset();
+    return;
+  }
+  // An operator reload with freshness live: keep every pending
+  // mutation, re-anchored on the new set (entries that no longer apply
+  // are dropped with warnings; the journal is rewritten against the
+  // new base hash).
+  Status rebased = delta_->Rebase(corpus_, /*merged_generation=*/0);
+  if (!rebased.ok()) {
+    WWT_LOG(Error) << "freshness rebase after SwapCorpus failed: "
+                   << rebased.ToString();
+  }
 }
 
 Status WwtService::AttachRemoteProbes(
@@ -125,8 +148,23 @@ std::shared_ptr<const CorpusSet> WwtService::corpus() const {
 }
 
 WwtService::Serving WwtService::CurrentServing() const {
+  // Lock order: corpus_mu_ then the delta's internal mutex (view()).
+  // Rebase callers hold corpus_mu_ for the same pair, so the (set,
+  // delta view) capture is atomically consistent — a merge can never be
+  // observed half-applied.
   MutexLock lock(corpus_mu_);
-  return {corpus_, shard_pool_, remote_probes_};
+  return {corpus_, shard_pool_, remote_probes_,
+          delta_ != nullptr ? delta_->view() : nullptr};
+}
+
+uint64_t WwtService::EffectiveHash(const Serving& serving) {
+  uint64_t hash = serving.corpus != nullptr
+                      ? serving.corpus->content_hash()
+                      : 0;
+  if (serving.delta != nullptr && !serving.delta->empty()) {
+    hash = HashCombine(hash, serving.delta->freshness_hash());
+  }
+  return hash;
 }
 
 std::future<QueryResponse> WwtService::Submit(QueryRequest request) {
@@ -149,7 +187,7 @@ std::future<QueryResponse> WwtService::SubmitOn(Serving serving,
     // Same cache-key stamping as a queue expiry (when a corpus exists):
     // where the deadline fired must not change how a response is keyed.
     if (serving.corpus != nullptr) {
-      StampCacheKey(&early, request, *serving.corpus);
+      StampCacheKey(&early, request, serving);
     }
     early.status =
         Status::DeadlineExceeded("deadline already expired at submit");
@@ -170,7 +208,7 @@ std::future<QueryResponse> WwtService::SubmitOn(Serving serving,
     if (DeadlinePassed(request)) {
       response.tag = request.tag;
       response.queue_seconds = queue_seconds;
-      StampCacheKey(&response, request, *serving.corpus);
+      StampCacheKey(&response, request, serving);
       response.status = Status::DeadlineExceeded(
           "deadline expired after ", queue_seconds, " s in queue");
     } else {
@@ -180,7 +218,7 @@ std::future<QueryResponse> WwtService::SubmitOn(Serving serving,
         response = QueryResponse{};
         response.tag = request.tag;
         response.queue_seconds = queue_seconds;
-        StampCacheKey(&response, request, *serving.corpus);
+        StampCacheKey(&response, request, serving);
         response.status =
             Status::Internal("query execution threw: ", e.what());
       }
@@ -191,24 +229,25 @@ std::future<QueryResponse> WwtService::SubmitOn(Serving serving,
     serving.corpus.reset();
     serving.shard_pool.reset();
     serving.remote.reset();
+    serving.delta.reset();
     return response;
   });
 }
 
 void WwtService::StampCacheKey(QueryResponse* response,
                                const QueryRequest& request,
-                               const CorpusSet& corpus) const {
-  response->corpus_hash = corpus.content_hash();
+                               const Serving& serving) const {
+  const uint64_t hash = EffectiveHash(serving);
+  response->corpus_hash = hash;
   response->fingerprint = RequestFingerprint(
       request,
       request.options.has_value() ? *request.options : options_.engine,
-      corpus.content_hash());
+      hash);
 }
 
 QueryResponse WwtService::ServeOn(const Serving& serving,
                                   const QueryRequest& request,
                                   double queue_seconds) const {
-  const CorpusSet& corpus = *serving.corpus;
   // Retrieval-only responses are never cached (diagnostic payload for
   // the eval harness, not an answer); with no cache every request just
   // executes.
@@ -218,7 +257,7 @@ QueryResponse WwtService::ServeOn(const Serving& serving,
   const EngineOptions& effective =
       request.options.has_value() ? *request.options : options_.engine;
   const uint64_t key =
-      RequestFingerprint(request, effective, corpus.content_hash());
+      RequestFingerprint(request, effective, EffectiveHash(serving));
 
   WallTimer timer;  // covers lookup + copy (hit) or the leader wait
   ResponseCache::Ticket ticket = cache_->Acquire(key);
@@ -291,12 +330,23 @@ QueryResponse WwtService::ExecuteOn(const Serving& serving,
   const EngineOptions& effective =
       request.options.has_value() ? *request.options : options_.engine;
   if (known_fingerprint != 0) {
-    response.corpus_hash = corpus.content_hash();
+    response.corpus_hash = EffectiveHash(serving);
     response.fingerprint = known_fingerprint;
   } else {
-    StampCacheKey(&response, request, corpus);
+    StampCacheKey(&response, request, serving);
   }
   if (options_.pipeline_hook) options_.pipeline_hook(response.fingerprint);
+
+  // With a non-empty freshness delta captured, the engine probes its
+  // overlay next to the frozen shards and queries parse against the
+  // combined statistics surface; an empty (or absent) delta serves the
+  // frozen-only path, byte-identical to a service without freshness.
+  const fresh::DeltaView* overlay =
+      serving.delta != nullptr && !serving.delta->empty()
+          ? serving.delta.get()
+          : nullptr;
+  const CorpusStats& stats =
+      overlay != nullptr ? overlay->stats() : corpus.stats();
 
   // Engines are cheap to construct and stateless; building one per
   // request binds it to the set the request captured, which is what
@@ -310,13 +360,13 @@ QueryResponse WwtService::ExecuteOn(const Serving& serving,
       refs[s].probe = (*serving.remote)[s].get();
     }
   }
-  WwtEngine engine(std::move(refs), &corpus.stats(), effective,
-                   serving.shard_pool.get());
+  WwtEngine engine(std::move(refs), &stats, effective,
+                   serving.shard_pool.get(), overlay);
   // Remote probes bound their RPCs by the request deadline (max() =
   // none); local probes are not preempted (the PR-3 contract).
   engine.set_deadline(request.deadline);
   if (request.retrieval_only) {
-    response.query = Query::Parse(request.columns, corpus.stats());
+    response.query = Query::Parse(request.columns, stats);
     response.retrieval = engine.Retrieve(response.query, &response.timing);
   } else {
     QueryExecution execution = engine.Execute(request.columns);
@@ -422,6 +472,15 @@ ServiceStats WwtService::Stats() const {
       serving.remote != nullptr ? serving.remote->size() : 0;
   stats.cache_enabled = cache_ != nullptr;
   stats.cache = cache_stats();
+  if (serving.delta != nullptr) {
+    stats.freshness_enabled = true;
+    stats.delta_entries = serving.delta->num_entries();
+    stats.delta_tables = serving.delta->num_tables();
+    stats.delta_overrides = serving.delta->num_overrides();
+    stats.delta_tombstones = serving.delta->num_tombstones();
+    stats.delta_generation = serving.delta->generation();
+    stats.freshness_hash = serving.delta->freshness_hash();
+  }
   return stats;
 }
 
@@ -431,10 +490,143 @@ ResponseCache::Stats WwtService::cache_stats() const {
 
 size_t WwtService::PurgeStaleCacheEntries() {
   if (cache_ == nullptr) return 0;
-  std::shared_ptr<const CorpusSet> current = corpus();
+  Serving serving = CurrentServing();
   // With no corpus loaded nothing can be served, so no entry is live.
-  return cache_->PurgeStale(current != nullptr ? current->content_hash()
-                                               : 0);
+  // With freshness, "live" means the current effective hash — entries
+  // from before the latest mutation or merge are unreachable.
+  return cache_->PurgeStale(serving.corpus != nullptr
+                                ? EffectiveHash(serving)
+                                : 0);
+}
+
+// ----------------------------------------------------------- Freshness
+
+Status WwtService::EnableFreshness(const std::string& journal_path) {
+  MutexLock lock(corpus_mu_);
+  if (corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no corpus loaded; freshness layers over a serving set");
+  }
+  if (delta_ != nullptr) {
+    return Status::AlreadyExists("freshness is already enabled");
+  }
+  WWT_ASSIGN_OR_RETURN(std::unique_ptr<fresh::DeltaShard> delta,
+                       fresh::DeltaShard::Open(corpus_, {journal_path}));
+  delta_ = std::move(delta);
+  return Status::OK();
+}
+
+bool WwtService::freshness_enabled() const {
+  MutexLock lock(corpus_mu_);
+  return delta_ != nullptr;
+}
+
+namespace {
+
+/// Grabbing the shard once (instead of holding corpus_mu_ through a
+/// mutation) keeps the lock order one-way: corpus_mu_ -> delta mutex.
+Status NoFreshness() {
+  return Status::FailedPrecondition(
+      "freshness is not enabled; call EnableFreshness first");
+}
+
+}  // namespace
+
+StatusOr<TableId> WwtService::AddTable(WebTable table) {
+  std::shared_ptr<fresh::DeltaShard> delta;
+  {
+    MutexLock lock(corpus_mu_);
+    delta = delta_;
+  }
+  if (delta == nullptr) return NoFreshness();
+  return delta->AddTable(std::move(table));
+}
+
+Status WwtService::UpdateTable(WebTable table) {
+  std::shared_ptr<fresh::DeltaShard> delta;
+  {
+    MutexLock lock(corpus_mu_);
+    delta = delta_;
+  }
+  if (delta == nullptr) return NoFreshness();
+  return delta->UpdateTable(std::move(table));
+}
+
+Status WwtService::OverrideSummary(TableId id,
+                                   const fresh::SummaryOverride& patch) {
+  std::shared_ptr<fresh::DeltaShard> delta;
+  {
+    MutexLock lock(corpus_mu_);
+    delta = delta_;
+  }
+  if (delta == nullptr) return NoFreshness();
+  return delta->OverrideSummary(id, patch);
+}
+
+Status WwtService::TombstoneTable(TableId id) {
+  std::shared_ptr<fresh::DeltaShard> delta;
+  {
+    MutexLock lock(corpus_mu_);
+    delta = delta_;
+  }
+  if (delta == nullptr) return NoFreshness();
+  return delta->TombstoneTable(id);
+}
+
+std::shared_ptr<const fresh::DeltaView> WwtService::delta_view() const {
+  MutexLock lock(corpus_mu_);
+  return delta_ != nullptr ? delta_->view() : nullptr;
+}
+
+std::shared_ptr<fresh::DeltaShard> WwtService::delta_shard() const {
+  MutexLock lock(corpus_mu_);
+  return delta_;
+}
+
+Status WwtService::MergeDeltaToSet(const std::string& out_path,
+                                   int num_shards,
+                                   const CorpusOptions& meta) {
+  std::shared_ptr<fresh::DeltaShard> delta;
+  {
+    MutexLock lock(corpus_mu_);
+    delta = delta_;
+  }
+  if (delta == nullptr) return NoFreshness();
+
+  // Fold against a pinned view. Mutations racing past this point are
+  // NOT folded — Rebase keeps them (their seq exceeds the folded
+  // generation) and they serve over the new base.
+  std::shared_ptr<const fresh::DeltaView> view = delta->view();
+  if (view->empty()) return Status::OK();
+  const uint64_t generation = view->generation();
+
+  WWT_ASSIGN_OR_RETURN(Corpus folded, fresh::FoldDelta(*view));
+  const int shards = num_shards > 0
+                         ? num_shards
+                         : static_cast<int>(view->base()->num_shards());
+  // Generation-tagged shard filenames: a crashed merge leaves only
+  // never-referenced .gN files behind; the manifest write (atomic
+  // rename, after every shard) is the commit point.
+  WWT_RETURN_NOT_OK(SaveShardedSnapshot(folded, meta, out_path, shards,
+                                        /*manifest=*/nullptr,
+                                        /*file_tag=*/generation));
+  WWT_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusSet> merged,
+                       CorpusSet::Load(out_path));
+
+  Status rebased;
+  {
+    // Install + rebase under one corpus_mu_ hold: any CurrentServing
+    // sees either (old set, pre-merge delta) or (merged set, rebased
+    // delta) — never a mix. That pairing is the mid-merge byte-equality
+    // guarantee.
+    MutexLock lock(corpus_mu_);
+    InstallCorpusLocked(merged);
+    rebased = delta_ != nullptr
+                  ? delta_->Rebase(std::move(merged), generation)
+                  : Status::OK();
+  }
+  PurgeStaleCacheEntries();
+  return rebased;
 }
 
 }  // namespace wwt

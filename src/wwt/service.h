@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "corpus/corpus_generator.h"
+#include "fresh/delta_shard.h"
 #include "index/corpus_set.h"
 #include "index/snapshot.h"
 #include "util/statusor.h"
@@ -103,6 +104,18 @@ struct ServiceStats {
   bool cache_enabled = false;
   /// All-zero when the cache is disabled.
   ResponseCache::Stats cache;
+
+  /// Freshness (docs/FRESHNESS.md): all zero/false until
+  /// EnableFreshness. `freshness_hash` is what the effective corpus
+  /// hash folds in (0 when the delta is empty — fingerprints then equal
+  /// the frozen-only ones byte for byte).
+  bool freshness_enabled = false;
+  size_t delta_entries = 0;
+  size_t delta_tables = 0;
+  size_t delta_overrides = 0;
+  size_t delta_tombstones = 0;
+  uint64_t delta_generation = 0;
+  uint64_t freshness_hash = 0;
 };
 
 class WwtService {
@@ -192,9 +205,63 @@ class WwtService {
   /// Eagerly reclaims cache entries not computed against the current
   /// corpus (they are already unreachable — the content hash is in every
   /// key — this frees their bytes instead of waiting for LRU pressure).
-  /// With no corpus loaded, every entry is stale. Returns entries
-  /// removed; 0 when the cache is disabled.
+  /// With freshness enabled "current" means the current EFFECTIVE hash
+  /// (set hash + freshness hash), so every mutation and every merge
+  /// strands the earlier entries and purge reclaims them. With no
+  /// corpus loaded, every entry is stale. Returns entries removed; 0
+  /// when the cache is disabled.
   size_t PurgeStaleCacheEntries();
+
+  // --------------------------------------------------------- Freshness
+  //
+  // The live-corpus mutation surface (docs/FRESHNESS.md): a mutable
+  // DeltaShard layered over the frozen serving set. Mutations serve
+  // immediately — the next submission captures the new DeltaView — and
+  // requests in flight keep the view they captured, exactly like
+  // SwapCorpus. Everything below is thread-safe.
+
+  /// Layers a freshness delta over the current corpus (which must be
+  /// loaded — FailedPrecondition otherwise; AlreadyExists when called
+  /// twice). `journal_path` "" = memory-only; otherwise an existing
+  /// journal is replayed (its base hash must match the serving set) and
+  /// new mutations are journaled write-ahead.
+  [[nodiscard]] Status EnableFreshness(const std::string& journal_path)
+      WWT_EXCLUDES(corpus_mu_);
+  bool freshness_enabled() const WWT_EXCLUDES(corpus_mu_);
+
+  /// Mutations; FailedPrecondition until EnableFreshness. See
+  /// fresh::DeltaShard for per-call semantics.
+  [[nodiscard]] StatusOr<TableId> AddTable(WebTable table);
+  [[nodiscard]] Status UpdateTable(WebTable table);
+  [[nodiscard]] Status OverrideSummary(TableId id,
+                                       const fresh::SummaryOverride& patch);
+  [[nodiscard]] Status TombstoneTable(TableId id);
+
+  /// The current delta view (null until EnableFreshness).
+  std::shared_ptr<const fresh::DeltaView> delta_view() const
+      WWT_EXCLUDES(corpus_mu_);
+
+  /// The freshness writer itself (null until EnableFreshness) — what a
+  /// fresh::MergeDaemon watches for pending-count/age triggers. Shared
+  /// ownership: hold the pointer for as long as a daemon borrows it.
+  std::shared_ptr<fresh::DeltaShard> delta_shard() const
+      WWT_EXCLUDES(corpus_mu_);
+
+  /// The background-merge primitive: folds (frozen + delta) into a
+  /// fresh sharded `.wwtset` at `out_path` (shard filenames carry the
+  /// folded generation as a tag, so a crashed merge never clobbers live
+  /// artifacts — the manifest rename is the commit point), atomically
+  /// installs it as the serving set, rebases the delta (dropping the
+  /// folded entries, keeping ones that raced in), and purges stale
+  /// cache entries. `num_shards` <= 0 keeps the current shard count.
+  /// `meta` stamps the manifest (seed/scale/workload provenance). OK
+  /// no-op when the delta is empty. Safe to call from a pool worker or
+  /// the MergeDaemon; one merge at a time is the caller's job (the
+  /// daemon serializes itself).
+  [[nodiscard]] Status MergeDeltaToSet(const std::string& out_path,
+                                       int num_shards = 0,
+                                       const CorpusOptions& meta = {})
+      WWT_EXCLUDES(corpus_mu_);
 
  private:
   explicit WwtService(ServiceOptions options);
@@ -210,8 +277,24 @@ class WwtService {
     /// corpus so a detach/re-attach mid-request never mixes.
     std::shared_ptr<const std::vector<std::shared_ptr<const ShardProbe>>>
         remote;
+    /// Freshness overlay (null until EnableFreshness; may be empty()).
+    /// Captured with the corpus, so a mutation or merge mid-request
+    /// never mixes delta states inside one response.
+    std::shared_ptr<const fresh::DeltaView> delta;
   };
   Serving CurrentServing() const WWT_EXCLUDES(corpus_mu_);
+
+  /// The hash responses are keyed by: the set hash, folded with the
+  /// freshness hash when unmerged mutations exist. An empty delta
+  /// contributes nothing, keeping frozen-only fingerprints stable
+  /// across enabling freshness.
+  static uint64_t EffectiveHash(const Serving& serving);
+
+  /// Shared tail of SwapCorpus/MergeDeltaToSet: installs `corpus` as
+  /// the serving set (starting the fan-out pool when first needed) and
+  /// detaches remote probes.
+  void InstallCorpusLocked(std::shared_ptr<const CorpusSet> corpus)
+      WWT_REQUIRES(corpus_mu_);
 
   /// Submit bound to an explicit serving set (RunBatch pins one for the
   /// whole batch).
@@ -249,9 +332,12 @@ class WwtService {
 
   /// Fills fingerprint + corpus_hash — identically on every path a
   /// validated request can take (served, expired anywhere, threw), so
-  /// cache keying never depends on where a failure occurred.
+  /// cache keying never depends on where a failure occurred. Keys by
+  /// the EFFECTIVE hash: with a non-empty delta captured, the freshness
+  /// hash is folded in, so no cached response outlives a mutation or
+  /// crosses a merge boundary.
   void StampCacheKey(QueryResponse* response, const QueryRequest& request,
-                     const CorpusSet& corpus) const;
+                     const Serving& serving) const;
 
   ServiceOptions options_;
   /// Guards the swap state — the only mutable serving state the
@@ -268,6 +354,12 @@ class WwtService {
   /// SwapCorpus (probes are bound to one corpus's shards).
   std::shared_ptr<const std::vector<std::shared_ptr<const ShardProbe>>>
       remote_probes_ WWT_GUARDED_BY(corpus_mu_);
+  /// The freshness writer (null until EnableFreshness). The pointer is
+  /// guarded; the DeltaShard itself is internally synchronized, so
+  /// mutations never hold corpus_mu_. SwapCorpus/MergeDeltaToSet rebase
+  /// it under corpus_mu_, which is what makes the (set, delta view)
+  /// pair a request captures atomically consistent.
+  std::shared_ptr<fresh::DeltaShard> delta_ WWT_GUARDED_BY(corpus_mu_);
   /// Internally synchronized; null when options_.cache disables it.
   std::unique_ptr<ResponseCache> cache_;
   /// Last member: torn down first, so no worker outlives the fields the

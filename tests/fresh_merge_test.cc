@@ -1,0 +1,307 @@
+// Copyright 2026 The WWT Authors
+//
+// Service-level freshness (docs/FRESHNESS.md): the background merge
+// path. Pins the tentpole contract end to end — responses served over
+// (frozen + delta + overrides) are byte-identical, per ResultDigest, to
+// responses served (a) after MergeDeltaToSet folded the delta into a
+// new sharded set and (b) by a cold service loading that merged set
+// from disk. Also the cache-across-merge guarantees: every mutation and
+// every merge changes the effective corpus hash inside the cache key,
+// so no cached response ever crosses a mutation or merge boundary, and
+// the merge's purge eagerly reclaims the stranded entries. Finally the
+// MergeDaemon: the pending-count trigger folds the delta without any
+// caller involvement.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "fresh/delta_shard.h"
+#include "fresh/merge.h"
+#include "index/corpus_set.h"
+#include "index/snapshot.h"
+#include "util/thread_pool.h"
+#include "wwt/api.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace fresh {
+namespace {
+
+WebTable MakeTable(const std::string& title,
+                   const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& body) {
+  WebTable t;
+  t.url = "http://fresh.example/" + title;
+  t.title_rows.push_back(title);
+  t.header_rows.push_back(header);
+  t.body = body;
+  t.num_cols = static_cast<int>(header.size());
+  t.context.push_back({"freshly merged table about " + title, 1.0});
+  return t;
+}
+
+class FreshMergeTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    std::string set_path;
+    uint64_t set_hash = 0;
+    size_t num_tables = 0;
+    std::vector<std::vector<std::string>> queries;
+  };
+
+  /// One 2-shard .wwtset on disk, shared by every test (each test
+  /// serves it through its own service and merges into its own output
+  /// path, so they never interfere).
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions options;
+      options.seed = 11;
+      options.scale = 0.05;
+      options.noise_pages = 10;
+      Corpus corpus = GenerateCorpus(options);
+      for (const ResolvedQuery& rq : corpus.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      s->num_tables = corpus.store.size();
+      s->set_path = TempPath("fresh_merge_base.wwtset");
+      SetManifest manifest;
+      WWT_CHECK_OK(SaveShardedSnapshot(corpus, options, s->set_path,
+                                       /*num_shards=*/2, &manifest));
+      s->set_hash = manifest.set_hash;
+      return s;
+    }();
+    return *shared;
+  }
+
+  static std::string TempPath(const std::string& name) {
+    const char* dir = std::getenv("TMPDIR");
+    return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+  }
+
+  /// The standard edit mix every merge test applies: one add with
+  /// distinctive terms, one frozen update, one title override, one
+  /// tombstone.
+  static void ApplyEdits(WwtService* service) {
+    ASSERT_TRUE(service
+                    ->AddTable(MakeTable(
+                        "quokka habitats",
+                        {"name of quokka island", "quokka population"},
+                        {{"rottnest", "10000"}, {"bald island", "700"}}))
+                    .ok());
+    WebTable upd = MakeTable("updated zero", {"h0"}, {{"c0"}});
+    upd.id = 0;
+    ASSERT_TRUE(service->UpdateTable(upd).ok());
+    SummaryOverride patch;
+    patch.title = "patched title three";
+    ASSERT_TRUE(service->OverrideSummary(3, patch).ok());
+    ASSERT_TRUE(service->TombstoneTable(4).ok());
+  }
+
+  /// Workload queries + one answerable only through the delta.
+  static std::vector<std::vector<std::string>> ProbeQueries() {
+    std::vector<std::vector<std::string>> queries = GetShared().queries;
+    queries.push_back({"quokka island", "population"});
+    return queries;
+  }
+};
+
+TEST_F(FreshMergeTest, MergePreservesDigestsAndSwapsAtomically) {
+  const Shared& s = GetShared();
+  const std::string merged_path = TempPath("fresh_merge_out_a.wwtset");
+
+  auto service = WwtService::FromSnapshot(s.set_path).value();
+  ASSERT_TRUE(service->EnableFreshness("").ok());
+
+  // Merging an empty delta is a no-op: same serving set, no swap.
+  ASSERT_TRUE(service->MergeDeltaToSet(merged_path).ok());
+  EXPECT_EQ(service->Stats().corpus_hash, s.set_hash);
+
+  ApplyEdits(service.get());
+  ASSERT_FALSE(service->delta_view()->empty());
+
+  // While the delta is live, responses are keyed by the EFFECTIVE hash,
+  // never the frozen set hash.
+  std::vector<std::string> before;
+  for (const auto& query : ProbeQueries()) {
+    QueryResponse r = service->Run(QueryRequest::Of(query));
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_NE(r.corpus_hash, s.set_hash);
+    before.push_back(ResultDigest(r));
+  }
+
+  ASSERT_TRUE(service->MergeDeltaToSet(merged_path).ok());
+
+  // The merge drained the delta and installed the folded set.
+  EXPECT_TRUE(service->freshness_enabled());
+  ASSERT_NE(service->delta_view(), nullptr);
+  EXPECT_TRUE(service->delta_view()->empty());
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.corpus_source, merged_path);
+  EXPECT_NE(stats.corpus_hash, s.set_hash);
+  EXPECT_EQ(stats.corpus_shards, 2u);
+  // +1 added table; the tombstone keeps its placeholder id.
+  EXPECT_EQ(stats.corpus_tables, s.num_tables + 1);
+
+  // Byte-identical serving across the merge boundary, and from a cold
+  // process loading the merged artifact.
+  auto cold = WwtService::FromSnapshot(merged_path).value();
+  size_t i = 0;
+  for (const auto& query : ProbeQueries()) {
+    QueryResponse after = service->Run(QueryRequest::Of(query));
+    ASSERT_TRUE(after.ok()) << after.status.ToString();
+    EXPECT_EQ(after.corpus_hash, stats.corpus_hash);
+    EXPECT_EQ(ResultDigest(after), before[i]) << "query " << i;
+    QueryResponse fresh_load = cold->Run(QueryRequest::Of(query));
+    ASSERT_TRUE(fresh_load.ok());
+    EXPECT_EQ(ResultDigest(fresh_load), before[i]) << "query " << i;
+    ++i;
+  }
+
+  // The delta rebased onto the merged set: new ids continue after it.
+  StatusOr<TableId> next =
+      service->AddTable(MakeTable("post merge", {"h"}, {{"c"}}));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, static_cast<TableId>(s.num_tables + 1));
+}
+
+TEST_F(FreshMergeTest, NoCachedResponseCrossesAMutationOrMergeBoundary) {
+  const Shared& s = GetShared();
+  const std::string merged_path = TempPath("fresh_merge_out_b.wwtset");
+
+  ServiceOptions options;
+  options.cache.capacity_bytes = 4 << 20;
+  auto service = WwtService::FromSnapshot(s.set_path, options).value();
+  ASSERT_TRUE(service->EnableFreshness("").ok());
+  ASSERT_TRUE(service->cache_enabled());
+  const std::vector<std::string> query = s.queries.front();
+
+  // Frozen-only serving: second request is a cache hit keyed by the set
+  // hash (an EMPTY delta folds nothing into the key).
+  QueryResponse r1 = service->Run(QueryRequest::Of(query));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.served_from_cache);
+  EXPECT_EQ(r1.corpus_hash, s.set_hash);
+  QueryResponse r2 = service->Run(QueryRequest::Of(query));
+  EXPECT_TRUE(r2.served_from_cache);
+  EXPECT_EQ(r2.fingerprint, r1.fingerprint);
+
+  // A mutation changes the effective hash: the old entry is unreachable
+  // mid-flight — the same request misses and re-executes.
+  ApplyEdits(service.get());
+  QueryResponse r3 = service->Run(QueryRequest::Of(query));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(r3.served_from_cache);
+  EXPECT_NE(r3.corpus_hash, r1.corpus_hash);
+  EXPECT_NE(r3.fingerprint, r1.fingerprint);
+  QueryResponse r4 = service->Run(QueryRequest::Of(query));
+  EXPECT_TRUE(r4.served_from_cache);
+  EXPECT_EQ(r4.fingerprint, r3.fingerprint);
+
+  // The merge swaps the set AND purges: pre-merge entries (both the
+  // frozen-only and the delta-keyed one) are reclaimed eagerly.
+  const size_t entries_before = service->cache_stats().entries;
+  ASSERT_GE(entries_before, 2u);
+  ASSERT_TRUE(service->MergeDeltaToSet(merged_path).ok());
+  const ResponseCache::Stats cache = service->cache_stats();
+  EXPECT_GE(cache.stale_purged, entries_before);
+  EXPECT_EQ(cache.entries, 0u);
+
+  // Post-merge: a fresh key (the merged set hash), a fresh execution,
+  // and the SAME bytes the delta-keyed response carried.
+  QueryResponse r5 = service->Run(QueryRequest::Of(query));
+  ASSERT_TRUE(r5.ok());
+  EXPECT_FALSE(r5.served_from_cache);
+  EXPECT_EQ(r5.corpus_hash, service->Stats().corpus_hash);
+  EXPECT_NE(r5.corpus_hash, r3.corpus_hash);
+  EXPECT_NE(r5.fingerprint, r3.fingerprint);
+  EXPECT_EQ(ResultDigest(r5), ResultDigest(r3));
+  QueryResponse r6 = service->Run(QueryRequest::Of(query));
+  EXPECT_TRUE(r6.served_from_cache);
+  EXPECT_EQ(r6.fingerprint, r5.fingerprint);
+  EXPECT_EQ(ResultDigest(r6), ResultDigest(r5));
+}
+
+TEST_F(FreshMergeTest, FoldDeltaMaterializesTheEffectiveCorpus) {
+  const Shared& s = GetShared();
+  auto service = WwtService::FromSnapshot(s.set_path).value();
+  ASSERT_TRUE(service->EnableFreshness("").ok());
+  ApplyEdits(service.get());
+
+  std::shared_ptr<const DeltaView> view = service->delta_view();
+  StatusOr<Corpus> folded = FoldDelta(*view);
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  ASSERT_EQ(folded->store.size(), s.num_tables + 1);
+  // The add and the update are served from the delta's records.
+  EXPECT_EQ(folded->store.Get(0).value().title_rows[0], "updated zero");
+  EXPECT_EQ(folded->store.Get(static_cast<TableId>(s.num_tables))
+                .value()
+                .title_rows[0],
+            "quokka habitats");
+  // The override patched the frozen record in place.
+  EXPECT_EQ(folded->store.Get(3).value().title_rows[0],
+            "patched title three");
+  // The tombstone left an empty placeholder: the id space is intact but
+  // the record can never match anything.
+  WebTable ghost = folded->store.Get(4).value();
+  EXPECT_TRUE(ghost.title_rows.empty());
+  EXPECT_TRUE(ghost.body.empty());
+  EXPECT_EQ(folded->index->num_docs(), s.num_tables + 1);
+}
+
+TEST_F(FreshMergeTest, MergeDaemonFoldsPastPendingThreshold) {
+  const Shared& s = GetShared();
+  const std::string merged_path = TempPath("fresh_merge_out_c.wwtset");
+
+  auto service = WwtService::FromSnapshot(s.set_path).value();
+  ASSERT_TRUE(service->EnableFreshness("").ok());
+  std::shared_ptr<DeltaShard> delta = service->delta_shard();
+  ASSERT_NE(delta, nullptr);
+
+  ThreadPool merge_pool(1);
+  MergeDaemonOptions options;
+  options.max_pending = 3;
+  options.poll_interval_seconds = 0.02;
+  WwtService* raw = service.get();
+  MergeDaemon daemon(
+      delta.get(), &merge_pool,
+      [raw, merged_path] { return raw->MergeDeltaToSet(merged_path); },
+      options);
+
+  // Two mutations: under the threshold, the daemon must sit still.
+  ASSERT_TRUE(service->AddTable(MakeTable("one", {"h"}, {{"c"}})).ok());
+  ASSERT_TRUE(service->AddTable(MakeTable("two", {"h"}, {{"c"}})).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(daemon.stats().merges, 0u);
+
+  // The third trips it.
+  ASSERT_TRUE(service->AddTable(MakeTable("three", {"h"}, {{"c"}})).ok());
+  for (int i = 0; i < 500 && daemon.stats().merges == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  daemon.Stop();
+
+  const MergeDaemon::Stats stats = daemon.stats();
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.last_generation, 3u);
+  EXPECT_TRUE(service->delta_view()->empty());
+  EXPECT_EQ(service->Stats().corpus_source, merged_path);
+  EXPECT_EQ(service->Stats().corpus_tables, s.num_tables + 3);
+}
+
+}  // namespace
+}  // namespace fresh
+}  // namespace wwt

@@ -1,0 +1,279 @@
+// Copyright 2026 The WWT Authors
+//
+// Freshness concurrency regressions (labels: slow, race — the TSan
+// tier). Two storms over one service:
+//
+//  1. Query threads race a background MergeDeltaToSet. Every response
+//     must be ok, byte-identical (ResultDigest) to the serially
+//     computed expectation, and keyed by exactly one of the two legal
+//     corpus hashes — the pre-merge effective hash or the merged set
+//     hash. A response carrying any other key would mean a request
+//     observed a torn (set, delta) pair.
+//
+//  2. A mutator thread streams in new tables (unique nonsense terms,
+//     so no workload query can retrieve them, PMI's MatchAll sets are
+//     untouched, and the IDF table is pinned — the workload's answers
+//     are invariant by construction) while query threads and a
+//     mid-stream merge race it. Digests must stay at the expectation
+//     through mutations, the merge, and the rebase that carries the
+//     raced-in adds across it.
+//
+// Run under WWT_SANITIZE=thread this is the data-race gate for the
+// whole freshness seam: DeltaShard's journaled commits, the COW view
+// republication, Serving's (corpus, delta) capture, and the merge's
+// install+rebase handoff.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "fresh/delta_shard.h"
+#include "index/snapshot.h"
+#include "wwt/api.h"
+#include "wwt/service.h"
+
+namespace wwt {
+namespace fresh {
+namespace {
+
+WebTable MakeTable(const std::string& title,
+                   const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& body) {
+  WebTable t;
+  t.url = "http://fresh.example/" + title;
+  t.title_rows.push_back(title);
+  t.header_rows.push_back(header);
+  t.body = body;
+  t.num_cols = static_cast<int>(header.size());
+  t.context.push_back({"table about " + title, 1.0});
+  return t;
+}
+
+/// What one query thread collected: failures verbatim, digest
+/// mismatches, and every corpus hash it ever saw.
+struct ThreadLog {
+  std::vector<std::string> errors;
+  std::set<uint64_t> hashes;
+  size_t responses = 0;
+};
+
+class FreshRaceTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    std::string set_path;
+    std::vector<std::vector<std::string>> queries;
+  };
+
+  static const Shared& GetShared() {
+    static Shared* shared = [] {
+      auto* s = new Shared;
+      CorpusOptions options;
+      options.seed = 13;
+      options.scale = 0.05;
+      options.noise_pages = 10;
+      Corpus corpus = GenerateCorpus(options);
+      for (const ResolvedQuery& rq : corpus.queries) {
+        std::vector<std::string> cols;
+        for (const QueryColumnSpec& col : rq.spec.columns) {
+          cols.push_back(col.keywords);
+        }
+        s->queries.push_back(std::move(cols));
+      }
+      s->set_path = TempPath("fresh_race_base.wwtset");
+      WWT_CHECK_OK(SaveShardedSnapshot(corpus, options, s->set_path,
+                                       /*num_shards=*/2));
+      return s;
+    }();
+    return *shared;
+  }
+
+  static std::string TempPath(const std::string& name) {
+    const char* dir = std::getenv("TMPDIR");
+    return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+  }
+
+  /// Serial pass: the expected digest per query, against the service's
+  /// current state.
+  static std::vector<std::string> ExpectedDigests(WwtService* service) {
+    std::vector<std::string> expected;
+    for (const auto& query : GetShared().queries) {
+      QueryResponse r = service->Run(QueryRequest::Of(query));
+      WWT_CHECK(r.ok()) << r.status.ToString();
+      expected.push_back(ResultDigest(r));
+    }
+    return expected;
+  }
+
+  /// Query loop run by every racing thread until `stop`: round-robin
+  /// over the workload, checking ok + digest, recording hashes.
+  static void QueryLoop(WwtService* service,
+                        const std::vector<std::string>& expected,
+                        const std::atomic<bool>* stop, ThreadLog* log) {
+    const auto& queries = GetShared().queries;
+    size_t i = 0;
+    while (!stop->load(std::memory_order_relaxed)) {
+      const size_t q = i++ % queries.size();
+      QueryResponse r = service->Run(QueryRequest::Of(queries[q]));
+      ++log->responses;
+      if (!r.ok()) {
+        log->errors.push_back("query " + std::to_string(q) +
+                              " failed: " + r.status.ToString());
+        continue;
+      }
+      if (ResultDigest(r) != expected[q]) {
+        log->errors.push_back("query " + std::to_string(q) +
+                              " digest diverged (corpus_hash " +
+                              std::to_string(r.corpus_hash) + ")");
+      }
+      log->hashes.insert(r.corpus_hash);
+    }
+  }
+};
+
+TEST_F(FreshRaceTest, QueriesRaceTheBackgroundMerge) {
+  const Shared& s = GetShared();
+  const std::string journal = TempPath("fresh_race_a.wwtdlt");
+  const std::string merged_path = TempPath("fresh_race_out_a.wwtset");
+  std::remove(journal.c_str());
+
+  ServiceOptions options;
+  options.cache.capacity_bytes = 4 << 20;
+  auto service = WwtService::FromSnapshot(s.set_path, options).value();
+  ASSERT_TRUE(service->EnableFreshness(journal).ok());
+
+  // Serial edits, then the expectation every racing response must hit.
+  ASSERT_TRUE(service
+                  ->AddTable(MakeTable("racing quokkas",
+                                       {"quokka name", "lap time"},
+                                       {{"speedy", "12"}, {"zoomy", "11"}}))
+                  .ok());
+  WebTable upd = MakeTable("updated zero", {"h0"}, {{"c0"}});
+  upd.id = 0;
+  ASSERT_TRUE(service->UpdateTable(upd).ok());
+  SummaryOverride patch;
+  patch.title = "patched title two";
+  ASSERT_TRUE(service->OverrideSummary(2, patch).ok());
+  ASSERT_TRUE(service->TombstoneTable(3).ok());
+  const std::vector<std::string> expected = ExpectedDigests(service.get());
+  const uint64_t pre_hash =
+      service->Run(QueryRequest::Of(s.queries[0])).corpus_hash;
+  ASSERT_NE(pre_hash, 0u);
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::vector<ThreadLog> logs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(QueryLoop, service.get(), std::cref(expected),
+                         &stop, &logs[t]);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(service->MergeDeltaToSet(merged_path).ok());
+  const uint64_t post_hash = service->Stats().corpus_hash;
+  EXPECT_NE(post_hash, pre_hash);
+  // Let post-merge traffic flow before calling it a day.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  size_t total = 0;
+  bool saw_post = false;
+  for (const ThreadLog& log : logs) {
+    total += log.responses;
+    for (const std::string& error : log.errors) ADD_FAILURE() << error;
+    // The two legal keys, and nothing else: a request observes either
+    // the pre-merge (set + delta) capture or the merged set — never a
+    // mix, never a stale cache entry resurfacing across the boundary.
+    for (uint64_t hash : log.hashes) {
+      EXPECT_TRUE(hash == pre_hash || hash == post_hash)
+          << "response keyed by neither pre- nor post-merge hash: "
+          << hash;
+      saw_post = saw_post || hash == post_hash;
+    }
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_TRUE(saw_post) << "no response ever saw the merged corpus";
+  std::remove(journal.c_str());
+}
+
+TEST_F(FreshRaceTest, MutatorRacesQueriesAndMerge) {
+  const Shared& s = GetShared();
+  const std::string merged_path = TempPath("fresh_race_out_b.wwtset");
+
+  auto service = WwtService::FromSnapshot(s.set_path).value();
+  ASSERT_TRUE(service->EnableFreshness("").ok());
+  // The workload's answers are invariant under these adds: every term
+  // is unique nonsense, so no workload probe, MatchAll set or pinned
+  // IDF entry ever meets them.
+  const std::vector<std::string> expected = ExpectedDigests(service.get());
+
+  constexpr int kThreads = 3;
+  constexpr int kMutations = 40;
+  std::atomic<bool> stop{false};
+  std::vector<ThreadLog> logs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(QueryLoop, service.get(), std::cref(expected),
+                         &stop, &logs[t]);
+  }
+  std::thread mutator([&service] {
+    for (int i = 0; i < kMutations; ++i) {
+      const std::string tok = "zzq" + std::to_string(i) + "xq";
+      Status status = service
+                          ->AddTable(MakeTable(tok + " title",
+                                               {tok + " header"},
+                                               {{tok + " cell"}}))
+                          .status();
+      WWT_CHECK_OK(status);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // Merge mid-stream: the rebase must carry the raced-in adds across
+  // the swap without ever serving a torn state.
+  ASSERT_TRUE(service->MergeDeltaToSet(merged_path).ok());
+  mutator.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  size_t total = 0;
+  for (const ThreadLog& log : logs) {
+    total += log.responses;
+    for (const std::string& error : log.errors) ADD_FAILURE() << error;
+  }
+  EXPECT_GT(total, 0u);
+
+  // Nothing was lost: every add that raced the merge either folded into
+  // the set or survives in the rebased delta.
+  const ServiceStats stats = service->Stats();
+  std::shared_ptr<const DeltaView> view = service->delta_view();
+  EXPECT_EQ(stats.corpus_tables + view->num_tables(),
+            static_cast<uint64_t>(view->next_table_id()));
+  EXPECT_EQ(view->next_table_id() - BaseEndId(*service->corpus()),
+            view->num_tables());
+  // And they all still serve.
+  for (int i = 0; i < kMutations; ++i) {
+    const std::string tok = "zzq" + std::to_string(i) + "xq";
+    QueryResponse r = service->Run(QueryRequest::Of({tok + " header"}));
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.retrieval.tables.empty()) << "add " << i << " vanished";
+  }
+}
+
+}  // namespace
+}  // namespace fresh
+}  // namespace wwt

@@ -207,12 +207,15 @@ TEST(AnalysisConfigTest, RaceLabelCoversEveryRaceSuite) {
   ASSERT_NE(at, std::string::npos)
       << "CMakeLists.txt lost the WWT_RACE_TESTS list";
   const std::string race_list = cmake.substr(at, cmake.find(')', at) - at);
-  // The three concurrency-regression suites plus the pool's own
-  // shutdown races: all must carry the race label, or the TSan tier
-  // silently stops covering them.
+  // The concurrency-regression suites plus the pool's own shutdown
+  // races: all must carry the race label, or the TSan tier silently
+  // stops covering them. net_rpc_test and distributed_serving_test
+  // exercise the wire servers' accept/shutdown and the scatter-gather
+  // router; fresh_race_test is the freshness merge storm.
   for (const char* suite :
        {"wwt_cache_race_test", "wwt_shard_race_test", "wwt_mmap_serving_test",
-        "util_thread_pool_test"}) {
+        "util_thread_pool_test", "net_rpc_test", "distributed_serving_test",
+        "fresh_race_test"}) {
     EXPECT_NE(race_list.find(suite), std::string::npos)
         << suite << " fell out of WWT_RACE_TESTS";
   }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CTest smoke for the wwt_serve request contract (labels: unit), pinning
-# the three CLI bugfix contracts from the outside:
+# the CLI contracts from the outside:
 #   1. --deadline-ms outside --stdin (batch and --queries alike) is a
 #      clean one-line error, not a silently mis-deadlined batch.
 #   2. The stdin-mode "served N queries, ..." stderr summary prints
@@ -10,6 +10,13 @@
 #      fail validation in BOTH input modes ("a||b" must not silently
 #      become the different query "a|b"), while whitespace-only lines
 #      are skipped as non-queries.
+#   4. Freshness (docs/FRESHNESS.md): --mutations serves immediately,
+#      the journal replays across a restart, wwt_indexer --inspect
+#      reads it, and --merge-now folds the delta into a set whose
+#      served digests are byte-identical to the pre-merge run — the
+#      digest-equality tentpole, driven end to end through the CLI.
+#   5. SIGHUP in --stdin mode atomically reloads the snapshot between
+#      lines; the run keeps serving and says so on stderr.
 set -u
 
 INDEXER="${1:?usage: wwt_serve_cli_test.sh /path/to/wwt_indexer /path/to/wwt_serve}"
@@ -112,5 +119,110 @@ printf 'a | b\na|b\n' \
   || fail "trimmed-equivalent queries failed"
 grep -q '^served 2 queries, 0 expired, 1 from cache$' "$TMP/trim.err" \
   || fail "'a | b' and 'a|b' did not share a fingerprint"
+
+# ---- 4. Freshness: delta mutations, journal replay, merge equality.
+"$INDEXER" --out "$TMP/tiny.wwtset" --scale 0.05 --seed 5 \
+  --noise-pages 10 --shards 2 >/dev/null || fail "sharded build failed"
+cat >"$TMP/muts.txt" <<'MUTS'
+# freshness smoke mutations
+add | quokka census | quokka name , island population | speedy , 1200 ; zoomy , 800 | marsupial census tables
+override-title | 1 | patched title one
+tombstone | 2
+MUTS
+
+# Mutation/merge flags demand freshness mode, and a merge its output.
+if "$SERVE" --snapshot "$TMP/tiny.wwtset" --mutations "$TMP/muts.txt" \
+    >/dev/null 2>"$TMP/nofresh.err"; then
+  fail "--mutations without --fresh/--journal did not fail"
+fi
+grep -q 'require freshness mode' "$TMP/nofresh.err" \
+  || fail "freshness-mode error does not say why"
+if "$SERVE" --snapshot "$TMP/tiny.wwtset" --fresh --merge-now \
+    >/dev/null 2>"$TMP/noout.err"; then
+  fail "--merge-now without --merge-out did not fail"
+fi
+grep -q 'require --merge-out' "$TMP/noout.err" \
+  || fail "--merge-now error does not name --merge-out"
+
+# A bad mutation line fails with file:line context.
+printf 'frobnicate | 3\n' >"$TMP/bad_muts.txt"
+if "$SERVE" --snapshot "$TMP/tiny.wwtset" --fresh \
+    --mutations "$TMP/bad_muts.txt" >/dev/null 2>"$TMP/badmut.err"; then
+  fail "unknown mutation op did not fail"
+fi
+grep -q 'bad_muts.txt:1' "$TMP/badmut.err" \
+  || fail "mutation error lost its file:line context"
+
+# The delta serves immediately: the added table answers over stdin.
+printf 'quokka name | island population\n' \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtset" --journal "$TMP/delta.wwtdlt" \
+      --mutations "$TMP/muts.txt" --stdin --quiet \
+      >"$TMP/fresh1.out" 2>"$TMP/fresh1.err" \
+  || fail "freshness stdin run exited non-zero"
+grep -q '^ok 2' "$TMP/fresh1.out" || fail "added table did not answer"
+grep -q '^freshness: 3 pending mutation' "$TMP/fresh1.err" \
+  || fail "stdin summary reports no freshness state"
+
+# The journal replays on restart: same answer with NO --mutations.
+printf 'quokka name | island population\n' \
+  | "$SERVE" --snapshot "$TMP/tiny.wwtset" --journal "$TMP/delta.wwtdlt" \
+      --stdin --quiet >"$TMP/fresh2.out" 2>/dev/null \
+  || fail "journal replay run exited non-zero"
+grep -q '^ok 2' "$TMP/fresh2.out" || fail "journal replay lost the add"
+
+# wwt_indexer --inspect understands the journal, text and JSON.
+"$INDEXER" --inspect "$TMP/delta.wwtdlt" >"$TMP/dlt.txt" \
+  || fail "journal inspect exited non-zero"
+grep -q '^delta journal' "$TMP/dlt.txt" || fail "journal inspect wrong kind"
+grep -Eq '^pending tables +2' "$TMP/dlt.txt" \
+  || fail "journal inspect pending count wrong"
+grep -Eq '^tombstones +1' "$TMP/dlt.txt" \
+  || fail "journal inspect tombstone count wrong"
+"$INDEXER" --inspect "$TMP/delta.wwtdlt" --format json >"$TMP/dlt.json" \
+  || fail "json journal inspect exited non-zero"
+grep -q '"kind": "delta-journal"' "$TMP/dlt.json" \
+  || fail "json journal inspect has wrong kind"
+grep -q '"records": 3' "$TMP/dlt.json" \
+  || fail "json journal inspect record count wrong"
+
+# The digest-equality tentpole through the CLI: pre-merge (frozen +
+# delta), --merge-now (merged set), and a cold load of the merged
+# artifact must serve byte-identical answers query for query.
+"$SERVE" --snapshot "$TMP/tiny.wwtset" --fresh --mutations "$TMP/muts.txt" \
+  --format json --quiet >"$TMP/pre.json" || fail "pre-merge run failed"
+grep -q '"freshness": {"pending": 3' "$TMP/pre.json" \
+  || fail "json summary reports no freshness block"
+"$SERVE" --snapshot "$TMP/tiny.wwtset" --fresh --mutations "$TMP/muts.txt" \
+  --merge-now --merge-out "$TMP/merged.wwtset" --format json --quiet \
+  >"$TMP/mrg.json" || fail "--merge-now run failed"
+[ -s "$TMP/merged.wwtset" ] || fail "no merged manifest written"
+"$SERVE" --snapshot "$TMP/merged.wwtset" --format json --quiet \
+  >"$TMP/cold.json" || fail "cold merged run failed"
+for f in pre mrg cold; do
+  grep -o '"digest": "[0-9a-f]*"' "$TMP/$f.json" >"$TMP/$f.digests"
+done
+[ -s "$TMP/pre.digests" ] || fail "pre-merge run produced no digests"
+cmp -s "$TMP/pre.digests" "$TMP/mrg.digests" \
+  || fail "--merge-now digests diverged from the pre-merge run"
+cmp -s "$TMP/pre.digests" "$TMP/cold.digests" \
+  || fail "cold merged-set digests diverged from the pre-merge run"
+
+# ---- 5. SIGHUP reloads the snapshot between stdin lines.
+mkfifo "$TMP/hup.in"
+"$SERVE" --snapshot "$TMP/tiny.wwtset" --stdin --quiet \
+  >"$TMP/hup.out" 2>"$TMP/hup.err" <"$TMP/hup.in" &
+HUP_PID=$!
+exec 3>"$TMP/hup.in"
+printf '%s\n' "$QUERY" >&3
+sleep 0.5
+kill -HUP "$HUP_PID"
+sleep 0.5
+printf '%s\n' "$QUERY" >&3
+sleep 0.3
+exec 3>&-
+wait "$HUP_PID" || fail "SIGHUP run exited non-zero"
+grep -q '^reloaded ' "$TMP/hup.err" || fail "no reload line after SIGHUP"
+grep -q '^served 2 queries' "$TMP/hup.err" \
+  || fail "SIGHUP run did not keep serving"
 
 echo "wwt_serve_cli_test: PASS"

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <string>
 
+#include "fresh/delta_shard.h"
 #include "index/snapshot.h"
 #include "util/timer.h"
 
@@ -130,6 +131,57 @@ void PrintManifestJson(const wwt::SetManifest& m, const std::string& path) {
         static_cast<unsigned long long>(e.num_tables));
   }
   std::printf("\n  ]\n}\n");
+}
+
+void PrintJournal(const wwt::fresh::DeltaJournalInfo& info,
+                  const std::string& path) {
+  std::printf("delta journal   %s\n", path.c_str());
+  std::printf("format version  %u\n", info.format_version);
+  std::printf("base hash       %016llx\n",
+              static_cast<unsigned long long>(info.base_hash));
+  std::printf("base tables     %llu\n",
+              static_cast<unsigned long long>(info.base_end_id));
+  std::printf("file size       %.2f KiB\n",
+              static_cast<double>(info.file_bytes) / 1024.0);
+  std::printf("generation      %llu\n",
+              static_cast<unsigned long long>(info.generation));
+  std::printf("records         %llu\n",
+              static_cast<unsigned long long>(info.num_records));
+  std::printf("pending tables  %llu\n",
+              static_cast<unsigned long long>(info.pending_tables));
+  std::printf("overrides       %llu\n",
+              static_cast<unsigned long long>(info.num_overrides));
+  std::printf("tombstones      %llu\n",
+              static_cast<unsigned long long>(info.num_tombstones));
+  if (info.truncated) {
+    std::printf("torn tail       yes (dropped on next open)\n");
+  }
+}
+
+void PrintJournalJson(const wwt::fresh::DeltaJournalInfo& info,
+                      const std::string& path) {
+  std::printf("{\n");
+  std::printf("  \"kind\": \"delta-journal\",\n");
+  std::printf("  \"path\": \"%s\",\n", path.c_str());
+  std::printf("  \"format_version\": %u,\n", info.format_version);
+  std::printf("  \"base_hash\": \"%016llx\",\n",
+              static_cast<unsigned long long>(info.base_hash));
+  std::printf("  \"base_tables\": %llu,\n",
+              static_cast<unsigned long long>(info.base_end_id));
+  std::printf("  \"file_bytes\": %llu,\n",
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("  \"generation\": %llu,\n",
+              static_cast<unsigned long long>(info.generation));
+  std::printf("  \"records\": %llu,\n",
+              static_cast<unsigned long long>(info.num_records));
+  std::printf("  \"pending_tables\": %llu,\n",
+              static_cast<unsigned long long>(info.pending_tables));
+  std::printf("  \"overrides\": %llu,\n",
+              static_cast<unsigned long long>(info.num_overrides));
+  std::printf("  \"tombstones\": %llu,\n",
+              static_cast<unsigned long long>(info.num_tombstones));
+  std::printf("  \"truncated\": %s\n", info.truncated ? "true" : "false");
+  std::printf("}\n");
 }
 
 int Usage(const char* argv0) {
@@ -233,6 +285,19 @@ int main(int argc, char** argv) {
   }
 
   if (!inspect.empty()) {
+    // Sniffed by magic like everything else: a freshness delta journal
+    // (docs/FRESHNESS.md) reports its base binding and pending work.
+    if (wwt::fresh::IsDeltaJournal(inspect)) {
+      wwt::StatusOr<wwt::fresh::DeltaJournalInfo> journal =
+          wwt::fresh::InspectDeltaJournal(inspect);
+      if (!journal.ok()) return Fail(journal.status().ToString());
+      if (format == "json") {
+        PrintJournalJson(*journal, inspect);
+      } else {
+        PrintJournal(*journal, inspect);
+      }
+      return 0;
+    }
     if (wwt::IsSetManifest(inspect)) {
       wwt::StatusOr<wwt::SetManifest> manifest =
           wwt::LoadSetManifest(inspect);

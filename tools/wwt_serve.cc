@@ -32,6 +32,35 @@
 //             [--k K] [--scorer wand|exhaustive]
 //             [--worker ADDR[,ADDR...]]... [--hedge-ms H]
 //             [--rpc-timeout-ms T] [--on-dead-shard fail|partial]
+//             [--fresh | --journal PATH] [--mutations FILE]
+//             [--merge-out PATH [--merge-now | --merge-shards N
+//              --merge-max-pending N --merge-max-age-ms T
+//              --merge-poll-ms T]]
+//
+// Freshness mode (docs/FRESHNESS.md): --fresh (memory-only) or
+// --journal PATH (crash-tolerant, replayed at startup) layers a
+// mutable delta over the frozen set. --mutations FILE applies one
+// mutation per line before serving:
+//
+//   add | TITLE | H1 , H2 | r1c1 , r1c2 ; r2c1 , r2c2 [| CONTEXT]
+//   update | ID | TITLE | HEADER | BODY [| CONTEXT]
+//   override-title | ID | TEXT
+//   override-header | ID | ROW | COL | TEXT
+//   override-cell | ID | ROW | COL | TEXT
+//   override-context | ID | TEXT
+//   tombstone | ID
+//
+// --merge-now folds the delta into a fresh sharded set at --merge-out
+// and swaps it in before serving; the daemon flags instead start a
+// background fresh::MergeDaemon (--stdin only) that merges past a
+// pending-count or pending-age threshold. Either way, served answers
+// are byte-identical (per-query "digest") before, during and after
+// the merge.
+//
+// SIGHUP (--stdin only): atomically reloads the --snapshot artifact
+// from disk between lines — SwapCorpus + stale-cache purge; in-flight
+// queries finish on the corpus they captured. A failed reload keeps
+// the current corpus and warns on stderr.
 //
 // Router mode (docs/DISTRIBUTED.md): one --worker per shard, in shard
 // order, each a comma-separated replica list of wwt_shardd endpoints.
@@ -61,7 +90,10 @@
 // key). --no-cache disables it; the summary reports hit/miss/eviction
 // counters either way.
 
+#include <signal.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,16 +101,19 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fresh/merge.h"
 #include "index/snapshot.h"
 #include "index/table_index.h"
 #include "net/shard_client.h"
 #include "util/hash.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "wwt/service.h"
 
@@ -125,6 +160,140 @@ std::vector<std::string> SplitReplicas(const std::string& spec) {
     start = comma + 1;
   }
   return replicas;
+}
+
+/// Set by the SIGHUP handler, consumed by the --stdin reader loop.
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void HandleSighup(int) { g_reload_requested = 1; }
+
+/// "a , b , c" -> {"a", "b", "c"}, trimmed; empty cells are kept (a
+/// table cell may legitimately be blank).
+std::vector<std::string> SplitTrim(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t at = s.find(sep, start);
+    const std::string part = at == std::string::npos
+                                 ? s.substr(start)
+                                 : s.substr(start, at - start);
+    const size_t begin = part.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      parts.emplace_back();
+    } else {
+      const size_t end = part.find_last_not_of(" \t\r");
+      parts.push_back(part.substr(begin, end - begin + 1));
+    }
+    if (at == std::string::npos) break;
+    start = at + 1;
+  }
+  return parts;
+}
+
+/// "r1c1 , r1c2 ; r2c1 , r2c2" -> body rows (';' rows, ',' cells).
+std::vector<std::vector<std::string>> ParseBodySpec(const std::string& s) {
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& row : SplitTrim(s, ';')) {
+    rows.push_back(SplitTrim(row, ','));
+  }
+  return rows;
+}
+
+bool ParseTableId(const std::string& s, wwt::TableId* id) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *id = static_cast<wwt::TableId>(value);
+  return true;
+}
+
+bool ParseCellIndex(const std::string& s, uint32_t* index) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *index = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Builds the WebTable of an `add`/`update` mutation from its
+/// TITLE | HEADER | BODY [| CONTEXT] fields.
+wwt::WebTable TableFromFields(const std::vector<std::string>& f,
+                              size_t first) {
+  wwt::WebTable t;
+  t.title_rows.push_back(f[first]);
+  const std::vector<std::string> header = SplitTrim(f[first + 1], ',');
+  t.header_rows.push_back(header);
+  t.num_cols = static_cast<int>(header.size());
+  t.body = ParseBodySpec(f[first + 2]);
+  t.url = "fresh://mutation/" + f[first];
+  if (f.size() > first + 3 && !f[first + 3].empty()) {
+    t.context.push_back({f[first + 3], 1.0});
+  }
+  return t;
+}
+
+/// Applies one --mutations line (grammar in the header comment) to the
+/// service's freshness layer. An all-whitespace or '#' comment line is
+/// an OK no-op.
+wwt::Status ApplyMutationLine(wwt::WwtService* service,
+                              const std::string& line) {
+  std::vector<std::string> f = SplitColumns(line);
+  if (f.empty() || f[0].empty() || f[0][0] == '#') return wwt::Status::OK();
+  const std::string& op = f[0];
+  if (op == "add") {
+    if (f.size() < 4) {
+      return wwt::Status::InvalidArgument(
+          "add wants TITLE | HEADER | BODY [| CONTEXT]");
+    }
+    return service->AddTable(TableFromFields(f, 1)).status();
+  }
+  // Every other op names a table id next.
+  wwt::TableId id = 0;
+  if (f.size() < 2 || !ParseTableId(f[1], &id)) {
+    return wwt::Status::InvalidArgument("'", op,
+                                        "' wants a numeric table id");
+  }
+  if (op == "update") {
+    if (f.size() < 5) {
+      return wwt::Status::InvalidArgument(
+          "update wants ID | TITLE | HEADER | BODY [| CONTEXT]");
+    }
+    wwt::WebTable t = TableFromFields(f, 2);
+    t.id = id;
+    return service->UpdateTable(std::move(t));
+  }
+  if (op == "tombstone") {
+    return service->TombstoneTable(id);
+  }
+  wwt::fresh::SummaryOverride patch;
+  if (op == "override-title") {
+    if (f.size() < 3) {
+      return wwt::Status::InvalidArgument("override-title wants ID | TEXT");
+    }
+    patch.title = f[2];
+  } else if (op == "override-context") {
+    if (f.size() < 3) {
+      return wwt::Status::InvalidArgument(
+          "override-context wants ID | TEXT");
+    }
+    patch.context = f[2];
+  } else if (op == "override-header" || op == "override-cell") {
+    wwt::fresh::SummaryOverride::CellEdit edit;
+    if (f.size() < 5 || !ParseCellIndex(f[2], &edit.row) ||
+        !ParseCellIndex(f[3], &edit.col)) {
+      return wwt::Status::InvalidArgument("'", op,
+                                          "' wants ID | ROW | COL | TEXT");
+    }
+    edit.text = f[4];
+    if (op == "override-header") {
+      patch.header_cells.push_back(std::move(edit));
+    } else {
+      patch.body_cells.push_back(std::move(edit));
+    }
+  } else {
+    return wwt::Status::InvalidArgument("unknown mutation op '", op, "'");
+  }
+  return service->OverrideSummary(id, patch);
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -221,7 +390,11 @@ int Usage(const char* argv0) {
                "          [--k K] [--scorer wand|exhaustive]\n"
                "          [--worker ADDR[,ADDR...]]... [--hedge-ms H]\n"
                "          [--rpc-timeout-ms T] [--on-dead-shard "
-               "fail|partial]\n",
+               "fail|partial]\n"
+               "          [--fresh | --journal PATH] [--mutations FILE]\n"
+               "          [--merge-out PATH [--merge-now | --merge-shards N\n"
+               "           --merge-max-pending N --merge-max-age-ms T\n"
+               "           --merge-poll-ms T]]\n",
                argv0);
   return 2;
 }
@@ -255,6 +428,16 @@ int main(int argc, char** argv) {
   bool rpc_timeout_set = false;
   bool on_dead_shard_set = false;
   wwt::ShardFailurePolicy on_dead_shard = wwt::ShardFailurePolicy::kFail;
+  // Freshness mode (docs/FRESHNESS.md).
+  bool fresh = false;
+  std::string journal_path, mutations_path, merge_out;
+  bool merge_now = false;
+  int merge_shards = 0;  // 0 = keep the serving shard count
+  // Daemon triggers; any flag set starts a background MergeDaemon.
+  size_t merge_max_pending = 0;
+  double merge_max_age_ms = 0;
+  double merge_poll_ms = 0;
+  bool daemon_flag_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -380,6 +563,65 @@ int main(int argc, char** argv) {
                     v + "'");
       }
       on_dead_shard_set = true;
+    } else if (arg == "--fresh") {
+      fresh = true;
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      journal_path = v;
+      fresh = true;
+    } else if (arg == "--mutations") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      mutations_path = v;
+    } else if (arg == "--merge-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      merge_out = v;
+    } else if (arg == "--merge-now") {
+      merge_now = true;
+    } else if (arg == "--merge-shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      merge_shards = std::atoi(v);
+      if (merge_shards < 1) {
+        return Fail(std::string("--merge-shards wants a positive shard "
+                                "count, got '") +
+                    v + "'");
+      }
+    } else if (arg == "--merge-max-pending") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      const int n = std::atoi(v);
+      if (n < 1) {
+        return Fail(std::string("--merge-max-pending wants a positive "
+                                "count, got '") +
+                    v + "'");
+      }
+      merge_max_pending = static_cast<size_t>(n);
+      daemon_flag_set = true;
+    } else if (arg == "--merge-max-age-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      merge_max_age_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(merge_max_age_ms > 0)) {
+        return Fail(std::string("--merge-max-age-ms wants a positive "
+                                "number of milliseconds, got '") +
+                    v + "'");
+      }
+      daemon_flag_set = true;
+    } else if (arg == "--merge-poll-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      char* end = nullptr;
+      merge_poll_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(merge_poll_ms > 0)) {
+        return Fail(std::string("--merge-poll-ms wants a positive number "
+                                "of milliseconds, got '") +
+                    v + "'");
+      }
+      daemon_flag_set = true;
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--stdin") {
@@ -408,6 +650,29 @@ int main(int argc, char** argv) {
       (hedge_ms > 0 || rpc_timeout_set || on_dead_shard_set)) {
     return Fail("--hedge-ms/--rpc-timeout-ms/--on-dead-shard configure "
                 "router mode and require at least one --worker");
+  }
+  if (!fresh && (!mutations_path.empty() || !merge_out.empty() ||
+                 merge_now || merge_shards > 0 || daemon_flag_set)) {
+    return Fail("--mutations and the merge flags require freshness mode "
+                "(--fresh or --journal PATH)");
+  }
+  if ((merge_now || merge_shards > 0 || daemon_flag_set) &&
+      merge_out.empty()) {
+    return Fail("--merge-now/--merge-shards and the daemon triggers "
+                "write a merged set and require --merge-out PATH");
+  }
+  if (!merge_out.empty() && !merge_now && !daemon_flag_set) {
+    return Fail("--merge-out needs a trigger: --merge-now or a daemon "
+                "flag (--merge-max-pending/--merge-max-age-ms/"
+                "--merge-poll-ms)");
+  }
+  if (merge_now && daemon_flag_set) {
+    return Fail("--merge-now conflicts with the daemon triggers (pick "
+                "one merge mode)");
+  }
+  if (daemon_flag_set && !use_stdin) {
+    return Fail("the merge daemon runs for the life of the process and "
+                "requires --stdin");
   }
   const bool json = format == "json";
 
@@ -445,6 +710,93 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(info.num_terms),
         snapshot_path.c_str(), load_seconds, info.format_version,
         static_cast<unsigned long long>(info.content_hash));
+  }
+
+  // ---- Freshness: layer the mutable delta over the frozen set, apply
+  // the startup mutation stream, then (optionally) fold it right back
+  // into a merged artifact. Order matters: a --merge-now run serves the
+  // merged set, and its answers must be byte-identical to a run that
+  // stopped before the merge (the per-query "digest" field is the
+  // check CI performs).
+  if (fresh) {
+    const wwt::Status enabled = (*service)->EnableFreshness(journal_path);
+    if (!enabled.ok()) return Fail(enabled.ToString());
+    if (!mutations_path.empty()) {
+      std::ifstream in(mutations_path);
+      if (!in) {
+        return Fail("cannot read mutations file '" + mutations_path + "'");
+      }
+      std::string line;
+      size_t line_no = 0, applied = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        const std::vector<std::string> f = SplitColumns(line);
+        if (f.empty() || f[0].empty() || f[0][0] == '#') continue;
+        const wwt::Status status =
+            ApplyMutationLine(service->get(), line);
+        if (!status.ok()) {
+          return Fail(mutations_path + ":" + std::to_string(line_no) +
+                      ": " + status.ToString());
+        }
+        ++applied;
+      }
+      if (!json) {
+        std::fprintf(use_stdin ? stderr : stdout,
+                     "freshness: applied %zu mutation(s) from %s "
+                     "(journal: %s)\n",
+                     applied, mutations_path.c_str(),
+                     journal_path.empty() ? "memory-only"
+                                          : journal_path.c_str());
+      }
+    }
+    if (merge_now) {
+      const wwt::Status merged =
+          (*service)->MergeDeltaToSet(merge_out, merge_shards);
+      if (!merged.ok()) return Fail(merged.ToString());
+      const wwt::ServiceStats after = (*service)->Stats();
+      if (!json) {
+        std::fprintf(use_stdin ? stderr : stdout,
+                     "freshness: merged delta into %s (%llu tables, "
+                     "hash %016llx)\n",
+                     merge_out.c_str(),
+                     static_cast<unsigned long long>(after.corpus_tables),
+                     static_cast<unsigned long long>(after.corpus_hash));
+      }
+    }
+  }
+
+  // The background merge trigger (--stdin only). Declared daemon-last
+  // so teardown joins the watcher before its pool and service die; the
+  // delta_shard() share keeps the writer alive while the daemon
+  // borrows it.
+  std::shared_ptr<wwt::fresh::DeltaShard> daemon_delta;
+  std::unique_ptr<wwt::ThreadPool> merge_pool;
+  std::unique_ptr<wwt::fresh::MergeDaemon> merge_daemon;
+  if (daemon_flag_set) {
+    daemon_delta = (*service)->delta_shard();
+    merge_pool = std::make_unique<wwt::ThreadPool>(1);
+    wwt::fresh::MergeDaemonOptions daemon_options;
+    if (merge_max_pending > 0) daemon_options.max_pending = merge_max_pending;
+    daemon_options.max_age_seconds = merge_max_age_ms / 1e3;
+    if (merge_poll_ms > 0) {
+      daemon_options.poll_interval_seconds = merge_poll_ms / 1e3;
+    }
+    wwt::WwtService* raw_service = service->get();
+    const std::string out = merge_out;
+    const int shards = merge_shards;
+    merge_daemon = std::make_unique<wwt::fresh::MergeDaemon>(
+        daemon_delta.get(), merge_pool.get(),
+        [raw_service, out, shards] {
+          return raw_service->MergeDeltaToSet(out, shards);
+        },
+        daemon_options);
+    if (!json) {
+      std::fprintf(stderr,
+                   "freshness: merge daemon watching (max pending %zu, "
+                   "max age %.0f ms) -> %s\n",
+                   daemon_options.max_pending, merge_max_age_ms,
+                   merge_out.c_str());
+    }
   }
 
   // ---- Router mode: scatter every per-shard index probe to wwt_shardd
@@ -535,6 +887,42 @@ int main(int argc, char** argv) {
   // --deadline-ms real: a producer faster than the pool builds an
   // actual queue, and stragglers expire in it.
   if (use_stdin) {
+    // SIGHUP = atomic snapshot reload (the operator re-indexed on
+    // disk). No SA_RESTART: the signal must interrupt the blocking
+    // getline so a reload happens even while idle between lines.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = HandleSighup;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGHUP, &sa, nullptr);
+
+    auto reload_snapshot = [&] {
+      wwt::StatusOr<wwt::OpenCorpusResult> reopened =
+          wwt::OpenCorpus(snapshot_path);
+      if (!reopened.ok()) {
+        std::fprintf(stderr,
+                     "wwt_serve: reload of %s failed (%s); keeping the "
+                     "current corpus\n",
+                     snapshot_path.c_str(),
+                     reopened.status().ToString().c_str());
+        return;
+      }
+      // In-flight queries finish on the set they captured; the next
+      // submission sees the reloaded one. The purge reclaims cache
+      // entries keyed by the old hash (already unreachable).
+      (*service)->SwapCorpus(reopened->corpus);
+      (*service)->PurgeStaleCacheEntries();
+      const wwt::ServiceStats now = (*service)->Stats();
+      std::fprintf(stderr,
+                   "reloaded %s: %llu tables in %zu shard(s), hash "
+                   "%016llx\n",
+                   snapshot_path.c_str(),
+                   static_cast<unsigned long long>(now.corpus_tables),
+                   now.corpus_shards,
+                   static_cast<unsigned long long>(now.corpus_hash));
+    };
+
     wwt::Mutex mu;
     wwt::CondVar cv;
     std::deque<std::future<wwt::QueryResponse>> pending;
@@ -582,7 +970,23 @@ int main(int argc, char** argv) {
     });
 
     std::string line;
-    while (std::getline(std::cin, line)) {
+    for (;;) {
+      if (g_reload_requested != 0) {
+        g_reload_requested = 0;
+        reload_snapshot();
+      }
+      if (!std::getline(std::cin, line)) {
+        // A SIGHUP mid-read fails the stream (EINTR surfaces as EOF
+        // through synced stdio): clear both layers and loop — the
+        // reload runs at the top, and a true end-of-input simply fails
+        // again on the next pass with the flag consumed.
+        if (g_reload_requested != 0) {
+          std::cin.clear();
+          std::clearerr(stdin);
+          continue;
+        }
+        break;
+      }
       std::vector<std::string> cols = SplitColumns(line);
       if (cols.empty()) continue;
       std::future<wwt::QueryResponse> future =
@@ -606,6 +1010,28 @@ int main(int argc, char** argv) {
     // up to that point.
     std::fprintf(stderr, "served %zu queries, %zu expired, %zu from cache\n",
                  served, expired, cache_hits);
+    const wwt::ServiceStats end_stats = (*service)->Stats();
+    if (end_stats.freshness_enabled) {
+      std::fprintf(stderr,
+                   "freshness: %zu pending mutation(s) (%zu tables, %zu "
+                   "overrides, %zu tombstones), generation %llu, hash "
+                   "%016llx\n",
+                   end_stats.delta_entries, end_stats.delta_tables,
+                   end_stats.delta_overrides, end_stats.delta_tombstones,
+                   static_cast<unsigned long long>(
+                       end_stats.delta_generation),
+                   static_cast<unsigned long long>(
+                       end_stats.freshness_hash));
+      if (merge_daemon != nullptr) {
+        const wwt::fresh::MergeDaemon::Stats ds = merge_daemon->stats();
+        std::fprintf(stderr,
+                     "merge daemon: %llu merge(s), %llu failure(s), "
+                     "last folded generation %llu\n",
+                     static_cast<unsigned long long>(ds.merges),
+                     static_cast<unsigned long long>(ds.failures),
+                     static_cast<unsigned long long>(ds.last_generation));
+      }
+    }
     print_worker_text(stderr);
     // The error contract holds in every format: any rejected request
     // fails the run with a one-line stderr diagnostic. Deadline
@@ -684,7 +1110,7 @@ int main(int argc, char** argv) {
         "\"stats\": {\"source\": \"%s\", \"corpus_hash\": \"%016llx\", "
         "\"shards\": %zu, \"tables\": %llu, \"format\": %u, "
         "\"mapped_bytes\": %llu, \"heap_bytes\": %llu, \"threads\": %d, "
-        "\"shard_threads\": %d}}}\n",
+        "\"shard_threads\": %d}",
         s.num_queries, failed,
         wwt::ProbeScorerName((*service)->engine_options().scorer),
         (*service)->engine_options().probe1_k,
@@ -707,6 +1133,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ss.mapped_bytes),
         static_cast<unsigned long long>(ss.heap_bytes),
         ss.num_threads, ss.shard_threads);
+    if (ss.freshness_enabled) {
+      std::printf(
+          ", \"freshness\": {\"pending\": %zu, \"tables\": %zu, "
+          "\"overrides\": %zu, \"tombstones\": %zu, \"generation\": %llu, "
+          "\"hash\": \"%016llx\"}",
+          ss.delta_entries, ss.delta_tables, ss.delta_overrides,
+          ss.delta_tombstones,
+          static_cast<unsigned long long>(ss.delta_generation),
+          static_cast<unsigned long long>(ss.freshness_hash));
+    }
+    std::printf("}}\n");
   } else {
     std::printf("\n%zu queries in %.2f s — %.1f QPS at concurrency %d "
                 "(%s scorer, k=%d/%d)\n",
@@ -733,6 +1170,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ss.corpus_tables),
                 ss.num_threads,
                 ss.shard_threads > 0 ? " + shard fan-out pool" : "");
+    if (ss.freshness_enabled) {
+      std::printf("freshness: %zu pending mutation(s) (%zu tables, %zu "
+                  "overrides, %zu tombstones), generation %llu\n",
+                  ss.delta_entries, ss.delta_tables, ss.delta_overrides,
+                  ss.delta_tombstones,
+                  static_cast<unsigned long long>(ss.delta_generation));
+    }
     std::printf("memory: format v%u — %.1f MB mapped, %.1f MB heap%s\n",
                 ss.corpus_format,
                 ss.mapped_bytes / (1024.0 * 1024.0),
